@@ -1,0 +1,158 @@
+// Micro-benchmarks of the filtering substrate (google-benchmark):
+//  - real ASPE encryption and matching, sweeping the attribute count d to
+//    exhibit the O(d^2) per-operation cost the paper's workload analysis
+//    relies on (§VI-B);
+//  - plain-text matchers (brute force vs counting index) sweeping the
+//    number of stored subscriptions;
+//  - the oracle matcher used by the cluster-scale experiments.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "filter/aspe.hpp"
+#include "filter/matcher.hpp"
+#include "workload/generator.hpp"
+#include "workload/oracle.hpp"
+
+namespace {
+
+using namespace esh;
+
+void BM_AspeEncryptPublication(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  Rng rng{1};
+  const filter::AspeKey key = filter::AspeKey::generate(d, rng);
+  filter::AspeEncryptor enc{key, Rng{2}};
+  workload::PlainWorkload gen{{d, 0.01, 3}};
+  auto pub = gen.next_publication();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encrypt(pub));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(d));
+}
+BENCHMARK(BM_AspeEncryptPublication)->RangeMultiplier(2)->Range(2, 16)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_AspeEncryptSubscription(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  Rng rng{1};
+  const filter::AspeKey key = filter::AspeKey::generate(d, rng);
+  filter::AspeEncryptor enc{key, Rng{2}};
+  workload::PlainWorkload gen{{d, 0.01, 3}};
+  const auto sub = gen.subscription(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encrypt(sub));
+  }
+}
+BENCHMARK(BM_AspeEncryptSubscription)->RangeMultiplier(2)->Range(2, 16);
+
+// One encrypted publication against one stored subscription: the paper's
+// per-operation cost, quadratic in d (2d scalar products of length d+3).
+void BM_AspeMatchOnePair(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  Rng rng{1};
+  const filter::AspeKey key = filter::AspeKey::generate(d, rng);
+  filter::AspeEncryptor enc{key, Rng{2}};
+  workload::PlainWorkload gen{{d, 0.5, 3}};
+  const auto esub = enc.encrypt(gen.subscription(0));
+  const auto epub = enc.encrypt(gen.next_publication());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter::encrypted_match(esub, epub));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(d));
+}
+BENCHMARK(BM_AspeMatchOnePair)->RangeMultiplier(2)->Range(2, 32)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_AspeMatcherStore(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Rng rng{1};
+  const filter::AspeKey key = filter::AspeKey::generate(4, rng);
+  filter::AspeEncryptor enc{key, Rng{2}};
+  workload::PlainWorkload gen{{4, 0.01, 3}};
+  filter::AspeMatcher matcher;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    matcher.add(filter::AnySubscription{enc.encrypt(gen.subscription(i))});
+  }
+  const auto epub = enc.encrypt(gen.next_publication());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.match(filter::AnyPublication{epub}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AspeMatcherStore)->RangeMultiplier(4)->Range(64, 16384);
+
+template <typename MatcherT>
+void plain_matcher_bench(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  workload::PlainWorkload gen{{4, 0.01, 3}};
+  MatcherT matcher;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    matcher.add(filter::AnySubscription{gen.subscription(i)});
+  }
+  const auto pub = gen.next_publication();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.match(filter::AnyPublication{pub}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_PlainBruteForce(benchmark::State& state) {
+  plain_matcher_bench<filter::BruteForceMatcher>(state);
+}
+BENCHMARK(BM_PlainBruteForce)->RangeMultiplier(4)->Range(256, 65536);
+
+void BM_PlainCountingIndex(benchmark::State& state) {
+  plain_matcher_bench<filter::CountingIndexMatcher>(state);
+}
+BENCHMARK(BM_PlainCountingIndex)->RangeMultiplier(4)->Range(256, 65536);
+
+void BM_OracleMatcher(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  workload::OracleParams params;
+  params.total_subscriptions = n;
+  params.m_slices = 16;
+  workload::OracleWorkload wl{params};
+  auto matcher = wl.make_matcher({}, 0);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (wl.oracle()->slice_of(i) == 0) {
+      matcher->add(filter::AnySubscription{wl.subscription(i)});
+    }
+  }
+  std::uint64_t pub = 0;
+  for (auto _ : state) {
+    filter::EncryptedPublication p;
+    p.id = PublicationId{++pub};
+    benchmark::DoNotOptimize(matcher->match(filter::AnyPublication{p}));
+  }
+}
+BENCHMARK(BM_OracleMatcher)->RangeMultiplier(4)->Range(4096, 262144);
+
+void BM_AspeStateSerialization(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Rng rng{1};
+  const filter::AspeKey key = filter::AspeKey::generate(4, rng);
+  filter::AspeEncryptor enc{key, Rng{2}};
+  workload::PlainWorkload gen{{4, 0.01, 3}};
+  filter::AspeMatcher matcher;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    matcher.add(filter::AnySubscription{enc.encrypt(gen.subscription(i))});
+  }
+  for (auto _ : state) {
+    BinaryWriter w;
+    matcher.serialize_state(w);
+    benchmark::DoNotOptimize(w.size());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(matcher.state_bytes()));
+}
+BENCHMARK(BM_AspeStateSerialization)->RangeMultiplier(4)->Range(256, 4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

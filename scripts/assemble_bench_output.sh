@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Assembles bench_output.txt by running every experiment binary once.
+# Long-running binaries can be skipped by exporting SKIP="table1_migration
+# fig7_migration_delay" and providing their saved output via PRESEED_DIR.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD:-build}
+OUT=${OUT:-bench_output.txt}
+SKIP=${SKIP:-}
+PRESEED_DIR=${PRESEED_DIR:-}
+
+: > "$OUT"
+for b in "$BUILD"/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  name=$(basename "$b")
+  echo "### $name" | tee -a "$OUT"
+  if [[ " $SKIP " == *" $name "* ]] && [ -n "$PRESEED_DIR" ] \
+       && [ -f "$PRESEED_DIR/$name.txt" ]; then
+    cat "$PRESEED_DIR/$name.txt" | tee -a "$OUT"
+  else
+    "$b" 2>&1 | grep -v "WARNING conda" | tee -a "$OUT"
+  fi
+  echo | tee -a "$OUT"
+done
+echo "wrote $OUT"

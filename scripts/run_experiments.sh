@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper reproduction plus the micro
+# and ablation benches, saving the combined output to bench_output.txt.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD:-build}
+OUT=${OUT:-bench_output.txt}
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+: > "$OUT"
+for b in "$BUILD"/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "### $(basename "$b")" | tee -a "$OUT"
+  "$b" 2>&1 | tee -a "$OUT"
+  echo | tee -a "$OUT"
+done
+echo "wrote $OUT"

@@ -1,0 +1,73 @@
+#include "cluster/iaas.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace esh::cluster {
+
+IaasPool::IaasPool(sim::Simulator& simulator, IaasConfig config)
+    : simulator_(simulator), config_(config) {
+  if (config_.max_hosts == 0) {
+    throw std::invalid_argument{"IaasPool: max_hosts must be > 0"};
+  }
+}
+
+HostId IaasPool::allocate(std::function<void(Host&)> ready) {
+  if (active_.size() >= config_.max_hosts) {
+    throw std::runtime_error{"IaasPool: pool exhausted"};
+  }
+  const HostId id{next_host_++};
+  hosts_[id] = std::make_unique<Host>(simulator_, id, config_.host_spec);
+  booted_[id] = false;
+  active_.push_back(id);
+  record_count();
+  simulator_.schedule(config_.boot_delay,
+                      [this, id, ready = std::move(ready)] {
+                        auto it = hosts_.find(id);
+                        if (it == hosts_.end()) return;  // released pre-boot
+                        booted_[id] = true;
+                        if (ready) ready(*it->second);
+                      });
+  return id;
+}
+
+void IaasPool::release(HostId id) {
+  auto it = hosts_.find(id);
+  if (it == hosts_.end()) {
+    throw std::logic_error{"IaasPool::release: unknown host"};
+  }
+  if (it->second->running_jobs() > 0 || it->second->queued_jobs() > 0) {
+    throw std::logic_error{"IaasPool::release: host still busy"};
+  }
+  hosts_.erase(it);
+  booted_.erase(id);
+  active_.erase(std::remove(active_.begin(), active_.end(), id),
+                active_.end());
+  record_count();
+}
+
+Host& IaasPool::host(HostId id) {
+  auto it = hosts_.find(id);
+  if (it == hosts_.end()) {
+    throw std::logic_error{"IaasPool::host: unknown host"};
+  }
+  return *it->second;
+}
+
+const Host& IaasPool::host(HostId id) const {
+  auto it = hosts_.find(id);
+  if (it == hosts_.end()) {
+    throw std::logic_error{"IaasPool::host: unknown host"};
+  }
+  return *it->second;
+}
+
+bool IaasPool::active(HostId id) const { return hosts_.contains(id); }
+
+std::vector<HostId> IaasPool::active_hosts() const { return active_; }
+
+void IaasPool::record_count() {
+  count_history_.push_back(CountSample{simulator_.now(), active_.size()});
+}
+
+}  // namespace esh::cluster

@@ -1,0 +1,67 @@
+// IaaS-style host pool: the elasticity manager requests and releases hosts
+// through this interface, mirroring how an elastic application interacts
+// with the VM allocation APIs of an IaaS elasticity manager (paper §II-A).
+// Allocation has a boot delay; released hosts must be idle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/host.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace esh::cluster {
+
+struct IaasConfig {
+  std::size_t max_hosts = 30;  // the paper's private cloud size
+  HostSpec host_spec{};
+  SimDuration boot_delay = seconds(2);
+};
+
+class IaasPool {
+ public:
+  IaasPool(sim::Simulator& simulator, IaasConfig config = {});
+
+  // Requests a host. `ready` fires after the boot delay with the host
+  // usable. Throws std::runtime_error when the pool is exhausted.
+  HostId allocate(std::function<void(Host&)> ready);
+
+  // Releases a host back to the pool. The host must exist and be active.
+  void release(HostId id);
+
+  [[nodiscard]] Host& host(HostId id);
+  [[nodiscard]] const Host& host(HostId id) const;
+  [[nodiscard]] bool active(HostId id) const;
+  [[nodiscard]] std::size_t active_count() const { return active_.size(); }
+  [[nodiscard]] std::vector<HostId> active_hosts() const;
+
+  // Active-host count sampled whenever it changes; feeds the host-count
+  // plots of Figures 8 and 9.
+  struct CountSample {
+    SimTime time{};
+    std::size_t count = 0;
+  };
+  [[nodiscard]] const std::vector<CountSample>& count_history() const {
+    return count_history_;
+  }
+
+  [[nodiscard]] const IaasConfig& config() const { return config_; }
+
+ private:
+  void record_count();
+
+  sim::Simulator& simulator_;
+  IaasConfig config_;
+  std::uint64_t next_host_ = 1;
+  std::unordered_map<HostId, std::unique_ptr<Host>> hosts_;
+  std::unordered_map<HostId, bool> booted_;
+  std::vector<HostId> active_;
+  std::vector<CountSample> count_history_;
+};
+
+}  // namespace esh::cluster

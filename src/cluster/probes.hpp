@@ -1,0 +1,41 @@
+// Probe records exchanged between hosts and the manager (paper §IV-B):
+// per-slice CPU, memory, and network usage, aggregated per slice and per
+// host, shipped via heartbeats.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esh::cluster {
+
+struct SliceProbe {
+  SliceId slice;
+  OperatorId op;
+  // CPU consumed by the slice over the probe window, as a fraction of the
+  // *whole host's* capacity (0..1): the weight used for bin packing.
+  double cpu = 0.0;
+  // Resident state size (bytes): the migration-cost signal minimized by
+  // slice selection.
+  std::size_t state_bytes = 0;
+  // Bytes sent by this slice during the window.
+  std::size_t net_bytes = 0;
+};
+
+struct HostProbe {
+  HostId host;
+  SimTime window_start{};
+  SimTime window_end{};
+  // Host CPU utilization over the window (0..1), all slices plus runtime.
+  double cpu = 0.0;
+  std::vector<SliceProbe> slices;
+};
+
+// One complete round of probes covering every active engine host.
+struct ProbeSet {
+  SimTime time{};
+  std::vector<HostProbe> hosts;
+};
+
+}  // namespace esh::cluster

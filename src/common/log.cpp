@@ -1,0 +1,43 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace esh {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Logger::level() { return g_level.load(std::memory_order_relaxed); }
+
+void Logger::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void Logger::write(LogLevel level, const std::string& msg) {
+  if (level < Logger::level()) return;
+  const std::lock_guard<std::mutex> lock{g_mutex};
+  std::cerr << "[" << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace esh

@@ -1,0 +1,48 @@
+// Minimal leveled logger. Experiments run millions of simulated events, so
+// logging defaults to warnings only; tests raise the level when debugging.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace esh {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  static void write(LogLevel level, const std::string& msg);
+};
+
+namespace log_detail {
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  ~LineBuilder() { Logger::write(level_, os_.str()); }
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace log_detail
+
+}  // namespace esh
+
+#define ESH_LOG(lvl)                        \
+  if (::esh::Logger::level() <= (lvl))      \
+  ::esh::log_detail::LineBuilder { (lvl) }
+
+#define ESH_DEBUG ESH_LOG(::esh::LogLevel::kDebug)
+#define ESH_INFO ESH_LOG(::esh::LogLevel::kInfo)
+#define ESH_WARN ESH_LOG(::esh::LogLevel::kWarn)
+#define ESH_ERROR ESH_LOG(::esh::LogLevel::kError)

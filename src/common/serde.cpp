@@ -1,0 +1,3 @@
+#include "common/serde.hpp"
+
+// Header-only implementation; this translation unit anchors the target.

@@ -1,0 +1,97 @@
+// Fundamental vocabulary types shared by every module: strongly-typed
+// identifiers and the simulated-time representation.
+#pragma once
+
+#include <chrono>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace esh {
+
+// Simulated time. All components operate on the virtual clock of the
+// discrete-event simulator; microsecond resolution matches the granularity
+// of the cost model.
+using SimTime = std::chrono::microseconds;
+using SimDuration = std::chrono::microseconds;
+
+inline constexpr SimTime kSimTimeZero{0};
+inline constexpr SimTime kSimTimeMax{std::numeric_limits<SimTime::rep>::max()};
+
+constexpr SimDuration micros(std::int64_t n) { return SimDuration{n}; }
+constexpr SimDuration millis(std::int64_t n) { return SimDuration{n * 1000}; }
+constexpr SimDuration seconds(std::int64_t n) {
+  return SimDuration{n * 1'000'000};
+}
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d.count()) / 1e6;
+}
+constexpr double to_millis(SimDuration d) {
+  return static_cast<double>(d.count()) / 1e3;
+}
+
+// Strongly-typed 64-bit identifier. The Tag parameter distinguishes
+// otherwise-identical id spaces at compile time (I.4: make interfaces
+// precisely and strongly typed).
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    return os << id.value_;
+  }
+
+  static constexpr Id invalid() { return Id{}; }
+
+ private:
+  static constexpr std::uint64_t kInvalid =
+      std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t value_ = kInvalid;
+};
+
+struct HostTag {};
+struct OperatorTag {};
+struct SliceTag {};
+struct SubscriptionTag {};
+struct PublicationTag {};
+struct SubscriberTag {};
+struct SessionTag {};
+struct MigrationTag {};
+
+using HostId = Id<HostTag>;
+using OperatorId = Id<OperatorTag>;
+using SliceId = Id<SliceTag>;
+using SubscriptionId = Id<SubscriptionTag>;
+using PublicationId = Id<PublicationTag>;
+using SubscriberId = Id<SubscriberTag>;
+using SessionId = Id<SessionTag>;
+using MigrationId = Id<MigrationTag>;
+
+// Per-channel event sequence number (assigned by the sending slice).
+using SeqNo = std::uint64_t;
+inline constexpr SeqNo kNoSeqNo = 0;  // sequence numbers start at 1
+
+}  // namespace esh
+
+namespace std {
+template <typename Tag>
+struct hash<esh::Id<Tag>> {
+  size_t operator()(esh::Id<Tag> id) const noexcept {
+    // SplitMix64 finalizer: cheap and well distributed.
+    std::uint64_t x = id.value() + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+}  // namespace std

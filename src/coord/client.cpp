@@ -1,0 +1,74 @@
+#include <memory>
+
+#include "coord/coord.hpp"
+
+namespace esh::coord {
+
+CoordClient::CoordClient(CoordService& service)
+    : service_(service), session_(service.create_session()) {
+  ping_timer_ = std::make_unique<sim::PeriodicTimer>(
+      service_.simulator(), service_.config().session_timeout / 3,
+      [this] { service_.ping(session_); });
+}
+
+CoordClient::~CoordClient() {
+  ping_timer_.reset();
+  service_.close_session(session_);
+}
+
+void CoordClient::create(const std::string& path, const std::string& data,
+                         CreateMode mode, CoordService::CreateCallback cb) {
+  service_.create(session_, path, data, mode, std::move(cb));
+}
+
+void CoordClient::get(const std::string& path, CoordService::GetCallback cb,
+                      WatchCallback watch) {
+  service_.get(session_, path, std::move(cb), std::move(watch));
+}
+
+void CoordClient::set(const std::string& path, const std::string& data,
+                      std::int64_t expected_version,
+                      CoordService::SetCallback cb) {
+  service_.set(session_, path, data, expected_version, std::move(cb));
+}
+
+void CoordClient::remove(const std::string& path,
+                         std::int64_t expected_version,
+                         CoordService::VoidCallback cb) {
+  service_.remove(session_, path, expected_version, std::move(cb));
+}
+
+void CoordClient::get_children(const std::string& path,
+                               CoordService::ChildrenCallback cb,
+                               WatchCallback watch) {
+  service_.get_children(session_, path, std::move(cb), std::move(watch));
+}
+
+void CoordClient::ensure_path(const std::string& path, const std::string& data,
+                              CoordService::VoidCallback cb) {
+  // Create ancestors left to right; kNodeExists along the way is fine.
+  auto state = std::make_shared<std::size_t>(1);  // position after leading '/'
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, path, data, cb = std::move(cb), state, step] {
+    const std::size_t next = path.find('/', *state);
+    const bool leaf = next == std::string::npos;
+    const std::string prefix = leaf ? path : path.substr(0, next);
+    *state = leaf ? path.size() : next + 1;
+    create(prefix, leaf ? data : std::string{},
+           CreateMode::kPersistent,
+           [cb, leaf, step](Status st, const std::string&) {
+             if (st != Status::kOk && st != Status::kNodeExists) {
+               cb(st);
+               return;
+             }
+             if (leaf) {
+               cb(st == Status::kNodeExists ? Status::kNodeExists : Status::kOk);
+               return;
+             }
+             (*step)();
+           });
+  };
+  (*step)();
+}
+
+}  // namespace esh::coord

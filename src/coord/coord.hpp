@@ -1,0 +1,226 @@
+// Minimal ZooKeeper-like coordination kernel ("minizk").
+//
+// E-STREAMHUB stores its shared configuration and the whole manager state
+// in a coordination service so that the manager can be restarted after a
+// failure (paper §IV-B). This module reproduces the abstraction surface the
+// system needs: a filesystem-like hierarchy of versioned znodes with
+// compare-and-set writes, ephemeral and sequential nodes, one-shot watches,
+// and sessions with timeouts.
+//
+// Writes are committed through a simulated quorum (atomic broadcast over a
+// support ensemble): every mutation carries a commit latency and is
+// assigned a monotonically increasing zxid. Reads are served from the
+// leader's in-memory tree with a smaller latency. A leader failover can be
+// injected: mutations submitted during the failover window stall until a
+// new leader is elected, preserving order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace esh::coord {
+
+enum class Status {
+  kOk,
+  kNoNode,
+  kNodeExists,
+  kBadVersion,
+  kNotEmpty,
+  kNoParent,
+  kSessionExpired,
+  kBadArguments,
+};
+
+const char* to_string(Status s);
+
+enum class CreateMode {
+  kPersistent,
+  kEphemeral,
+  kPersistentSequential,
+  kEphemeralSequential,
+};
+
+enum class WatchEventType { kDataChanged, kCreated, kDeleted, kChildren };
+
+struct WatchEvent {
+  WatchEventType type;
+  std::string path;
+};
+
+using WatchCallback = std::function<void(const WatchEvent&)>;
+
+struct Stat {
+  std::int64_t version = 0;
+  std::int64_t czxid = 0;  // zxid of the create
+  std::int64_t mzxid = 0;  // zxid of the last modification
+  bool ephemeral = false;
+  std::size_t num_children = 0;
+};
+
+struct CoordConfig {
+  // Round trip to the leader for reads.
+  SimDuration read_latency = micros(500);
+  // Quorum commit for mutations (leader proposal + majority ack).
+  SimDuration write_latency = millis(3);
+  SimDuration session_timeout = seconds(10);
+  // Duration of a leader election when a failover is injected.
+  SimDuration failover_duration = seconds(1);
+};
+
+class CoordService {
+ public:
+  CoordService(sim::Simulator& simulator, CoordConfig config = {});
+  CoordService(const CoordService&) = delete;
+  CoordService& operator=(const CoordService&) = delete;
+
+  // ---- sessions -----------------------------------------------------------
+
+  SessionId create_session();
+  // Keeps the session alive; sessions expire session_timeout after the last
+  // ping (or creation) and their ephemeral nodes are deleted.
+  void ping(SessionId session);
+  void close_session(SessionId session);
+  [[nodiscard]] bool session_alive(SessionId session) const;
+
+  // ---- asynchronous API (latencies apply) ---------------------------------
+
+  using CreateCallback = std::function<void(Status, const std::string& path)>;
+  using GetCallback =
+      std::function<void(Status, const std::string& data, Stat stat)>;
+  using SetCallback = std::function<void(Status, Stat stat)>;
+  using VoidCallback = std::function<void(Status)>;
+  using ChildrenCallback =
+      std::function<void(Status, const std::vector<std::string>& names)>;
+  using ExistsCallback = std::function<void(Status, std::optional<Stat>)>;
+
+  void create(SessionId session, const std::string& path,
+              const std::string& data, CreateMode mode, CreateCallback cb);
+  void get(SessionId session, const std::string& path, GetCallback cb,
+           WatchCallback watch = nullptr);
+  // expected_version == -1 matches any version.
+  void set(SessionId session, const std::string& path, const std::string& data,
+           std::int64_t expected_version, SetCallback cb);
+  void remove(SessionId session, const std::string& path,
+              std::int64_t expected_version, VoidCallback cb);
+  void exists(SessionId session, const std::string& path, ExistsCallback cb,
+              WatchCallback watch = nullptr);
+  void get_children(SessionId session, const std::string& path,
+                    ChildrenCallback cb, WatchCallback watch = nullptr);
+
+  // ---- synchronous inspection (no latency; for tests and local reads) -----
+
+  [[nodiscard]] bool node_exists(const std::string& path) const;
+  [[nodiscard]] std::optional<std::string> read(const std::string& path) const;
+  [[nodiscard]] std::vector<std::string> children(
+      const std::string& path) const;
+
+  // ---- failure injection ---------------------------------------------------
+
+  // Simulates a leader crash: mutations stall for failover_duration.
+  void inject_leader_failover();
+
+  [[nodiscard]] std::int64_t last_zxid() const { return zxid_; }
+  [[nodiscard]] std::uint64_t committed_ops() const { return committed_ops_; }
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] const CoordConfig& config() const { return config_; }
+
+ private:
+  struct Node {
+    std::string data;
+    Stat stat;
+    std::map<std::string, std::unique_ptr<Node>> children;
+    SessionId owner;  // valid only for ephemerals
+    std::uint64_t sequence_counter = 0;
+    std::vector<WatchCallback> data_watches;
+    std::vector<WatchCallback> child_watches;
+    // Watches set through exists() on a path that does not exist yet live
+    // on the parent, keyed by child name.
+    std::map<std::string, std::vector<WatchCallback>> pending_create_watches;
+  };
+
+  struct Session {
+    SimTime last_ping{};
+    bool alive = true;
+    std::vector<std::string> ephemerals;
+  };
+
+  Node* find(const std::string& path);
+  const Node* find(const std::string& path) const;
+  Node* find_parent(const std::string& path, std::string* leaf_name);
+  static bool valid_path(const std::string& path);
+
+  // Applies a committed mutation; returns status and fires watches.
+  Status apply_create(SessionId session, const std::string& path,
+                      const std::string& data, CreateMode mode,
+                      std::string* created_path);
+  Status apply_set(const std::string& path, const std::string& data,
+                   std::int64_t expected_version, Stat* out);
+  Status apply_remove(const std::string& path, std::int64_t expected_version);
+
+  void fire_data_watches(Node& node, WatchEventType type,
+                         const std::string& path);
+  void fire_child_watches(Node& parent, const std::string& parent_path);
+  void fire_create_watches(Node& parent, const std::string& name,
+                           const std::string& full_path);
+
+  // Schedules `fn` after the mutation commit latency, honoring failover.
+  void submit_mutation(std::function<void()> fn);
+  void schedule_read(std::function<void()> fn);
+
+  void expire_session(SessionId session);
+  void check_session_expiry();
+
+  sim::Simulator& simulator_;
+  CoordConfig config_;
+  Node root_;
+  std::int64_t zxid_ = 0;
+  std::uint64_t committed_ops_ = 0;
+  std::uint64_t next_session_ = 1;
+  std::map<SessionId, Session> sessions_;
+  SimTime mutation_available_at_{0};  // serialized quorum pipeline
+  std::unique_ptr<sim::PeriodicTimer> expiry_timer_;
+};
+
+// Convenience client: owns a session and keeps it alive automatically.
+class CoordClient {
+ public:
+  explicit CoordClient(CoordService& service);
+  ~CoordClient();
+  CoordClient(const CoordClient&) = delete;
+  CoordClient& operator=(const CoordClient&) = delete;
+
+  [[nodiscard]] SessionId session() const { return session_; }
+  [[nodiscard]] CoordService& service() { return service_; }
+
+  void create(const std::string& path, const std::string& data,
+              CreateMode mode, CoordService::CreateCallback cb);
+  void get(const std::string& path, CoordService::GetCallback cb,
+           WatchCallback watch = nullptr);
+  void set(const std::string& path, const std::string& data,
+           std::int64_t expected_version, CoordService::SetCallback cb);
+  void remove(const std::string& path, std::int64_t expected_version,
+              CoordService::VoidCallback cb);
+  void get_children(const std::string& path, CoordService::ChildrenCallback cb,
+                    WatchCallback watch = nullptr);
+
+  // Creates every missing ancestor of `path` plus the node itself
+  // (persistent), then calls cb. Data is written to the leaf only.
+  void ensure_path(const std::string& path, const std::string& data,
+                   CoordService::VoidCallback cb);
+
+ private:
+  CoordService& service_;
+  SessionId session_;
+  std::unique_ptr<sim::PeriodicTimer> ping_timer_;
+};
+
+}  // namespace esh::coord

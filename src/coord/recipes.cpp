@@ -1,0 +1,168 @@
+#include "coord/recipes.hpp"
+
+#include <algorithm>
+
+namespace esh::coord {
+
+namespace {
+
+std::string leaf_of(const std::string& path) {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace
+
+// ---- LeaderElection ----------------------------------------------------------
+
+LeaderElection::LeaderElection(CoordClient& client, std::string root,
+                               std::function<void(bool)> on_change)
+    : client_(client), root_(std::move(root)), on_change_(std::move(on_change)) {}
+
+void LeaderElection::enter() {
+  if (entered_) return;
+  entered_ = true;
+  const std::uint64_t epoch = ++epoch_;
+  client_.ensure_path(root_, "", [this, epoch](Status) {
+    if (epoch != epoch_ || !entered_) return;
+    client_.create(root_ + "/candidate-", "",
+                   CreateMode::kEphemeralSequential,
+                   [this, epoch](Status st, const std::string& created) {
+                     if (epoch != epoch_ || !entered_) return;
+                     if (st != Status::kOk) {
+                       entered_ = false;
+                       return;
+                     }
+                     node_ = created;
+                     node_name_ = leaf_of(created);
+                     check_standing();
+                   });
+  });
+}
+
+void LeaderElection::resign() {
+  if (!entered_) return;
+  entered_ = false;
+  ++epoch_;  // invalidate in-flight callbacks and watches
+  if (!node_.empty()) {
+    client_.remove(node_, -1, [](Status) {});
+    node_.clear();
+    node_name_.clear();
+  }
+  if (leader_) {
+    leader_ = false;
+    if (on_change_) on_change_(false);
+  }
+}
+
+void LeaderElection::check_standing() {
+  const std::uint64_t epoch = epoch_;
+  client_.get_children(
+      root_,
+      [this, epoch](Status st, const std::vector<std::string>& children) {
+        if (epoch != epoch_ || !entered_ || st != Status::kOk) return;
+        // Children arrive sorted; sequential suffixes order candidates.
+        std::string predecessor;
+        for (const std::string& child : children) {
+          if (child < node_name_ &&
+              (predecessor.empty() || child > predecessor)) {
+            predecessor = child;
+          }
+        }
+        if (predecessor.empty()) {
+          if (!leader_) {
+            leader_ = true;
+            if (on_change_) on_change_(true);
+          }
+          return;
+        }
+        // Watch only the immediate predecessor (no herd effect).
+        client_.get(
+            root_ + "/" + predecessor,
+            [this, epoch](Status get_st, const std::string&, Stat) {
+              // Predecessor vanished between listing and get: re-check.
+              if (epoch == epoch_ && entered_ && get_st == Status::kNoNode) {
+                check_standing();
+              }
+            },
+            [this, epoch](const WatchEvent& ev) {
+              if (epoch != epoch_ || !entered_) return;
+              if (ev.type == WatchEventType::kDeleted) check_standing();
+            });
+      });
+}
+
+// ---- DistributedLock -----------------------------------------------------------
+
+DistributedLock::DistributedLock(CoordClient& client, std::string root)
+    : client_(client), root_(std::move(root)) {}
+
+void DistributedLock::acquire(std::function<void()> granted) {
+  if (pending_ || held_) {
+    throw std::logic_error{"DistributedLock: already acquiring or held"};
+  }
+  pending_ = true;
+  granted_ = std::move(granted);
+  const std::uint64_t epoch = ++epoch_;
+  client_.ensure_path(root_, "", [this, epoch](Status) {
+    if (epoch != epoch_ || !pending_) return;
+    client_.create(root_ + "/lock-", "", CreateMode::kEphemeralSequential,
+                   [this, epoch](Status st, const std::string& created) {
+                     if (epoch != epoch_ || !pending_) return;
+                     if (st != Status::kOk) {
+                       pending_ = false;
+                       return;
+                     }
+                     node_ = created;
+                     node_name_ = leaf_of(created);
+                     check_front();
+                   });
+  });
+}
+
+void DistributedLock::release() {
+  if (!pending_ && !held_) return;
+  pending_ = false;
+  held_ = false;
+  ++epoch_;
+  if (!node_.empty()) {
+    client_.remove(node_, -1, [](Status) {});
+    node_.clear();
+    node_name_.clear();
+  }
+}
+
+void DistributedLock::check_front() {
+  const std::uint64_t epoch = epoch_;
+  client_.get_children(
+      root_,
+      [this, epoch](Status st, const std::vector<std::string>& children) {
+        if (epoch != epoch_ || !pending_ || st != Status::kOk) return;
+        std::string predecessor;
+        for (const std::string& child : children) {
+          if (child < node_name_ &&
+              (predecessor.empty() || child > predecessor)) {
+            predecessor = child;
+          }
+        }
+        if (predecessor.empty()) {
+          pending_ = false;
+          held_ = true;
+          if (granted_) granted_();
+          return;
+        }
+        client_.get(
+            root_ + "/" + predecessor,
+            [this, epoch](Status get_st, const std::string&, Stat) {
+              if (epoch == epoch_ && pending_ && get_st == Status::kNoNode) {
+                check_front();
+              }
+            },
+            [this, epoch](const WatchEvent& ev) {
+              if (epoch != epoch_ || !pending_) return;
+              if (ev.type == WatchEventType::kDeleted) check_front();
+            });
+      });
+}
+
+}  // namespace esh::coord

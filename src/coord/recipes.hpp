@@ -1,0 +1,75 @@
+// Standard ZooKeeper recipes on top of the minizk kernel: leader election
+// and distributed locks via ephemeral-sequential nodes with
+// watch-the-predecessor (no herd effect). e-STREAMHUB uses the election to
+// keep a single manager active; a restarted manager joins the election and
+// recovers state once it wins (paper §IV-B).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coord/coord.hpp"
+
+namespace esh::coord {
+
+// Joins an election under `root`. The contender holding the lowest
+// ephemeral-sequential node leads; the others watch their immediate
+// predecessor and take over in creation order as nodes vanish (session
+// expiry or resign).
+class LeaderElection {
+ public:
+  // `on_change` fires with true when this contender becomes leader, and
+  // with false if leadership is lost (own node gone, e.g. after resign).
+  LeaderElection(CoordClient& client, std::string root,
+                 std::function<void(bool leader)> on_change);
+
+  // Enters the election (idempotent once entered).
+  void enter();
+
+  // Leaves the election, releasing leadership if held.
+  void resign();
+
+  [[nodiscard]] bool is_leader() const { return leader_; }
+  [[nodiscard]] bool entered() const { return entered_; }
+  [[nodiscard]] const std::string& node() const { return node_; }
+
+ private:
+  void check_standing();
+
+  CoordClient& client_;
+  std::string root_;
+  std::function<void(bool)> on_change_;
+  std::string node_;       // full path of our candidate node
+  std::string node_name_;  // leaf name
+  bool entered_ = false;
+  bool leader_ = false;
+  std::uint64_t epoch_ = 0;  // invalidates stale watch callbacks
+};
+
+// Distributed mutex: acquire() queues an ephemeral-sequential node under
+// the lock root and fires `granted` once it is the lowest. release()
+// deletes the node (also releasing on session loss, as ephemerals vanish).
+class DistributedLock {
+ public:
+  DistributedLock(CoordClient& client, std::string root);
+
+  void acquire(std::function<void()> granted);
+  void release();
+  [[nodiscard]] bool held() const { return held_; }
+
+ private:
+  void check_front();
+
+  CoordClient& client_;
+  std::string root_;
+  std::function<void()> granted_;
+  std::string node_;
+  std::string node_name_;
+  bool pending_ = false;
+  bool held_ = false;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace esh::coord

@@ -1,0 +1,321 @@
+#include "elastic/manager.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "engine/event.hpp"
+
+namespace esh::elastic {
+
+Manager::Manager(sim::Simulator& simulator, net::Network& network,
+                 engine::Engine& engine, cluster::IaasPool& pool,
+                 coord::CoordService& coord, HostId manager_host,
+                 ManagerConfig config)
+    : simulator_(simulator),
+      network_(network),
+      engine_(engine),
+      pool_(pool),
+      coord_(coord),
+      manager_host_(manager_host),
+      config_(std::move(config)),
+      enforcer_(config_.policy) {
+  probe_endpoint_ = network_.new_endpoint();
+  network_.bind(probe_endpoint_, manager_host_,
+                [this](const net::Delivery& d) { on_probe(d); });
+  coord_client_ = std::make_unique<coord::CoordClient>(coord_);
+  for (const auto& name : config_.elastic_operators) {
+    elastic_ops_.insert(name);
+  }
+  if (config_.use_leader_election) {
+    election_ = std::make_unique<coord::LeaderElection>(
+        *coord_client_, config_.coord_root + "/manager-election",
+        [this](bool leader) {
+          if (!leader) return;
+          // Promotion: recover the current managed set and pull the probe
+          // stream to this instance.
+          coord_client_->get(
+              config_.coord_root + "/config/hosts",
+              [this](coord::Status st, const std::string& data, coord::Stat) {
+                if (st == coord::Status::kOk && !data.empty()) {
+                  std::set<HostId> recovered;
+                  std::size_t pos = 0;
+                  while (pos <= data.size()) {
+                    const std::size_t comma = data.find(',', pos);
+                    const std::string token = data.substr(
+                        pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+                    if (!token.empty()) {
+                      const HostId host{std::stoull(token)};
+                      if (engine_.has_host(host)) recovered.insert(host);
+                    }
+                    if (comma == std::string::npos) break;
+                    pos = comma + 1;
+                  }
+                  // Keep the bootstrap set if the persisted one is not
+                  // readable yet (fresh deployment racing its first write).
+                  if (!recovered.empty()) managed_ = std::move(recovered);
+                }
+                reported_since_eval_.clear();
+                engine_.enable_probes(probe_endpoint_);
+              });
+        });
+  }
+}
+
+Manager::~Manager() {
+  if (network_.bound(probe_endpoint_)) {
+    network_.unbind(probe_endpoint_);
+  }
+}
+
+void Manager::start(const std::vector<HostId>& managed_hosts) {
+  if (started_) {
+    throw std::logic_error{"Manager::start: already started"};
+  }
+  managed_.insert(managed_hosts.begin(), managed_hosts.end());
+  started_ = true;
+  // The config tree must exist before the first placement writes; chain
+  // the creates (the coordination pipeline is asynchronous).
+  coord_client_->ensure_path(
+      config_.coord_root + "/config/slices", "", [this](coord::Status) {
+        coord_client_->ensure_path(
+            config_.coord_root + "/config/hosts", "", [this](coord::Status) {
+              persist_hosts();
+              for (HostId host : managed_) {
+                for (SliceId slice : engine_.slices_on(host)) {
+                  persist_placement(slice, host);
+                }
+              }
+            });
+      });
+  if (election_) {
+    election_->enter();  // first contender: leads and pulls probes
+  } else {
+    engine_.enable_probes(probe_endpoint_);
+  }
+}
+
+void Manager::enter_standby() {
+  if (!election_) {
+    throw std::logic_error{"enter_standby requires use_leader_election"};
+  }
+  if (started_) {
+    throw std::logic_error{"enter_standby: already started"};
+  }
+  started_ = true;
+  election_->enter();
+}
+
+void Manager::resign() {
+  if (election_) election_->resign();
+}
+
+void Manager::start_from_coordination(std::function<void(bool)> ready) {
+  if (started_) {
+    throw std::logic_error{"Manager::start_from_coordination: already started"};
+  }
+  started_ = true;
+  coord_client_->get(
+      config_.coord_root + "/config/hosts",
+      [this, ready = std::move(ready)](coord::Status st,
+                                       const std::string& data, coord::Stat) {
+        if (st != coord::Status::kOk) {
+          ESH_WARN << "Manager recovery: no persisted host set ("
+                   << coord::to_string(st) << ")";
+          if (ready) ready(false);
+          return;
+        }
+        std::size_t pos = 0;
+        while (pos < data.size()) {
+          const std::size_t comma = data.find(',', pos);
+          const std::string token =
+              data.substr(pos, comma == std::string::npos ? std::string::npos
+                                                          : comma - pos);
+          if (!token.empty()) {
+            const HostId host{std::stoull(token)};
+            // Only hosts that still exist in the engine are recovered.
+            if (engine_.has_host(host)) managed_.insert(host);
+          }
+          if (comma == std::string::npos) break;
+          pos = comma + 1;
+        }
+        engine_.enable_probes(probe_endpoint_);
+        if (ready) ready(!managed_.empty());
+      });
+}
+
+std::vector<HostId> Manager::managed_hosts() const {
+  return {managed_.begin(), managed_.end()};
+}
+
+void Manager::on_probe(const net::Delivery& delivery) {
+  const auto* msg =
+      dynamic_cast<const engine::ProbeMessage*>(delivery.message.get());
+  if (msg == nullptr) {
+    ESH_WARN << "Manager: unexpected message on probe endpoint";
+    return;
+  }
+  const HostId host = msg->probe.host;
+  if (!managed_.contains(host)) return;  // source/sink/dedicated hosts
+  latest_probes_[host] = msg->probe;
+  reported_since_eval_.insert(host);
+  maybe_evaluate();
+}
+
+void Manager::maybe_evaluate() {
+  // Rules are evaluated as soon as a complete set of probes has arrived
+  // since the previous evaluation (paper §V).
+  if (reported_since_eval_.size() < managed_.size()) return;
+  reported_since_eval_.clear();
+
+  SystemView view;
+  view.time = simulator_.now();
+  LoadSample sample;
+  sample.time = view.time;
+  sample.hosts = managed_.size();
+  sample.min_cpu = 1.0;
+  const auto& cfg = engine_.static_config();
+  for (HostId host : managed_) {
+    auto it = latest_probes_.find(host);
+    if (it == latest_probes_.end()) return;  // not all hosts known yet
+    const cluster::HostProbe& probe = it->second;
+    view.hosts.push_back(HostView{host, probe.cpu});
+    sample.min_cpu = std::min(sample.min_cpu, probe.cpu);
+    sample.max_cpu = std::max(sample.max_cpu, probe.cpu);
+    sample.avg_cpu += probe.cpu;
+    for (const cluster::SliceProbe& sp : probe.slices) {
+      const auto& op_name = cfg.op_of(sp.slice).name;
+      if (!elastic_ops_.contains(op_name)) continue;
+      view.slices.push_back(
+          SliceView{sp.slice, host, sp.cpu, sp.state_bytes});
+    }
+  }
+  sample.avg_cpu /= static_cast<double>(managed_.size());
+  load_history_.push_back(sample);
+
+  if (!enforcement_enabled_ || executing_ || !is_active()) return;
+  MigrationPlan plan =
+      policy_override_ ? policy_override_(view) : enforcer_.evaluate(view);
+  if (plan.empty()) return;
+  ESH_INFO << "Manager: executing " << to_string(plan.reason) << " plan ("
+           << plan.moves.size() << " moves, " << plan.new_hosts
+           << " new hosts, " << plan.releases.size() << " releases)";
+  execute(std::move(plan));
+}
+
+void Manager::execute(MigrationPlan plan) {
+  executing_ = true;
+  active_plan_ = std::move(plan);
+  plan_new_hosts_.clear();
+  next_move_ = 0;
+  hosts_booting_ = active_plan_.new_hosts;
+  if (active_plan_.new_hosts == 0) {
+    run_next_move();
+    return;
+  }
+  std::size_t allocated = 0;
+  for (std::size_t i = 0; i < active_plan_.new_hosts; ++i) {
+    try {
+      const HostId id = pool_.allocate([this](cluster::Host& host) {
+        engine_.add_host(host);
+        if (--hosts_booting_ == 0) run_next_move();
+      });
+      plan_new_hosts_.push_back(id);
+      managed_.insert(id);
+      ++allocated;
+    } catch (const std::runtime_error&) {
+      // Pool exhausted: execute what we can. Drop the moves that targeted
+      // the hosts we could not get.
+      ESH_WARN << "Manager: IaaS pool exhausted, got " << allocated << "/"
+               << active_plan_.new_hosts << " hosts";
+      std::erase_if(active_plan_.moves,
+                    [allocated](const MigrationPlan::Move& mv) {
+                      return mv.new_host_index.has_value() &&
+                             *mv.new_host_index >= allocated;
+                    });
+      hosts_booting_ = allocated;
+      break;
+    }
+  }
+  persist_hosts();
+  if (allocated == 0) {
+    run_next_move();
+  }
+}
+
+void Manager::run_next_move() {
+  if (next_move_ >= active_plan_.moves.size()) {
+    finish_plan();
+    return;
+  }
+  const MigrationPlan::Move& move = active_plan_.moves[next_move_++];
+  HostId dst = move.dst;
+  if (move.new_host_index.has_value()) {
+    dst = plan_new_hosts_.at(*move.new_host_index);
+  }
+  if (engine_.slice_host(move.slice) == dst) {
+    run_next_move();
+    return;
+  }
+  engine_.migrate(move.slice, dst,
+                  [this, dst](const engine::MigrationReport& report) {
+                    migrations_.push_back(report);
+                    persist_placement(report.slice, dst);
+                    run_next_move();
+                  });
+}
+
+void Manager::finish_plan() {
+  for (HostId host : active_plan_.releases) {
+    if (!engine_.slices_on(host).empty()) {
+      ESH_WARN << "Manager: host " << host
+               << " not empty after plan; skipping release";
+      continue;
+    }
+    engine_.remove_host(host);
+    pool_.release(host);
+    managed_.erase(host);
+    latest_probes_.erase(host);
+  }
+  persist_hosts();
+  executing_ = false;
+  ++plans_executed_;
+  // Fresh probe round before the next evaluation.
+  reported_since_eval_.clear();
+}
+
+void Manager::persist_placement(SliceId slice, HostId host) {
+  const std::string path = config_.coord_root + "/config/slices/" +
+                           std::to_string(slice.value());
+  const std::string data = std::to_string(host.value());
+  coord_client_->set(path, data, -1,
+                     [this, path, data](coord::Status st, coord::Stat) {
+                       if (st == coord::Status::kNoNode) {
+                         coord_client_->create(path, data,
+                                               coord::CreateMode::kPersistent,
+                                               [](coord::Status,
+                                                  const std::string&) {});
+                       }
+                     });
+}
+
+void Manager::persist_hosts() {
+  std::string data;
+  for (HostId host : managed_) {
+    if (!data.empty()) data += ',';
+    data += std::to_string(host.value());
+  }
+  const std::string path = config_.coord_root + "/config/hosts";
+  coord_client_->set(path, data, -1,
+                     [this, path, data](coord::Status st, coord::Stat) {
+                       if (st == coord::Status::kNoNode) {
+                         coord_client_->create(path, data,
+                                               coord::CreateMode::kPersistent,
+                                               [](coord::Status,
+                                                  const std::string&) {});
+                       }
+                     });
+}
+
+}  // namespace esh::elastic

@@ -1,0 +1,153 @@
+// The e-STREAMHUB manager (paper §IV-B): collects heartbeat probes from
+// every engine host, aggregates them per slice and per host, feeds the
+// elasticity enforcer, and orchestrates the resulting plan — allocating
+// hosts from the IaaS pool, requesting slice migrations from the engine,
+// and releasing emptied hosts. The shared configuration (slice placement,
+// managed host set) is persisted in the coordination service so a restarted
+// manager can recover it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/iaas.hpp"
+#include "cluster/probes.hpp"
+#include "coord/coord.hpp"
+#include "coord/recipes.hpp"
+#include "elastic/enforcer.hpp"
+#include "engine/engine.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace esh::elastic {
+
+struct ManagerConfig {
+  PolicyConfig policy{};
+  // Root path of the manager's state in the coordination service.
+  std::string coord_root = "/estreamhub";
+  // Slices of these operators may be migrated; others (source/sink) are
+  // pinned to their dedicated hosts.
+  std::vector<std::string> elastic_operators = {"AP", "M", "EP"};
+  // Run a leader election among manager instances: only the elected leader
+  // collects probes and enforces; standbys take over on failure/resign.
+  bool use_leader_election = false;
+};
+
+// Aggregate load sample over the managed hosts; recorded on each full probe
+// round (drives the host-count and CPU envelope plots of Figures 8/9).
+struct LoadSample {
+  SimTime time{};
+  std::size_t hosts = 0;
+  double min_cpu = 0.0;
+  double avg_cpu = 0.0;
+  double max_cpu = 0.0;
+};
+
+class Manager {
+ public:
+  Manager(sim::Simulator& simulator, net::Network& network,
+          engine::Engine& engine, cluster::IaasPool& pool,
+          coord::CoordService& coord, HostId manager_host,
+          ManagerConfig config);
+  ~Manager();
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  // Registers the initially managed (engine worker) hosts and starts probe
+  // collection and policy enforcement.
+  void start(const std::vector<HostId>& managed_hosts);
+
+  // Restart path (paper §IV-B: the manager's state lives in the
+  // coordination service). Reads the managed host set back from the
+  // coordination tree and resumes probing/enforcement; `ready` fires once
+  // recovery completed. Requires a previous manager instance to have
+  // persisted its state under the same coord_root.
+  void start_from_coordination(std::function<void(bool ok)> ready = nullptr);
+
+  // Hot-standby path (requires use_leader_election): joins the election
+  // without touching the system; on promotion it recovers the managed host
+  // set from the coordination tree, redirects probes to itself, and starts
+  // enforcing.
+  void enter_standby();
+
+  // Steps down from leadership (the next contender takes over). No-op
+  // without leader election.
+  void resign();
+
+  // True when this instance may act (leader, or no election configured).
+  [[nodiscard]] bool is_active() const {
+    return !election_ || election_->is_leader();
+  }
+
+  [[nodiscard]] const std::vector<LoadSample>& load_history() const {
+    return load_history_;
+  }
+  [[nodiscard]] const std::vector<engine::MigrationReport>& migrations() const {
+    return migrations_;
+  }
+  [[nodiscard]] std::size_t managed_host_count() const {
+    return managed_.size();
+  }
+  [[nodiscard]] std::vector<HostId> managed_hosts() const;
+  [[nodiscard]] bool plan_in_progress() const { return executing_; }
+  [[nodiscard]] std::uint64_t plans_executed() const { return plans_executed_; }
+  [[nodiscard]] Enforcer& enforcer() { return enforcer_; }
+
+  // Disables/enables policy evaluation (probes still collected); used by
+  // experiments that drive migrations manually.
+  void set_enforcement(bool enabled) { enforcement_enabled_ = enabled; }
+
+  // Replaces the built-in enforcer with an arbitrary policy (used by the
+  // policy-ablation bench to plug in baseline auto-scalers).
+  using PolicyFn = std::function<MigrationPlan(const SystemView&)>;
+  void set_policy(PolicyFn policy) { policy_override_ = std::move(policy); }
+
+ private:
+  void on_probe(const net::Delivery& delivery);
+  void maybe_evaluate();
+  void execute(MigrationPlan plan);
+  void run_next_move();
+  void finish_plan();
+  void persist_placement(SliceId slice, HostId host);
+  void persist_hosts();
+
+  sim::Simulator& simulator_;
+  net::Network& network_;
+  engine::Engine& engine_;
+  cluster::IaasPool& pool_;
+  coord::CoordService& coord_;
+  HostId manager_host_;
+  ManagerConfig config_;
+  Enforcer enforcer_;
+  net::Endpoint probe_endpoint_;
+  std::unique_ptr<coord::CoordClient> coord_client_;
+  std::unique_ptr<coord::LeaderElection> election_;
+
+  std::set<HostId> managed_;
+  std::unordered_map<HostId, cluster::HostProbe> latest_probes_;
+  std::set<HostId> reported_since_eval_;
+  bool started_ = false;
+  bool enforcement_enabled_ = true;
+  PolicyFn policy_override_;
+
+  // Plan execution state.
+  bool executing_ = false;
+  MigrationPlan active_plan_;
+  std::vector<HostId> plan_new_hosts_;
+  std::size_t next_move_ = 0;
+  std::size_t hosts_booting_ = 0;
+
+  std::vector<LoadSample> load_history_;
+  std::vector<engine::MigrationReport> migrations_;
+  std::uint64_t plans_executed_ = 0;
+  std::set<std::string> elastic_ops_;
+};
+
+}  // namespace esh::elastic

@@ -1,0 +1,92 @@
+#include "elastic/threshold_policy.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace esh::elastic {
+
+ThresholdEnforcer::ThresholdEnforcer(ThresholdPolicyConfig config)
+    : config_(config) {}
+
+MigrationPlan ThresholdEnforcer::evaluate(const SystemView& view) {
+  MigrationPlan plan;
+  if (view.hosts.empty()) return plan;
+  if (acted_once_ && view.time - last_action_ < config_.cooldown) return plan;
+
+  const double avg = view.average_cpu();
+  if (avg > config_.scale_out_above) {
+    plan = step_out(view);
+  } else if (avg < config_.scale_in_below &&
+             view.hosts.size() > config_.min_hosts) {
+    plan = step_in(view);
+  }
+  if (!plan.empty()) {
+    last_action_ = view.time;
+    acted_once_ = true;
+  }
+  return plan;
+}
+
+MigrationPlan ThresholdEnforcer::step_out(const SystemView& view) const {
+  MigrationPlan plan;
+  plan.reason = MigrationPlan::Reason::kScaleOut;
+  plan.new_hosts = config_.step;
+
+  // Naive re-balancing: take the heaviest slices off the most loaded
+  // hosts, one per new host per round, ignoring state size entirely.
+  std::vector<SliceView> slices = view.slices;
+  std::sort(slices.begin(), slices.end(),
+            [](const SliceView& a, const SliceView& b) {
+              if (a.cpu != b.cpu) return a.cpu > b.cpu;
+              return a.slice < b.slice;
+            });
+  // Move roughly enough of the heaviest slices to fill the new hosts to
+  // the average.
+  const double per_new_host = view.average_cpu();
+  double budget = per_new_host * static_cast<double>(config_.step);
+  std::size_t next_bin = 0;
+  std::vector<double> bin_load(config_.step, 0.0);
+  for (const SliceView& s : slices) {
+    if (budget <= 0.0) break;
+    plan.moves.push_back(MigrationPlan::Move{s.slice, HostId{}, next_bin});
+    bin_load[next_bin] += s.cpu;
+    budget -= s.cpu;
+    next_bin = (next_bin + 1) % config_.step;
+  }
+  if (plan.moves.empty()) return MigrationPlan{};
+  return plan;
+}
+
+MigrationPlan ThresholdEnforcer::step_in(const SystemView& view) const {
+  MigrationPlan plan;
+  plan.reason = MigrationPlan::Reason::kScaleIn;
+
+  std::vector<HostView> by_load = view.hosts;
+  std::sort(by_load.begin(), by_load.end(),
+            [](const HostView& a, const HostView& b) {
+              if (a.cpu != b.cpu) return a.cpu < b.cpu;
+              return a.host < b.host;
+            });
+  const std::size_t releasable =
+      std::min(config_.step, view.hosts.size() - config_.min_hosts);
+  std::unordered_map<HostId, std::vector<SliceView>> by_host;
+  for (const SliceView& s : view.slices) by_host[s.host].push_back(s);
+
+  for (std::size_t r = 0; r < releasable; ++r) {
+    const HostId victim = by_load[r].host;
+    // Dump the victim's slices round-robin onto the surviving hosts,
+    // with no capacity check (the naive policy trusts the threshold).
+    std::size_t target = releasable;
+    for (const SliceView& s : by_host[victim]) {
+      plan.moves.push_back(
+          MigrationPlan::Move{s.slice, by_load[target].host, {}});
+      target = releasable + (target - releasable + 1) %
+                                (by_load.size() - releasable);
+    }
+    plan.releases.push_back(victim);
+  }
+  if (plan.releases.empty()) return MigrationPlan{};
+  return plan;
+}
+
+}  // namespace esh::elastic

@@ -1,0 +1,47 @@
+// Baseline elasticity policy in the style of IaaS auto-scalers (paper
+// §II-A: "Amazon EC2 Auto Scaling relies on basic elasticity policies by
+// setting simple thresholds on resource utilization").
+//
+// Contrast with the e-STREAMHUB enforcer:
+//   - scales by a fixed step (+1/-1 host) instead of sizing the fleet
+//     toward the target utilization;
+//   - selects slices to move greedily by CPU (no subset-sum, no
+//     state-transfer minimization);
+//   - balances by evening the load instead of First Fit against a cap.
+//
+// Used by bench/ablation_policy to quantify what the paper's policy buys:
+// fewer migrations, less state moved, and a tighter utilization envelope.
+#pragma once
+
+#include "elastic/enforcer.hpp"
+
+namespace esh::elastic {
+
+struct ThresholdPolicyConfig {
+  double scale_out_above = 0.70;
+  double scale_in_below = 0.30;
+  std::size_t step = 1;  // hosts added/removed per violation
+  SimDuration cooldown = seconds(30);
+  std::size_t min_hosts = 1;
+};
+
+// Drop-in alternative to Enforcer (same evaluate() surface, so the
+// manager template in bench/ablation_policy can drive either).
+class ThresholdEnforcer {
+ public:
+  explicit ThresholdEnforcer(ThresholdPolicyConfig config);
+
+  [[nodiscard]] MigrationPlan evaluate(const SystemView& view);
+
+  [[nodiscard]] const ThresholdPolicyConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] MigrationPlan step_out(const SystemView& view) const;
+  [[nodiscard]] MigrationPlan step_in(const SystemView& view) const;
+
+  ThresholdPolicyConfig config_;
+  SimTime last_action_{0};
+  bool acted_once_ = false;
+};
+
+}  // namespace esh::elastic

@@ -1,0 +1,498 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace esh::engine {
+
+Engine::Engine(sim::Simulator& simulator, net::Network& network,
+               HostId manager_host, EngineConfig config, std::uint64_t seed)
+    : simulator_(simulator),
+      network_(network),
+      config_(config),
+      rng_(seed),
+      manager_host_(manager_host) {
+  control_endpoint_ = network_.new_endpoint();
+  network_.bind(control_endpoint_, manager_host_,
+                [this](const net::Delivery& d) { on_control(d); });
+}
+
+Engine::~Engine() {
+  host_runtimes_.clear();
+  if (network_.bound(control_endpoint_)) {
+    network_.unbind(control_endpoint_);
+  }
+}
+
+void Engine::add_host(cluster::Host& host) {
+  const HostId id = host.id();
+  if (host_runtimes_.contains(id)) {
+    throw std::logic_error{"Engine::add_host: host already added"};
+  }
+  auto runtime = std::make_unique<HostRuntime>(*this, host);
+  // Configuration distribution: the new host learns every peer endpoint and
+  // the current directory; peers learn the new host.
+  for (auto& [other_id, other] : host_runtimes_) {
+    other->set_host_endpoint(id, runtime->endpoint());
+    runtime->set_host_endpoint(other_id, other->endpoint());
+  }
+  runtime->set_host_endpoint(id, runtime->endpoint());
+  runtime->set_directory(directory_);
+  if (probe_target_) {
+    runtime->enable_probes(*probe_target_, config_.probe_interval);
+  }
+  host_runtimes_[id] = std::move(runtime);
+}
+
+void Engine::remove_host(HostId host) {
+  auto it = host_runtimes_.find(host);
+  if (it == host_runtimes_.end()) {
+    throw std::logic_error{"Engine::remove_host: unknown host"};
+  }
+  if (it->second->slice_count() != 0) {
+    throw std::logic_error{"Engine::remove_host: host still holds slices"};
+  }
+  host_runtimes_.erase(it);
+}
+
+bool Engine::has_host(HostId host) const {
+  return host_runtimes_.contains(host);
+}
+
+std::vector<HostId> Engine::hosts() const {
+  std::vector<HostId> out;
+  out.reserve(host_runtimes_.size());
+  for (const auto& [id, rt] : host_runtimes_) out.push_back(id);
+  return out;
+}
+
+void Engine::deploy(
+    const Topology& topology,
+    const std::unordered_map<std::string, std::vector<HostId>>& placement) {
+  if (deployed_) {
+    throw std::logic_error{"Engine::deploy: already deployed"};
+  }
+  auto cfg = std::make_shared<StaticConfig>();
+  for (std::uint32_t i = 0; i < topology.operators.size(); ++i) {
+    const OperatorSpec& spec = topology.operators[i];
+    if (spec.slices == 0 || !spec.factory) {
+      throw std::invalid_argument{"deploy: operator needs slices and factory"};
+    }
+    if (cfg->op_by_name.contains(spec.name)) {
+      throw std::invalid_argument{"deploy: duplicate operator name"};
+    }
+    StaticConfig::OperatorInfo info;
+    info.id = OperatorId{i};
+    info.name = spec.name;
+    info.factory = spec.factory;
+    for (std::uint32_t s = 0; s < spec.slices; ++s) {
+      const SliceId slice{next_slice_++};
+      info.slices.push_back(slice);
+      cfg->slices[slice] = StaticConfig::SliceInfo{i, s};
+    }
+    cfg->op_by_name[spec.name] = i;
+    cfg->operators.push_back(std::move(info));
+  }
+  for (const DagEdge& edge : topology.edges) {
+    const auto from = cfg->op_by_name.find(edge.from);
+    const auto to = cfg->op_by_name.find(edge.to);
+    if (from == cfg->op_by_name.end() || to == cfg->op_by_name.end()) {
+      throw std::invalid_argument{"deploy: edge references unknown operator"};
+    }
+    cfg->operators[to->second].upstream_ops.push_back(from->second);
+  }
+
+  // Resolve and validate the whole placement before mutating any engine
+  // state: a failed deploy leaves the engine untouched and retryable.
+  std::unordered_map<SliceId, SliceLocation> resolved;
+  for (const auto& op : cfg->operators) {
+    auto it = placement.find(op.name);
+    if (it == placement.end() || it->second.size() != op.slices.size()) {
+      throw std::invalid_argument{
+          "deploy: placement must give one host per slice of every operator"};
+    }
+    for (std::size_t s = 0; s < op.slices.size(); ++s) {
+      const HostId host = it->second[s];
+      if (!host_runtimes_.contains(host)) {
+        throw std::invalid_argument{"deploy: placement host not added"};
+      }
+      resolved[op.slices[s]] = SliceLocation{host, HostId{}};
+    }
+  }
+
+  // Commit.
+  static_ = std::move(cfg);
+  directory_ = std::move(resolved);
+  for (auto& [id, runtime] : host_runtimes_) {
+    runtime->set_directory(directory_);
+  }
+  for (const auto& [slice, loc] : directory_) {
+    host_runtimes_.at(loc.primary)->add_slice(slice,
+                                              SliceRuntime::State::kActive);
+  }
+  deployed_ = true;
+}
+
+void Engine::inject(std::string_view op, std::size_t slice_index,
+                    PayloadPtr payload) {
+  const SliceId slice = slice_id(op, slice_index);
+  const SliceLocation& loc = directory_.at(slice);
+  // External pushes ride a sequence-numbered virtual channel, duplicated to
+  // the shadow during migration exactly like slice-to-slice traffic.
+  auto [it, inserted] = next_inject_seq_.try_emplace(slice, 1);
+  WireEvent event{kExternalChannel, slice, it->second++, std::move(payload)};
+  if (config_.checkpoints.enabled) {
+    inject_log_[slice].push_back(event);
+  }
+  host_runtimes_.at(loc.primary)->deliver_external(event);
+  if (loc.shadow.valid() && loc.shadow != loc.primary) {
+    host_runtimes_.at(loc.shadow)->deliver_external(event);
+  }
+}
+
+std::vector<SliceId> Engine::fail_host(HostId host) {
+  if (!config_.checkpoints.enabled) {
+    throw std::logic_error{"fail_host requires checkpoints to be enabled"};
+  }
+  auto it = host_runtimes_.find(host);
+  if (it == host_runtimes_.end()) {
+    throw std::invalid_argument{"fail_host: unknown host"};
+  }
+  std::vector<SliceId> lost;
+  for (SliceId slice : it->second->slice_ids()) {
+    it->second->slice(slice)->retire();  // pending CPU jobs die harmlessly
+    lost.push_back(slice);
+  }
+  it->second->disable_probes();
+  if (network_.bound(it->second->endpoint())) {
+    network_.unbind(it->second->endpoint());  // in-flight messages drop
+  }
+  // Quarantine the runtime: CPU-job callbacks may still reference it.
+  failed_runtimes_.push_back(std::move(it->second));
+  host_runtimes_.erase(it);
+  std::sort(lost.begin(), lost.end());
+  return lost;
+}
+
+void Engine::recover_slice(SliceId slice, HostId dst,
+                           std::function<void()> done) {
+  auto cp = checkpoints_.find(slice);
+  if (cp == checkpoints_.end()) {
+    throw std::logic_error{"recover_slice: no checkpoint for slice"};
+  }
+  if (!host_runtimes_.contains(dst)) {
+    throw std::invalid_argument{"recover_slice: unknown destination host"};
+  }
+  recoveries_[slice] = std::move(done);
+  directory_[slice] = SliceLocation{dst, HostId{}};
+  auto msg = std::make_shared<RestoreFromCheckpointMessage>();
+  msg->slice = slice;
+  msg->state = cp->second.state;
+  msg->processed = cp->second.processed;
+  msg->out_seqs = cp->second.out_seqs;
+  msg->reply_to = control_endpoint_;
+  const std::size_t bytes = msg->state->size();
+  network_.send(control_endpoint_, host_runtimes_.at(dst)->endpoint(),
+                std::move(msg), bytes);
+}
+
+SliceId Engine::slice_id(std::string_view op, std::size_t slice_index) const {
+  if (!static_) {
+    throw std::logic_error{"Engine: not deployed yet"};
+  }
+  const auto& info = static_->operators.at(static_->index_of(op));
+  return info.slices.at(slice_index);
+}
+
+HostId Engine::slice_host(SliceId slice) const {
+  auto it = directory_.find(slice);
+  if (it == directory_.end()) {
+    throw std::logic_error{"slice_host: unknown slice"};
+  }
+  return it->second.primary;
+}
+
+std::vector<SliceId> Engine::slices_on(HostId host) const {
+  std::vector<SliceId> out;
+  for (const auto& [slice, loc] : directory_) {
+    if (loc.primary == host) out.push_back(slice);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+SliceRuntime* Engine::slice_runtime(SliceId slice) {
+  auto it = directory_.find(slice);
+  if (it == directory_.end()) return nullptr;
+  auto host_it = host_runtimes_.find(it->second.primary);
+  if (host_it == host_runtimes_.end()) return nullptr;
+  return host_it->second->slice(slice);
+}
+
+void Engine::enable_probes(net::Endpoint target) {
+  probe_target_ = target;
+  for (auto& [id, runtime] : host_runtimes_) {
+    runtime->enable_probes(target, config_.probe_interval);
+  }
+}
+
+// ---- migration coordination --------------------------------------------------
+
+void Engine::migrate(SliceId slice, HostId dst, MigrationCallback callback) {
+  auto dir_it = directory_.find(slice);
+  if (dir_it == directory_.end()) {
+    throw std::invalid_argument{"migrate: unknown slice"};
+  }
+  if (!host_runtimes_.contains(dst)) {
+    throw std::invalid_argument{"migrate: destination host not in engine"};
+  }
+  MigrationTask task;
+  task.report.id = MigrationId{next_migration_++};
+  task.report.slice = slice;
+  task.report.src = dir_it->second.primary;
+  task.report.dst = dst;
+  task.report.requested = simulator_.now();
+  task.callback = std::move(callback);
+  if (task.report.src == dst) {
+    // Degenerate migration: report immediately.
+    task.report.frozen = task.report.activated = task.report.completed =
+        simulator_.now();
+    if (task.callback) task.callback(task.report);
+    return;
+  }
+  migration_queue_.push_back(std::move(task));
+  if (!current_migration_) start_next_migration();
+}
+
+void Engine::start_next_migration() {
+  if (migration_queue_.empty()) return;
+  current_migration_ = std::move(migration_queue_.front());
+  migration_queue_.pop_front();
+  MigrationTask& task = *current_migration_;
+  // The slice may have moved since the request was queued.
+  task.report.src = directory_.at(task.report.slice).primary;
+  if (task.report.src == task.report.dst) {
+    auto report = task.report;
+    auto cb = std::move(task.callback);
+    report.frozen = report.activated = report.completed = simulator_.now();
+    current_migration_.reset();
+    if (cb) cb(report);
+    start_next_migration();
+    return;
+  }
+  step_after_tick([this] {
+    MigrationTask& t = *current_migration_;
+    auto req = std::make_shared<CreateReplicaRequest>();
+    req->migration = t.report.id;
+    req->slice = t.report.slice;
+    req->reply_to = control_endpoint_;
+    send_control(host_runtimes_.at(t.report.dst)->endpoint(), std::move(req));
+  });
+}
+
+void Engine::send_freeze() {
+  MigrationTask& t = *current_migration_;
+  auto req = std::make_shared<FreezeRequest>();
+  req->migration = t.report.id;
+  req->slice = t.report.slice;
+  req->catchup = t.catchup;
+  req->dst_host = t.report.dst;
+  req->reply_to = control_endpoint_;
+  send_control(host_runtimes_.at(t.report.src)->endpoint(), std::move(req));
+}
+
+void Engine::step_after_tick(std::function<void()> fn) {
+  const auto tick = static_cast<std::uint64_t>(config_.control_tick.count());
+  const auto delay =
+      tick == 0 ? SimDuration::zero()
+                : micros(static_cast<std::int64_t>(rng_.next_below(tick)));
+  simulator_.schedule(delay, std::move(fn));
+}
+
+void Engine::send_control(net::Endpoint to, net::MessagePtr msg) {
+  network_.send(control_endpoint_, to, std::move(msg), 96);
+}
+
+std::vector<SliceId> Engine::upstream_slices(SliceId slice) const {
+  const auto& op = static_->op_of(slice);
+  std::vector<SliceId> out;
+  for (std::uint32_t up : op.upstream_ops) {
+    const auto& up_op = static_->operators.at(up);
+    out.insert(out.end(), up_op.slices.begin(), up_op.slices.end());
+  }
+  return out;
+}
+
+void Engine::on_control(const net::Delivery& delivery) {
+  const net::Message* msg = delivery.message.get();
+
+  // ---- passive-replication traffic (independent of migrations) ----
+  if (const auto* checkpoint = dynamic_cast<const CheckpointMessage*>(msg)) {
+    checkpoints_[checkpoint->slice] = StoredCheckpoint{
+        checkpoint->state, checkpoint->processed, checkpoint->out_seqs};
+    // Let upstream logs (and the external injection log) truncate.
+    auto notice = std::make_shared<CheckpointNoticeMessage>();
+    notice->slice = checkpoint->slice;
+    notice->processed = checkpoint->processed;
+    for (const auto& [upstream, watermark] : checkpoint->processed) {
+      if (upstream == kExternalChannel) {
+        auto log = inject_log_.find(checkpoint->slice);
+        if (log != inject_log_.end()) {
+          auto& events = log->second;
+          while (!events.empty() && events.front().seq <= watermark) {
+            events.pop_front();
+          }
+        }
+      }
+    }
+    for (auto& [id, runtime] : host_runtimes_) {
+      network_.send(control_endpoint_, runtime->endpoint(), notice, 96);
+    }
+    return;
+  }
+  if (const auto* ack = dynamic_cast<const ActivatedAck*>(msg);
+      ack != nullptr && !ack->migration.valid()) {
+    // Recovery activation (not a migration): converge the directory,
+    // replay upstream logs and the external injection log.
+    auto recovery = recoveries_.find(ack->slice);
+    if (recovery == recoveries_.end()) return;
+    const HostId dst = directory_.at(ack->slice).primary;
+    for (auto& [id, runtime] : host_runtimes_) {
+      auto update = std::make_shared<DirectoryUpdateMessage>();
+      update->migration = MigrationId{};
+      update->slice = ack->slice;
+      update->host = dst;
+      update->reply_to = net::Endpoint{};  // no ack needed
+      network_.send(control_endpoint_, runtime->endpoint(), update, 96);
+    }
+    const auto& cp = checkpoints_.at(ack->slice);
+    auto replay = std::make_shared<ReplayRequest>();
+    replay->slice = ack->slice;
+    replay->processed = cp.processed;
+    for (auto& [id, runtime] : host_runtimes_) {
+      network_.send(control_endpoint_, runtime->endpoint(), replay, 96);
+    }
+    // External injections: re-deliver the logged suffix directly.
+    SeqNo external_watermark = 0;
+    for (const auto& [upstream, watermark] : cp.processed) {
+      if (upstream == kExternalChannel) external_watermark = watermark;
+    }
+    auto log = inject_log_.find(ack->slice);
+    if (log != inject_log_.end()) {
+      auto dst_runtime = host_runtimes_.find(dst);
+      for (const WireEvent& event : log->second) {
+        if (event.seq > external_watermark &&
+            dst_runtime != host_runtimes_.end()) {
+          dst_runtime->second->deliver_external(event);
+        }
+      }
+    }
+    auto done = std::move(recovery->second);
+    recoveries_.erase(recovery);
+    if (done) done();
+    return;
+  }
+
+  if (!current_migration_) {
+    ESH_WARN << "Engine: control message with no migration in flight";
+    return;
+  }
+  MigrationTask& task = *current_migration_;
+
+  if (const auto* ack = dynamic_cast<const CreateReplicaAck*>(msg)) {
+    if (ack->migration != task.report.id) return;
+    // Duplication of the external injection channel starts now: record the
+    // shadow (Engine::inject consults it) and the catch-up point.
+    directory_[task.report.slice].shadow = task.report.dst;
+    task.catchup.clear();
+    const auto inject_it = next_inject_seq_.find(task.report.slice);
+    task.catchup.emplace_back(
+        kExternalChannel,
+        inject_it == next_inject_seq_.end() ? SeqNo{1} : inject_it->second);
+
+    const auto upstreams = upstream_slices(task.report.slice);
+    task.awaited_acks = upstreams.size();
+    if (upstreams.empty()) {
+      // No DAG channels (source operator): freeze directly.
+      step_after_tick([this] { send_freeze(); });
+      return;
+    }
+    // One request per host holding at least one upstream slice.
+    std::set<HostId> hosts;
+    for (SliceId up : upstreams) hosts.insert(directory_.at(up).primary);
+    step_after_tick([this, hosts] {
+      MigrationTask& t = *current_migration_;
+      for (HostId host : hosts) {
+        auto req = std::make_shared<StartDuplicationRequest>();
+        req->migration = t.report.id;
+        req->slice = t.report.slice;
+        req->shadow_host = t.report.dst;
+        req->reply_to = control_endpoint_;
+        send_control(host_runtimes_.at(host)->endpoint(), std::move(req));
+      }
+    });
+    return;
+  }
+
+  if (const auto* ack = dynamic_cast<const StartDuplicationAck*>(msg)) {
+    if (ack->migration != task.report.id) return;
+    task.catchup.emplace_back(ack->upstream_slice, ack->next_seq);
+    if (--task.awaited_acks > 0) return;
+    step_after_tick([this] { send_freeze(); });
+    return;
+  }
+
+  if (const auto* ack = dynamic_cast<const ActivatedAck*>(msg)) {
+    if (ack->migration != task.report.id) return;
+    task.report.frozen = ack->frozen_at;
+    task.report.activated = ack->activated_at;
+    task.report.state_bytes = ack->state_bytes;
+    directory_[task.report.slice] =
+        SliceLocation{task.report.dst, HostId{}};
+    task.awaited_acks = host_runtimes_.size();
+    step_after_tick([this] {
+      MigrationTask& t = *current_migration_;
+      for (auto& [id, runtime] : host_runtimes_) {
+        auto update = std::make_shared<DirectoryUpdateMessage>();
+        update->migration = t.report.id;
+        update->slice = t.report.slice;
+        update->host = t.report.dst;
+        update->reply_to = control_endpoint_;
+        send_control(runtime->endpoint(), std::move(update));
+      }
+    });
+    return;
+  }
+
+  if (const auto* ack = dynamic_cast<const DirectoryUpdateAck*>(msg)) {
+    if (ack->migration != task.report.id) return;
+    if (--task.awaited_acks > 0) return;
+    step_after_tick([this] {
+      MigrationTask& t = *current_migration_;
+      auto req = std::make_shared<TeardownRequest>();
+      req->migration = t.report.id;
+      req->slice = t.report.slice;
+      req->reply_to = control_endpoint_;
+      send_control(host_runtimes_.at(t.report.src)->endpoint(), std::move(req));
+    });
+    return;
+  }
+
+  if (const auto* ack = dynamic_cast<const TeardownAck*>(msg)) {
+    if (ack->migration != task.report.id) return;
+    task.report.completed = simulator_.now();
+    ++migrations_completed_;
+    auto report = task.report;
+    auto cb = std::move(task.callback);
+    current_migration_.reset();
+    if (cb) cb(report);
+    if (!current_migration_) start_next_migration();
+    return;
+  }
+
+  ESH_WARN << "Engine: unrecognized control message";
+}
+
+}  // namespace esh::engine

@@ -1,0 +1,204 @@
+// The distributed stream-processing engine (STREAMMINE3G role): deploys a
+// DAG of operators as slices over cluster hosts, routes events, and
+// migrates slices between hosts with minimal service interruption
+// (paper §IV-A, Figure 3).
+//
+// The Engine object plays the part of the runtime's coordinator living on
+// the manager host: every migration step is a control message exchanged
+// with host runtimes over the simulated network, so migration latency
+// emerges from real message, CPU, and state-transfer costs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cost_model.hpp"
+#include "cluster/host.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "engine/host_runtime.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace esh::engine {
+
+// Passive replication (STREAMMINE3G-style, paper §III): slices checkpoint
+// their state periodically to a standby store on the manager host, and
+// every slice keeps an in-memory log of its emitted events, truncated when
+// the downstream slice checkpoints. After a host failure, lost slices
+// restart from their last checkpoint and upstreams replay the logged
+// suffix; per-channel sequence numbers deduplicate re-emissions, giving
+// exactly-once processing across crashes.
+struct CheckpointConfig {
+  bool enabled = false;
+  SimDuration interval = seconds(30);
+};
+
+struct EngineConfig {
+  // Output batching period of every slice: emitted events buffer locally
+  // and ship on this cadence (dominant steady-state delay component; the
+  // EP operator effectively waits for the slowest M slice's flush).
+  SimDuration flush_interval = millis(75);
+  CheckpointConfig checkpoints{};
+  // Host probe period (heartbeats to the manager).
+  SimDuration probe_interval = seconds(5);
+  // Pacing of the coordinator's migration steps: each control action waits
+  // up to this long, modeling the manager's orchestration loop granularity.
+  SimDuration control_tick = millis(50);
+  cluster::CostModel cost;
+};
+
+struct MigrationReport {
+  MigrationId id;
+  SliceId slice;
+  HostId src;
+  HostId dst;
+  SimTime requested{};
+  SimTime frozen{};     // processing stopped on the source host
+  SimTime activated{};  // processing resumed on the destination host
+  SimTime completed{};  // old slice torn down, directory converged
+  std::size_t state_bytes = 0;
+
+  [[nodiscard]] SimDuration total_duration() const {
+    return completed - requested;
+  }
+  [[nodiscard]] SimDuration interruption() const { return activated - frozen; }
+};
+
+using MigrationCallback = std::function<void(const MigrationReport&)>;
+
+class Engine {
+ public:
+  // `manager_host` identifies the dedicated host carrying the coordinator's
+  // control endpoint (not an engine worker host).
+  Engine(sim::Simulator& simulator, net::Network& network, HostId manager_host,
+         EngineConfig config, std::uint64_t seed);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // ---- cluster membership ----
+  void add_host(cluster::Host& host);
+  // Host must hold no slices.
+  void remove_host(HostId host);
+  [[nodiscard]] bool has_host(HostId host) const;
+  [[nodiscard]] std::vector<HostId> hosts() const;
+
+  // ---- deployment ----
+  // Deploys the topology once. `placement` maps operator name to one HostId
+  // per slice (vector size must equal the operator's slice count).
+  void deploy(
+      const Topology& topology,
+      const std::unordered_map<std::string, std::vector<HostId>>& placement);
+
+  // ---- data ----
+  void inject(std::string_view op, std::size_t slice_index, PayloadPtr payload);
+
+  // ---- elasticity mechanism ----
+  // Migrates `slice` to `dst`. Migrations are executed one at a time in
+  // request order (the enforcer minimizes their number; serializing them
+  // bounds interference). The callback fires on completion.
+  void migrate(SliceId slice, HostId dst, MigrationCallback callback);
+  [[nodiscard]] std::size_t pending_migrations() const {
+    return migration_queue_.size() + (current_migration_ ? 1 : 0);
+  }
+
+  // ---- probes ----
+  // All engine hosts start sending HostProbe heartbeats to `target`.
+  void enable_probes(net::Endpoint target);
+
+  // ---- passive replication (requires config.checkpoints.enabled) ----
+  // Abrupt host failure: every slice on the host is lost (its runtime is
+  // quarantined so in-flight CPU work dies harmlessly). Returns the lost
+  // slices; recover each with recover_slice().
+  std::vector<SliceId> fail_host(HostId host);
+
+  // Restores a lost slice on `dst` from its last checkpoint and asks the
+  // upstream logs (and the external injection log) to replay the suffix.
+  void recover_slice(SliceId slice, HostId dst, std::function<void()> done);
+
+  // Standby-store endpoint slices ship checkpoints to.
+  [[nodiscard]] net::Endpoint checkpoint_store_endpoint() const {
+    return control_endpoint_;
+  }
+  [[nodiscard]] bool has_checkpoint(SliceId slice) const {
+    return checkpoints_.contains(slice);
+  }
+
+  // ---- introspection ----
+  [[nodiscard]] const StaticConfig& static_config() const { return *static_; }
+  [[nodiscard]] HostId slice_host(SliceId slice) const;
+  [[nodiscard]] SliceId slice_id(std::string_view op,
+                                 std::size_t slice_index) const;
+  [[nodiscard]] std::vector<SliceId> slices_on(HostId host) const;
+  [[nodiscard]] SliceRuntime* slice_runtime(SliceId slice);
+  [[nodiscard]] std::uint64_t migrations_completed() const {
+    return migrations_completed_;
+  }
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  struct MigrationTask {
+    MigrationReport report;
+    MigrationCallback callback;
+    std::vector<std::pair<SliceId, SeqNo>> catchup;
+    std::size_t awaited_acks = 0;
+  };
+
+  void start_next_migration();
+  void on_control(const net::Delivery& delivery);
+  void send_freeze();
+  void step_after_tick(std::function<void()> fn);
+  void send_control(net::Endpoint to, net::MessagePtr msg);
+  [[nodiscard]] std::vector<SliceId> upstream_slices(SliceId slice) const;
+
+  sim::Simulator& simulator_;
+  net::Network& network_;
+  EngineConfig config_;
+  Rng rng_;
+  HostId manager_host_;
+  net::Endpoint control_endpoint_;
+
+  std::shared_ptr<const StaticConfig> static_;
+  std::unordered_map<HostId, std::unique_ptr<HostRuntime>> host_runtimes_;
+  // Authoritative directory at the coordinator.
+  std::unordered_map<SliceId, SliceLocation> directory_;
+  bool deployed_ = false;
+  std::uint64_t next_slice_ = 1;
+  std::uint64_t next_migration_ = 1;
+  std::uint64_t migrations_completed_ = 0;
+
+  std::deque<MigrationTask> migration_queue_;
+  std::optional<MigrationTask> current_migration_;
+  std::optional<net::Endpoint> probe_target_;
+  // Per-slice sequence counters of the external injection channel.
+  std::unordered_map<SliceId, SeqNo> next_inject_seq_;
+
+  // Passive replication: standby checkpoint store + external-channel log
+  // + in-flight recoveries. Quarantined runtimes of failed hosts stay
+  // alive so their pending CPU-job callbacks die harmlessly.
+  struct StoredCheckpoint {
+    std::shared_ptr<const std::vector<std::byte>> state;
+    std::vector<std::pair<SliceId, SeqNo>> processed;
+    std::vector<std::pair<SliceId, SeqNo>> out_seqs;
+  };
+  std::unordered_map<SliceId, StoredCheckpoint> checkpoints_;
+  std::unordered_map<SliceId, std::deque<WireEvent>> inject_log_;
+  std::unordered_map<SliceId, std::function<void()>> recoveries_;
+  std::vector<std::unique_ptr<HostRuntime>> failed_runtimes_;
+
+  friend class HostRuntime;
+  friend class SliceRuntime;
+};
+
+}  // namespace esh::engine

@@ -1,0 +1,182 @@
+// Event model of the stream-processing engine. Events flow through a DAG
+// of operators (paper §III); each event travels on a logical *channel*
+// identified by the sending slice, carrying a per-channel sequence number
+// assigned at emission. Sequence numbers are the backbone of the migration
+// protocol: they let a replica discard events the original slice already
+// processed and let receivers restore order across host moves.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "cluster/probes.hpp"
+#include "common/types.hpp"
+#include "net/network.hpp"
+
+namespace esh::engine {
+
+// Application payload carried by an event. Immutable and shared: broadcast
+// to N slices costs one allocation.
+struct Payload {
+  virtual ~Payload() = default;
+  // Serialized size used for network transfer accounting.
+  [[nodiscard]] virtual std::size_t bytes() const = 0;
+};
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+// An event as it appears on the wire between two slices.
+struct WireEvent {
+  SliceId from;  // logical sending slice (channel key; stable across moves)
+  SliceId to;    // logical destination slice
+  SeqNo seq = kNoSeqNo;
+  PayloadPtr payload;
+};
+
+// Channel key used for events injected from outside the DAG (publishers /
+// subscribers pushing into source slices). External injection is sequenced
+// like any upstream channel so the migration protocol's duplication and
+// catch-up logic covers it: no push is lost while a source slice moves.
+inline constexpr SliceId kExternalChannel{std::uint64_t{1} << 62};
+
+// A flushed batch of events from one host to one destination slice's host.
+// Batching amortizes per-message overhead and models the pipelined
+// buffering of the real engine (the dominant component of steady-state
+// notification delay).
+struct EventBatchMessage final : net::Message {
+  std::vector<WireEvent> events;
+};
+
+// ---- control plane ----------------------------------------------------------
+
+// Control messages exchanged between the migration coordinator (manager
+// host) and host runtimes. See engine/engine.cpp for the protocol flow.
+
+struct CreateReplicaRequest final : net::Message {
+  MigrationId migration;
+  SliceId slice;
+  net::Endpoint reply_to;
+};
+
+struct CreateReplicaAck final : net::Message {
+  MigrationId migration;
+};
+
+// Sent to every host holding an upstream slice of the migrating slice:
+// start duplicating events for `slice` to the shadow host.
+struct StartDuplicationRequest final : net::Message {
+  MigrationId migration;
+  SliceId slice;        // migrating slice
+  HostId shadow_host;   // where the replica lives
+  net::Endpoint reply_to;
+};
+
+// One ack per upstream slice: the next sequence number it will assign on
+// its channel to the migrating slice. All events >= next_seq are duplicated.
+struct StartDuplicationAck final : net::Message {
+  MigrationId migration;
+  SliceId upstream_slice;
+  SeqNo next_seq = kNoSeqNo;
+};
+
+// Instructs the source host to freeze the slice once it has dispatched all
+// events below the catch-up vector, then serialize and ship its state.
+struct FreezeRequest final : net::Message {
+  MigrationId migration;
+  SliceId slice;
+  // Catch-up vector: for each upstream channel, the first duplicated seq.
+  std::vector<std::pair<SliceId, SeqNo>> catchup;
+  HostId dst_host;
+  net::Endpoint reply_to;
+};
+
+// Serialized slice state shipped from the old to the new host. Its size
+// drives the transfer time on the simulated network.
+struct StateTransferMessage final : net::Message {
+  MigrationId migration;
+  SliceId slice;
+  std::shared_ptr<const std::vector<std::byte>> state;
+  // Timestamp vector: per channel, last sequence number dispatched by the
+  // original slice. The replica skips queued events at or below it.
+  std::vector<std::pair<SliceId, SeqNo>> processed;
+  // Output counters: per downstream slice, next sequence number to assign.
+  std::vector<std::pair<SliceId, SeqNo>> out_seqs;
+  SimTime frozen_at{};
+  net::Endpoint reply_to;
+};
+
+struct ActivatedAck final : net::Message {
+  MigrationId migration;
+  SliceId slice;
+  SimTime frozen_at{};
+  SimTime activated_at{};
+  std::size_t state_bytes = 0;
+};
+
+// Broadcast after activation: the slice now lives (only) on `host`;
+// duplication for it stops.
+struct DirectoryUpdateMessage final : net::Message {
+  MigrationId migration;  // invalid for non-migration updates
+  SliceId slice;
+  HostId host;
+  net::Endpoint reply_to;  // invalid when no ack needed
+};
+
+struct DirectoryUpdateAck final : net::Message {
+  MigrationId migration;
+  HostId from_host;
+};
+
+struct TeardownRequest final : net::Message {
+  MigrationId migration;
+  SliceId slice;
+  net::Endpoint reply_to;
+};
+
+struct TeardownAck final : net::Message {
+  MigrationId migration;
+};
+
+// Periodic probe from a host runtime to the manager (paper §IV-B).
+struct ProbeMessage final : net::Message {
+  cluster::HostProbe probe;
+};
+
+// ---- passive replication ------------------------------------------------------
+
+// Periodic checkpoint shipped to the standby store on the manager host.
+struct CheckpointMessage final : net::Message {
+  SliceId slice;
+  std::shared_ptr<const std::vector<std::byte>> state;
+  std::vector<std::pair<SliceId, SeqNo>> processed;  // input watermarks
+  std::vector<std::pair<SliceId, SeqNo>> out_seqs;   // output counters
+};
+
+// Broadcast after a checkpoint is stored: upstreams may drop logged events
+// at or below the watermark for this slice.
+struct CheckpointNoticeMessage final : net::Message {
+  SliceId slice;
+  std::vector<std::pair<SliceId, SeqNo>> processed;
+};
+
+// Restores a lost slice on a new host from its last checkpoint.
+struct RestoreFromCheckpointMessage final : net::Message {
+  SliceId slice;
+  std::shared_ptr<const std::vector<std::byte>> state;
+  std::vector<std::pair<SliceId, SeqNo>> processed;
+  std::vector<std::pair<SliceId, SeqNo>> out_seqs;
+  net::Endpoint reply_to;
+};
+
+struct RestoredAck final : net::Message {
+  SliceId slice;
+};
+
+// Asks every upstream slice on the receiving host to re-send its logged
+// events for `slice` above the checkpoint watermarks.
+struct ReplayRequest final : net::Message {
+  SliceId slice;
+  std::vector<std::pair<SliceId, SeqNo>> processed;
+};
+
+}  // namespace esh::engine

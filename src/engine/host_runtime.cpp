@@ -1,0 +1,688 @@
+#include "engine/host_runtime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "engine/engine.hpp"
+
+namespace esh::engine {
+
+// ---- StaticConfig ------------------------------------------------------------
+
+const StaticConfig::OperatorInfo& StaticConfig::op_of(SliceId id) const {
+  return operators.at(info_of(id).op_index);
+}
+
+const StaticConfig::SliceInfo& StaticConfig::info_of(SliceId id) const {
+  auto it = slices.find(id);
+  if (it == slices.end()) {
+    throw std::logic_error{"StaticConfig: unknown slice"};
+  }
+  return it->second;
+}
+
+std::uint32_t StaticConfig::index_of(std::string_view name) const {
+  auto it = op_by_name.find(std::string{name});
+  if (it == op_by_name.end()) {
+    throw std::logic_error{"StaticConfig: unknown operator"};
+  }
+  return it->second;
+}
+
+// ---- SliceRuntime ------------------------------------------------------------
+
+SliceRuntime::SliceRuntime(HostRuntime& host, SliceId id,
+                           std::unique_ptr<Handler> handler,
+                           State initial_state)
+    : host_(host), id_(id), handler_(std::move(handler)), state_(initial_state) {
+  logging_ = host_.engine().config().checkpoints.enabled;
+  if (state_ == State::kActive) {
+    start_flush_timer();
+    start_checkpoint_timer();
+  }
+}
+
+SliceRuntime::~SliceRuntime() = default;
+
+void SliceRuntime::start_flush_timer() {
+  auto& engine = host_.engine();
+  const auto period = engine.config().flush_interval;
+  // Random phase so slices do not flush in lockstep.
+  const auto phase = micros(static_cast<std::int64_t>(
+      engine.rng().next_below(static_cast<std::uint64_t>(period.count()))));
+  flush_timer_ = std::make_unique<sim::PeriodicTimer>(
+      engine.simulator(), phase + micros(1), period, [this] { flush_outputs(); });
+}
+
+void SliceRuntime::on_wire_event(const WireEvent& event) {
+  switch (state_) {
+    case State::kRetired:
+    case State::kFrozen:
+      // A frozen slice's inbound events are duplicated to its replica;
+      // dropping here loses nothing.
+      ++duplicates_dropped_;
+      return;
+    case State::kInactiveReplica: {
+      // Raw buffering: reordering and deduplication happen at activation,
+      // once the timestamp vector is known.
+      replica_buffer_[event.from].emplace(event.seq, event.payload);
+      return;
+    }
+    case State::kActive:
+    case State::kFreezePending:
+      break;
+  }
+  auto& channel = in_[event.from];
+  if (event.seq < channel.expected) {
+    ++duplicates_dropped_;
+    return;
+  }
+  channel.pending.emplace(event.seq, event.payload);
+  deliver_in_order(event.from, channel);
+  if (state_ == State::kFreezePending) check_freeze();
+}
+
+void SliceRuntime::deliver_in_order(SliceId from, ChannelIn& channel) {
+  while (!channel.pending.empty() &&
+         channel.pending.begin()->first == channel.expected) {
+    auto node = channel.pending.extract(channel.pending.begin());
+    dispatch(from, node.key(), std::move(node.mapped()));
+    channel.last_dispatched = channel.expected;
+    ++channel.expected;
+  }
+}
+
+void SliceRuntime::dispatch(SliceId from, SeqNo seq, PayloadPtr payload) {
+  (void)from;
+  (void)seq;
+  const double cost = handler_->cost_units(payload);
+  const cluster::LockMode mode = handler_->lock_mode(payload);
+  host_.cpu().submit(id_, mode, cost,
+                     [this, payload = std::move(payload)]() mutable {
+                       if (state_ == State::kRetired) return;
+                       process(std::move(payload));
+                     });
+}
+
+void SliceRuntime::process(PayloadPtr payload) {
+  ++events_processed_;
+  handler_->on_event(*this, payload);
+}
+
+void SliceRuntime::emit(std::string_view op, Routing routing,
+                        PayloadPtr payload) {
+  const auto& cfg = host_.engine().static_config();
+  const auto& target_op = cfg.operators.at(cfg.index_of(op));
+  const auto& slices = target_op.slices;
+  if (slices.empty()) {
+    throw std::logic_error{"emit: operator has no slices"};
+  }
+  auto queue_to = [&](SliceId target) {
+    auto [it, inserted] = next_out_seq_.try_emplace(target, 1);
+    const SeqNo seq = it->second++;
+    out_buffer_[target].push_back(WireEvent{id_, target, seq, payload});
+    ++out_buffer_events_;
+    if (logging_) {
+      // Upstream backup: retained until the downstream checkpoints.
+      out_log_[target].push_back(WireEvent{id_, target, seq, payload});
+    }
+  };
+  switch (routing.kind()) {
+    case Routing::Kind::kToIndex:
+      queue_to(slices.at(routing.index()));
+      break;
+    case Routing::Kind::kBroadcast:
+      for (SliceId target : slices) queue_to(target);
+      break;
+    case Routing::Kind::kHash:
+      queue_to(slices[routing.key() % slices.size()]);
+      break;
+  }
+}
+
+SimTime SliceRuntime::now() const {
+  return host_.engine().simulator().now();
+}
+
+std::size_t SliceRuntime::slice_index() const {
+  return host_.engine().static_config().info_of(id_).slice_index;
+}
+
+std::size_t SliceRuntime::slice_count(std::string_view op) const {
+  const auto& cfg = host_.engine().static_config();
+  return cfg.operators.at(cfg.index_of(op)).slices.size();
+}
+
+void SliceRuntime::flush_outputs() {
+  if (out_buffer_events_ == 0) return;
+  auto buffers = std::move(out_buffer_);
+  out_buffer_.clear();
+  out_buffer_events_ = 0;
+  host_.send_events(id_, std::move(buffers), &net_bytes_sent_);
+}
+
+SeqNo SliceRuntime::next_seq_for(SliceId target) const {
+  auto it = next_out_seq_.find(target);
+  return it == next_out_seq_.end() ? SeqNo{1} : it->second;
+}
+
+void SliceRuntime::start_checkpoint_timer() {
+  if (!logging_) return;
+  auto& engine = host_.engine();
+  const auto period = engine.config().checkpoints.interval;
+  const auto phase = micros(static_cast<std::int64_t>(
+      engine.rng().next_below(static_cast<std::uint64_t>(period.count()))));
+  checkpoint_timer_ = std::make_unique<sim::PeriodicTimer>(
+      engine.simulator(), phase + micros(1), period,
+      [this] { checkpoint(host_.engine().checkpoint_store_endpoint()); });
+}
+
+void SliceRuntime::truncate_log(SliceId downstream, SeqNo upto) {
+  auto it = out_log_.find(downstream);
+  if (it == out_log_.end()) return;
+  auto& log = it->second;
+  while (!log.empty() && log.front().seq <= upto) log.pop_front();
+}
+
+void SliceRuntime::replay_log(SliceId downstream, SeqNo above) {
+  auto it = out_log_.find(downstream);
+  if (it == out_log_.end()) return;
+  std::unordered_map<SliceId, std::vector<WireEvent>> resend;
+  for (const WireEvent& event : it->second) {
+    if (event.seq > above) resend[downstream].push_back(event);
+  }
+  if (!resend.empty()) {
+    host_.send_events(id_, std::move(resend), &net_bytes_sent_);
+  }
+}
+
+void SliceRuntime::checkpoint(net::Endpoint store) {
+  if (state_ != State::kActive) return;
+  const auto& cost_model = host_.engine().config().cost;
+  const double cost =
+      500.0 + cost_model.state_serialize_units_per_byte *
+                  static_cast<double>(handler_->state_bytes());
+  // Consistent cut: the RW job runs after in-flight work, so the state
+  // matches the dispatched-events watermark exactly (as in migration).
+  host_.cpu().submit(id_, cluster::LockMode::kWrite, cost, [this, store] {
+    if (state_ != State::kActive) return;
+    auto msg = std::make_shared<CheckpointMessage>();
+    msg->slice = id_;
+    BinaryWriter writer;
+    handler_->serialize_state(writer);
+    msg->state = std::make_shared<const std::vector<std::byte>>(
+        std::move(writer).take());
+    for (const auto& [from, channel] : in_) {
+      msg->processed.emplace_back(from, channel.last_dispatched);
+    }
+    for (const auto& [target, next] : next_out_seq_) {
+      msg->out_seqs.emplace_back(target, next);
+    }
+    const std::size_t bytes = msg->state->size();
+    host_.send_control(store, std::move(msg), bytes);
+  });
+}
+
+std::size_t SliceRuntime::logged_events() const {
+  std::size_t total = 0;
+  for (const auto& [target, log] : out_log_) total += log.size();
+  return total;
+}
+
+void SliceRuntime::request_freeze(FreezeSpec spec) {
+  if (state_ != State::kActive && state_ != State::kFreezePending) {
+    throw std::logic_error{"request_freeze: slice not active"};
+  }
+  freeze_spec_ = std::move(spec);
+  state_ = State::kFreezePending;
+  check_freeze();
+}
+
+void SliceRuntime::check_freeze() {
+  if (state_ != State::kFreezePending || !freeze_spec_) return;
+  // Catch-up condition (paper Figure 3, step 3): every event below the
+  // duplication start must have been dispatched locally, so the union of
+  // (processed here) + (duplicated to the replica) has no gap.
+  for (const auto& [channel_id, first_duplicated] : freeze_spec_->catchup) {
+    const auto it = in_.find(channel_id);
+    const SeqNo expected = it == in_.end() ? SeqNo{1} : it->second.expected;
+    if (expected < first_duplicated) return;
+  }
+  do_freeze();
+}
+
+void SliceRuntime::do_freeze() {
+  state_ = State::kFrozen;
+  if (flush_timer_) flush_timer_->stop();
+
+  const auto& cost_model = host_.engine().config().cost;
+  const double cost =
+      1000.0 + cost_model.state_serialize_units_per_byte *
+                   static_cast<double>(handler_->state_bytes());
+  // kWrite: runs after every in-flight job of this slice completes, so the
+  // serialized state reflects exactly the dispatched-events watermark.
+  host_.cpu().submit(id_, cluster::LockMode::kWrite, cost, [this] {
+    // Ship whatever the final processing jobs emitted before the state is
+    // captured; the output sequence counters must cover these events.
+    flush_outputs();
+    auto msg = std::make_shared<StateTransferMessage>();
+    msg->migration = freeze_spec_->migration;
+    msg->slice = id_;
+    BinaryWriter writer;
+    handler_->serialize_state(writer);
+    msg->state = std::make_shared<const std::vector<std::byte>>(
+        std::move(writer).take());
+    for (const auto& [from, channel] : in_) {
+      msg->processed.emplace_back(from, channel.last_dispatched);
+    }
+    for (const auto& [target, next] : next_out_seq_) {
+      msg->out_seqs.emplace_back(target, next);
+    }
+    msg->frozen_at = host_.engine().simulator().now();
+    msg->reply_to = freeze_spec_->reply_to;
+    const std::size_t bytes = msg->state->size();
+    host_.send_to_host(freeze_spec_->dst_host, std::move(msg), bytes);
+  });
+}
+
+void SliceRuntime::activate(const StateTransferMessage& msg) {
+  if (state_ != State::kInactiveReplica) {
+    throw std::logic_error{"activate: slice is not an inactive replica"};
+  }
+  const auto& cost_model = host_.engine().config().cost;
+  const double cost =
+      1000.0 + cost_model.state_deserialize_units_per_byte *
+                   static_cast<double>(msg.state->size());
+  // Copy what we need from the message; the delivery object dies with this
+  // call, the job runs later.
+  auto state = msg.state;
+  auto processed = msg.processed;
+  auto out_seqs = msg.out_seqs;
+  const auto frozen_at = msg.frozen_at;
+  const auto reply_to = msg.reply_to;
+  const auto migration = msg.migration;
+  host_.cpu().submit(
+      id_, cluster::LockMode::kWrite, cost,
+      [this, state, processed = std::move(processed),
+       out_seqs = std::move(out_seqs), frozen_at, reply_to, migration] {
+        BinaryReader reader{*state};
+        handler_->restore_state(reader);
+        for (const auto& [from, last] : processed) {
+          auto& channel = in_[from];
+          channel.expected = last + 1;
+          channel.last_dispatched = last;
+        }
+        for (const auto& [target, next] : out_seqs) {
+          next_out_seq_[target] = next;
+        }
+        state_ = State::kActive;
+        start_flush_timer();
+        start_checkpoint_timer();
+        host_.update_location(id_, SliceLocation{host_.host_id(), HostId{}});
+
+        // Drain the replica buffer: drop events the original processed,
+        // deliver the rest in order.
+        auto buffered = std::move(replica_buffer_);
+        replica_buffer_.clear();
+        for (auto& [from, events] : buffered) {
+          auto& channel = in_[from];
+          for (auto& [seq, payload] : events) {
+            if (seq < channel.expected) {
+              ++duplicates_dropped_;
+              continue;
+            }
+            channel.pending.emplace(seq, std::move(payload));
+          }
+          deliver_in_order(from, channel);
+        }
+
+        auto ack = std::make_shared<ActivatedAck>();
+        ack->migration = migration;
+        ack->slice = id_;
+        ack->frozen_at = frozen_at;
+        ack->activated_at = host_.engine().simulator().now();
+        ack->state_bytes = state->size();
+        host_.send_control(reply_to, std::move(ack), 64);
+      });
+}
+
+void SliceRuntime::retire() {
+  state_ = State::kRetired;
+  if (flush_timer_) flush_timer_->stop();
+  if (checkpoint_timer_) checkpoint_timer_->stop();
+  in_.clear();
+  replica_buffer_.clear();
+  out_buffer_.clear();
+  out_buffer_events_ = 0;
+  out_log_.clear();
+}
+
+// ---- HostRuntime -------------------------------------------------------------
+
+HostRuntime::HostRuntime(Engine& engine, cluster::Host& cpu)
+    : engine_(engine), cpu_(cpu) {
+  endpoint_ = engine_.network().new_endpoint();
+  engine_.network().bind(endpoint_, cpu_.id(),
+                         [this](const net::Delivery& d) { on_delivery(d); });
+}
+
+HostRuntime::~HostRuntime() {
+  probe_timer_.reset();
+  if (engine_.network().bound(endpoint_)) {
+    engine_.network().unbind(endpoint_);
+  }
+}
+
+void HostRuntime::add_slice(SliceId id, SliceRuntime::State initial_state) {
+  if (slices_.contains(id)) {
+    throw std::logic_error{"HostRuntime::add_slice: duplicate slice"};
+  }
+  const auto& cfg = engine_.static_config();
+  const auto& info = cfg.info_of(id);
+  auto handler = cfg.operators.at(info.op_index).factory(info.slice_index);
+  slices_[id] =
+      std::make_unique<SliceRuntime>(*this, id, std::move(handler), initial_state);
+}
+
+void HostRuntime::set_directory(
+    const std::unordered_map<SliceId, SliceLocation>& dir) {
+  directory_ = dir;
+}
+
+void HostRuntime::set_host_endpoint(HostId host, net::Endpoint endpoint) {
+  host_endpoints_[host] = endpoint;
+}
+
+void HostRuntime::update_location(SliceId slice, SliceLocation location) {
+  directory_[slice] = location;
+}
+
+bool HostRuntime::has_slice(SliceId id) const { return slices_.contains(id); }
+
+SliceRuntime* HostRuntime::slice(SliceId id) {
+  auto it = slices_.find(id);
+  return it == slices_.end() ? nullptr : it->second.get();
+}
+
+std::vector<SliceId> HostRuntime::slice_ids() const {
+  std::vector<SliceId> ids;
+  ids.reserve(slices_.size());
+  for (const auto& [id, slice] : slices_) ids.push_back(id);
+  return ids;
+}
+
+void HostRuntime::deliver_external(const WireEvent& event) {
+  auto it = slices_.find(event.to);
+  if (it == slices_.end()) {
+    ++dropped_events_;
+    return;
+  }
+  it->second->on_wire_event(event);
+}
+
+void HostRuntime::send_events(
+    SliceId from_slice,
+    std::unordered_map<SliceId, std::vector<WireEvent>> by_dest,
+    std::size_t* bytes_accum) {
+  (void)from_slice;
+  const auto& cost = engine_.config().cost;
+  // Group per destination host, duplicating to shadows.
+  std::unordered_map<HostId, std::vector<WireEvent>> per_host;
+  for (auto& [dest, events] : by_dest) {
+    auto it = directory_.find(dest);
+    if (it == directory_.end()) {
+      dropped_events_ += events.size();
+      continue;
+    }
+    const SliceLocation& loc = it->second;
+    if (loc.shadow.valid() && loc.shadow != loc.primary) {
+      auto& shadow_list = per_host[loc.shadow];
+      shadow_list.insert(shadow_list.end(), events.begin(), events.end());
+    }
+    auto& list = per_host[loc.primary];
+    if (list.empty()) {
+      list = std::move(events);
+    } else {
+      list.insert(list.end(), std::make_move_iterator(events.begin()),
+                  std::make_move_iterator(events.end()));
+    }
+  }
+  for (auto& [host, events] : per_host) {
+    auto ep_it = host_endpoints_.find(host);
+    if (ep_it == host_endpoints_.end()) {
+      dropped_events_ += events.size();
+      continue;
+    }
+    std::size_t bytes = 0;
+    for (const auto& ev : events) {
+      bytes += ev.payload->bytes() + cost.event_header_bytes;
+    }
+    auto msg = std::make_shared<EventBatchMessage>();
+    msg->events = std::move(events);
+    if (bytes_accum != nullptr) *bytes_accum += bytes;
+    engine_.network().send(endpoint_, ep_it->second, std::move(msg), bytes);
+  }
+}
+
+void HostRuntime::send_to_host(HostId host, net::MessagePtr msg,
+                               std::size_t bytes) {
+  auto it = host_endpoints_.find(host);
+  if (it == host_endpoints_.end()) {
+    throw std::logic_error{"send_to_host: unknown host endpoint"};
+  }
+  engine_.network().send(endpoint_, it->second, std::move(msg), bytes);
+}
+
+void HostRuntime::send_control(net::Endpoint to, net::MessagePtr msg,
+                               std::size_t bytes) {
+  engine_.network().send(endpoint_, to, std::move(msg), bytes);
+}
+
+void HostRuntime::on_delivery(const net::Delivery& delivery) {
+  if (const auto* batch =
+          dynamic_cast<const EventBatchMessage*>(delivery.message.get())) {
+    for (const WireEvent& event : batch->events) {
+      auto it = slices_.find(event.to);
+      if (it == slices_.end()) {
+        ++dropped_events_;
+        continue;
+      }
+      it->second->on_wire_event(event);
+    }
+    return;
+  }
+  handle_control(delivery);
+}
+
+void HostRuntime::handle_control(const net::Delivery& delivery) {
+  const net::Message* msg = delivery.message.get();
+  if (const auto* req = dynamic_cast<const CreateReplicaRequest*>(msg)) {
+    handle_create_replica(*req);
+  } else if (const auto* req =
+                 dynamic_cast<const StartDuplicationRequest*>(msg)) {
+    handle_start_duplication(*req);
+  } else if (const auto* req = dynamic_cast<const FreezeRequest*>(msg)) {
+    handle_freeze(*req);
+  } else if (const auto* transfer =
+                 dynamic_cast<const StateTransferMessage*>(msg)) {
+    handle_state_transfer(*transfer);
+  } else if (const auto* update =
+                 dynamic_cast<const DirectoryUpdateMessage*>(msg)) {
+    handle_directory_update(*update);
+  } else if (const auto* req = dynamic_cast<const TeardownRequest*>(msg)) {
+    handle_teardown(*req);
+  } else if (const auto* notice =
+                 dynamic_cast<const CheckpointNoticeMessage*>(msg)) {
+    // Upstream backup truncation: each local upstream slice drops logged
+    // events the checkpoint already covers.
+    for (const auto& [upstream, watermark] : notice->processed) {
+      auto it = slices_.find(upstream);
+      if (it != slices_.end()) {
+        it->second->truncate_log(notice->slice, watermark);
+      }
+    }
+  } else if (const auto* restore =
+                 dynamic_cast<const RestoreFromCheckpointMessage*>(msg)) {
+    handle_restore(*restore);
+  } else if (const auto* replay = dynamic_cast<const ReplayRequest*>(msg)) {
+    for (auto& [slice_id, runtime] : slices_) {
+      SeqNo watermark = 0;
+      for (const auto& [upstream, seq] : replay->processed) {
+        if (upstream == slice_id) watermark = seq;
+      }
+      runtime->replay_log(replay->slice, watermark);
+    }
+  } else {
+    ESH_WARN << "HostRuntime: unknown control message";
+  }
+}
+
+void HostRuntime::handle_restore(const RestoreFromCheckpointMessage& msg) {
+  if (!slices_.contains(msg.slice)) {
+    add_slice(msg.slice, SliceRuntime::State::kInactiveReplica);
+  }
+  SliceRuntime* replica = slice(msg.slice);
+  // Reuse the migration activation path: instantiate, deserialize, set the
+  // channel watermarks, go live; replayed events arriving meanwhile buffer
+  // in the replica and dedup against the checkpoint's vector.
+  auto transfer = std::make_shared<StateTransferMessage>();
+  transfer->migration = MigrationId{};  // not a migration
+  transfer->slice = msg.slice;
+  transfer->state = msg.state;
+  transfer->processed = msg.processed;
+  transfer->out_seqs = msg.out_seqs;
+  transfer->frozen_at = engine_.simulator().now();
+  transfer->reply_to = msg.reply_to;
+  replica->activate(*transfer);
+}
+
+void HostRuntime::handle_create_replica(const CreateReplicaRequest& req) {
+  add_slice(req.slice, SliceRuntime::State::kInactiveReplica);
+  SliceRuntime* replica = slice(req.slice);
+  // Replica instantiation (runtime structures + filtering library init)
+  // costs CPU before the replica can accept state.
+  const double cost = replica->handler().replica_init_units();
+  const MigrationId migration = req.migration;
+  const net::Endpoint reply_to = req.reply_to;
+  cpu_.submit(req.slice, cluster::LockMode::kWrite, cost,
+              [this, migration, reply_to] {
+                auto ack = std::make_shared<CreateReplicaAck>();
+                ack->migration = migration;
+                send_control(reply_to, std::move(ack), 64);
+              });
+}
+
+void HostRuntime::handle_start_duplication(const StartDuplicationRequest& req) {
+  auto it = directory_.find(req.slice);
+  if (it == directory_.end()) {
+    throw std::logic_error{"start_duplication: unknown slice"};
+  }
+  it->second.shadow = req.shadow_host;
+
+  // Ack once per local upstream slice, carrying its channel's duplication
+  // start point.
+  const auto& cfg = engine_.static_config();
+  const auto& target_op = cfg.op_of(req.slice);
+  for (const auto& [slice_id, runtime] : slices_) {
+    const auto& info = cfg.info_of(slice_id);
+    const bool upstream =
+        std::find(target_op.upstream_ops.begin(), target_op.upstream_ops.end(),
+                  info.op_index) != target_op.upstream_ops.end();
+    if (!upstream) continue;
+    auto ack = std::make_shared<StartDuplicationAck>();
+    ack->migration = req.migration;
+    ack->upstream_slice = slice_id;
+    ack->next_seq = runtime->next_seq_for(req.slice);
+    send_control(req.reply_to, std::move(ack), 64);
+  }
+}
+
+void HostRuntime::handle_freeze(const FreezeRequest& req) {
+  SliceRuntime* target = slice(req.slice);
+  if (target == nullptr) {
+    throw std::logic_error{"freeze: slice not on this host"};
+  }
+  target->request_freeze(SliceRuntime::FreezeSpec{
+      req.migration, req.catchup, req.dst_host, req.reply_to});
+}
+
+void HostRuntime::handle_state_transfer(const StateTransferMessage& msg) {
+  SliceRuntime* replica = slice(msg.slice);
+  if (replica == nullptr) {
+    throw std::logic_error{"state_transfer: replica not on this host"};
+  }
+  replica->activate(msg);
+}
+
+void HostRuntime::handle_directory_update(const DirectoryUpdateMessage& msg) {
+  directory_[msg.slice] = SliceLocation{msg.host, HostId{}};
+  if (msg.reply_to.valid()) {
+    auto ack = std::make_shared<DirectoryUpdateAck>();
+    ack->migration = msg.migration;
+    ack->from_host = host_id();
+    send_control(msg.reply_to, std::move(ack), 64);
+  }
+}
+
+void HostRuntime::handle_teardown(const TeardownRequest& req) {
+  auto it = slices_.find(req.slice);
+  if (it == slices_.end()) {
+    throw std::logic_error{"teardown: slice not on this host"};
+  }
+  it->second->retire();
+  if (cpu_.has_pending_work(req.slice)) {
+    throw std::logic_error{"teardown: slice still has CPU work"};
+  }
+  cpu_.forget_slice(req.slice);
+  last_slice_busy_us_.erase(req.slice);
+  last_slice_net_bytes_.erase(req.slice);
+  slices_.erase(it);
+  auto ack = std::make_shared<TeardownAck>();
+  ack->migration = req.migration;
+  send_control(req.reply_to, std::move(ack), 64);
+}
+
+cluster::HostProbe HostRuntime::collect_probe(SimDuration window) {
+  cluster::HostProbe probe;
+  probe.host = host_id();
+  probe.window_start = last_probe_time_;
+  probe.window_end = engine_.simulator().now();
+  probe.cpu = cpu_.utilization(last_host_busy_us_, window);
+  last_host_busy_us_ = cpu_.busy_core_us_now();
+  const double capacity = static_cast<double>(cpu_.spec().cores) *
+                          static_cast<double>(window.count());
+  const auto& cfg = engine_.static_config();
+  for (const auto& [id, runtime] : slices_) {
+    cluster::SliceProbe sp;
+    sp.slice = id;
+    sp.op = cfg.operators.at(cfg.info_of(id).op_index).id;
+    const double busy = cpu_.slice_busy_core_us_now(id);
+    sp.cpu = (busy - last_slice_busy_us_[id]) / capacity;
+    last_slice_busy_us_[id] = busy;
+    sp.state_bytes = runtime->handler().state_bytes();
+    const std::size_t net_now = runtime->net_bytes_sent();
+    sp.net_bytes = net_now - last_slice_net_bytes_[id];
+    last_slice_net_bytes_[id] = net_now;
+    probe.slices.push_back(sp);
+  }
+  last_probe_time_ = probe.window_end;
+  return probe;
+}
+
+void HostRuntime::enable_probes(net::Endpoint target, SimDuration interval) {
+  probe_target_ = target;
+  last_probe_time_ = engine_.simulator().now();
+  last_host_busy_us_ = cpu_.busy_core_us_now();
+  probe_timer_ = std::make_unique<sim::PeriodicTimer>(
+      engine_.simulator(), interval, [this, interval] {
+        auto msg = std::make_shared<ProbeMessage>();
+        msg->probe = collect_probe(interval);
+        const std::size_t bytes = 64 + 32 * msg->probe.slices.size();
+        send_control(probe_target_, std::move(msg), bytes);
+      });
+}
+
+void HostRuntime::disable_probes() { probe_timer_.reset(); }
+
+}  // namespace esh::engine

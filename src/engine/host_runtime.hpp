@@ -1,0 +1,246 @@
+// Per-host runtime: owns the operator slices placed on one host, moves
+// events between the network and the host CPU scheduler, and executes the
+// host-side legs of the migration protocol (replica buffering, catch-up
+// freeze, state restore).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/host.hpp"
+#include "cluster/probes.hpp"
+#include "common/rng.hpp"
+#include "engine/event.hpp"
+#include "engine/handler.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace esh::engine {
+
+class Engine;
+class HostRuntime;
+
+// Immutable deployment-wide configuration: operators, slice identities and
+// DAG shape. Shared by every host (the paper's "static configuration").
+struct StaticConfig {
+  struct OperatorInfo {
+    OperatorId id;
+    std::string name;
+    std::vector<SliceId> slices;
+    HandlerFactory factory;
+    std::vector<std::uint32_t> upstream_ops;  // indices into `operators`
+  };
+  struct SliceInfo {
+    std::uint32_t op_index = 0;
+    std::uint32_t slice_index = 0;
+  };
+
+  std::vector<OperatorInfo> operators;
+  std::unordered_map<std::string, std::uint32_t> op_by_name;
+  std::unordered_map<SliceId, SliceInfo> slices;
+
+  [[nodiscard]] const OperatorInfo& op_of(SliceId id) const;
+  [[nodiscard]] const SliceInfo& info_of(SliceId id) const;
+  [[nodiscard]] std::uint32_t index_of(std::string_view name) const;
+};
+
+// Where a slice lives right now, from one host's point of view. While a
+// migration's duplication phase is active the shadow host receives a copy
+// of every event.
+struct SliceLocation {
+  HostId primary;
+  HostId shadow;  // invalid when no duplication is active
+};
+
+// One operator slice instance on a host.
+class SliceRuntime final : public Context {
+ public:
+  enum class State {
+    kActive,
+    kInactiveReplica,  // buffering duplicated events, awaiting state
+    kFreezePending,    // freeze requested, catching up
+    kFrozen,           // state serialization / transfer in progress
+    kRetired,
+  };
+
+  SliceRuntime(HostRuntime& host, SliceId id, std::unique_ptr<Handler> handler,
+               State initial_state);
+  ~SliceRuntime() override;
+
+  [[nodiscard]] SliceId id() const { return id_; }
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] Handler& handler() { return *handler_; }
+  [[nodiscard]] const Handler& handler() const { return *handler_; }
+
+  // Data path -----------------------------------------------------------
+  void on_wire_event(const WireEvent& event);
+  void flush_outputs();
+
+  // Migration (source-host side) -----------------------------------------
+  struct FreezeSpec {
+    MigrationId migration;
+    std::vector<std::pair<SliceId, SeqNo>> catchup;
+    HostId dst_host;
+    net::Endpoint reply_to;
+  };
+  void request_freeze(FreezeSpec spec);
+
+  // Next sequence number this slice would assign on its channel to
+  // `target` (the duplication start point reported to the coordinator).
+  [[nodiscard]] SeqNo next_seq_for(SliceId target) const;
+
+  // Passive replication (upstream backup) ---------------------------------
+  // Drops logged events for `downstream` at or below `upto`.
+  void truncate_log(SliceId downstream, SeqNo upto);
+  // Re-sends logged events for `downstream` above `above` (post-recovery).
+  void replay_log(SliceId downstream, SeqNo above);
+  // Serializes state and ships a checkpoint to the standby store.
+  void checkpoint(net::Endpoint store);
+  [[nodiscard]] std::size_t logged_events() const;
+
+  // Migration (destination-host side) -------------------------------------
+  void activate(const StateTransferMessage& msg);
+
+  void retire();
+
+  // Introspection ---------------------------------------------------------
+  [[nodiscard]] std::uint64_t events_processed() const {
+    return events_processed_;
+  }
+  [[nodiscard]] std::uint64_t duplicates_dropped() const {
+    return duplicates_dropped_;
+  }
+  [[nodiscard]] std::size_t net_bytes_sent() const { return net_bytes_sent_; }
+
+  // Context ----------------------------------------------------------------
+  void emit(std::string_view op, Routing routing, PayloadPtr payload) override;
+  [[nodiscard]] SimTime now() const override;
+  [[nodiscard]] std::size_t slice_index() const override;
+  [[nodiscard]] std::size_t slice_count(std::string_view op) const override;
+
+ private:
+  struct ChannelIn {
+    SeqNo expected = 1;               // next seq to deliver (active mode)
+    std::map<SeqNo, PayloadPtr> pending;
+    SeqNo last_dispatched = 0;        // timestamp-vector component
+  };
+
+  void deliver_in_order(SliceId from, ChannelIn& channel);
+  void dispatch(SliceId from, SeqNo seq, PayloadPtr payload);
+  void process(PayloadPtr payload);
+  void check_freeze();
+  void do_freeze();
+  void start_flush_timer();
+  void start_checkpoint_timer();
+
+  HostRuntime& host_;
+  SliceId id_;
+  std::unique_ptr<Handler> handler_;
+  State state_;
+
+  std::unordered_map<SliceId, ChannelIn> in_;
+  // Replica buffering: raw per-channel maps (reordered lazily on activate).
+  std::unordered_map<SliceId, std::map<SeqNo, PayloadPtr>> replica_buffer_;
+
+  std::unordered_map<SliceId, SeqNo> next_out_seq_;
+  std::unordered_map<SliceId, std::vector<WireEvent>> out_buffer_;
+  std::size_t out_buffer_events_ = 0;
+  // Upstream backup: emitted events retained until the downstream slice
+  // checkpoints past them (only populated when checkpoints are enabled).
+  bool logging_ = false;
+  std::unordered_map<SliceId, std::deque<WireEvent>> out_log_;
+  std::unique_ptr<sim::PeriodicTimer> checkpoint_timer_;
+
+  std::optional<FreezeSpec> freeze_spec_;
+
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t duplicates_dropped_ = 0;
+  std::size_t net_bytes_sent_ = 0;
+
+  std::unique_ptr<sim::PeriodicTimer> flush_timer_;
+  friend class HostRuntime;
+};
+
+// Host-side runtime: message dispatch, slice registry, probes.
+class HostRuntime {
+ public:
+  HostRuntime(Engine& engine, cluster::Host& cpu);
+  ~HostRuntime();
+  HostRuntime(const HostRuntime&) = delete;
+  HostRuntime& operator=(const HostRuntime&) = delete;
+
+  [[nodiscard]] HostId host_id() const { return cpu_.id(); }
+  [[nodiscard]] cluster::Host& cpu() { return cpu_; }
+  [[nodiscard]] net::Endpoint endpoint() const { return endpoint_; }
+  [[nodiscard]] Engine& engine() { return engine_; }
+
+  // Deployment-time (configuration distribution; not latency-critical).
+  void add_slice(SliceId id, SliceRuntime::State initial_state);
+  void set_directory(const std::unordered_map<SliceId, SliceLocation>& dir);
+  void set_host_endpoint(HostId host, net::Endpoint endpoint);
+  void update_location(SliceId slice, SliceLocation location);
+
+  [[nodiscard]] bool has_slice(SliceId id) const;
+  [[nodiscard]] SliceRuntime* slice(SliceId id);
+  [[nodiscard]] std::size_t slice_count() const { return slices_.size(); }
+  [[nodiscard]] std::vector<SliceId> slice_ids() const;
+
+  // Delivers an externally-injected event (virtual channel; see
+  // kExternalChannel) to the local instance of the destination slice.
+  void deliver_external(const WireEvent& event);
+
+  // Sends a batch of events toward the (logical) destination slice of each
+  // event, honoring primary + shadow duplication. Called by slices.
+  void send_events(SliceId from_slice,
+                   std::unordered_map<SliceId, std::vector<WireEvent>> by_dest,
+                   std::size_t* bytes_accum);
+
+  // Point-to-point sends used by the migration protocol.
+  void send_to_host(HostId host, net::MessagePtr msg, std::size_t bytes);
+  void send_control(net::Endpoint to, net::MessagePtr msg, std::size_t bytes);
+
+  // Probes.
+  [[nodiscard]] cluster::HostProbe collect_probe(SimDuration window);
+  void enable_probes(net::Endpoint target, SimDuration interval);
+  void disable_probes();
+
+  [[nodiscard]] std::uint64_t dropped_events() const { return dropped_events_; }
+
+ private:
+  void on_delivery(const net::Delivery& delivery);
+  void handle_control(const net::Delivery& delivery);
+  void handle_create_replica(const CreateReplicaRequest& req);
+  void handle_start_duplication(const StartDuplicationRequest& req);
+  void handle_freeze(const FreezeRequest& req);
+  void handle_state_transfer(const StateTransferMessage& msg);
+  void handle_directory_update(const DirectoryUpdateMessage& msg);
+  void handle_teardown(const TeardownRequest& req);
+  void handle_restore(const RestoreFromCheckpointMessage& msg);
+
+  Engine& engine_;
+  cluster::Host& cpu_;
+  net::Endpoint endpoint_;
+  std::unordered_map<SliceId, std::unique_ptr<SliceRuntime>> slices_;
+  std::unordered_map<SliceId, SliceLocation> directory_;
+  std::unordered_map<HostId, net::Endpoint> host_endpoints_;
+  std::uint64_t dropped_events_ = 0;
+
+  // Probe accounting.
+  double last_host_busy_us_ = 0.0;
+  std::unordered_map<SliceId, double> last_slice_busy_us_;
+  std::unordered_map<SliceId, std::size_t> last_slice_net_bytes_;
+  SimTime last_probe_time_{0};
+  net::Endpoint probe_target_;
+  std::unique_ptr<sim::PeriodicTimer> probe_timer_;
+
+  friend class SliceRuntime;
+  friend class Engine;
+};
+
+}  // namespace esh::engine

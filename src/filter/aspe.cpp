@@ -1,0 +1,177 @@
+#include "filter/aspe.hpp"
+
+#include <stdexcept>
+
+namespace esh::filter {
+
+AspeKey AspeKey::generate(std::size_t dimensions, Rng& rng) {
+  if (dimensions == 0) {
+    throw std::invalid_argument{"AspeKey: dimensions must be > 0"};
+  }
+  AspeKey key;
+  key.dimensions_ = dimensions;
+  const std::size_t m = key.lifted_size();
+  const Matrix m1 = Matrix::random_invertible(m, rng);
+  const Matrix m2 = Matrix::random_invertible(m, rng);
+  key.m1_t_ = m1.transposed();
+  key.m2_t_ = m2.transposed();
+  key.m1_inv_ = m1.inverted();
+  key.m2_inv_ = m2.inverted();
+  key.split_.resize(m);
+  for (std::size_t i = 0; i < m; ++i) key.split_[i] = rng.next_bool();
+  return key;
+}
+
+std::size_t EncryptedSubscription::bytes() const {
+  // Matches the wire/serialized representation exactly: two ids, the
+  // comparison count, and two length-prefixed share vectors per comparison.
+  std::size_t total = 24;
+  for (const auto& cmp : comparisons) {
+    total += 16 + (cmp.share_a.size() + cmp.share_b.size()) * sizeof(double);
+  }
+  return total;
+}
+
+AspeEncryptor::AspeEncryptor(const AspeKey& key, Rng rng)
+    : key_(key), rng_(rng) {}
+
+EncryptedPublication AspeEncryptor::encrypt(const Publication& pub) {
+  if (pub.attributes.size() != key_.dimensions()) {
+    throw std::invalid_argument{"AspeEncryptor: attribute count mismatch"};
+  }
+  const std::size_t d = key_.dimensions();
+  const std::size_t m = key_.lifted_size();
+
+  // Lift: (x, 1, 0, s_p). Dimension d+1 pairs with the predicate's bound,
+  // d+2 with query noise (zero here), d+3 carries publication noise.
+  std::vector<double> lifted(m, 0.0);
+  for (std::size_t i = 0; i < d; ++i) lifted[i] = pub.attributes[i];
+  lifted[d] = 1.0;
+  lifted[d + 1] = 0.0;
+  lifted[d + 2] = rng_.uniform(-1.0, 1.0);
+
+  // Split by the secret bit vector: s_j = 1 dimensions split randomly.
+  std::vector<double> pa(m), pb(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    if (key_.split()[j]) {
+      const double share = rng_.uniform(-1.0, 1.0);
+      pa[j] = share;
+      pb[j] = lifted[j] - share;
+    } else {
+      pa[j] = lifted[j];
+      pb[j] = lifted[j];
+    }
+  }
+
+  EncryptedPublication out;
+  out.id = pub.id;
+  out.share_a = key_.m1_t().multiply(pa);
+  out.share_b = key_.m2_t().multiply(pb);
+  return out;
+}
+
+EncryptedComparison AspeEncryptor::encrypt_comparison(std::size_t attribute,
+                                                      double bound,
+                                                      bool lower) {
+  const std::size_t d = key_.dimensions();
+  const std::size_t m = key_.lifted_size();
+
+  // Query vector for x_i >= c: r (e_i, -c, s_q, 0); for x_i <= c the signs
+  // of the attribute and bound flip. r > 0 preserves the sign.
+  const double r = rng_.uniform(0.5, 2.0);
+  std::vector<double> q(m, 0.0);
+  q[attribute] = lower ? r : -r;
+  q[d] = lower ? -r * bound : r * bound;
+  q[d + 1] = rng_.uniform(-1.0, 1.0);
+  q[d + 2] = 0.0;
+
+  // Split: s_j = 0 dimensions split randomly (converse of publications).
+  std::vector<double> qa(m), qb(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    if (!key_.split()[j]) {
+      const double share = rng_.uniform(-1.0, 1.0);
+      qa[j] = share;
+      qb[j] = q[j] - share;
+    } else {
+      qa[j] = q[j];
+      qb[j] = q[j];
+    }
+  }
+
+  EncryptedComparison out;
+  out.share_a = key_.m1_inv().multiply(qa);
+  out.share_b = key_.m2_inv().multiply(qb);
+  return out;
+}
+
+EncryptedSubscription AspeEncryptor::encrypt(const Subscription& sub) {
+  if (sub.predicates.size() != key_.dimensions()) {
+    throw std::invalid_argument{"AspeEncryptor: predicate count mismatch"};
+  }
+  EncryptedSubscription out;
+  out.id = sub.id;
+  out.subscriber = sub.subscriber;
+  out.comparisons.reserve(2 * sub.predicates.size());
+  for (std::size_t i = 0; i < sub.predicates.size(); ++i) {
+    out.comparisons.push_back(
+        encrypt_comparison(i, sub.predicates[i].low, /*lower=*/true));
+    out.comparisons.push_back(
+        encrypt_comparison(i, sub.predicates[i].high, /*lower=*/false));
+  }
+  return out;
+}
+
+double evaluate_comparison(const EncryptedComparison& cmp,
+                           const EncryptedPublication& pub) {
+  // The correctness identity: qa.pa + qb.pb = q~ . p~ (see header).
+  return dot(cmp.share_a, pub.share_a) + dot(cmp.share_b, pub.share_b);
+}
+
+bool encrypted_match(const EncryptedSubscription& sub,
+                     const EncryptedPublication& pub) {
+  for (const auto& cmp : sub.comparisons) {
+    if (evaluate_comparison(cmp, pub) < 0.0) return false;
+  }
+  return true;
+}
+
+void serialize(BinaryWriter& w, const EncryptedSubscription& s) {
+  w.write_id(s.id);
+  w.write_id(s.subscriber);
+  w.write_u64(s.comparisons.size());
+  for (const auto& cmp : s.comparisons) {
+    w.write_f64_span(cmp.share_a);
+    w.write_f64_span(cmp.share_b);
+  }
+}
+
+EncryptedSubscription deserialize_encrypted_subscription(BinaryReader& r) {
+  EncryptedSubscription s;
+  s.id = r.read_id<SubscriptionTag>();
+  s.subscriber = r.read_id<SubscriberTag>();
+  const auto n = r.read_u64();
+  s.comparisons.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EncryptedComparison cmp;
+    cmp.share_a = r.read_f64_vector();
+    cmp.share_b = r.read_f64_vector();
+    s.comparisons.push_back(std::move(cmp));
+  }
+  return s;
+}
+
+void serialize(BinaryWriter& w, const EncryptedPublication& p) {
+  w.write_id(p.id);
+  w.write_f64_span(p.share_a);
+  w.write_f64_span(p.share_b);
+}
+
+EncryptedPublication deserialize_encrypted_publication(BinaryReader& r) {
+  EncryptedPublication p;
+  p.id = r.read_id<PublicationTag>();
+  p.share_a = r.read_f64_vector();
+  p.share_b = r.read_f64_vector();
+  return p;
+}
+
+}  // namespace esh::filter

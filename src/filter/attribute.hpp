@@ -1,0 +1,74 @@
+// Plain-text content-based pub/sub data model: publications carry d
+// numeric attributes; subscriptions are conjunctions of per-attribute
+// range predicates (hyper-rectangles), the model used by the paper's
+// workload (and by ASPE, which encrypts exactly these shapes).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/serde.hpp"
+#include "common/types.hpp"
+
+namespace esh::filter {
+
+struct Publication {
+  PublicationId id;
+  std::vector<double> attributes;
+
+  [[nodiscard]] std::size_t dimensions() const { return attributes.size(); }
+};
+
+// Closed interval [low, high] on one attribute. An unconstrained attribute
+// is represented by the full domain.
+struct Range {
+  double low = 0.0;
+  double high = 1.0;
+
+  [[nodiscard]] bool contains(double v) const { return v >= low && v <= high; }
+  [[nodiscard]] double width() const { return high - low; }
+};
+
+struct Subscription {
+  SubscriptionId id;
+  SubscriberId subscriber;
+  std::vector<Range> predicates;  // one per attribute
+
+  [[nodiscard]] std::size_t dimensions() const { return predicates.size(); }
+
+  [[nodiscard]] bool matches(const Publication& pub) const {
+    if (pub.attributes.size() != predicates.size()) return false;
+    for (std::size_t i = 0; i < predicates.size(); ++i) {
+      if (!predicates[i].contains(pub.attributes[i])) return false;
+    }
+    return true;
+  }
+};
+
+inline void serialize(BinaryWriter& w, const Subscription& s) {
+  w.write_id(s.id);
+  w.write_id(s.subscriber);
+  w.write_u64(s.predicates.size());
+  for (const Range& r : s.predicates) {
+    w.write_f64(r.low);
+    w.write_f64(r.high);
+  }
+}
+
+inline Subscription deserialize_subscription(BinaryReader& r) {
+  Subscription s;
+  s.id = r.read_id<SubscriptionTag>();
+  s.subscriber = r.read_id<SubscriberTag>();
+  const auto n = r.read_u64();
+  s.predicates.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Range range;
+    range.low = r.read_f64();
+    range.high = r.read_f64();
+    s.predicates.push_back(range);
+  }
+  return s;
+}
+
+}  // namespace esh::filter

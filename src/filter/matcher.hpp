@@ -1,0 +1,153 @@
+// Filtering-library interface used by the Matching (M) operator. STREAMHUB
+// treats the filtering scheme as a pluggable external library (paper §III);
+// each M slice owns one Matcher instance storing its partition of the
+// subscriptions.
+//
+// A Matcher reports the simulated CPU cost of each match so that the
+// cluster emulation charges work faithfully: encrypted filtering charges
+// O(d^2) per stored subscription, index-based plain filtering charges by
+// candidates actually examined.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cluster/cost_model.hpp"
+#include "common/serde.hpp"
+#include "common/types.hpp"
+#include "filter/aspe.hpp"
+#include "filter/attribute.hpp"
+
+namespace esh::filter {
+
+using AnySubscription = std::variant<Subscription, EncryptedSubscription>;
+using AnyPublication = std::variant<Publication, EncryptedPublication>;
+
+[[nodiscard]] SubscriptionId subscription_id(const AnySubscription& s);
+[[nodiscard]] PublicationId publication_id(const AnyPublication& p);
+[[nodiscard]] std::size_t subscription_bytes(const AnySubscription& s);
+[[nodiscard]] std::size_t publication_bytes(const AnyPublication& p);
+
+struct MatchOutcome {
+  std::vector<SubscriberId> subscribers;
+  // Simulated single-core work this match consumed, in cost-model units.
+  double work_units = 0.0;
+};
+
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  virtual void add(const AnySubscription& sub) = 0;
+  // Returns false when the id is unknown.
+  virtual bool remove(SubscriptionId id) = 0;
+  [[nodiscard]] virtual MatchOutcome match(const AnyPublication& pub) = 0;
+
+  // Expected cost of the next match (charged to the host CPU before the
+  // match runs; the scheduler needs the cost up front).
+  [[nodiscard]] virtual double estimate_match_units() const = 0;
+
+  [[nodiscard]] virtual std::size_t subscription_count() const = 0;
+  [[nodiscard]] virtual std::size_t state_bytes() const = 0;
+
+  // State transfer for slice migration.
+  virtual void serialize_state(BinaryWriter& w) const = 0;
+  virtual void restore_state(BinaryReader& r) = 0;
+
+  // Fresh instance of the same scheme/configuration (for replicas).
+  [[nodiscard]] virtual std::unique_ptr<Matcher> clone_empty() const = 0;
+
+  [[nodiscard]] virtual std::string scheme_name() const = 0;
+};
+
+// Plain-text brute force: tests every stored subscription.
+class BruteForceMatcher final : public Matcher {
+ public:
+  explicit BruteForceMatcher(cluster::CostModel cost = {});
+
+  void add(const AnySubscription& sub) override;
+  bool remove(SubscriptionId id) override;
+  [[nodiscard]] MatchOutcome match(const AnyPublication& pub) override;
+  [[nodiscard]] double estimate_match_units() const override;
+  [[nodiscard]] std::size_t subscription_count() const override;
+  [[nodiscard]] std::size_t state_bytes() const override;
+  void serialize_state(BinaryWriter& w) const override;
+  void restore_state(BinaryReader& r) override;
+  [[nodiscard]] std::unique_ptr<Matcher> clone_empty() const override;
+  [[nodiscard]] std::string scheme_name() const override {
+    return "plain-brute";
+  }
+
+ private:
+  cluster::CostModel cost_;
+  std::vector<Subscription> subs_;
+};
+
+// Plain-text counting index (Yan/Garcia-Molina style): per-attribute
+// interval lists sorted by lower bound; a publication only pays for the
+// candidate predicates its attribute values can satisfy.
+class CountingIndexMatcher final : public Matcher {
+ public:
+  explicit CountingIndexMatcher(cluster::CostModel cost = {});
+
+  void add(const AnySubscription& sub) override;
+  bool remove(SubscriptionId id) override;
+  [[nodiscard]] MatchOutcome match(const AnyPublication& pub) override;
+  [[nodiscard]] double estimate_match_units() const override;
+  [[nodiscard]] std::size_t subscription_count() const override;
+  [[nodiscard]] std::size_t state_bytes() const override;
+  void serialize_state(BinaryWriter& w) const override;
+  void restore_state(BinaryReader& r) override;
+  [[nodiscard]] std::unique_ptr<Matcher> clone_empty() const override;
+  [[nodiscard]] std::string scheme_name() const override {
+    return "plain-counting";
+  }
+
+ private:
+  struct Entry {
+    double low;
+    double high;
+    std::uint32_t slot;
+  };
+  void rebuild_if_dirty();
+
+  cluster::CostModel cost_;
+  std::vector<Subscription> subs_;       // dense by slot; removed = empty id
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::vector<Entry>> index_;  // per attribute, sorted by low
+  std::vector<std::uint32_t> counts_;      // per slot, epoch-stamped
+  std::vector<std::uint64_t> epochs_;
+  std::uint64_t epoch_ = 0;
+  bool dirty_ = true;
+  std::size_t live_count_ = 0;
+};
+
+// Encrypted filtering: stores EncryptedSubscriptions, tests every one with
+// the ASPE comparison primitive; no containment or indexing is possible by
+// design (paper §VI-B).
+class AspeMatcher final : public Matcher {
+ public:
+  explicit AspeMatcher(cluster::CostModel cost = {});
+
+  void add(const AnySubscription& sub) override;
+  bool remove(SubscriptionId id) override;
+  [[nodiscard]] MatchOutcome match(const AnyPublication& pub) override;
+  [[nodiscard]] double estimate_match_units() const override;
+  [[nodiscard]] std::size_t subscription_count() const override;
+  [[nodiscard]] std::size_t state_bytes() const override;
+  void serialize_state(BinaryWriter& w) const override;
+  void restore_state(BinaryReader& r) override;
+  [[nodiscard]] std::unique_ptr<Matcher> clone_empty() const override;
+  [[nodiscard]] std::string scheme_name() const override { return "aspe"; }
+
+ private:
+  cluster::CostModel cost_;
+  std::vector<EncryptedSubscription> subs_;
+  std::size_t state_bytes_ = 0;
+  std::size_t dimensions_ = 0;
+};
+
+}  // namespace esh::filter

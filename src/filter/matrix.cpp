@@ -1,0 +1,122 @@
+#include "filter/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace esh::filter {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument{"Matrix: dimensions must be positive"};
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m{n, n};
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::random_invertible(std::size_t n, Rng& rng) {
+  for (;;) {
+    Matrix m{n, n};
+    for (double& x : m.data_) x = rng.uniform(-1.0, 1.0);
+    try {
+      (void)m.inverted();
+      return m;
+    } catch (const std::domain_error&) {
+      // Singular draw (essentially measure zero); try again.
+    }
+  }
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t{cols_, rows_};
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::inverted() const {
+  if (rows_ != cols_) throw std::domain_error{"inverted: not square"};
+  const std::size_t n = rows_;
+  Matrix a = *this;
+  Matrix inv = identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    double best = std::fabs(a.at(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a.at(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-10) throw std::domain_error{"inverted: singular matrix"};
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a.at(pivot, c), a.at(col, c));
+        std::swap(inv.at(pivot, c), inv.at(col, c));
+      }
+    }
+    const double diag = a.at(col, col);
+    for (std::size_t c = 0; c < n; ++c) {
+      a.at(col, c) /= diag;
+      inv.at(col, c) /= diag;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double factor = a.at(r, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        a.at(r, c) -= factor * a.at(col, c);
+        inv.at(r, c) -= factor * inv.at(col, c);
+      }
+    }
+  }
+  return inv;
+}
+
+std::vector<double> Matrix::multiply(const std::vector<double>& v) const {
+  if (v.size() != cols_) {
+    throw std::invalid_argument{"Matrix::multiply: size mismatch"};
+  }
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += at(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument{"Matrix::multiply: shape mismatch"};
+  }
+  Matrix out{rows_, other.cols_};
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = at(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out.at(r, c) += a * other.at(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument{"dot: size mismatch"};
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace esh::filter

@@ -1,0 +1,57 @@
+// Small dense matrix algebra for the ASPE scheme: random invertible key
+// generation, inversion, transpose, and matrix-vector products. Dimensions
+// are tiny (d + 3 for d-attribute schemas), so simple O(n^3) routines with
+// partial pivoting are exact enough and fast.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace esh::filter {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  // Random matrix with entries uniform in [-1, 1], regenerated until the
+  // condition heuristic accepts it; always invertible on return.
+  [[nodiscard]] static Matrix random_invertible(std::size_t n, Rng& rng);
+
+  [[nodiscard]] Matrix transposed() const;
+
+  // Inverse via Gauss-Jordan elimination with partial pivoting.
+  // Throws std::domain_error if singular (within tolerance).
+  [[nodiscard]] Matrix inverted() const;
+
+  [[nodiscard]] std::vector<double> multiply(
+      const std::vector<double>& v) const;
+
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+[[nodiscard]] double dot(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+}  // namespace esh::filter

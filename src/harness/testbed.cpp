@@ -1,0 +1,134 @@
+#include "harness/testbed.hpp"
+
+#include <stdexcept>
+
+namespace esh::harness {
+
+Testbed::Testbed(TestbedConfig config) : config_(config) {
+  network_ = std::make_unique<net::Network>(simulator_);
+  // Dedicated hosts (manager + I/O) live outside the elastic pool budget.
+  cluster::IaasConfig iaas = config_.iaas;
+  iaas.max_hosts += 1 + config_.io_hosts;
+  pool_ = std::make_unique<cluster::IaasPool>(simulator_, iaas);
+  coord_ = std::make_unique<coord::CoordService>(simulator_, config_.coord);
+
+  manager_host_ = pool_->allocate(nullptr);
+  for (std::size_t i = 0; i < config_.io_hosts; ++i) {
+    io_hosts_.push_back(pool_->allocate(nullptr));
+  }
+  for (std::size_t i = 0; i < config_.worker_hosts; ++i) {
+    worker_hosts_.push_back(pool_->allocate(nullptr));
+  }
+  // Let the initial fleet boot.
+  simulator_.run_until(simulator_.now() + config_.iaas.boot_delay +
+                       millis(1));
+
+  engine_ = std::make_unique<engine::Engine>(simulator_, *network_,
+                                             manager_host_, config_.engine,
+                                             config_.seed);
+  for (HostId host : io_hosts_) engine_->add_host(pool_->host(host));
+  for (HostId host : worker_hosts_) engine_->add_host(pool_->host(host));
+
+  workload_ = std::make_unique<workload::OracleWorkload>(config_.workload);
+
+  pubsub::StreamHubParams params;
+  params.source_slices = config_.source_slices;
+  params.ap_slices = config_.ap_slices;
+  params.m_slices = config_.workload.m_slices;
+  params.ep_slices = config_.ep_slices;
+  params.sink_slices = config_.sink_slices;
+  params.cost = config_.engine.cost;
+  params.matcher_factory = [this](std::size_t slice_index) {
+    return workload_->make_matcher(config_.engine.cost, slice_index);
+  };
+  hub_ = std::make_unique<pubsub::StreamHub>(*engine_, params);
+
+  pubsub::HostAssignment assignment;
+  if (config_.placement) {
+    assignment = config_.placement(worker_hosts_);
+  } else {
+    assignment[params.names.ap] = worker_hosts_;
+    assignment[params.names.m] = worker_hosts_;
+    assignment[params.names.ep] = worker_hosts_;
+  }
+  assignment[params.names.source] = io_hosts_;
+  assignment[params.names.sink] = io_hosts_;
+  hub_->deploy(assignment);
+
+  if (config_.with_manager) {
+    manager_ = std::make_unique<elastic::Manager>(
+        simulator_, *network_, *engine_, *pool_, *coord_, manager_host_,
+        config_.manager);
+    manager_->start(worker_hosts_);
+  }
+}
+
+Testbed::~Testbed() {
+  // Tear down timers and endpoints before the simulator (member order
+  // already guarantees this; explicit for clarity).
+  manager_.reset();
+  hub_.reset();
+  engine_.reset();
+}
+
+void Testbed::store_subscriptions(std::size_t count) {
+  const auto gap = micros(static_cast<std::int64_t>(
+      1e6 / config_.subscription_rate_per_sec) + 1);
+  SimTime at = simulator_.now();
+  for (std::size_t i = 0; i < count; ++i) {
+    at += gap;
+    simulator_.schedule_at(at, [this, i] {
+      hub_->subscribe(workload_->subscription(i));
+    });
+  }
+  const bool stored = run_until(
+      [this, count] { return hub_->stored_subscriptions() >= count; },
+      seconds(600));
+  if (!stored) {
+    throw std::runtime_error{"store_subscriptions: timed out"};
+  }
+}
+
+std::unique_ptr<workload::PublicationDriver> Testbed::drive(
+    std::shared_ptr<const workload::RateSchedule> schedule) {
+  auto driver = std::make_unique<workload::PublicationDriver>(
+      simulator_, std::move(schedule), [this] { publish_one(); },
+      config_.seed ^ 0x5bf0'3635'dcf9'8e6bULL);
+  driver->start();
+  return driver;
+}
+
+void Testbed::publish_one() {
+  hub_->publish(workload_->next_publication());
+}
+
+void Testbed::run_for(SimDuration d) {
+  simulator_.run_until(simulator_.now() + d);
+}
+
+bool Testbed::run_until(const std::function<bool()>& pred, SimDuration timeout,
+                        SimDuration poll) {
+  const SimTime deadline = simulator_.now() + timeout;
+  while (simulator_.now() < deadline) {
+    if (pred()) return true;
+    simulator_.run_until(simulator_.now() + poll);
+  }
+  return pred();
+}
+
+double Testbed::completion_ratio(double rate, SimDuration window) {
+  auto schedule = std::make_shared<workload::ConstantRate>(rate, window);
+  delays().reset_counts();
+  const std::uint64_t sent_before = hub_->publications_sent();
+  auto driver = drive(std::move(schedule));
+  run_for(window);
+  const std::uint64_t offered = hub_->publications_sent() - sent_before;
+  driver->stop();
+  // Small drain allowance for in-flight events at the window edge.
+  run_for(seconds(3));
+  if (offered == 0) return 1.0;
+  return static_cast<double>(delays().publications_completed()) /
+         static_cast<double>(offered);
+}
+
+}  // namespace esh::harness

@@ -1,0 +1,113 @@
+// Full-system testbed: assembles the emulated private cloud (simulator,
+// network, IaaS pool, coordination service), the engine, a STREAMHUB
+// deployment fed by the oracle workload, and optionally the elasticity
+// manager. Mirrors the paper's experimental setup (§VI-A): dedicated hosts
+// for the manager/coordination and for the source/sink operators, worker
+// hosts for AP/M/EP.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/iaas.hpp"
+#include "coord/coord.hpp"
+#include "elastic/manager.hpp"
+#include "engine/engine.hpp"
+#include "net/network.hpp"
+#include "pubsub/streamhub.hpp"
+#include "sim/simulator.hpp"
+#include "workload/driver.hpp"
+#include "workload/oracle.hpp"
+#include "workload/schedule.hpp"
+
+namespace esh::harness {
+
+struct TestbedConfig {
+  std::size_t worker_hosts = 8;       // AP/M/EP hosts at deployment
+  std::size_t io_hosts = 4;           // dedicated source/sink hosts
+  workload::OracleParams workload{};  // dimensions, subs, rate, m_slices
+  std::size_t source_slices = 4;
+  std::size_t ap_slices = 8;
+  std::size_t ep_slices = 8;
+  std::size_t sink_slices = 4;
+  engine::EngineConfig engine{};
+  cluster::IaasConfig iaas{};
+  coord::CoordConfig coord{};
+  elastic::ManagerConfig manager{};
+  bool with_manager = false;
+  std::uint64_t seed = 1;
+  // Subscription storage pacing (paper: storage phase precedes publishing).
+  double subscription_rate_per_sec = 20'000.0;
+  // Custom AP/M/EP placement over the worker hosts (defaults to spreading
+  // every operator over all workers). Source/sink stay on the I/O hosts.
+  std::function<pubsub::HostAssignment(const std::vector<HostId>& workers)>
+      placement;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+  ~Testbed();
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  // ---- components ----
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] cluster::IaasPool& pool() { return *pool_; }
+  [[nodiscard]] coord::CoordService& coord() { return *coord_; }
+  [[nodiscard]] engine::Engine& engine() { return *engine_; }
+  [[nodiscard]] pubsub::StreamHub& hub() { return *hub_; }
+  [[nodiscard]] workload::OracleWorkload& workload() { return *workload_; }
+  [[nodiscard]] elastic::Manager* manager() { return manager_.get(); }
+  [[nodiscard]] pubsub::DelayCollector& delays() { return *hub_->collector(); }
+
+  [[nodiscard]] const std::vector<HostId>& worker_hosts() const {
+    return worker_hosts_;
+  }
+  [[nodiscard]] const std::vector<HostId>& io_hosts() const {
+    return io_hosts_;
+  }
+  [[nodiscard]] HostId manager_host() const { return manager_host_; }
+
+  // ---- workflow helpers ----
+  // Stores `count` subscriptions (paced) and runs until all are stored.
+  void store_subscriptions(std::size_t count);
+
+  // Publishes following `schedule`; returns the driver (started).
+  std::unique_ptr<workload::PublicationDriver> drive(
+      std::shared_ptr<const workload::RateSchedule> schedule);
+
+  // Publishes one publication now.
+  void publish_one();
+
+  // Advances simulated time by `d`.
+  void run_for(SimDuration d);
+  // Runs until `pred()` holds, polling every `poll`; gives up after
+  // `timeout` and returns false.
+  bool run_until(const std::function<bool()>& pred, SimDuration timeout,
+                 SimDuration poll = millis(100));
+
+  // Maximum sustainable publication rate estimation: drives `rate` for
+  // `window` and reports the completion ratio (completed/offered) over it.
+  double completion_ratio(double rate, SimDuration window);
+
+ private:
+  TestbedConfig config_;
+  sim::Simulator simulator_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<cluster::IaasPool> pool_;
+  std::unique_ptr<coord::CoordService> coord_;
+  std::unique_ptr<engine::Engine> engine_;
+  std::unique_ptr<workload::OracleWorkload> workload_;
+  std::unique_ptr<pubsub::StreamHub> hub_;
+  std::unique_ptr<elastic::Manager> manager_;
+  HostId manager_host_;
+  std::vector<HostId> io_hosts_;
+  std::vector<HostId> worker_hosts_;
+};
+
+}  // namespace esh::harness

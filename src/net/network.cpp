@@ -1,0 +1,120 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace esh::net {
+
+Network::Network(sim::Simulator& simulator, NetworkConfig config)
+    : simulator_(simulator), config_(config) {
+  if (config_.bytes_per_us <= 0.0) {
+    throw std::invalid_argument{"Network: bandwidth must be positive"};
+  }
+}
+
+Endpoint Network::new_endpoint() { return Endpoint{next_endpoint_++}; }
+
+void Network::bind(Endpoint endpoint, HostId host, DeliveryHandler handler) {
+  if (!endpoint.valid() || !host.valid()) {
+    throw std::invalid_argument{"Network::bind: invalid endpoint or host"};
+  }
+  auto [it, inserted] =
+      bindings_.try_emplace(endpoint, Binding{host, std::move(handler), 0});
+  if (!inserted) {
+    throw std::logic_error{"Network::bind: endpoint already bound"};
+  }
+}
+
+void Network::rebind(Endpoint endpoint, HostId new_host,
+                     DeliveryHandler handler) {
+  auto it = bindings_.find(endpoint);
+  if (it == bindings_.end()) {
+    throw std::logic_error{"Network::rebind: endpoint not bound"};
+  }
+  it->second.host = new_host;
+  it->second.handler = std::move(handler);
+  ++it->second.generation;
+}
+
+void Network::unbind(Endpoint endpoint) {
+  if (bindings_.erase(endpoint) == 0) {
+    throw std::logic_error{"Network::unbind: endpoint not bound"};
+  }
+}
+
+bool Network::bound(Endpoint endpoint) const {
+  return bindings_.contains(endpoint);
+}
+
+HostId Network::host_of(Endpoint endpoint) const {
+  auto it = bindings_.find(endpoint);
+  if (it == bindings_.end()) {
+    throw std::logic_error{"Network::host_of: endpoint not bound"};
+  }
+  return it->second.host;
+}
+
+void Network::send(Endpoint from, Endpoint to, MessagePtr message,
+                   std::size_t payload_bytes) {
+  ++stats_.messages_sent;
+  const std::size_t bytes = payload_bytes + config_.overhead_bytes;
+  stats_.bytes_sent += bytes;
+
+  const auto from_it = bindings_.find(from);
+  const auto to_it = bindings_.find(to);
+  if (from_it == bindings_.end() || to_it == bindings_.end()) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  const HostId src_host = from_it->second.host;
+  const HostId dst_host = to_it->second.host;
+  const std::uint64_t dst_generation = to_it->second.generation;
+  if (down_hosts_.contains(src_host) || down_hosts_.contains(dst_host)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  SimTime delivery_time{};
+  if (src_host == dst_host) {
+    delivery_time = simulator_.now() + config_.local_latency;
+  } else {
+    // NIC egress serialization: messages leave the host one after another.
+    SimTime& busy_until = nic_busy_until_[src_host];
+    const SimTime tx_start = std::max(simulator_.now(), busy_until);
+    const auto tx_us = static_cast<std::int64_t>(
+        static_cast<double>(bytes) / config_.bytes_per_us);
+    const SimTime tx_end = tx_start + micros(tx_us);
+    busy_until = tx_end;
+    delivery_time = tx_end + config_.latency;
+  }
+
+  simulator_.schedule_at(
+      delivery_time, [this, from, to, dst_host, dst_generation,
+                      message = std::move(message), bytes] {
+        auto it = bindings_.find(to);
+        // Deliver only if the endpoint still lives where the message was
+        // routed (generation check catches unbind+rebind races).
+        if (it == bindings_.end() || it->second.host != dst_host ||
+            it->second.generation != dst_generation ||
+            down_hosts_.contains(dst_host)) {
+          ++stats_.messages_dropped;
+          return;
+        }
+        ++stats_.messages_delivered;
+        it->second.handler(Delivery{from, to, std::move(message), bytes});
+      });
+}
+
+void Network::set_host_down(HostId host, bool down) {
+  if (down) {
+    down_hosts_.insert(host);
+  } else {
+    down_hosts_.erase(host);
+  }
+}
+
+bool Network::host_down(HostId host) const {
+  return down_hosts_.contains(host);
+}
+
+}  // namespace esh::net

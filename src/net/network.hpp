@@ -1,0 +1,114 @@
+// Simulated cluster network. Models per-host NIC egress bandwidth (the
+// paper's 1 Gbps switched network), propagation latency, and FIFO delivery
+// per (source host, destination endpoint) — the ordering property the
+// migration protocol's per-channel sequence numbers rely on.
+//
+// Endpoints are location-transparent addresses bound to a host; rebinding
+// models a component (operator slice) moving to another host. A message
+// routes to the binding that was current when it was sent, like an open
+// connection: if the endpoint moved or unbound before delivery, the message
+// is dropped and counted (the migration protocol tolerates this window by
+// duplicating events).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace esh::net {
+
+// Opaque network address.
+struct EndpointTag {};
+using Endpoint = Id<EndpointTag>;
+
+// Polymorphic message payload. Payloads are immutable and shared: a
+// broadcast enqueues one allocation, not N copies.
+struct Message {
+  virtual ~Message() = default;
+};
+using MessagePtr = std::shared_ptr<const Message>;
+
+struct Delivery {
+  Endpoint from;
+  Endpoint to;
+  MessagePtr message;
+  std::size_t bytes = 0;
+};
+
+using DeliveryHandler = std::function<void(const Delivery&)>;
+
+struct NetworkConfig {
+  // One-way propagation + switching latency between distinct hosts.
+  SimDuration latency = micros(200);
+  // Loopback latency for co-located endpoints.
+  SimDuration local_latency = micros(5);
+  // NIC egress bandwidth per host; 1 Gbps = 125 bytes/us.
+  double bytes_per_us = 125.0;
+  // Fixed per-message protocol overhead added to the payload size.
+  std::size_t overhead_bytes = 64;
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& simulator, NetworkConfig config = {});
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Allocates a fresh, unbound endpoint address.
+  Endpoint new_endpoint();
+
+  // Binds an endpoint to a host with a delivery handler. An endpoint can be
+  // bound to at most one host at a time.
+  void bind(Endpoint endpoint, HostId host, DeliveryHandler handler);
+
+  // Atomically moves the endpoint to a new host (new handler included,
+  // since the component instance changes).
+  void rebind(Endpoint endpoint, HostId new_host, DeliveryHandler handler);
+
+  void unbind(Endpoint endpoint);
+  [[nodiscard]] bool bound(Endpoint endpoint) const;
+  [[nodiscard]] HostId host_of(Endpoint endpoint) const;
+
+  // Sends `message` from `from` to `to`. `payload_bytes` is the serialized
+  // application size; the config's overhead is added on top. Delivery obeys
+  // NIC egress serialization on the sender host plus link latency.
+  void send(Endpoint from, Endpoint to, MessagePtr message,
+            std::size_t payload_bytes);
+
+  // Failure injection: a down host neither sends nor receives; affected
+  // messages are dropped.
+  void set_host_down(HostId host, bool down);
+  [[nodiscard]] bool host_down(HostId host) const;
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+ private:
+  struct Binding {
+    HostId host;
+    DeliveryHandler handler;
+    std::uint64_t generation = 0;
+  };
+
+  sim::Simulator& simulator_;
+  NetworkConfig config_;
+  std::uint64_t next_endpoint_ = 1;
+  std::unordered_map<Endpoint, Binding> bindings_;
+  std::unordered_map<HostId, SimTime> nic_busy_until_;
+  std::unordered_set<HostId> down_hosts_;
+  NetworkStats stats_;
+};
+
+}  // namespace esh::net

@@ -1,0 +1,227 @@
+#include "pubsub/operators.hpp"
+
+#include <stdexcept>
+
+namespace esh::pubsub {
+
+namespace {
+
+// Stable key for modulo-hash routing.
+std::uint64_t route_key(PublicationId id) { return id.value(); }
+std::uint64_t route_key(SubscriptionId id) { return id.value(); }
+
+}  // namespace
+
+// ---- SourceHandler -----------------------------------------------------------
+
+void SourceHandler::on_event(engine::Context& ctx,
+                             const engine::PayloadPtr& p) {
+  if (const auto* sub = dynamic_cast<const SubscriptionPayload*>(p.get())) {
+    ctx.emit(names_.ap,
+             engine::Routing::hash(
+                 route_key(filter::subscription_id(sub->subscription))),
+             p);
+    return;
+  }
+  if (const auto* pub = dynamic_cast<const PublicationPayload*>(p.get())) {
+    ctx.emit(names_.ap,
+             engine::Routing::hash(
+                 route_key(filter::publication_id(pub->publication))),
+             p);
+    return;
+  }
+  if (const auto* unsub = dynamic_cast<const UnsubscriptionPayload*>(p.get())) {
+    ctx.emit(names_.ap, engine::Routing::hash(route_key(unsub->id)), p);
+    return;
+  }
+  throw std::logic_error{"SourceHandler: unexpected payload"};
+}
+
+// ---- ApHandler ----------------------------------------------------------------
+
+const MatchingTarget& ApHandler::target_for(bool encrypted) const {
+  for (const MatchingTarget& target : targets_) {
+    if (target.encrypted == encrypted) return target;
+  }
+  throw std::logic_error{
+      "ApHandler: no Matching operator deployed for this scheme"};
+}
+
+void ApHandler::on_event(engine::Context& ctx, const engine::PayloadPtr& p) {
+  if (const auto* sub = dynamic_cast<const SubscriptionPayload*>(p.get())) {
+    // Subscription partitioning: modulo hash over subscription identifiers
+    // splits the workload into non-overlapping per-M-slice sets, within
+    // the M operator handling the subscription's filtering scheme.
+    const bool encrypted = std::holds_alternative<filter::EncryptedSubscription>(
+        sub->subscription);
+    ctx.emit(target_for(encrypted).op_name,
+             engine::Routing::hash(
+                 route_key(filter::subscription_id(sub->subscription))),
+             p);
+    return;
+  }
+  if (const auto* pub = dynamic_cast<const PublicationPayload*>(p.get())) {
+    // Publications must meet every stored subscription of their scheme:
+    // broadcast to all slices of that scheme's M operator.
+    const bool encrypted = std::holds_alternative<filter::EncryptedPublication>(
+        pub->publication);
+    ctx.emit(target_for(encrypted).op_name, engine::Routing::broadcast(), p);
+    return;
+  }
+  if (const auto* unsub = dynamic_cast<const UnsubscriptionPayload*>(p.get())) {
+    // Same modulo hash as the original subscription: the removal reaches
+    // exactly the slice storing it.
+    ctx.emit(target_for(unsub->encrypted).op_name,
+             engine::Routing::hash(route_key(unsub->id)), p);
+    return;
+  }
+  throw std::logic_error{"ApHandler: unexpected payload"};
+}
+
+double ApHandler::cost_units(const engine::PayloadPtr& p) const {
+  if (const auto* pub = dynamic_cast<const PublicationPayload*>(p.get())) {
+    const bool encrypted = std::holds_alternative<filter::EncryptedPublication>(
+        pub->publication);
+    return cost_.ap_route_units *
+           static_cast<double>(target_for(encrypted).slices);
+  }
+  return cost_.ap_route_units;
+}
+
+// ---- MHandler ------------------------------------------------------------------
+
+void MHandler::on_event(engine::Context& ctx, const engine::PayloadPtr& p) {
+  if (const auto* sub = dynamic_cast<const SubscriptionPayload*>(p.get())) {
+    matcher_->add(sub->subscription);
+    return;
+  }
+  if (const auto* unsub = dynamic_cast<const UnsubscriptionPayload*>(p.get())) {
+    (void)matcher_->remove(unsub->id);  // unknown ids are ignored
+    return;
+  }
+  if (const auto* pub = dynamic_cast<const PublicationPayload*>(p.get())) {
+    filter::MatchOutcome outcome = matcher_->match(pub->publication);
+    auto list = std::make_shared<MatchListPayload>();
+    list->publication = filter::publication_id(pub->publication);
+    list->m_slice_index = slice_index_;
+    list->expected_lists =
+        static_cast<std::uint32_t>(ctx.slice_count(own_op_));
+    list->subscribers = std::move(outcome.subscribers);
+    list->published_at = pub->published_at;
+    const auto routing = engine::Routing::hash(route_key(list->publication));
+    ctx.emit(names_.ep, routing, std::move(list));
+    return;
+  }
+  throw std::logic_error{"MHandler: unexpected payload"};
+}
+
+double MHandler::cost_units(const engine::PayloadPtr& p) const {
+  if (dynamic_cast<const PublicationPayload*>(p.get()) != nullptr) {
+    return cost_.m_fixed_units + matcher_->estimate_match_units();
+  }
+  return 4.0;  // subscription insertion
+}
+
+cluster::LockMode MHandler::lock_mode(const engine::PayloadPtr& p) const {
+  // Matching only reads the subscription store: R lock, so one slice's
+  // matches parallelize across the host's cores (paper §III).
+  if (dynamic_cast<const PublicationPayload*>(p.get()) != nullptr) {
+    return cluster::LockMode::kRead;
+  }
+  return cluster::LockMode::kWrite;
+}
+
+// ---- EpHandler -----------------------------------------------------------------
+
+void EpHandler::on_event(engine::Context& ctx, const engine::PayloadPtr& p) {
+  const auto* list = dynamic_cast<const MatchListPayload*>(p.get());
+  if (list == nullptr) {
+    throw std::logic_error{"EpHandler: unexpected payload"};
+  }
+  Pending& pending = pending_[list->publication];
+  pending.published_at = list->published_at;
+  pending.subscribers.insert(pending.subscribers.end(),
+                             list->subscribers.begin(),
+                             list->subscribers.end());
+  // Each publication is filtered by exactly one scheme's M operator; its
+  // slice count arrives with every partial list (falls back to the static
+  // single-scheme configuration when absent).
+  const std::uint32_t expected =
+      list->expected_lists > 0 ? list->expected_lists
+                               : static_cast<std::uint32_t>(m_slices_);
+  if (++pending.lists_received < expected) return;
+
+  auto notification = std::make_shared<NotificationPayload>();
+  notification->publication = list->publication;
+  notification->subscribers = std::move(pending.subscribers);
+  notification->published_at = pending.published_at;
+  pending_.erase(list->publication);
+  const auto routing =
+      engine::Routing::hash(route_key(notification->publication));
+  ctx.emit(names_.sink, routing, std::move(notification));
+}
+
+double EpHandler::cost_units(const engine::PayloadPtr& p) const {
+  const auto* list = dynamic_cast<const MatchListPayload*>(p.get());
+  if (list == nullptr) return 1.0;
+  const auto ids = static_cast<double>(list->subscribers.size());
+  // Merge cost plus this partial list's share of the notification sends.
+  return cost_.ep_list_units + ids * (cost_.ep_merge_units_per_id +
+                                      cost_.ep_notify_units_per_id);
+}
+
+void EpHandler::serialize_state(BinaryWriter& w) const {
+  w.write_u64(pending_.size());
+  for (const auto& [pub, pending] : pending_) {
+    w.write_id(pub);
+    w.write_u32(pending.lists_received);
+    w.write_i64(pending.published_at.count());
+    w.write_u64(pending.subscribers.size());
+    for (SubscriberId s : pending.subscribers) w.write_id(s);
+  }
+}
+
+void EpHandler::restore_state(BinaryReader& r) {
+  pending_.clear();
+  const auto n = r.read_u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto pub = r.read_id<PublicationTag>();
+    Pending pending;
+    pending.lists_received = r.read_u32();
+    pending.published_at = SimTime{r.read_i64()};
+    const auto count = r.read_u64();
+    pending.subscribers.reserve(count);
+    for (std::uint64_t j = 0; j < count; ++j) {
+      pending.subscribers.push_back(r.read_id<SubscriberTag>());
+    }
+    pending_.emplace(pub, std::move(pending));
+  }
+}
+
+std::size_t EpHandler::state_bytes() const {
+  std::size_t total = 16;
+  for (const auto& [pub, pending] : pending_) {
+    total += 32 + pending.subscribers.size() * sizeof(SubscriberId);
+  }
+  return total;
+}
+
+// ---- SinkHandler ----------------------------------------------------------------
+
+void SinkHandler::on_event(engine::Context& ctx, const engine::PayloadPtr& p) {
+  const auto* n = dynamic_cast<const NotificationPayload*>(p.get());
+  if (n == nullptr) {
+    throw std::logic_error{"SinkHandler: unexpected payload"};
+  }
+  collector_->record(ctx.now(), ctx.now() - n->published_at,
+                     n->subscribers.size());
+}
+
+double SinkHandler::cost_units(const engine::PayloadPtr& p) const {
+  const auto* n = dynamic_cast<const NotificationPayload*>(p.get());
+  return 1.0 + (n != nullptr
+                    ? 0.05 * static_cast<double>(n->subscribers.size())
+                    : 0.0);
+}
+
+}  // namespace esh::pubsub

@@ -1,0 +1,74 @@
+// Event payloads flowing through the STREAMHUB operator DAG.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/cost_model.hpp"
+#include "common/types.hpp"
+#include "engine/event.hpp"
+#include "filter/matcher.hpp"
+
+namespace esh::pubsub {
+
+struct SubscriptionPayload final : engine::Payload {
+  filter::AnySubscription subscription;
+
+  explicit SubscriptionPayload(filter::AnySubscription s)
+      : subscription(std::move(s)) {}
+  [[nodiscard]] std::size_t bytes() const override {
+    return filter::subscription_bytes(subscription);
+  }
+};
+
+struct PublicationPayload final : engine::Payload {
+  filter::AnyPublication publication;
+  SimTime published_at{};
+
+  PublicationPayload(filter::AnyPublication p, SimTime at)
+      : publication(std::move(p)), published_at(at) {}
+  [[nodiscard]] std::size_t bytes() const override {
+    return filter::publication_bytes(publication);
+  }
+};
+
+// Cancels a stored subscription. The client indicates the filtering scheme
+// so AP can route the removal to the right M operator (ciphertext ids are
+// meaningless to the plain operator and vice versa).
+struct UnsubscriptionPayload final : engine::Payload {
+  SubscriptionId id;
+  bool encrypted = true;
+
+  UnsubscriptionPayload(SubscriptionId sub_id, bool enc)
+      : id(sub_id), encrypted(enc) {}
+  [[nodiscard]] std::size_t bytes() const override { return 24; }
+};
+
+// Partial result of one M slice for one publication.
+struct MatchListPayload final : engine::Payload {
+  PublicationId publication;
+  std::uint32_t m_slice_index = 0;
+  // Number of partial lists EP must collect for this publication (the
+  // slice count of the M operator that filtered it; with several filtering
+  // schemes deployed, each scheme's operator reports its own count).
+  std::uint32_t expected_lists = 0;
+  std::vector<SubscriberId> subscribers;
+  SimTime published_at{};
+
+  [[nodiscard]] std::size_t bytes() const override {
+    return 32 + subscribers.size() * sizeof(SubscriberId);
+  }
+};
+
+// Combined notification for one publication (all matching subscribers).
+struct NotificationPayload final : engine::Payload {
+  PublicationId publication;
+  std::vector<SubscriberId> subscribers;
+  SimTime published_at{};
+
+  [[nodiscard]] std::size_t bytes() const override {
+    return 32 + subscribers.size() * sizeof(SubscriberId);
+  }
+};
+
+}  // namespace esh::pubsub

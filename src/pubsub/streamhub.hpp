@@ -1,0 +1,105 @@
+// STREAMHUB assembly: builds the operator topology (source -> AP -> M ->
+// EP -> sink) on an Engine and exposes the pub/sub service API used by
+// examples, tests, and the experiment harnesses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "filter/matcher.hpp"
+#include "pubsub/operators.hpp"
+#include "pubsub/payloads.hpp"
+
+namespace esh::pubsub {
+
+// One Matching operator (filtering scheme) to deploy. The paper's platform
+// can run several M operators side by side, one per scheme (§III), e.g. a
+// plain-text operator next to an encrypted one; AP routes every event to
+// the operator of its scheme.
+struct MatcherSchemeSpec {
+  std::string op_name = "M";
+  std::size_t slices = 16;
+  // Receives encrypted payloads (EncryptedSubscription/Publication) when
+  // true, plain ones when false.
+  bool encrypted = true;
+  std::function<std::unique_ptr<filter::Matcher>(std::size_t slice_index)>
+      factory;
+};
+
+struct StreamHubParams {
+  std::size_t source_slices = 4;
+  std::size_t ap_slices = 8;
+  std::size_t m_slices = 16;
+  std::size_t ep_slices = 8;
+  std::size_t sink_slices = 4;
+  // Single-scheme shortcut: creates the filtering-library instance of M
+  // slice `slice_index`; that one operator serves plain and encrypted
+  // events alike. Ignored when `schemes` is non-empty.
+  std::function<std::unique_ptr<filter::Matcher>(std::size_t slice_index)>
+      matcher_factory;
+  // Multi-scheme deployment: one M operator per entry.
+  std::vector<MatcherSchemeSpec> schemes;
+  OperatorNames names{};
+  cluster::CostModel cost{};
+};
+
+// Placement of every operator onto hosts: operator name -> hosts, slices
+// assigned round-robin.
+using HostAssignment = std::unordered_map<std::string, std::vector<HostId>>;
+
+class StreamHub {
+ public:
+  StreamHub(engine::Engine& engine, StreamHubParams params);
+
+  // Deploys the operators; `assignment` lists candidate hosts per operator
+  // name (slices are spread round-robin over them). Scheme operators
+  // without their own entry fall back to the assignment of "M".
+  void deploy(const HostAssignment& assignment);
+
+  // The deployed Matching operators (one per scheme).
+  [[nodiscard]] const std::vector<MatcherSchemeSpec>& schemes() const {
+    return schemes_;
+  }
+
+  // ---- client API ----
+  void subscribe(filter::AnySubscription subscription);
+  // Removes a stored subscription. `encrypted` selects the scheme whose M
+  // operator stores it (ignored for single-scheme deployments).
+  void unsubscribe(SubscriptionId id, bool encrypted = true);
+  void publish(filter::AnyPublication publication);
+
+  // ---- observation ----
+  [[nodiscard]] std::shared_ptr<DelayCollector> collector() { return collector_; }
+  // Total subscriptions currently stored across all M slices.
+  [[nodiscard]] std::size_t stored_subscriptions() const;
+  [[nodiscard]] std::uint64_t publications_sent() const { return pubs_sent_; }
+
+  // ---- structure ----
+  [[nodiscard]] const StreamHubParams& params() const { return params_; }
+  [[nodiscard]] std::vector<SliceId> slices_of(const std::string& op) const;
+  [[nodiscard]] engine::Engine& engine() { return engine_; }
+
+  // Operators eligible for elasticity-driven migration (AP, M, EP;
+  // source/sink stay on their dedicated hosts, §VI-A).
+  [[nodiscard]] std::vector<OperatorId> elastic_operators() const;
+  [[nodiscard]] bool is_elastic_slice(SliceId slice) const;
+
+ private:
+  engine::Engine& engine_;
+  StreamHubParams params_;
+  std::vector<MatcherSchemeSpec> schemes_;
+  std::shared_ptr<DelayCollector> collector_;
+  std::uint64_t pubs_sent_ = 0;
+  bool deployed_ = false;
+};
+
+// Spreads `slices` over `hosts` round-robin; helper for placements.
+std::vector<HostId> spread(const std::vector<HostId>& hosts,
+                           std::size_t slices);
+
+}  // namespace esh::pubsub

@@ -1,0 +1,97 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace esh::sim {
+
+void EventHandle::cancel() {
+  if (state_) state_->cancelled = true;
+}
+
+bool EventHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+EventHandle Simulator::schedule(SimDuration delay, std::function<void()> fn) {
+  if (delay < SimDuration::zero()) {
+    throw std::invalid_argument{"Simulator::schedule: negative delay"};
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+  if (when < now_) {
+    throw std::invalid_argument{"Simulator::schedule_at: time in the past"};
+  }
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Entry{when, next_seq_++, std::move(fn), state});
+  ++live_events_;
+  return EventHandle{std::move(state)};
+}
+
+std::uint64_t Simulator::run() { return run_until(kSimTimeMax); }
+
+std::uint64_t Simulator::run_until(SimTime until) {
+  std::uint64_t ran = 0;
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (top.when > until) break;
+    // Lazy deletion: cancelled entries are skipped on pop (cancel() cannot
+    // remove from the middle of the heap).
+    Entry entry = std::move(const_cast<Entry&>(top));
+    queue_.pop();
+    --live_events_;
+    if (entry.state->cancelled) continue;
+    now_ = entry.when;
+    entry.state->fired = true;
+    entry.fn();
+    ++ran;
+  }
+  if (until != kSimTimeMax && now_ < until) now_ = until;
+  return ran;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    --live_events_;
+    if (entry.state->cancelled) continue;
+    now_ = entry.when;
+    entry.state->fired = true;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+PeriodicTimer::PeriodicTimer(Simulator& simulator, SimDuration period,
+                             std::function<void()> fn)
+    : PeriodicTimer(simulator, period, period, std::move(fn)) {}
+
+PeriodicTimer::PeriodicTimer(Simulator& simulator, SimDuration initial_delay,
+                             SimDuration period, std::function<void()> fn)
+    : simulator_(simulator), period_(period), fn_(std::move(fn)) {
+  if (period <= SimDuration::zero()) {
+    throw std::invalid_argument{"PeriodicTimer: period must be > 0"};
+  }
+  arm(initial_delay);
+}
+
+PeriodicTimer::~PeriodicTimer() { stop(); }
+
+void PeriodicTimer::stop() {
+  running_ = false;
+  pending_.cancel();
+}
+
+void PeriodicTimer::arm(SimDuration delay) {
+  pending_ = simulator_.schedule(delay, [this] {
+    if (!running_) return;
+    // Re-arm before running so `fn_` may stop() the timer.
+    arm(period_);
+    fn_();
+  });
+}
+
+}  // namespace esh::sim

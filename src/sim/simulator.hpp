@@ -1,0 +1,116 @@
+// Discrete-event simulation kernel. A single Simulator instance drives the
+// entire emulated cluster: the network, host CPU scheduling, the
+// coordination service, and the pub/sub engine all schedule callbacks on
+// its virtual clock. Execution is deterministic: events at equal times fire
+// in scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esh::sim {
+
+class Simulator;
+
+// Handle to a scheduled event; allows cancellation. Handles are cheap to
+// copy and remain valid (as no-ops) after the event fired or was cancelled.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel();
+  [[nodiscard]] bool pending() const;
+
+ private:
+  friend class Simulator;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // Schedules `fn` to run `delay` from now. Negative delays are an error.
+  EventHandle schedule(SimDuration delay, std::function<void()> fn);
+
+  // Schedules at an absolute time >= now.
+  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+
+  // Runs events until the queue is empty. Returns number of events run.
+  std::uint64_t run();
+
+  // Runs events with time <= until; the clock ends at `until` even if the
+  // queue empties earlier. Returns number of events run.
+  std::uint64_t run_until(SimTime until);
+
+  // Runs a single event if one is pending. Returns true if one ran.
+  bool step();
+
+  [[nodiscard]] bool empty() const { return live_events_ == 0; }
+  [[nodiscard]] std::size_t pending_events() const { return live_events_; }
+
+ private:
+  struct Entry {
+    SimTime when{};
+    std::uint64_t seq = 0;  // tie-break: scheduling order
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
+
+    // Min-heap via std::priority_queue (which is a max-heap): reversed.
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_{0};
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_events_ = 0;  // excludes cancelled-but-queued entries
+  std::priority_queue<Entry> queue_;
+};
+
+// Repeating timer built on the simulator; used for heartbeats, probe
+// windows, and rate-schedule driven sources. Cancellation-safe: destroying
+// the timer stops future ticks.
+class PeriodicTimer {
+ public:
+  // `fn` runs every `period`, first at now + period (or now + initial_delay
+  // when provided).
+  PeriodicTimer(Simulator& simulator, SimDuration period,
+                std::function<void()> fn);
+  PeriodicTimer(Simulator& simulator, SimDuration initial_delay,
+                SimDuration period, std::function<void()> fn);
+  ~PeriodicTimer();
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  void arm(SimDuration delay);
+
+  Simulator& simulator_;
+  SimDuration period_;
+  std::function<void()> fn_;
+  EventHandle pending_;
+  bool running_ = true;
+};
+
+}  // namespace esh::sim

@@ -1,0 +1,60 @@
+#include "workload/driver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace esh::workload {
+
+PublicationDriver::PublicationDriver(
+    sim::Simulator& simulator, std::shared_ptr<const RateSchedule> schedule,
+    std::function<void()> publish_one, std::uint64_t seed,
+    std::function<void()> on_done)
+    : simulator_(simulator),
+      schedule_(std::move(schedule)),
+      publish_one_(std::move(publish_one)),
+      on_done_(std::move(on_done)),
+      rng_(seed) {
+  if (!schedule_ || !publish_one_) {
+    throw std::invalid_argument{"PublicationDriver: schedule and callback"};
+  }
+}
+
+void PublicationDriver::start() {
+  if (running_) return;
+  running_ = true;
+  origin_ = simulator_.now();
+  arm_next();
+}
+
+void PublicationDriver::stop() {
+  running_ = false;
+  pending_.cancel();
+}
+
+void PublicationDriver::arm_next() {
+  if (!running_) return;
+  const double envelope = std::max(schedule_->peak_rate(), 1e-9);
+  // Thinning: candidate arrivals at the envelope rate, accepted with
+  // probability rate(t)/envelope.
+  SimTime t = simulator_.now() - origin_;
+  for (;;) {
+    const double gap = rng_.exponential(envelope);
+    t += micros(static_cast<std::int64_t>(gap * 1e6) + 1);
+    if (t > schedule_->duration()) {
+      running_ = false;
+      if (on_done_) {
+        pending_ = simulator_.schedule_at(origin_ + schedule_->duration(),
+                                          [this] { on_done_(); });
+      }
+      return;
+    }
+    if (rng_.next_double() * envelope <= schedule_->rate(t)) break;
+  }
+  pending_ = simulator_.schedule_at(origin_ + t, [this] {
+    ++published_;
+    publish_one_();
+    arm_next();
+  });
+}
+
+}  // namespace esh::workload

@@ -1,0 +1,44 @@
+// Non-homogeneous Poisson publication driver: emits publish callbacks
+// following a RateSchedule, using the standard thinning method against the
+// schedule's peak-rate envelope.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+#include "workload/schedule.hpp"
+
+namespace esh::workload {
+
+class PublicationDriver {
+ public:
+  // `publish_one` is invoked once per generated publication; `on_done`
+  // (optional) fires when the schedule is exhausted.
+  PublicationDriver(sim::Simulator& simulator,
+                    std::shared_ptr<const RateSchedule> schedule,
+                    std::function<void()> publish_one, std::uint64_t seed,
+                    std::function<void()> on_done = nullptr);
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::uint64_t published() const { return published_; }
+
+ private:
+  void arm_next();
+
+  sim::Simulator& simulator_;
+  std::shared_ptr<const RateSchedule> schedule_;
+  std::function<void()> publish_one_;
+  std::function<void()> on_done_;
+  Rng rng_;
+  SimTime origin_{};
+  bool running_ = false;
+  std::uint64_t published_ = 0;
+  sim::EventHandle pending_;
+};
+
+}  // namespace esh::workload

@@ -1,0 +1,76 @@
+#include "workload/generator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace esh::workload {
+
+PlainWorkload::PlainWorkload(WorkloadParams params)
+    : params_(params),
+      sub_rng_(params.seed * 0x9e3779b97f4a7c15ULL + 1),
+      pub_rng_(params.seed * 0xbf58476d1ce4e5b9ULL + 2) {
+  if (params_.dimensions == 0) {
+    throw std::invalid_argument{"PlainWorkload: dimensions must be > 0"};
+  }
+  if (params_.matching_rate <= 0.0 || params_.matching_rate > 1.0) {
+    throw std::invalid_argument{"PlainWorkload: matching rate in (0, 1]"};
+  }
+}
+
+filter::Subscription PlainWorkload::subscription(std::uint64_t index) {
+  // Deterministic per index: a dedicated generator seeded from the index.
+  Rng rng{params_.seed ^ (index * 0x94d049bb133111ebULL + 7)};
+
+  // Split log(matching_rate) across attributes randomly so widths differ
+  // per attribute while the product of widths equals the matching rate
+  // exactly (uniform publications in [0,1]^d).
+  const std::size_t d = params_.dimensions;
+  std::vector<double> exponents(d);
+  double sum = 0.0;
+  for (double& e : exponents) {
+    e = 0.25 + rng.next_double();  // bounded away from 0: no degenerate dims
+    sum += e;
+  }
+  filter::Subscription sub;
+  sub.id = SubscriptionId{index + 1};
+  sub.subscriber = SubscriberId{index};
+  sub.predicates.reserve(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    const double width = std::pow(params_.matching_rate, exponents[i] / sum);
+    const double lo = rng.uniform(0.0, 1.0 - width);
+    sub.predicates.push_back(filter::Range{lo, lo + width});
+  }
+  return sub;
+}
+
+filter::Publication PlainWorkload::next_publication() {
+  filter::Publication pub;
+  pub.id = PublicationId{next_pub_++};
+  pub.attributes.reserve(params_.dimensions);
+  for (std::size_t i = 0; i < params_.dimensions; ++i) {
+    pub.attributes.push_back(pub_rng_.next_double());
+  }
+  return pub;
+}
+
+EncryptedWorkload::EncryptedWorkload(WorkloadParams params)
+    : params_(params),
+      plain_(params),
+      key_rng_(params.seed * 0xd6e8feb86659fd93ULL + 3),
+      key_(filter::AspeKey::generate(params.dimensions, key_rng_)),
+      encryptor_(key_, Rng{params.seed * 0xa0761d6478bd642fULL + 4}) {}
+
+filter::EncryptedSubscription EncryptedWorkload::subscription(
+    std::uint64_t index) {
+  return encryptor_.encrypt(plain_.subscription(index));
+}
+
+filter::EncryptedPublication EncryptedWorkload::next_publication(
+    filter::Publication* plain_out) {
+  filter::Publication plain = plain_.next_publication();
+  auto encrypted = encryptor_.encrypt(plain);
+  if (plain_out != nullptr) *plain_out = std::move(plain);
+  return encrypted;
+}
+
+}  // namespace esh::workload

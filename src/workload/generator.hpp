@@ -1,0 +1,70 @@
+// Synthetic pub/sub workload generation (paper §VI-B): d-attribute
+// publications with uniform attribute values and hyper-rectangle
+// subscriptions calibrated to a target matching rate, plus the ASPE
+// pre-encryption pipeline run by trusted clients before events enter the
+// engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "filter/aspe.hpp"
+#include "filter/attribute.hpp"
+
+namespace esh::workload {
+
+struct WorkloadParams {
+  std::size_t dimensions = 4;     // d (paper: ASPE schema with d = 4)
+  double matching_rate = 0.01;    // P(publication matches subscription)
+  std::uint64_t seed = 42;
+};
+
+// Plain-text workload: ground truth for tests and the plain-filtering path.
+class PlainWorkload {
+ public:
+  explicit PlainWorkload(WorkloadParams params);
+
+  // Subscription `index` (deterministic): hyper-rectangle whose expected
+  // match probability for uniform publications equals matching_rate.
+  [[nodiscard]] filter::Subscription subscription(std::uint64_t index);
+
+  // Fresh publication with uniform attributes; ids increase from 1.
+  [[nodiscard]] filter::Publication next_publication();
+
+  [[nodiscard]] const WorkloadParams& params() const { return params_; }
+
+ private:
+  WorkloadParams params_;
+  Rng sub_rng_;
+  Rng pub_rng_;
+  std::uint64_t next_pub_ = 1;
+};
+
+// Pre-encrypted workload: owns the ASPE key (client side) and encrypts the
+// plain workload's events, as the paper's source operator replays
+// pre-encrypted events.
+class EncryptedWorkload {
+ public:
+  explicit EncryptedWorkload(WorkloadParams params);
+
+  [[nodiscard]] filter::EncryptedSubscription subscription(
+      std::uint64_t index);
+  // Returns the encrypted publication and, optionally, its plain original
+  // (for ground-truth checks).
+  [[nodiscard]] filter::EncryptedPublication next_publication(
+      filter::Publication* plain_out = nullptr);
+
+  [[nodiscard]] const filter::AspeKey& key() const { return key_; }
+  [[nodiscard]] const WorkloadParams& params() const { return params_; }
+
+ private:
+  WorkloadParams params_;
+  PlainWorkload plain_;
+  Rng key_rng_;
+  filter::AspeKey key_;
+  filter::AspeEncryptor encryptor_;
+};
+
+}  // namespace esh::workload

@@ -1,0 +1,171 @@
+#include "workload/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace esh::workload {
+
+namespace {
+constexpr std::size_t kOracleCacheCapacity = 2048;
+}  // namespace
+
+MatchOracle::MatchOracle(OracleParams params) : params_(params) {
+  if (params_.total_subscriptions == 0 || params_.m_slices == 0) {
+    throw std::invalid_argument{"MatchOracle: need subscriptions and slices"};
+  }
+  if (params_.matching_rate < 0.0 || params_.matching_rate > 1.0) {
+    throw std::invalid_argument{"MatchOracle: matching rate in [0, 1]"};
+  }
+}
+
+std::vector<std::uint64_t> MatchOracle::matches(PublicationId pub) const {
+  Rng rng{params_.seed ^ (pub.value() * 0x9e3779b97f4a7c15ULL + 11)};
+  const auto n = params_.total_subscriptions;
+  const double expected = static_cast<double>(n) * params_.matching_rate;
+  // k ~ Binomial(n, p), approximated by a clamped normal (n*p >> 1 for the
+  // workloads of interest).
+  const double stddev = std::sqrt(expected * (1.0 - params_.matching_rate));
+  double k_real = rng.normal(expected, stddev);
+  k_real = std::clamp(k_real, 0.0, static_cast<double>(n));
+  const auto k = static_cast<std::size_t>(std::lround(k_real));
+
+  std::vector<std::uint64_t> chosen;
+  chosen.reserve(k);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(k * 2);
+  while (chosen.size() < k) {
+    const std::uint64_t idx = rng.next_below(n);
+    if (seen.insert(idx).second) chosen.push_back(idx);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+std::shared_ptr<const MatchOracle::Partition> MatchOracle::partitioned_matches(
+    PublicationId pub) const {
+  if (auto it = cache_.find(pub); it != cache_.end()) return it->second;
+  auto partition = std::make_shared<Partition>(params_.m_slices);
+  for (std::uint64_t index : matches(pub)) {
+    (*partition)[slice_of(index)].push_back(index);
+  }
+  cache_.emplace(pub, partition);
+  cache_order_.push_back(pub);
+  while (cache_order_.size() > kOracleCacheCapacity) {
+    cache_.erase(cache_order_.front());
+    cache_order_.pop_front();
+  }
+  return partition;
+}
+
+OracleMatcher::OracleMatcher(std::shared_ptr<const MatchOracle> oracle,
+                             cluster::CostModel cost, std::size_t slice_index)
+    : oracle_(std::move(oracle)), cost_(cost), slice_index_(slice_index) {
+  if (slice_index_ >= oracle_->params().m_slices) {
+    throw std::invalid_argument{"OracleMatcher: slice index out of range"};
+  }
+}
+
+void OracleMatcher::add(const filter::AnySubscription& sub) {
+  const auto& enc = std::get<filter::EncryptedSubscription>(sub);
+  subs_[enc.id] = enc.subscriber;
+}
+
+bool OracleMatcher::remove(SubscriptionId id) { return subs_.erase(id) > 0; }
+
+filter::MatchOutcome OracleMatcher::match(const filter::AnyPublication& pub) {
+  filter::MatchOutcome out;
+  const auto pub_id = filter::publication_id(pub);
+  const auto partition = oracle_->partitioned_matches(pub_id);
+  for (std::uint64_t index : (*partition)[slice_index_]) {
+    // Only subscriptions actually stored here may match: under partial
+    // storage or mid-migration the matcher stays truthful.
+    auto it = subs_.find(oracle_->sub_id(index));
+    if (it != subs_.end()) out.subscribers.push_back(it->second);
+  }
+  out.work_units = estimate_match_units();
+  return out;
+}
+
+double OracleMatcher::estimate_match_units() const {
+  return cost_.aspe_match_units(oracle_->params().dimensions) *
+         static_cast<double>(subs_.size());
+}
+
+std::size_t OracleMatcher::subscription_count() const { return subs_.size(); }
+
+std::size_t OracleMatcher::state_bytes() const {
+  return subs_.size() *
+         cost_.subscription_bytes(oracle_->params().dimensions);
+}
+
+void OracleMatcher::serialize_state(BinaryWriter& w) const {
+  // The blob must have the encrypted state's size: migrations transfer the
+  // real ciphertexts in the paper's system. Pad each record accordingly.
+  const std::size_t record =
+      cost_.subscription_bytes(oracle_->params().dimensions);
+  const std::size_t payload = 16;  // id + subscriber
+  w.write_u64(subs_.size());
+  w.write_u64(record);
+  const std::string padding(record > payload ? record - payload : 0, '\0');
+  for (const auto& [id, subscriber] : subs_) {
+    w.write_id(id);
+    w.write_id(subscriber);
+    w.write_string(padding);
+  }
+}
+
+void OracleMatcher::restore_state(BinaryReader& r) {
+  subs_.clear();
+  const auto n = r.read_u64();
+  (void)r.read_u64();  // record size
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto id = r.read_id<SubscriptionTag>();
+    const auto subscriber = r.read_id<SubscriberTag>();
+    (void)r.read_string();  // padding
+    subs_[id] = subscriber;
+  }
+}
+
+std::unique_ptr<filter::Matcher> OracleMatcher::clone_empty() const {
+  return std::make_unique<OracleMatcher>(oracle_, cost_, slice_index_);
+}
+
+OracleWorkload::OracleWorkload(OracleParams params)
+    : params_(params), oracle_(std::make_shared<MatchOracle>(params)) {}
+
+filter::EncryptedSubscription OracleWorkload::subscription(
+    std::uint64_t index) const {
+  Rng rng{params_.seed ^ (index * 0xbf58476d1ce4e5b9ULL + 13)};
+  const std::size_t m = params_.dimensions + 3;
+  filter::EncryptedSubscription sub;
+  sub.id = oracle_->sub_id(index);
+  sub.subscriber = oracle_->subscriber_of(index);
+  sub.comparisons.resize(2 * params_.dimensions);
+  for (auto& cmp : sub.comparisons) {
+    cmp.share_a.resize(m);
+    cmp.share_b.resize(m);
+    for (double& v : cmp.share_a) v = rng.uniform(-1.0, 1.0);
+    for (double& v : cmp.share_b) v = rng.uniform(-1.0, 1.0);
+  }
+  return sub;
+}
+
+filter::EncryptedPublication OracleWorkload::next_publication() {
+  Rng rng{params_.seed ^ (next_pub_ * 0x94d049bb133111ebULL + 17)};
+  const std::size_t m = params_.dimensions + 3;
+  filter::EncryptedPublication pub;
+  pub.id = PublicationId{next_pub_++};
+  pub.share_a.resize(m);
+  pub.share_b.resize(m);
+  for (double& v : pub.share_a) v = rng.uniform(-1.0, 1.0);
+  for (double& v : pub.share_b) v = rng.uniform(-1.0, 1.0);
+  return pub;
+}
+
+std::unique_ptr<filter::Matcher> OracleWorkload::make_matcher(
+    cluster::CostModel cost, std::size_t slice_index) const {
+  return std::make_unique<OracleMatcher>(oracle_, cost, slice_index);
+}
+
+}  // namespace esh::workload

@@ -1,0 +1,113 @@
+#include "workload/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace esh::workload {
+
+ConstantRate::ConstantRate(double rate_per_sec, SimDuration duration)
+    : rate_(rate_per_sec), duration_(duration) {
+  if (rate_ < 0.0) throw std::invalid_argument{"ConstantRate: negative rate"};
+}
+
+TrapezoidRate::TrapezoidRate(double peak, SimDuration ramp_up,
+                             SimDuration plateau, SimDuration ramp_down)
+    : peak_(peak), ramp_up_(ramp_up), plateau_(plateau), ramp_down_(ramp_down) {
+  if (peak <= 0.0) throw std::invalid_argument{"TrapezoidRate: peak <= 0"};
+}
+
+double TrapezoidRate::rate(SimTime t) const {
+  const double x = to_seconds(t);
+  const double up = to_seconds(ramp_up_);
+  const double hold = to_seconds(plateau_);
+  const double down = to_seconds(ramp_down_);
+  if (x < 0.0) return 0.0;
+  if (x < up) return peak_ * (x / up);
+  if (x < up + hold) return peak_;
+  if (x < up + hold + down) return peak_ * (1.0 - (x - up - hold) / down);
+  return 0.0;
+}
+
+SimDuration TrapezoidRate::duration() const {
+  return ramp_up_ + plateau_ + ramp_down_;
+}
+
+// Control points (hour of day, ticks/s) tracing Figure 1's features:
+// pre-market trickle from 8:00, sharp surge at the 9:00 open, fluctuating
+// day, mid-afternoon spike (US markets opening), decline after the 17:30
+// close, quiet evening.
+namespace {
+struct Point {
+  double hour;
+  double rate;
+};
+constexpr Point kCurve[] = {
+    {0.0, 0.0},    {7.75, 0.0},   {8.0, 90.0},    {8.9, 140.0},
+    {9.0, 1150.0}, {9.3, 950.0},  {10.0, 800.0},  {11.0, 680.0},
+    {12.0, 560.0}, {13.0, 540.0}, {14.0, 620.0},  {15.3, 700.0},
+    {15.5, 1200.0},{15.8, 950.0}, {16.5, 850.0},  {17.4, 820.0},
+    {17.5, 420.0}, {18.0, 160.0}, {19.0, 70.0},   {20.0, 15.0},
+    {20.5, 0.0},   {24.0, 0.0},
+};
+}  // namespace
+
+double FrankfurtTrace::base_curve(double hour) {
+  hour = std::clamp(hour, 0.0, 24.0);
+  const std::size_t n = std::size(kCurve);
+  for (std::size_t i = 1; i < n; ++i) {
+    if (hour <= kCurve[i].hour) {
+      const auto& a = kCurve[i - 1];
+      const auto& b = kCurve[i];
+      const double f =
+          b.hour == a.hour ? 1.0 : (hour - a.hour) / (b.hour - a.hour);
+      return a.rate + f * (b.rate - a.rate);
+    }
+  }
+  return 0.0;
+}
+
+double FrankfurtTrace::base_peak() { return 1200.0; }
+
+FrankfurtTrace::FrankfurtTrace(Config config) : config_(config) {
+  if (config_.end_hour <= config_.start_hour || config_.speedup <= 0.0) {
+    throw std::invalid_argument{"FrankfurtTrace: bad window or speedup"};
+  }
+  // One noise factor per 30 s of (compressed) experiment time, smoothed by
+  // averaging adjacent raw draws.
+  const double seconds =
+      (config_.end_hour - config_.start_hour) * 3600.0 / config_.speedup;
+  const auto buckets = static_cast<std::size_t>(seconds / 30.0) + 2;
+  Rng rng{config_.seed};
+  std::vector<double> raw(buckets);
+  for (double& x : raw) x = rng.normal(0.0, config_.noise);
+  noise_.resize(buckets);
+  for (std::size_t i = 0; i < buckets; ++i) {
+    const double prev = i > 0 ? raw[i - 1] : raw[i];
+    const double next = i + 1 < buckets ? raw[i + 1] : raw[i];
+    noise_[i] = std::max(0.2, 1.0 + (prev + raw[i] + next) / 3.0);
+  }
+}
+
+double FrankfurtTrace::rate(SimTime t) const {
+  const double sec = to_seconds(t);
+  if (sec < 0.0 || t > duration()) return 0.0;
+  const double hour = config_.start_hour + sec * config_.speedup / 3600.0;
+  const double base = base_curve(hour);
+  const auto bucket = static_cast<std::size_t>(sec / 30.0);
+  const double noise =
+      bucket < noise_.size() ? noise_[bucket] : 1.0;
+  return base / base_peak() * config_.peak_rate * noise;
+}
+
+SimDuration FrankfurtTrace::duration() const {
+  const double seconds =
+      (config_.end_hour - config_.start_hour) * 3600.0 / config_.speedup;
+  return esh::seconds(static_cast<std::int64_t>(seconds));
+}
+
+double FrankfurtTrace::peak_rate() const {
+  return config_.peak_rate * (1.0 + 4.0 * config_.noise);
+}
+
+}  // namespace esh::workload

@@ -1,0 +1,92 @@
+// Publication-rate schedules driving the experiments: constant rate
+// (baseline and migration experiments), trapezoid ramp (Figure 8's
+// synthetic load evolution), and a synthetic Frankfurt Stock Exchange tick
+// curve reproducing the shape of the paper's Figure 1 (trading opens at
+// 9:00 with a surge, fluctuating day with an afternoon spike, decline after
+// the 17:30 close). The real 2011-11-18 tick trace is proprietary; the
+// synthetic curve preserves the features the elasticity policy reacts to.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace esh::workload {
+
+class RateSchedule {
+ public:
+  virtual ~RateSchedule() = default;
+  // Publications per second at simulated time t.
+  [[nodiscard]] virtual double rate(SimTime t) const = 0;
+  // Total length of the schedule.
+  [[nodiscard]] virtual SimDuration duration() const = 0;
+  // Upper bound on rate() over the whole schedule (thinning envelope).
+  [[nodiscard]] virtual double peak_rate() const = 0;
+};
+
+class ConstantRate final : public RateSchedule {
+ public:
+  ConstantRate(double rate_per_sec, SimDuration duration);
+  [[nodiscard]] double rate(SimTime) const override { return rate_; }
+  [[nodiscard]] SimDuration duration() const override { return duration_; }
+  [[nodiscard]] double peak_rate() const override { return rate_; }
+
+ private:
+  double rate_;
+  SimDuration duration_;
+};
+
+// Ramp up to `peak`, hold, ramp back down to zero (Figure 8).
+class TrapezoidRate final : public RateSchedule {
+ public:
+  TrapezoidRate(double peak, SimDuration ramp_up, SimDuration plateau,
+                SimDuration ramp_down);
+  [[nodiscard]] double rate(SimTime t) const override;
+  [[nodiscard]] SimDuration duration() const override;
+  [[nodiscard]] double peak_rate() const override { return peak_; }
+
+ private:
+  double peak_;
+  SimDuration ramp_up_;
+  SimDuration plateau_;
+  SimDuration ramp_down_;
+};
+
+// Synthetic Frankfurt tick curve. The base curve maps an hour of day to a
+// tick rate (peak ~1200/s as in Figure 1); the schedule replays the window
+// [start_hour, end_hour] compressed by `speedup` and rescaled so the peak
+// equals `peak_rate` (the paper: 10x compression, peak scaled from 1200 to
+// 190 publications/s for the smaller cluster).
+class FrankfurtTrace final : public RateSchedule {
+ public:
+  struct Config {
+    double start_hour = 7.0;
+    double end_hour = 20.5;
+    double speedup = 20.0;
+    double peak_rate = 190.0;
+    // Multiplicative noise amplitude on the base curve (0 disables).
+    double noise = 0.15;
+    std::uint64_t seed = 7;
+  };
+
+  explicit FrankfurtTrace(Config config);
+
+  [[nodiscard]] double rate(SimTime t) const override;
+  [[nodiscard]] SimDuration duration() const override;
+  [[nodiscard]] double peak_rate() const override;
+
+  // Raw base curve in ticks/s at `hour` of day (Figure 1's shape).
+  [[nodiscard]] static double base_curve(double hour);
+  [[nodiscard]] static double base_peak();
+
+ private:
+  Config config_;
+  // Precomputed per-30-seconds-of-trace-time noise factors (deterministic,
+  // smooth enough to look like market activity).
+  std::vector<double> noise_;
+};
+
+}  // namespace esh::workload

@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coord/coord.hpp"
+#include "sim/simulator.hpp"
+
+namespace esh::coord {
+namespace {
+
+class CoordTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  CoordConfig config;
+  std::unique_ptr<CoordService> zk;
+  SessionId session;
+
+  void SetUp() override {
+    zk = std::make_unique<CoordService>(sim, config);
+    session = zk->create_session();
+  }
+
+  // Runs the simulator and returns the status of a create.
+  Status create(const std::string& path, const std::string& data,
+                CreateMode mode = CreateMode::kPersistent,
+                std::string* created = nullptr) {
+    std::optional<Status> result;
+    zk->create(session, path, data, mode,
+               [&](Status st, const std::string& p) {
+                 result = st;
+                 if (created != nullptr) *created = p;
+               });
+    sim.run_until(sim.now() + seconds(2));
+    return result.value();
+  }
+
+  Status set(const std::string& path, const std::string& data,
+             std::int64_t version = -1) {
+    std::optional<Status> result;
+    zk->set(session, path, data, version,
+            [&](Status st, Stat) { result = st; });
+    sim.run_until(sim.now() + seconds(2));
+    return result.value();
+  }
+
+  Status remove(const std::string& path, std::int64_t version = -1) {
+    std::optional<Status> result;
+    zk->remove(session, path, version, [&](Status st) { result = st; });
+    sim.run_until(sim.now() + seconds(2));
+    return result.value();
+  }
+};
+
+TEST_F(CoordTest, CreateAndRead) {
+  EXPECT_EQ(create("/a", "hello"), Status::kOk);
+  EXPECT_TRUE(zk->node_exists("/a"));
+  EXPECT_EQ(zk->read("/a").value(), "hello");
+}
+
+TEST_F(CoordTest, CreateRequiresParent) {
+  EXPECT_EQ(create("/a/b", "x"), Status::kNoParent);
+  EXPECT_EQ(create("/a", ""), Status::kOk);
+  EXPECT_EQ(create("/a/b", "x"), Status::kOk);
+}
+
+TEST_F(CoordTest, DuplicateCreateFails) {
+  EXPECT_EQ(create("/a", "1"), Status::kOk);
+  EXPECT_EQ(create("/a", "2"), Status::kNodeExists);
+  EXPECT_EQ(zk->read("/a").value(), "1");
+}
+
+TEST_F(CoordTest, InvalidPathsRejected) {
+  EXPECT_EQ(create("", "x"), Status::kBadArguments);
+  EXPECT_EQ(create("a", "x"), Status::kBadArguments);
+  EXPECT_EQ(create("/a/", "x"), Status::kBadArguments);
+  EXPECT_EQ(create("//a", "x"), Status::kBadArguments);
+  EXPECT_EQ(create("/", "x"), Status::kBadArguments);
+}
+
+TEST_F(CoordTest, SetBumpsVersionAndChecksCas) {
+  EXPECT_EQ(create("/a", "v0"), Status::kOk);
+  EXPECT_EQ(set("/a", "v1", 0), Status::kOk);
+  EXPECT_EQ(set("/a", "bad", 0), Status::kBadVersion);
+  EXPECT_EQ(set("/a", "v2", 1), Status::kOk);
+  EXPECT_EQ(zk->read("/a").value(), "v2");
+  EXPECT_EQ(set("/missing", "x"), Status::kNoNode);
+}
+
+TEST_F(CoordTest, GetReturnsDataAndStat) {
+  create("/a", "data");
+  set("/a", "data2");
+  std::optional<Stat> stat;
+  std::string data;
+  zk->get(session, "/a", [&](Status st, const std::string& d, Stat s) {
+    EXPECT_EQ(st, Status::kOk);
+    data = d;
+    stat = s;
+  });
+  sim.run_until(sim.now() + seconds(2));
+  EXPECT_EQ(data, "data2");
+  EXPECT_EQ(stat->version, 1);
+  EXPECT_GT(stat->mzxid, stat->czxid);
+}
+
+TEST_F(CoordTest, RemoveChecksVersionAndChildren) {
+  create("/a", "x");
+  create("/a/b", "y");
+  EXPECT_EQ(remove("/a"), Status::kNotEmpty);
+  EXPECT_EQ(remove("/a/b", 5), Status::kBadVersion);
+  EXPECT_EQ(remove("/a/b", 0), Status::kOk);
+  EXPECT_EQ(remove("/a"), Status::kOk);
+  EXPECT_EQ(remove("/a"), Status::kNoNode);
+}
+
+TEST_F(CoordTest, SequentialNodesGetIncreasingSuffixes) {
+  create("/locks", "");
+  std::string p1, p2;
+  EXPECT_EQ(create("/locks/lock-", "", CreateMode::kPersistentSequential, &p1),
+            Status::kOk);
+  EXPECT_EQ(create("/locks/lock-", "", CreateMode::kPersistentSequential, &p2),
+            Status::kOk);
+  EXPECT_EQ(p1, "/locks/lock-0000000000");
+  EXPECT_EQ(p2, "/locks/lock-0000000001");
+}
+
+TEST_F(CoordTest, GetChildrenSorted) {
+  create("/a", "");
+  create("/a/z", "");
+  create("/a/m", "");
+  create("/a/b", "");
+  std::vector<std::string> names;
+  zk->get_children(session, "/a",
+                   [&](Status st, const std::vector<std::string>& n) {
+                     EXPECT_EQ(st, Status::kOk);
+                     names = n;
+                   });
+  sim.run_until(sim.now() + seconds(2));
+  EXPECT_EQ(names, (std::vector<std::string>{"b", "m", "z"}));
+}
+
+TEST_F(CoordTest, DataWatchFiresOnceOnChange) {
+  create("/a", "x");
+  int fired = 0;
+  zk->get(session, "/a", [](Status, const std::string&, Stat) {},
+          [&](const WatchEvent& ev) {
+            ++fired;
+            EXPECT_EQ(ev.type, WatchEventType::kDataChanged);
+            EXPECT_EQ(ev.path, "/a");
+          });
+  sim.run_until(sim.now() + seconds(2));
+  set("/a", "y");
+  set("/a", "z");  // watch is one-shot
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(CoordTest, DataWatchFiresOnDelete) {
+  create("/a", "x");
+  std::optional<WatchEventType> type;
+  zk->get(session, "/a", [](Status, const std::string&, Stat) {},
+          [&](const WatchEvent& ev) { type = ev.type; });
+  sim.run_until(sim.now() + seconds(2));
+  remove("/a");
+  EXPECT_EQ(type.value(), WatchEventType::kDeleted);
+}
+
+TEST_F(CoordTest, ExistsWatchFiresOnCreate) {
+  create("/a", "");
+  std::optional<WatchEvent> event;
+  zk->exists(session, "/a/child",
+             [&](Status st, std::optional<Stat> stat) {
+               EXPECT_EQ(st, Status::kNoNode);
+               EXPECT_FALSE(stat.has_value());
+             },
+             [&](const WatchEvent& ev) { event = ev; });
+  sim.run_until(sim.now() + seconds(2));
+  create("/a/child", "x");
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->type, WatchEventType::kCreated);
+  EXPECT_EQ(event->path, "/a/child");
+}
+
+TEST_F(CoordTest, ChildWatchFiresOnMembershipChange) {
+  create("/a", "");
+  int fired = 0;
+  zk->get_children(session, "/a",
+                   [](Status, const std::vector<std::string>&) {},
+                   [&](const WatchEvent& ev) {
+                     ++fired;
+                     EXPECT_EQ(ev.type, WatchEventType::kChildren);
+                   });
+  sim.run_until(sim.now() + seconds(2));
+  create("/a/b", "");
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(CoordTest, EphemeralsVanishOnSessionClose) {
+  EXPECT_EQ(create("/e", "x", CreateMode::kEphemeral), Status::kOk);
+  zk->close_session(session);
+  sim.run_until(sim.now() + seconds(2));
+  EXPECT_FALSE(zk->node_exists("/e"));
+}
+
+TEST_F(CoordTest, SessionExpiryRemovesEphemerals) {
+  EXPECT_EQ(create("/e", "x", CreateMode::kEphemeral), Status::kOk);
+  // No pings: the session expires after the timeout.
+  sim.run_until(sim.now() + config.session_timeout + seconds(6));
+  EXPECT_FALSE(zk->session_alive(session));
+  EXPECT_FALSE(zk->node_exists("/e"));
+}
+
+TEST_F(CoordTest, PingKeepsSessionAlive) {
+  for (int i = 0; i < 10; ++i) {
+    sim.run_until(sim.now() + config.session_timeout / 2);
+    zk->ping(session);
+  }
+  EXPECT_TRUE(zk->session_alive(session));
+}
+
+TEST_F(CoordTest, ExpiredSessionRejectsOperations) {
+  zk->close_session(session);
+  EXPECT_EQ(create("/x", ""), Status::kSessionExpired);
+  EXPECT_EQ(set("/x", ""), Status::kSessionExpired);
+}
+
+TEST_F(CoordTest, MutationsCostCommitLatency) {
+  const SimTime start = sim.now();
+  create("/a", "x");
+  EXPECT_GE(sim.now() - start, config.write_latency);
+}
+
+TEST_F(CoordTest, MutationsSerializeThroughQuorumPipeline) {
+  std::vector<int> order;
+  zk->create(session, "/a", "", CreateMode::kPersistent,
+             [&](Status, const std::string&) { order.push_back(1); });
+  zk->create(session, "/b", "", CreateMode::kPersistent,
+             [&](Status, const std::string&) { order.push_back(2); });
+  sim.run_until(sim.now() + seconds(2));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  // Two pipelined commits take at least twice the write latency.
+  EXPECT_GE(sim.now(), config.write_latency + config.write_latency);
+}
+
+TEST_F(CoordTest, LeaderFailoverStallsMutations) {
+  zk->inject_leader_failover();
+  const SimTime start = sim.now();
+  EXPECT_EQ(create("/a", "x"), Status::kOk);
+  EXPECT_GE(sim.now() - start, config.failover_duration);
+}
+
+TEST_F(CoordTest, ZxidMonotone) {
+  create("/a", "");
+  const auto z1 = zk->last_zxid();
+  set("/a", "x");
+  const auto z2 = zk->last_zxid();
+  EXPECT_GT(z2, z1);
+}
+
+TEST_F(CoordTest, ClientEnsurePathCreatesAncestors) {
+  CoordClient client{*zk};
+  std::optional<Status> result;
+  client.ensure_path("/x/y/z", "leaf", [&](Status st) { result = st; });
+  sim.run_until(sim.now() + seconds(2));
+  EXPECT_EQ(result.value(), Status::kOk);
+  EXPECT_TRUE(zk->node_exists("/x/y/z"));
+  EXPECT_EQ(zk->read("/x/y/z").value(), "leaf");
+  // Idempotent.
+  result.reset();
+  client.ensure_path("/x/y/z", "leaf", [&](Status st) { result = st; });
+  sim.run_until(sim.now() + seconds(2));
+  EXPECT_EQ(result.value(), Status::kNodeExists);
+}
+
+TEST_F(CoordTest, ClientSessionStaysAliveViaAutoPing) {
+  CoordClient client{*zk};
+  sim.run_until(sim.now() + config.session_timeout * 5);
+  EXPECT_TRUE(zk->session_alive(client.session()));
+}
+
+TEST_F(CoordTest, ManagerStateSurvivesRestart) {
+  // The manager persists placement under /config; a restarted manager (new
+  // session) reads it back.
+  create("/config", "");
+  create("/config/slices", "");
+  create("/config/slices/1", "host-3");
+  zk->close_session(session);
+  sim.run_until(sim.now() + seconds(2));
+  const SessionId session2 = zk->create_session();
+  std::string data;
+  zk->get(session2, "/config/slices/1",
+          [&](Status st, const std::string& d, Stat) {
+            EXPECT_EQ(st, Status::kOk);
+            data = d;
+          });
+  sim.run_until(sim.now() + seconds(2));
+  EXPECT_EQ(data, "host-3");
+}
+
+}  // namespace
+}  // namespace esh::coord

@@ -1,0 +1,370 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "filter/aspe.hpp"
+#include "filter/attribute.hpp"
+#include "filter/matcher.hpp"
+#include "filter/matrix.hpp"
+#include "workload/generator.hpp"
+
+namespace esh::filter {
+namespace {
+
+// ---- matrix ------------------------------------------------------------------
+
+TEST(Matrix, IdentityMultiply) {
+  const Matrix id = Matrix::identity(4);
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(id.multiply(v), v);
+}
+
+TEST(Matrix, InverseTimesSelfIsIdentity) {
+  Rng rng{5};
+  const Matrix m = Matrix::random_invertible(7, rng);
+  const Matrix product = m.multiply(m.inverted());
+  for (std::size_t r = 0; r < 7; ++r) {
+    for (std::size_t c = 0; c < 7; ++c) {
+      EXPECT_NEAR(product.at(r, c), r == c ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Matrix, TransposeSwapsIndices) {
+  Matrix m{2, 3};
+  m.at(0, 1) = 5.0;
+  m.at(1, 2) = -2.0;
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t.at(2, 1), -2.0);
+}
+
+TEST(Matrix, SingularInversionThrows) {
+  Matrix m{2, 2};  // all zeros
+  EXPECT_THROW(m.inverted(), std::domain_error);
+}
+
+TEST(Matrix, ShapeErrors) {
+  Matrix m{2, 3};
+  EXPECT_THROW(m.inverted(), std::domain_error);
+  EXPECT_THROW(m.multiply(std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW((Matrix{0, 3}), std::invalid_argument);
+}
+
+TEST(Matrix, DotProduct) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0}, {3.0, 4.0}), 11.0);
+  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+// ---- plain model --------------------------------------------------------------
+
+TEST(PlainModel, SubscriptionMatchSemantics) {
+  Subscription sub;
+  sub.id = SubscriptionId{1};
+  sub.subscriber = SubscriberId{10};
+  sub.predicates = {{0.2, 0.5}, {0.0, 1.0}};
+  Publication in{PublicationId{1}, {0.3, 0.99}};
+  Publication out{PublicationId{2}, {0.6, 0.5}};
+  Publication boundary{PublicationId{3}, {0.2, 0.0}};
+  EXPECT_TRUE(sub.matches(in));
+  EXPECT_FALSE(sub.matches(out));
+  EXPECT_TRUE(sub.matches(boundary));  // closed interval
+  Publication wrong_dims{PublicationId{4}, {0.3}};
+  EXPECT_FALSE(sub.matches(wrong_dims));
+}
+
+TEST(PlainModel, SerializationRoundTrip) {
+  Subscription sub;
+  sub.id = SubscriptionId{7};
+  sub.subscriber = SubscriberId{13};
+  sub.predicates = {{0.1, 0.4}, {0.5, 0.9}};
+  BinaryWriter w;
+  serialize(w, sub);
+  BinaryReader r{w.buffer()};
+  const Subscription back = deserialize_subscription(r);
+  EXPECT_EQ(back.id, sub.id);
+  EXPECT_EQ(back.subscriber, sub.subscriber);
+  ASSERT_EQ(back.predicates.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.predicates[1].low, 0.5);
+}
+
+// ---- ASPE ----------------------------------------------------------------------
+
+class AspeTest : public ::testing::Test {
+ protected:
+  Rng rng{17};
+  AspeKey key = AspeKey::generate(4, rng);
+  AspeEncryptor enc{key, Rng{18}};
+};
+
+TEST_F(AspeTest, ComparisonPreservesScalarProductSign) {
+  // x_2 >= 0.4, tested against x_2 = 0.7 (true) and x_2 = 0.1 (false).
+  Publication above{PublicationId{1}, {0.5, 0.5, 0.7, 0.5}};
+  Publication below{PublicationId{2}, {0.5, 0.5, 0.1, 0.5}};
+  Subscription sub;
+  sub.id = SubscriptionId{1};
+  sub.subscriber = SubscriberId{1};
+  sub.predicates = {{0.0, 1.0}, {0.0, 1.0}, {0.4, 1.0}, {0.0, 1.0}};
+  const auto esub = enc.encrypt(sub);
+  EXPECT_TRUE(encrypted_match(esub, enc.encrypt(above)));
+  EXPECT_FALSE(encrypted_match(esub, enc.encrypt(below)));
+}
+
+TEST_F(AspeTest, MatchesAgreeWithPlaintextGroundTruth) {
+  Rng wrng{99};
+  std::vector<Subscription> subs;
+  std::vector<EncryptedSubscription> esubs;
+  workload::PlainWorkload gen{{4, 0.05, 123}};
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    subs.push_back(gen.subscription(i));
+    esubs.push_back(enc.encrypt(subs.back()));
+  }
+  int checked = 0, matched = 0;
+  for (int p = 0; p < 50; ++p) {
+    const Publication pub = gen.next_publication();
+    const EncryptedPublication epub = enc.encrypt(pub);
+    for (std::size_t s = 0; s < subs.size(); ++s) {
+      const bool plain = subs[s].matches(pub);
+      const bool encrypted = encrypted_match(esubs[s], epub);
+      EXPECT_EQ(plain, encrypted)
+          << "pub " << p << " sub " << s << " disagree";
+      ++checked;
+      if (plain) ++matched;
+    }
+  }
+  EXPECT_EQ(checked, 50 * 300);
+  EXPECT_GT(matched, 0);  // the workload's matching rate is 5 %
+}
+
+TEST_F(AspeTest, CiphertextHidesPlaintextValues) {
+  // Two encryptions of the same publication differ (fresh randomness), and
+  // no share equals the plaintext attributes.
+  Publication pub{PublicationId{1}, {0.25, 0.5, 0.75, 1.0}};
+  const auto e1 = enc.encrypt(pub);
+  const auto e2 = enc.encrypt(pub);
+  EXPECT_NE(e1.share_a, e2.share_a);
+  for (std::size_t i = 0; i < pub.attributes.size(); ++i) {
+    EXPECT_NE(e1.share_a[i], pub.attributes[i]);
+  }
+}
+
+TEST_F(AspeTest, EncryptedSizesAreQuadraticFree) {
+  // 2d comparisons of 2 (d+3)-vectors each: size linear in d per predicate.
+  Publication pub{PublicationId{1}, {0.1, 0.2, 0.3, 0.4}};
+  const auto epub = enc.encrypt(pub);
+  EXPECT_EQ(epub.share_a.size(), 7u);
+  Subscription sub;
+  sub.id = SubscriptionId{1};
+  sub.subscriber = SubscriberId{1};
+  sub.predicates.assign(4, Range{0.0, 1.0});
+  const auto esub = enc.encrypt(sub);
+  EXPECT_EQ(esub.comparisons.size(), 8u);
+}
+
+TEST_F(AspeTest, SerializationRoundTrip) {
+  Subscription sub;
+  sub.id = SubscriptionId{5};
+  sub.subscriber = SubscriberId{6};
+  sub.predicates.assign(4, Range{0.2, 0.8});
+  const auto esub = enc.encrypt(sub);
+  BinaryWriter w;
+  serialize(w, esub);
+  BinaryReader r{w.buffer()};
+  const auto back = deserialize_encrypted_subscription(r);
+  EXPECT_EQ(back.id, esub.id);
+  EXPECT_EQ(back.subscriber, esub.subscriber);
+  ASSERT_EQ(back.comparisons.size(), esub.comparisons.size());
+  EXPECT_EQ(back.comparisons[3].share_b, esub.comparisons[3].share_b);
+
+  Publication pub{PublicationId{9}, {0.5, 0.5, 0.5, 0.5}};
+  const auto epub = enc.encrypt(pub);
+  BinaryWriter w2;
+  serialize(w2, epub);
+  BinaryReader r2{w2.buffer()};
+  const auto pback = deserialize_encrypted_publication(r2);
+  EXPECT_EQ(pback.id, epub.id);
+  EXPECT_EQ(pback.share_a, epub.share_a);
+  // Deserialized ciphertext still matches correctly.
+  EXPECT_EQ(encrypted_match(esub, epub), encrypted_match(back, pback));
+}
+
+TEST_F(AspeTest, DimensionMismatchThrows) {
+  Publication pub{PublicationId{1}, {0.1, 0.2}};
+  EXPECT_THROW((void)enc.encrypt(pub), std::invalid_argument);
+  Subscription sub;
+  sub.predicates = {{0.0, 1.0}};
+  EXPECT_THROW((void)enc.encrypt(sub), std::invalid_argument);
+}
+
+// ---- matchers ------------------------------------------------------------------
+
+// All plain matchers must produce identical results; run the same suite
+// over each via a typed parameterized fixture.
+enum class MatcherKind { kBrute, kCounting };
+
+class PlainMatcherTest : public ::testing::TestWithParam<MatcherKind> {
+ protected:
+  std::unique_ptr<Matcher> make() const {
+    switch (GetParam()) {
+      case MatcherKind::kBrute:
+        return std::make_unique<BruteForceMatcher>();
+      case MatcherKind::kCounting:
+        return std::make_unique<CountingIndexMatcher>();
+    }
+    return nullptr;
+  }
+};
+
+TEST_P(PlainMatcherTest, AgreesWithDirectEvaluation) {
+  auto matcher = make();
+  workload::PlainWorkload gen{{3, 0.1, 77}};
+  std::vector<Subscription> subs;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    subs.push_back(gen.subscription(i));
+    matcher->add(AnySubscription{subs.back()});
+  }
+  EXPECT_EQ(matcher->subscription_count(), 500u);
+  for (int p = 0; p < 100; ++p) {
+    const Publication pub = gen.next_publication();
+    auto outcome = matcher->match(AnyPublication{pub});
+    std::vector<SubscriberId> expected;
+    for (const auto& s : subs) {
+      if (s.matches(pub)) expected.push_back(s.subscriber);
+    }
+    std::sort(outcome.subscribers.begin(), outcome.subscribers.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(outcome.subscribers, expected) << "publication " << p;
+    EXPECT_GT(outcome.work_units, 0.0);
+  }
+}
+
+TEST_P(PlainMatcherTest, RemoveStopsMatching) {
+  auto matcher = make();
+  Subscription sub;
+  sub.id = SubscriptionId{1};
+  sub.subscriber = SubscriberId{5};
+  sub.predicates = {{0.0, 1.0}};
+  matcher->add(AnySubscription{sub});
+  Publication pub{PublicationId{1}, {0.5}};
+  EXPECT_EQ(matcher->match(AnyPublication{pub}).subscribers.size(), 1u);
+  EXPECT_TRUE(matcher->remove(SubscriptionId{1}));
+  EXPECT_FALSE(matcher->remove(SubscriptionId{1}));
+  EXPECT_TRUE(matcher->match(AnyPublication{pub}).subscribers.empty());
+  EXPECT_EQ(matcher->subscription_count(), 0u);
+}
+
+TEST_P(PlainMatcherTest, StateRoundTripPreservesMatches) {
+  auto matcher = make();
+  workload::PlainWorkload gen{{3, 0.2, 31}};
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    matcher->add(AnySubscription{gen.subscription(i)});
+  }
+  BinaryWriter w;
+  matcher->serialize_state(w);
+  auto restored = matcher->clone_empty();
+  BinaryReader r{w.buffer()};
+  restored->restore_state(r);
+  EXPECT_EQ(restored->subscription_count(), matcher->subscription_count());
+  const Publication pub = gen.next_publication();
+  auto a = matcher->match(AnyPublication{pub}).subscribers;
+  auto b = restored->match(AnyPublication{pub}).subscribers;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(PlainMatcherTest, StateBytesGrowWithSubscriptions) {
+  auto matcher = make();
+  workload::PlainWorkload gen{{4, 0.1, 3}};
+  const std::size_t empty = matcher->state_bytes();
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    matcher->add(AnySubscription{gen.subscription(i)});
+  }
+  EXPECT_GT(matcher->state_bytes(), empty);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlainMatchers, PlainMatcherTest,
+                         ::testing::Values(MatcherKind::kBrute,
+                                           MatcherKind::kCounting),
+                         [](const auto& info) {
+                           return info.param == MatcherKind::kBrute
+                                      ? "BruteForce"
+                                      : "CountingIndex";
+                         });
+
+TEST(AspeMatcherTest, EndToEndEncryptedMatching) {
+  Rng rng{41};
+  const AspeKey key = AspeKey::generate(4, rng);
+  AspeEncryptor enc{key, Rng{42}};
+  workload::PlainWorkload gen{{4, 0.05, 55}};
+
+  AspeMatcher matcher;
+  std::vector<Subscription> subs;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    subs.push_back(gen.subscription(i));
+    matcher.add(AnySubscription{enc.encrypt(subs.back())});
+  }
+  for (int p = 0; p < 40; ++p) {
+    const Publication pub = gen.next_publication();
+    auto outcome = matcher.match(AnyPublication{enc.encrypt(pub)});
+    std::vector<SubscriberId> expected;
+    for (const auto& s : subs) {
+      if (s.matches(pub)) expected.push_back(s.subscriber);
+    }
+    std::sort(outcome.subscribers.begin(), outcome.subscribers.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(outcome.subscribers, expected);
+  }
+}
+
+TEST(AspeMatcherTest, WorkUnitsScaleWithStoreSize) {
+  Rng rng{4};
+  const AspeKey key = AspeKey::generate(4, rng);
+  AspeEncryptor enc{key, Rng{5}};
+  workload::PlainWorkload gen{{4, 0.01, 6}};
+  AspeMatcher matcher;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    matcher.add(AnySubscription{enc.encrypt(gen.subscription(i))});
+  }
+  const double ten = matcher.estimate_match_units();
+  for (std::uint64_t i = 10; i < 20; ++i) {
+    matcher.add(AnySubscription{enc.encrypt(gen.subscription(i))});
+  }
+  EXPECT_DOUBLE_EQ(matcher.estimate_match_units(), 2.0 * ten);
+}
+
+TEST(AspeMatcherTest, StateRoundTrip) {
+  Rng rng{8};
+  const AspeKey key = AspeKey::generate(4, rng);
+  AspeEncryptor enc{key, Rng{9}};
+  workload::PlainWorkload gen{{4, 0.5, 10}};
+  AspeMatcher matcher;
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    matcher.add(AnySubscription{enc.encrypt(gen.subscription(i))});
+  }
+  BinaryWriter w;
+  matcher.serialize_state(w);
+  EXPECT_NEAR(static_cast<double>(w.size()),
+              static_cast<double>(matcher.state_bytes()), 600.0);
+  auto restored = matcher.clone_empty();
+  BinaryReader r{w.buffer()};
+  restored->restore_state(r);
+  EXPECT_EQ(restored->subscription_count(), 30u);
+  const Publication pub = gen.next_publication();
+  const auto epub = enc.encrypt(pub);
+  EXPECT_EQ(restored->match(AnyPublication{epub}).subscribers,
+            matcher.match(AnyPublication{epub}).subscribers);
+}
+
+TEST(AspeMatcherTest, WrongPayloadTypeThrows) {
+  AspeMatcher matcher;
+  Subscription plain;
+  EXPECT_THROW(matcher.add(AnySubscription{plain}), std::bad_variant_access);
+}
+
+}  // namespace
+}  // namespace esh::filter

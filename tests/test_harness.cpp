@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "harness/testbed.hpp"
+
+namespace esh::harness {
+namespace {
+
+TestbedConfig tiny_config() {
+  TestbedConfig config;
+  config.worker_hosts = 3;
+  config.io_hosts = 2;
+  config.workload.total_subscriptions = 2'000;
+  config.workload.m_slices = 4;
+  config.ap_slices = 2;
+  config.ep_slices = 2;
+  config.source_slices = 2;
+  config.sink_slices = 2;
+  config.seed = 17;
+  return config;
+}
+
+TEST(Testbed, BuildsTheFullStack) {
+  Testbed bed{tiny_config()};
+  EXPECT_EQ(bed.worker_hosts().size(), 3u);
+  EXPECT_EQ(bed.io_hosts().size(), 2u);
+  EXPECT_TRUE(bed.manager_host().valid());
+  EXPECT_EQ(bed.manager(), nullptr);  // with_manager defaults to false
+  // 2 source + 2 AP + 4 M + 2 EP + 2 sink slices deployed.
+  std::size_t slices = 0;
+  for (HostId host : bed.worker_hosts()) {
+    slices += bed.engine().slices_on(host).size();
+  }
+  for (HostId host : bed.io_hosts()) {
+    slices += bed.engine().slices_on(host).size();
+  }
+  EXPECT_EQ(slices, 12u);
+}
+
+TEST(Testbed, IoHostsOnlyCarrySourceAndSink) {
+  Testbed bed{tiny_config()};
+  const auto& cfg = bed.engine().static_config();
+  for (HostId host : bed.io_hosts()) {
+    for (SliceId slice : bed.engine().slices_on(host)) {
+      const auto& name = cfg.op_of(slice).name;
+      EXPECT_TRUE(name == "source" || name == "sink") << name;
+    }
+  }
+}
+
+TEST(Testbed, CustomPlacementHookIsHonored) {
+  auto config = tiny_config();
+  config.placement = [](const std::vector<HostId>& workers) {
+    pubsub::HostAssignment assignment;
+    assignment["AP"] = {workers[0]};
+    assignment["M"] = {workers[1]};
+    assignment["EP"] = {workers[2]};
+    return assignment;
+  };
+  Testbed bed{config};
+  const auto workers = bed.worker_hosts();
+  for (SliceId slice : bed.hub().slices_of("M")) {
+    EXPECT_EQ(bed.engine().slice_host(slice), workers[1]);
+  }
+  for (SliceId slice : bed.hub().slices_of("AP")) {
+    EXPECT_EQ(bed.engine().slice_host(slice), workers[0]);
+  }
+}
+
+TEST(Testbed, StoresSubscriptionsCompletely) {
+  Testbed bed{tiny_config()};
+  bed.store_subscriptions(2'000);
+  EXPECT_EQ(bed.hub().stored_subscriptions(), 2'000u);
+}
+
+TEST(Testbed, CompletionRatioNearOneBelowSaturation) {
+  Testbed bed{tiny_config()};
+  bed.store_subscriptions(2'000);
+  const double ratio = bed.completion_ratio(5.0, seconds(20));
+  EXPECT_GE(ratio, 0.9);
+  EXPECT_LE(ratio, 1.05);
+}
+
+TEST(Testbed, DriverPublishesThroughTheHub) {
+  Testbed bed{tiny_config()};
+  bed.store_subscriptions(500);
+  auto driver = bed.drive(
+      std::make_shared<workload::ConstantRate>(20.0, seconds(10)));
+  bed.run_for(seconds(12));
+  EXPECT_GT(driver->published(), 100u);
+  EXPECT_EQ(bed.hub().publications_sent(), driver->published());
+  EXPECT_GT(bed.delays().publications_completed(), 100u);
+}
+
+TEST(Testbed, RunUntilTimesOut) {
+  Testbed bed{tiny_config()};
+  const bool ok = bed.run_until([] { return false; }, seconds(2));
+  EXPECT_FALSE(ok);
+}
+
+}  // namespace
+}  // namespace esh::harness

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace esh::net {
+namespace {
+
+struct TestMessage final : Message {
+  explicit TestMessage(int v) : value(v) {}
+  int value;
+};
+
+MessagePtr msg(int v) { return std::make_shared<TestMessage>(v); }
+
+int value_of(const Delivery& d) {
+  return dynamic_cast<const TestMessage&>(*d.message).value;
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  NetworkConfig config;
+  std::unique_ptr<Network> net;
+  HostId h1{1}, h2{2};
+
+  void SetUp() override { net = std::make_unique<Network>(sim, config); }
+
+  Endpoint bind_on(HostId host, std::vector<Delivery>* sink) {
+    const Endpoint ep = net->new_endpoint();
+    net->bind(ep, host, [sink](const Delivery& d) { sink->push_back(d); });
+    return ep;
+  }
+};
+
+TEST_F(NetworkTest, DeliversBetweenHostsWithLatency) {
+  std::vector<Delivery> in_b;
+  const Endpoint src = net->new_endpoint();
+  net->bind(src, h1, [](const Delivery&) {});
+  const Endpoint dst = bind_on(h2, &in_b);
+
+  net->send(src, dst, msg(42), 100);
+  EXPECT_TRUE(in_b.empty());
+  sim.run();
+  ASSERT_EQ(in_b.size(), 1u);
+  EXPECT_EQ(value_of(in_b[0]), 42);
+  // latency + serialization of (100 + overhead) bytes at 125 B/us.
+  const auto expected = config.latency + micros((100 + 64) / 125);
+  EXPECT_EQ(sim.now(), expected);
+}
+
+TEST_F(NetworkTest, LocalDeliveryUsesLocalLatency) {
+  std::vector<Delivery> in;
+  const Endpoint src = net->new_endpoint();
+  net->bind(src, h1, [](const Delivery&) {});
+  const Endpoint dst = bind_on(h1, &in);
+  net->send(src, dst, msg(1), 10);
+  sim.run();
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_EQ(sim.now(), config.local_latency);
+}
+
+TEST_F(NetworkTest, FifoPerSourceHost) {
+  std::vector<Delivery> in;
+  const Endpoint src = net->new_endpoint();
+  net->bind(src, h1, [](const Delivery&) {});
+  const Endpoint dst = bind_on(h2, &in);
+  for (int i = 0; i < 10; ++i) net->send(src, dst, msg(i), 50'000);
+  sim.run();
+  ASSERT_EQ(in.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(value_of(in[i]), i);
+}
+
+TEST_F(NetworkTest, NicSerializationDelaysLargeTransfers) {
+  std::vector<Delivery> in;
+  const Endpoint src = net->new_endpoint();
+  net->bind(src, h1, [](const Delivery&) {});
+  const Endpoint dst = bind_on(h2, &in);
+  // 12.5 MB at 125 B/us ~= 100 ms of NIC time.
+  net->send(src, dst, msg(0), 12'500'000);
+  sim.run();
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_GE(sim.now(), millis(100));
+  EXPECT_LT(sim.now(), millis(102));
+}
+
+TEST_F(NetworkTest, UnboundDestinationDrops) {
+  const Endpoint src = net->new_endpoint();
+  net->bind(src, h1, [](const Delivery&) {});
+  const Endpoint ghost = net->new_endpoint();
+  net->send(src, ghost, msg(1), 10);
+  sim.run();
+  EXPECT_EQ(net->stats().messages_dropped, 1u);
+  EXPECT_EQ(net->stats().messages_delivered, 0u);
+}
+
+TEST_F(NetworkTest, RebindMovesEndpointAndDropsInFlight) {
+  std::vector<Delivery> old_in, new_in;
+  const Endpoint src = net->new_endpoint();
+  net->bind(src, h1, [](const Delivery&) {});
+  const Endpoint dst = net->new_endpoint();
+  net->bind(dst, h2, [&](const Delivery& d) { old_in.push_back(d); });
+
+  net->send(src, dst, msg(1), 10);  // in flight toward h2
+  net->rebind(dst, h1, [&](const Delivery& d) { new_in.push_back(d); });
+  net->send(src, dst, msg(2), 10);  // routed to the new location
+  sim.run();
+  EXPECT_TRUE(old_in.empty());
+  ASSERT_EQ(new_in.size(), 1u);
+  EXPECT_EQ(value_of(new_in[0]), 2);
+  EXPECT_EQ(net->stats().messages_dropped, 1u);
+}
+
+TEST_F(NetworkTest, HostDownDropsTraffic) {
+  std::vector<Delivery> in;
+  const Endpoint src = net->new_endpoint();
+  net->bind(src, h1, [](const Delivery&) {});
+  const Endpoint dst = bind_on(h2, &in);
+  net->set_host_down(h2, true);
+  net->send(src, dst, msg(1), 10);
+  sim.run();
+  EXPECT_TRUE(in.empty());
+  net->set_host_down(h2, false);
+  net->send(src, dst, msg(2), 10);
+  sim.run();
+  ASSERT_EQ(in.size(), 1u);
+}
+
+TEST_F(NetworkTest, DownDestinationAtDeliveryTimeDrops) {
+  std::vector<Delivery> in;
+  const Endpoint src = net->new_endpoint();
+  net->bind(src, h1, [](const Delivery&) {});
+  const Endpoint dst = bind_on(h2, &in);
+  net->send(src, dst, msg(1), 10);
+  net->set_host_down(h2, true);  // goes down while the message flies
+  sim.run();
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(net->stats().messages_dropped, 1u);
+}
+
+TEST_F(NetworkTest, BindErrors) {
+  const Endpoint ep = net->new_endpoint();
+  net->bind(ep, h1, [](const Delivery&) {});
+  EXPECT_THROW(net->bind(ep, h2, [](const Delivery&) {}), std::logic_error);
+  net->unbind(ep);
+  EXPECT_THROW(net->unbind(ep), std::logic_error);
+  EXPECT_THROW(net->rebind(ep, h1, [](const Delivery&) {}), std::logic_error);
+  EXPECT_THROW(net->host_of(ep), std::logic_error);
+}
+
+TEST_F(NetworkTest, StatsCountBytes) {
+  const Endpoint src = net->new_endpoint();
+  net->bind(src, h1, [](const Delivery&) {});
+  std::vector<Delivery> in;
+  const Endpoint dst = bind_on(h2, &in);
+  net->send(src, dst, msg(1), 100);
+  sim.run();
+  EXPECT_EQ(net->stats().messages_sent, 1u);
+  EXPECT_EQ(net->stats().bytes_sent, 100u + config.overhead_bytes);
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_EQ(in[0].bytes, 100u + config.overhead_bytes);
+  EXPECT_EQ(in[0].from, src);
+}
+
+}  // namespace
+}  // namespace esh::net

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "coord/coord.hpp"
+#include "coord/recipes.hpp"
+#include "sim/simulator.hpp"
+
+namespace esh::coord {
+namespace {
+
+class RecipesTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  CoordConfig config;
+  std::unique_ptr<CoordService> zk;
+
+  void SetUp() override { zk = std::make_unique<CoordService>(sim, config); }
+
+  void settle() { sim.run_until(sim.now() + seconds(2)); }
+};
+
+TEST_F(RecipesTest, FirstContenderLeads) {
+  CoordClient client{*zk};
+  bool leader = false;
+  LeaderElection election{client, "/election", [&](bool l) { leader = l; }};
+  election.enter();
+  settle();
+  EXPECT_TRUE(leader);
+  EXPECT_TRUE(election.is_leader());
+}
+
+TEST_F(RecipesTest, SecondContenderWaitsThenTakesOver) {
+  CoordClient a{*zk}, b{*zk};
+  bool a_leader = false, b_leader = false;
+  LeaderElection ea{a, "/election", [&](bool l) { a_leader = l; }};
+  LeaderElection eb{b, "/election", [&](bool l) { b_leader = l; }};
+  ea.enter();
+  settle();
+  eb.enter();
+  settle();
+  EXPECT_TRUE(a_leader);
+  EXPECT_FALSE(b_leader);
+
+  ea.resign();
+  settle();
+  EXPECT_FALSE(ea.is_leader());
+  EXPECT_TRUE(b_leader);
+  EXPECT_TRUE(eb.is_leader());
+}
+
+TEST_F(RecipesTest, SessionExpiryPassesLeadership) {
+  // Leader's session dies without an explicit resign: its ephemeral
+  // candidate node vanishes and the watcher takes over.
+  auto a = std::make_unique<CoordClient>(*zk);
+  CoordClient b{*zk};
+  bool b_leader = false;
+  LeaderElection ea{*a, "/election", nullptr};
+  LeaderElection eb{b, "/election", [&](bool l) { b_leader = l; }};
+  ea.enter();
+  settle();
+  eb.enter();
+  settle();
+  ASSERT_TRUE(ea.is_leader());
+
+  a.reset();  // closes the session; ephemerals vanish
+  settle();
+  EXPECT_TRUE(b_leader);
+}
+
+TEST_F(RecipesTest, ThreeWaySuccessionInCreationOrder) {
+  CoordClient c1{*zk}, c2{*zk}, c3{*zk};
+  std::vector<int> leaders;
+  LeaderElection e1{c1, "/e", [&](bool l) { if (l) leaders.push_back(1); }};
+  LeaderElection e2{c2, "/e", [&](bool l) { if (l) leaders.push_back(2); }};
+  LeaderElection e3{c3, "/e", [&](bool l) { if (l) leaders.push_back(3); }};
+  e1.enter();
+  settle();
+  e2.enter();
+  e3.enter();
+  settle();
+  e1.resign();
+  settle();
+  e2.resign();
+  settle();
+  EXPECT_EQ(leaders, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(RecipesTest, LockGrantsInOrder) {
+  CoordClient c1{*zk}, c2{*zk};
+  DistributedLock l1{c1, "/lock"}, l2{c2, "/lock"};
+  std::vector<int> grants;
+  l1.acquire([&] { grants.push_back(1); });
+  settle();
+  l2.acquire([&] { grants.push_back(2); });
+  settle();
+  EXPECT_TRUE(l1.held());
+  EXPECT_FALSE(l2.held());
+  EXPECT_EQ(grants, (std::vector<int>{1}));
+
+  l1.release();
+  settle();
+  EXPECT_TRUE(l2.held());
+  EXPECT_EQ(grants, (std::vector<int>{1, 2}));
+}
+
+TEST_F(RecipesTest, DoubleAcquireThrows) {
+  CoordClient c{*zk};
+  DistributedLock lock{c, "/lock"};
+  lock.acquire(nullptr);
+  settle();
+  EXPECT_THROW(lock.acquire(nullptr), std::logic_error);
+  lock.release();
+  settle();
+  lock.acquire(nullptr);  // reacquirable after release
+  settle();
+  EXPECT_TRUE(lock.held());
+}
+
+TEST_F(RecipesTest, LockHolderSessionExpiryUnblocksWaiter) {
+  auto holder = std::make_unique<CoordClient>(*zk);
+  CoordClient waiter{*zk};
+  DistributedLock l1{*holder, "/lock"};
+  DistributedLock l2{waiter, "/lock"};
+  l1.acquire(nullptr);
+  settle();
+  bool granted = false;
+  l2.acquire([&] { granted = true; });
+  settle();
+  EXPECT_FALSE(granted);
+  holder.reset();  // session closes, ephemeral lock node vanishes
+  settle();
+  EXPECT_TRUE(granted);
+}
+
+TEST_F(RecipesTest, ResignBeforeLeadingIsSafe) {
+  CoordClient a{*zk}, b{*zk};
+  LeaderElection ea{a, "/e", nullptr};
+  LeaderElection eb{b, "/e", nullptr};
+  ea.enter();
+  settle();
+  eb.enter();
+  eb.resign();  // resign while still waiting
+  settle();
+  EXPECT_FALSE(eb.is_leader());
+  EXPECT_TRUE(ea.is_leader());
+}
+
+}  // namespace
+}  // namespace esh::coord

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace esh::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), kSimTimeZero);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(millis(30), [&] { order.push_back(3); });
+  sim.schedule(millis(10), [&] { order.push_back(1); });
+  sim.schedule(millis(20), [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), millis(30));
+}
+
+TEST(Simulator, TiesBreakByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(millis(10), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ClockAdvancesDuringCallbacks) {
+  Simulator sim;
+  SimTime seen{};
+  sim.schedule(millis(5), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, millis(5));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(millis(1), [&] {
+    sim.schedule(millis(1), [&] {
+      ++fired;
+      sim.schedule(millis(1), [&] { ++fired; });
+    });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), millis(3));
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(millis(10), [&] { ++fired; });
+  sim.schedule(millis(50), [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(millis(20)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), millis(20));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, NegativeDelayAndPastScheduleThrow) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(millis(-1), [] {}), std::invalid_argument);
+  sim.schedule(millis(5), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(millis(1), [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  auto handle = sim.schedule(millis(5), [&] { ++fired; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, HandleReportsFired) {
+  Simulator sim;
+  auto handle = sim.schedule(millis(1), [] {});
+  sim.run();
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // no-op after firing
+}
+
+TEST(Simulator, StepRunsOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(millis(1), [&] { ++fired; });
+  sim.schedule(millis(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(PeriodicTimer, FiresAtPeriod) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer{sim, millis(10), [&] { ++ticks; }};
+  sim.run_until(millis(35));
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(PeriodicTimer, InitialDelayDiffersFromPeriod) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  PeriodicTimer timer{sim, millis(3), millis(10),
+                      [&] { fires.push_back(sim.now()); }};
+  sim.run_until(millis(30));
+  ASSERT_EQ(fires.size(), 3u);
+  EXPECT_EQ(fires[0], millis(3));
+  EXPECT_EQ(fires[1], millis(13));
+  EXPECT_EQ(fires[2], millis(23));
+}
+
+TEST(PeriodicTimer, StopWithinCallback) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer{sim, millis(5), [&] {
+                        if (++ticks == 2) timer.stop();
+                      }};
+  sim.run_until(millis(100));
+  EXPECT_EQ(ticks, 2);
+  EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimer, DestructionCancels) {
+  Simulator sim;
+  int ticks = 0;
+  {
+    PeriodicTimer timer{sim, millis(5), [&] { ++ticks; }};
+    sim.run_until(millis(12));
+  }
+  sim.run_until(millis(100));
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(PeriodicTimer, RejectsNonPositivePeriod) {
+  Simulator sim;
+  EXPECT_THROW((PeriodicTimer{sim, millis(0), [] {}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace esh::sim

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "common/stats.hpp"
+#include "sim/simulator.hpp"
+#include "workload/driver.hpp"
+#include "workload/generator.hpp"
+#include "workload/oracle.hpp"
+#include "workload/schedule.hpp"
+
+namespace esh::workload {
+namespace {
+
+// ---- generators -----------------------------------------------------------------
+
+TEST(PlainWorkload, SubscriptionsDeterministicPerIndex) {
+  PlainWorkload a{{4, 0.01, 9}};
+  PlainWorkload b{{4, 0.01, 9}};
+  const auto s1 = a.subscription(5);
+  const auto s2 = b.subscription(5);
+  EXPECT_EQ(s1.id, s2.id);
+  ASSERT_EQ(s1.predicates.size(), s2.predicates.size());
+  for (std::size_t i = 0; i < s1.predicates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s1.predicates[i].low, s2.predicates[i].low);
+  }
+}
+
+TEST(PlainWorkload, WidthsProductEqualsMatchingRate) {
+  PlainWorkload gen{{4, 0.01, 3}};
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const auto sub = gen.subscription(i);
+    double product = 1.0;
+    for (const auto& p : sub.predicates) {
+      EXPECT_GE(p.low, 0.0);
+      EXPECT_LE(p.high, 1.0);
+      product *= p.width();
+    }
+    EXPECT_NEAR(product, 0.01, 1e-9);
+  }
+}
+
+TEST(PlainWorkload, EmpiricalMatchingRateNearTarget) {
+  PlainWorkload gen{{4, 0.02, 11}};
+  std::vector<filter::Subscription> subs;
+  for (std::uint64_t i = 0; i < 400; ++i) subs.push_back(gen.subscription(i));
+  std::uint64_t matches = 0, trials = 0;
+  for (int p = 0; p < 500; ++p) {
+    const auto pub = gen.next_publication();
+    for (const auto& s : subs) {
+      ++trials;
+      if (s.matches(pub)) ++matches;
+    }
+  }
+  const double rate = static_cast<double>(matches) / trials;
+  EXPECT_NEAR(rate, 0.02, 0.004);
+}
+
+TEST(PlainWorkload, PublicationIdsIncrease) {
+  PlainWorkload gen{{4, 0.01, 5}};
+  EXPECT_EQ(gen.next_publication().id, PublicationId{1});
+  EXPECT_EQ(gen.next_publication().id, PublicationId{2});
+}
+
+TEST(PlainWorkload, RejectsBadParams) {
+  EXPECT_THROW((PlainWorkload{{0, 0.1, 1}}), std::invalid_argument);
+  EXPECT_THROW((PlainWorkload{{4, 0.0, 1}}), std::invalid_argument);
+  EXPECT_THROW((PlainWorkload{{4, 1.5, 1}}), std::invalid_argument);
+}
+
+TEST(EncryptedWorkload, RoundTripMatchesPlain) {
+  EncryptedWorkload enc{{4, 0.05, 21}};
+  PlainWorkload plain{{4, 0.05, 21}};
+  const auto esub = enc.subscription(3);
+  const auto psub = plain.subscription(3);
+  EXPECT_EQ(esub.id, psub.id);
+  filter::Publication ppub;
+  const auto epub = enc.next_publication(&ppub);
+  EXPECT_EQ(filter::encrypted_match(esub, epub), psub.matches(ppub));
+}
+
+// ---- oracle --------------------------------------------------------------------
+
+TEST(MatchOracle, DeterministicPerPublication) {
+  MatchOracle oracle{{4, 10'000, 0.01, 4, 99}};
+  const auto a = oracle.matches(PublicationId{42});
+  const auto b = oracle.matches(PublicationId{42});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, oracle.matches(PublicationId{43}));
+}
+
+TEST(MatchOracle, MatchCountNearExpectation) {
+  MatchOracle oracle{{4, 10'000, 0.01, 4, 1}};
+  RunningStats counts;
+  for (std::uint64_t p = 1; p <= 200; ++p) {
+    counts.add(static_cast<double>(oracle.matches(PublicationId{p}).size()));
+  }
+  EXPECT_NEAR(counts.mean(), 100.0, 3.0);
+  EXPECT_GT(counts.stddev(), 2.0);  // binomial spread, not constant
+}
+
+TEST(MatchOracle, PartitionConsistentWithFlatMatches) {
+  MatchOracle oracle{{4, 5'000, 0.02, 8, 5}};
+  const PublicationId pub{7};
+  const auto flat = oracle.matches(pub);
+  const auto partition = oracle.partitioned_matches(pub);
+  ASSERT_EQ(partition->size(), 8u);
+  std::vector<std::uint64_t> merged;
+  for (std::size_t s = 0; s < partition->size(); ++s) {
+    for (auto idx : (*partition)[s]) {
+      EXPECT_EQ(oracle.slice_of(idx), s);
+      merged.push_back(idx);
+    }
+  }
+  std::sort(merged.begin(), merged.end());
+  EXPECT_EQ(merged, flat);
+}
+
+TEST(OracleMatcher, OnlyStoredSubscriptionsMatch) {
+  OracleParams params{4, 1'000, 0.05, 2, 77};
+  OracleWorkload workload{params};
+  auto m0 = workload.make_matcher({}, 0);
+  // Store only half of slice 0's partition (even indices).
+  std::set<std::uint64_t> stored;
+  for (std::uint64_t i = 0; i < 1'000; ++i) {
+    if (workload.oracle()->slice_of(i) == 0 && i % 2 == 0) {
+      m0->add(filter::AnySubscription{workload.subscription(i)});
+      stored.insert(i);
+    }
+  }
+  const auto pub = workload.next_publication();
+  const auto outcome = m0->match(filter::AnyPublication{pub});
+  const auto truth = workload.oracle()->matches(pub.id);
+  std::size_t expected = 0;
+  for (auto idx : truth) {
+    if (stored.contains(idx)) ++expected;
+  }
+  EXPECT_EQ(outcome.subscribers.size(), expected);
+}
+
+TEST(OracleMatcher, StateRoundTripPadsToEncryptedSize) {
+  OracleParams params{4, 100, 0.1, 2, 3};
+  OracleWorkload workload{params};
+  cluster::CostModel cost;
+  auto matcher = workload.make_matcher(cost, 0);
+  std::size_t added = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    if (workload.oracle()->slice_of(i) == 0) {
+      matcher->add(filter::AnySubscription{workload.subscription(i)});
+      ++added;
+    }
+  }
+  EXPECT_EQ(matcher->subscription_count(), added);
+  EXPECT_EQ(matcher->state_bytes(), added * cost.subscription_bytes(4));
+  BinaryWriter w;
+  matcher->serialize_state(w);
+  // Serialized blob within ~2 % of the declared encrypted size.
+  EXPECT_NEAR(static_cast<double>(w.size()),
+              static_cast<double>(matcher->state_bytes()),
+              0.05 * static_cast<double>(matcher->state_bytes()) + 64);
+  auto restored = matcher->clone_empty();
+  BinaryReader r{w.buffer()};
+  restored->restore_state(r);
+  EXPECT_EQ(restored->subscription_count(), added);
+}
+
+TEST(OracleWorkload, MockCiphertextsHaveRealSizes) {
+  OracleWorkload workload{{4, 100, 0.1, 2, 3}};
+  const auto sub = workload.subscription(0);
+  EXPECT_EQ(sub.comparisons.size(), 8u);
+  EXPECT_EQ(sub.comparisons[0].share_a.size(), 7u);
+  auto pub = workload.next_publication();
+  EXPECT_EQ(pub.share_a.size(), 7u);
+  EXPECT_EQ(pub.id, PublicationId{1});
+}
+
+// ---- schedules -----------------------------------------------------------------
+
+TEST(Schedules, ConstantRate) {
+  ConstantRate schedule{100.0, seconds(60)};
+  EXPECT_DOUBLE_EQ(schedule.rate(seconds(10)), 100.0);
+  EXPECT_EQ(schedule.duration(), seconds(60));
+  EXPECT_DOUBLE_EQ(schedule.peak_rate(), 100.0);
+}
+
+TEST(Schedules, TrapezoidShape) {
+  TrapezoidRate schedule{350.0, seconds(100), seconds(50), seconds(100)};
+  EXPECT_DOUBLE_EQ(schedule.rate(seconds(0)), 0.0);
+  EXPECT_NEAR(schedule.rate(seconds(50)), 175.0, 1e-9);
+  EXPECT_DOUBLE_EQ(schedule.rate(seconds(100)), 350.0);
+  EXPECT_DOUBLE_EQ(schedule.rate(seconds(125)), 350.0);
+  EXPECT_NEAR(schedule.rate(seconds(200)), 175.0, 1e-9);
+  EXPECT_DOUBLE_EQ(schedule.rate(seconds(260)), 0.0);
+  EXPECT_EQ(schedule.duration(), seconds(250));
+}
+
+TEST(FrankfurtCurve, ReproducesFigure1Features) {
+  // Quiet before the market opens.
+  EXPECT_LT(FrankfurtTrace::base_curve(6.0), 1.0);
+  // Sharp surge at the 9:00 open.
+  EXPECT_GT(FrankfurtTrace::base_curve(9.0),
+            5.0 * FrankfurtTrace::base_curve(8.5));
+  // Afternoon spike above the midday level.
+  EXPECT_GT(FrankfurtTrace::base_curve(15.5),
+            1.5 * FrankfurtTrace::base_curve(13.0));
+  // Sharp decline after the 17:30 close.
+  EXPECT_LT(FrankfurtTrace::base_curve(18.0),
+            0.3 * FrankfurtTrace::base_curve(17.0));
+  // Quiet evening.
+  EXPECT_LT(FrankfurtTrace::base_curve(21.0), 1.0);
+  EXPECT_DOUBLE_EQ(FrankfurtTrace::base_peak(), 1200.0);
+}
+
+TEST(FrankfurtTrace, CompressionAndScaling) {
+  FrankfurtTrace::Config config;
+  config.start_hour = 7.0;
+  config.end_hour = 20.5;
+  config.speedup = 20.0;
+  config.peak_rate = 190.0;
+  config.noise = 0.0;
+  FrankfurtTrace trace{config};
+  // 13.5 hours at 20x -> 2430 s experiment.
+  EXPECT_EQ(trace.duration(), seconds(2430));
+  // Peak of the compressed trace ~ peak_rate (9:00 is at (9-7)*3600/20 s).
+  const SimTime open{static_cast<std::int64_t>(2.0 * 3600.0 / 20.0 * 1e6)};
+  EXPECT_NEAR(trace.rate(open), 190.0 * 1150.0 / 1200.0, 5.0);
+  EXPECT_DOUBLE_EQ(trace.rate(seconds(0)), 0.0);
+}
+
+TEST(FrankfurtTrace, NoiseIsDeterministicAndBounded) {
+  FrankfurtTrace::Config config;
+  config.noise = 0.15;
+  FrankfurtTrace a{config}, b{config};
+  for (int s = 0; s < 2000; s += 100) {
+    EXPECT_DOUBLE_EQ(a.rate(seconds(s)), b.rate(seconds(s)));
+    EXPECT_GE(a.rate(seconds(s)), 0.0);
+  }
+}
+
+// ---- driver --------------------------------------------------------------------
+
+TEST(PublicationDriver, GeneratesApproximatelyTheScheduledVolume) {
+  sim::Simulator sim;
+  auto schedule = std::make_shared<ConstantRate>(200.0, seconds(60));
+  std::uint64_t count = 0;
+  PublicationDriver driver{sim, schedule, [&] { ++count; }, 5};
+  driver.start();
+  sim.run();
+  // 200/s for 60 s = 12000 expected (Poisson, ~1 % tolerance at 3 sigma).
+  EXPECT_NEAR(static_cast<double>(count), 12'000.0, 400.0);
+  EXPECT_EQ(driver.published(), count);
+  EXPECT_FALSE(driver.running());
+}
+
+TEST(PublicationDriver, TracksTimeVaryingRate) {
+  sim::Simulator sim;
+  auto schedule =
+      std::make_shared<TrapezoidRate>(100.0, seconds(30), seconds(0),
+                                      seconds(30));
+  std::uint64_t first_half = 0, second_half = 0;
+  PublicationDriver driver{
+      sim, schedule,
+      [&] { (sim.now() < seconds(30) ? first_half : second_half)++; }, 6};
+  driver.start();
+  sim.run();
+  // Symmetric triangle: halves roughly equal, total ~ 3000.
+  EXPECT_NEAR(static_cast<double>(first_half + second_half), 3000.0, 300.0);
+  EXPECT_NEAR(static_cast<double>(first_half),
+              static_cast<double>(second_half),
+              0.25 * static_cast<double>(first_half));
+}
+
+TEST(PublicationDriver, StopHalts) {
+  sim::Simulator sim;
+  auto schedule = std::make_shared<ConstantRate>(1000.0, seconds(100));
+  std::uint64_t count = 0;
+  PublicationDriver driver{sim, schedule, [&] { ++count; }, 8};
+  driver.start();
+  sim.run_until(seconds(1));
+  driver.stop();
+  const auto at_stop = count;
+  sim.run_until(seconds(5));
+  EXPECT_EQ(count, at_stop);
+}
+
+TEST(PublicationDriver, OnDoneFires) {
+  sim::Simulator sim;
+  auto schedule = std::make_shared<ConstantRate>(10.0, seconds(5));
+  bool done = false;
+  PublicationDriver driver{sim, schedule, [] {}, 9, [&] { done = true; }};
+  driver.start();
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace esh::workload
