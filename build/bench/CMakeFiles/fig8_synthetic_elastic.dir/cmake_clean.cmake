@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_synthetic_elastic.dir/fig8_synthetic_elastic.cpp.o"
+  "CMakeFiles/fig8_synthetic_elastic.dir/fig8_synthetic_elastic.cpp.o.d"
+  "fig8_synthetic_elastic"
+  "fig8_synthetic_elastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_synthetic_elastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_trace_elastic.dir/fig9_trace_elastic.cpp.o"
+  "CMakeFiles/fig9_trace_elastic.dir/fig9_trace_elastic.cpp.o.d"
+  "fig9_trace_elastic"
+  "fig9_trace_elastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_trace_elastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

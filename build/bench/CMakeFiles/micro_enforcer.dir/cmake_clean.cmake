@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_enforcer.dir/micro_enforcer.cpp.o"
+  "CMakeFiles/micro_enforcer.dir/micro_enforcer.cpp.o.d"
+  "micro_enforcer"
+  "micro_enforcer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_enforcer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

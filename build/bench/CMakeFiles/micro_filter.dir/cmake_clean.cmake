@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_filter.dir/micro_filter.cpp.o"
+  "CMakeFiles/micro_filter.dir/micro_filter.cpp.o.d"
+  "micro_filter"
+  "micro_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

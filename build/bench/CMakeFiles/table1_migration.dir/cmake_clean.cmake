@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_migration.dir/table1_migration.cpp.o"
+  "CMakeFiles/table1_migration.dir/table1_migration.cpp.o.d"
+  "table1_migration"
+  "table1_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_day.dir/elastic_day.cpp.o"
+  "CMakeFiles/elastic_day.dir/elastic_day.cpp.o.d"
+  "elastic_day"
+  "elastic_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_cloud.dir/encrypted_cloud.cpp.o"
+  "CMakeFiles/encrypted_cloud.dir/encrypted_cloud.cpp.o.d"
+  "encrypted_cloud"
+  "encrypted_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/host.cpp" "src/cluster/CMakeFiles/esh_cluster.dir/host.cpp.o" "gcc" "src/cluster/CMakeFiles/esh_cluster.dir/host.cpp.o.d"
+  "/root/repo/src/cluster/iaas.cpp" "src/cluster/CMakeFiles/esh_cluster.dir/iaas.cpp.o" "gcc" "src/cluster/CMakeFiles/esh_cluster.dir/iaas.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/esh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

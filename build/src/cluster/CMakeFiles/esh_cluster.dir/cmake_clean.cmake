@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esh_cluster.dir/host.cpp.o"
+  "CMakeFiles/esh_cluster.dir/host.cpp.o.d"
+  "CMakeFiles/esh_cluster.dir/iaas.cpp.o"
+  "CMakeFiles/esh_cluster.dir/iaas.cpp.o.d"
+  "libesh_cluster.a"
+  "libesh_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esh_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esh_common.dir/log.cpp.o"
+  "CMakeFiles/esh_common.dir/log.cpp.o.d"
+  "CMakeFiles/esh_common.dir/rng.cpp.o"
+  "CMakeFiles/esh_common.dir/rng.cpp.o.d"
+  "CMakeFiles/esh_common.dir/serde.cpp.o"
+  "CMakeFiles/esh_common.dir/serde.cpp.o.d"
+  "CMakeFiles/esh_common.dir/stats.cpp.o"
+  "CMakeFiles/esh_common.dir/stats.cpp.o.d"
+  "libesh_common.a"
+  "libesh_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esh_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coord/client.cpp" "src/coord/CMakeFiles/esh_coord.dir/client.cpp.o" "gcc" "src/coord/CMakeFiles/esh_coord.dir/client.cpp.o.d"
+  "/root/repo/src/coord/coord.cpp" "src/coord/CMakeFiles/esh_coord.dir/coord.cpp.o" "gcc" "src/coord/CMakeFiles/esh_coord.dir/coord.cpp.o.d"
+  "/root/repo/src/coord/recipes.cpp" "src/coord/CMakeFiles/esh_coord.dir/recipes.cpp.o" "gcc" "src/coord/CMakeFiles/esh_coord.dir/recipes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/esh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

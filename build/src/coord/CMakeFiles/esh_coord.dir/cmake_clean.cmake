@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esh_coord.dir/client.cpp.o"
+  "CMakeFiles/esh_coord.dir/client.cpp.o.d"
+  "CMakeFiles/esh_coord.dir/coord.cpp.o"
+  "CMakeFiles/esh_coord.dir/coord.cpp.o.d"
+  "CMakeFiles/esh_coord.dir/recipes.cpp.o"
+  "CMakeFiles/esh_coord.dir/recipes.cpp.o.d"
+  "libesh_coord.a"
+  "libesh_coord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esh_coord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

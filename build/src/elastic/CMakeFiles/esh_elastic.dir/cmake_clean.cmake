@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esh_elastic.dir/enforcer.cpp.o"
+  "CMakeFiles/esh_elastic.dir/enforcer.cpp.o.d"
+  "CMakeFiles/esh_elastic.dir/manager.cpp.o"
+  "CMakeFiles/esh_elastic.dir/manager.cpp.o.d"
+  "CMakeFiles/esh_elastic.dir/threshold_policy.cpp.o"
+  "CMakeFiles/esh_elastic.dir/threshold_policy.cpp.o.d"
+  "libesh_elastic.a"
+  "libesh_elastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esh_elastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esh_engine.dir/engine.cpp.o"
+  "CMakeFiles/esh_engine.dir/engine.cpp.o.d"
+  "CMakeFiles/esh_engine.dir/host_runtime.cpp.o"
+  "CMakeFiles/esh_engine.dir/host_runtime.cpp.o.d"
+  "libesh_engine.a"
+  "libesh_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esh_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filter/aspe.cpp" "src/filter/CMakeFiles/esh_filter.dir/aspe.cpp.o" "gcc" "src/filter/CMakeFiles/esh_filter.dir/aspe.cpp.o.d"
+  "/root/repo/src/filter/matcher.cpp" "src/filter/CMakeFiles/esh_filter.dir/matcher.cpp.o" "gcc" "src/filter/CMakeFiles/esh_filter.dir/matcher.cpp.o.d"
+  "/root/repo/src/filter/matrix.cpp" "src/filter/CMakeFiles/esh_filter.dir/matrix.cpp.o" "gcc" "src/filter/CMakeFiles/esh_filter.dir/matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/esh_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/esh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

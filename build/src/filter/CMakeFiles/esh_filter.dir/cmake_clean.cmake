@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esh_filter.dir/aspe.cpp.o"
+  "CMakeFiles/esh_filter.dir/aspe.cpp.o.d"
+  "CMakeFiles/esh_filter.dir/matcher.cpp.o"
+  "CMakeFiles/esh_filter.dir/matcher.cpp.o.d"
+  "CMakeFiles/esh_filter.dir/matrix.cpp.o"
+  "CMakeFiles/esh_filter.dir/matrix.cpp.o.d"
+  "libesh_filter.a"
+  "libesh_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esh_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

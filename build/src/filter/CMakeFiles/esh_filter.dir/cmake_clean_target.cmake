@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libesh_filter.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esh_harness.dir/testbed.cpp.o"
+  "CMakeFiles/esh_harness.dir/testbed.cpp.o.d"
+  "libesh_harness.a"
+  "libesh_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esh_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esh_net.dir/network.cpp.o"
+  "CMakeFiles/esh_net.dir/network.cpp.o.d"
+  "libesh_net.a"
+  "libesh_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esh_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

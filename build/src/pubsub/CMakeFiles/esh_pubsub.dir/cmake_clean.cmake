@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esh_pubsub.dir/operators.cpp.o"
+  "CMakeFiles/esh_pubsub.dir/operators.cpp.o.d"
+  "CMakeFiles/esh_pubsub.dir/streamhub.cpp.o"
+  "CMakeFiles/esh_pubsub.dir/streamhub.cpp.o.d"
+  "libesh_pubsub.a"
+  "libesh_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esh_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esh_sim.dir/simulator.cpp.o"
+  "CMakeFiles/esh_sim.dir/simulator.cpp.o.d"
+  "libesh_sim.a"
+  "libesh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

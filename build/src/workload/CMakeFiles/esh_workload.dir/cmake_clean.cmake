@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esh_workload.dir/driver.cpp.o"
+  "CMakeFiles/esh_workload.dir/driver.cpp.o.d"
+  "CMakeFiles/esh_workload.dir/generator.cpp.o"
+  "CMakeFiles/esh_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/esh_workload.dir/oracle.cpp.o"
+  "CMakeFiles/esh_workload.dir/oracle.cpp.o.d"
+  "CMakeFiles/esh_workload.dir/schedule.cpp.o"
+  "CMakeFiles/esh_workload.dir/schedule.cpp.o.d"
+  "libesh_workload.a"
+  "libesh_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esh_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

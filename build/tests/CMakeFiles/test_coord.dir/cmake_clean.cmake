@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coord.dir/test_coord.cpp.o"
+  "CMakeFiles/test_coord.dir/test_coord.cpp.o.d"
+  "test_coord"
+  "test_coord.pdb"
+  "test_coord[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

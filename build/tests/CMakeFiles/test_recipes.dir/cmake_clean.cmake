@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recipes.dir/test_recipes.cpp.o"
+  "CMakeFiles/test_recipes.dir/test_recipes.cpp.o.d"
+  "test_recipes"
+  "test_recipes.pdb"
+  "test_recipes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recipes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
