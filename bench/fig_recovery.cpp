@@ -1,0 +1,171 @@
+// Recovery experiment: cost of healing a crashed worker as a function of
+// the checkpoint interval. A worker dies under constant publication load;
+// the manager detects the failure, quarantines the host, re-places the
+// lost slices and replays the logged suffixes. Reported per interval: the
+// RecoveryReport MTTR breakdown (detect / quarantine / place / replay),
+// the delivery gap (longest stretch without a single new publication
+// completing, sampled every 50 ms), and the oracle's exactly-once verdict.
+// Longer checkpoint intervals retain longer logs, so the replay phase and
+// the delivery gap grow with the interval.
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "harness/chaos.hpp"
+#include "workload/schedule.hpp"
+
+namespace {
+
+struct RunResult {
+  double interval_s = 0.0;
+  esh::SimTime crash_at{};
+  esh::elastic::RecoveryReport report;
+  double gap_ms = 0.0;
+  bool healed = false;
+  bool drained = false;
+  esh::harness::DeliveryAudit audit;
+};
+
+esh::harness::TestbedConfig recovery_config(esh::SimDuration checkpoint) {
+  esh::harness::TestbedConfig config;
+  config.worker_hosts = 4;
+  config.io_hosts = 2;
+  config.workload.dimensions = 4;
+  config.workload.total_subscriptions = 5000;
+  config.workload.matching_rate = 0.02;
+  config.workload.m_slices = 4;
+  config.source_slices = 2;
+  config.ap_slices = 4;
+  config.ep_slices = 4;
+  config.sink_slices = 2;
+  config.engine.flush_interval = esh::millis(10);
+  config.engine.control_tick = esh::millis(5);
+  config.engine.probe_interval = esh::millis(100);
+  config.engine.checkpoints.enabled = true;
+  config.engine.checkpoints.interval = checkpoint;
+  config.iaas.max_hosts = 8;
+  config.iaas.boot_delay = esh::millis(500);
+  config.with_manager = true;
+  config.manager.recovery.enabled = true;
+  config.manager.recovery.detector =
+      esh::elastic::FailureDetectorConfig{esh::millis(100), 2, 4};
+  config.manager.recovery.attempt_timeout = esh::seconds(5);
+  config.seed = 11;
+  return config;
+}
+
+RunResult run_one(esh::SimDuration checkpoint) {
+  using namespace esh;
+  RunResult result;
+  result.interval_s = to_millis(checkpoint) / 1000.0;
+
+  harness::Testbed bed{recovery_config(checkpoint)};
+  bed.manager()->set_enforcement(false);
+  bed.delays().enable_audit();
+  bed.store_subscriptions(5000);
+
+  const SimDuration window = seconds(30);
+  const SimTime publish_start = bed.simulator().now();
+  const SimTime crash_at = publish_start + seconds(15);
+  result.crash_at = crash_at;
+  const SimTime publish_end = publish_start + window;
+  auto driver = bed.drive(std::make_shared<workload::ConstantRate>(
+      300.0, window));
+
+  harness::FaultSchedule schedule;
+  schedule.crashes.push_back({crash_at, 1, 0.0, SimDuration{}});
+  harness::ChaosRunner chaos{bed, schedule};
+  chaos.arm();
+
+  // Completion progress, sampled every 50 ms over the publication window:
+  // the delivery gap is the longest stretch without any new completion.
+  std::vector<SimTime> progress{publish_start};
+  std::uint64_t completed = bed.delays().publications_completed();
+  std::function<void()> sample = [&] {
+    const auto now_completed = bed.delays().publications_completed();
+    if (now_completed != completed) {
+      completed = now_completed;
+      progress.push_back(bed.simulator().now());
+    }
+    if (bed.simulator().now() < publish_end) {
+      bed.simulator().schedule(millis(50), sample);
+    }
+  };
+  bed.simulator().schedule(millis(50), sample);
+
+  result.healed = bed.run_until(
+      [&] {
+        return !bed.manager()->recoveries().empty() &&
+               !bed.manager()->recovery_in_progress();
+      },
+      seconds(60));
+  result.drained = bed.run_until(
+      [&] {
+        return bed.simulator().now() > publish_end &&
+               bed.delays().publications_completed() >=
+                   bed.hub().publications_sent();
+      },
+      seconds(120));
+  driver->stop();
+
+  if (!bed.manager()->recoveries().empty()) {
+    result.report = bed.manager()->recoveries().front();
+  }
+  SimDuration gap{};
+  for (std::size_t i = 1; i < progress.size(); ++i) {
+    gap = std::max(gap, progress[i] - progress[i - 1]);
+  }
+  result.gap_ms = to_millis(gap);
+  result.audit = harness::verify_exactly_once(bed);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace esh;
+  const std::vector<SimDuration> intervals{seconds(2), seconds(10)};
+  std::vector<RunResult> results;
+  for (SimDuration interval : intervals) {
+    std::printf("running: checkpoint interval %.0f s ...\n",
+                to_millis(interval) / 1000.0);
+    results.push_back(run_one(interval));
+  }
+
+  bench::print_header(
+      "Recovery: MTTR breakdown vs checkpoint interval (worker crash "
+      "under 300 pub/s)");
+  bench::print_row({"ckpt (s)", "detect", "quaran", "place", "replay",
+                    "MTTR (ms)", "gap (ms)", "slices", "exact-1x"},
+                   11);
+  for (const RunResult& r : results) {
+    const auto& rep = r.report;
+    if (!r.healed || !rep.complete) {
+      std::printf("  checkpoint %.0f s: recovery did not complete\n",
+                  r.interval_s);
+      continue;
+    }
+    bench::print_row(
+        {bench::fmt(r.interval_s, 0),
+         bench::fmt(to_millis(rep.detected - r.crash_at), 0),
+         bench::fmt(to_millis(rep.quarantined - rep.detected), 0),
+         bench::fmt(to_millis(rep.placed - rep.quarantined), 0),
+         bench::fmt(to_millis(rep.recovered - rep.placed), 0),
+         bench::fmt(to_millis(rep.mttr()), 0), bench::fmt(r.gap_ms, 0),
+         std::to_string(rep.slices_recovered),
+         r.audit.exactly_once() ? "yes" : "NO"},
+        11);
+    std::printf(
+        "    published %llu  delivered %llu  missing %llu  duplicated %llu"
+        "  mismatched %llu  drained %s\n",
+        static_cast<unsigned long long>(r.audit.published),
+        static_cast<unsigned long long>(r.audit.delivered),
+        static_cast<unsigned long long>(r.audit.missing),
+        static_cast<unsigned long long>(r.audit.duplicated),
+        static_cast<unsigned long long>(r.audit.mismatched),
+        r.drained ? "yes" : "no");
+  }
+  return 0;
+}

@@ -229,10 +229,12 @@ bench/CMakeFiles/fig8_synthetic_elastic.dir/fig8_synthetic_elastic.cpp.o: \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/cluster/probes.hpp /root/repo/src/coord/recipes.hpp \
- /root/repo/src/elastic/enforcer.hpp /root/repo/src/engine/engine.hpp \
- /root/repo/src/cluster/cost_model.hpp /root/repo/src/common/rng.hpp \
- /root/repo/src/engine/host_runtime.hpp /root/repo/src/engine/event.hpp \
- /root/repo/src/net/network.hpp /usr/include/c++/12/unordered_set \
+ /root/repo/src/elastic/enforcer.hpp \
+ /root/repo/src/elastic/failure_detector.hpp \
+ /root/repo/src/engine/engine.hpp /root/repo/src/cluster/cost_model.hpp \
+ /root/repo/src/common/rng.hpp /root/repo/src/engine/host_runtime.hpp \
+ /root/repo/src/engine/event.hpp /root/repo/src/net/network.hpp \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/engine/handler.hpp /root/repo/src/common/serde.hpp \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig_recovery.cpp" "bench/CMakeFiles/fig_recovery.dir/fig_recovery.cpp.o" "gcc" "bench/CMakeFiles/fig_recovery.dir/fig_recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/esh_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/esh_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/elastic/CMakeFiles/esh_elastic.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/esh_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/esh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/esh_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/esh_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/esh_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/esh_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/esh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/esh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_recovery.dir/fig_recovery.cpp.o"
+  "CMakeFiles/fig_recovery.dir/fig_recovery.cpp.o.d"
+  "fig_recovery"
+  "fig_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

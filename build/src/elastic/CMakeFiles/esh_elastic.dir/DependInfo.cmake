@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/elastic/enforcer.cpp" "src/elastic/CMakeFiles/esh_elastic.dir/enforcer.cpp.o" "gcc" "src/elastic/CMakeFiles/esh_elastic.dir/enforcer.cpp.o.d"
+  "/root/repo/src/elastic/failure_detector.cpp" "src/elastic/CMakeFiles/esh_elastic.dir/failure_detector.cpp.o" "gcc" "src/elastic/CMakeFiles/esh_elastic.dir/failure_detector.cpp.o.d"
   "/root/repo/src/elastic/manager.cpp" "src/elastic/CMakeFiles/esh_elastic.dir/manager.cpp.o" "gcc" "src/elastic/CMakeFiles/esh_elastic.dir/manager.cpp.o.d"
   "/root/repo/src/elastic/threshold_policy.cpp" "src/elastic/CMakeFiles/esh_elastic.dir/threshold_policy.cpp.o" "gcc" "src/elastic/CMakeFiles/esh_elastic.dir/threshold_policy.cpp.o.d"
   )

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/esh_elastic.dir/enforcer.cpp.o"
   "CMakeFiles/esh_elastic.dir/enforcer.cpp.o.d"
+  "CMakeFiles/esh_elastic.dir/failure_detector.cpp.o"
+  "CMakeFiles/esh_elastic.dir/failure_detector.cpp.o.d"
   "CMakeFiles/esh_elastic.dir/manager.cpp.o"
   "CMakeFiles/esh_elastic.dir/manager.cpp.o.d"
   "CMakeFiles/esh_elastic.dir/threshold_policy.cpp.o"

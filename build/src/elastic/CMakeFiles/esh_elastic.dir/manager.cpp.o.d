@@ -105,7 +105,9 @@ src/elastic/CMakeFiles/esh_elastic.dir/manager.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
- /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -211,8 +213,7 @@ src/elastic/CMakeFiles/esh_elastic.dir/manager.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/cluster/iaas.hpp \
  /root/repo/src/cluster/host.hpp /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
@@ -226,12 +227,12 @@ src/elastic/CMakeFiles/esh_elastic.dir/manager.cpp.o: \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/common/stats.hpp /usr/include/c++/12/cstddef \
  /root/repo/src/cluster/probes.hpp /root/repo/src/coord/coord.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/coord/recipes.hpp \
- /root/repo/src/elastic/enforcer.hpp /root/repo/src/engine/engine.hpp \
- /root/repo/src/cluster/cost_model.hpp /root/repo/src/common/rng.hpp \
- /root/repo/src/engine/host_runtime.hpp /root/repo/src/engine/event.hpp \
- /root/repo/src/net/network.hpp /usr/include/c++/12/unordered_set \
+ /root/repo/src/coord/recipes.hpp /root/repo/src/elastic/enforcer.hpp \
+ /root/repo/src/elastic/failure_detector.hpp \
+ /root/repo/src/engine/engine.hpp /root/repo/src/cluster/cost_model.hpp \
+ /root/repo/src/common/rng.hpp /root/repo/src/engine/host_runtime.hpp \
+ /root/repo/src/engine/event.hpp /root/repo/src/net/network.hpp \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/engine/handler.hpp /root/repo/src/common/serde.hpp \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/chaos.cpp" "src/harness/CMakeFiles/esh_harness.dir/chaos.cpp.o" "gcc" "src/harness/CMakeFiles/esh_harness.dir/chaos.cpp.o.d"
   "/root/repo/src/harness/testbed.cpp" "src/harness/CMakeFiles/esh_harness.dir/testbed.cpp.o" "gcc" "src/harness/CMakeFiles/esh_harness.dir/testbed.cpp.o.d"
   )
 

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/esh_harness.dir/chaos.cpp.o"
+  "CMakeFiles/esh_harness.dir/chaos.cpp.o.d"
   "CMakeFiles/esh_harness.dir/testbed.cpp.o"
   "CMakeFiles/esh_harness.dir/testbed.cpp.o.d"
   "libesh_harness.a"

@@ -207,7 +207,9 @@ src/pubsub/CMakeFiles/esh_pubsub.dir/operators.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/cluster/cost_model.hpp /usr/include/c++/12/cstddef \
  /root/repo/src/common/stats.hpp /root/repo/src/common/types.hpp \
@@ -226,8 +228,8 @@ src/pubsub/CMakeFiles/esh_pubsub.dir/operators.cpp.o: \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/span \
  /root/repo/src/engine/event.hpp /root/repo/src/cluster/probes.hpp \
  /root/repo/src/net/network.hpp /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/rng.hpp \
  /root/repo/src/filter/matcher.hpp /usr/include/c++/12/variant \
- /root/repo/src/filter/aspe.hpp /root/repo/src/common/rng.hpp \
- /root/repo/src/filter/attribute.hpp /usr/include/c++/12/optional \
- /root/repo/src/filter/matrix.hpp /root/repo/src/pubsub/payloads.hpp
+ /root/repo/src/filter/aspe.hpp /root/repo/src/filter/attribute.hpp \
+ /usr/include/c++/12/optional /root/repo/src/filter/matrix.hpp \
+ /root/repo/src/pubsub/payloads.hpp

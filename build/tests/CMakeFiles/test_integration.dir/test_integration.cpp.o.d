@@ -307,6 +307,7 @@ tests/CMakeFiles/test_integration.dir/test_integration.cpp.o: \
  /root/repo/src/common/stats.hpp /root/repo/src/coord/coord.hpp \
  /root/repo/src/elastic/manager.hpp /root/repo/src/cluster/probes.hpp \
  /root/repo/src/coord/recipes.hpp /root/repo/src/elastic/enforcer.hpp \
+ /root/repo/src/elastic/failure_detector.hpp \
  /root/repo/src/engine/engine.hpp /root/repo/src/cluster/cost_model.hpp \
  /root/repo/src/common/rng.hpp /root/repo/src/engine/host_runtime.hpp \
  /root/repo/src/engine/event.hpp /root/repo/src/net/network.hpp \

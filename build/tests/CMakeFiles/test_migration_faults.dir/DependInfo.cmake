@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_migration_faults.cpp" "tests/CMakeFiles/test_migration_faults.dir/test_migration_faults.cpp.o" "gcc" "tests/CMakeFiles/test_migration_faults.dir/test_migration_faults.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/esh_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/esh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/esh_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/esh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/esh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

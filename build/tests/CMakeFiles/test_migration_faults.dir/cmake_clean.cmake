@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_migration_faults.dir/test_migration_faults.cpp.o"
+  "CMakeFiles/test_migration_faults.dir/test_migration_faults.cpp.o.d"
+  "test_migration_faults"
+  "test_migration_faults.pdb"
+  "test_migration_faults[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_migration_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_self_healing.dir/test_self_healing.cpp.o"
+  "CMakeFiles/test_self_healing.dir/test_self_healing.cpp.o.d"
+  "test_self_healing"
+  "test_self_healing.pdb"
+  "test_self_healing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_self_healing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

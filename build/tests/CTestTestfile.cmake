@@ -18,3 +18,6 @@ include("/root/repo/build/tests/test_integration[1]_include.cmake")
 include("/root/repo/build/tests/test_harness[1]_include.cmake")
 include("/root/repo/build/tests/test_recipes[1]_include.cmake")
 include("/root/repo/build/tests/test_replication[1]_include.cmake")
+include("/root/repo/build/tests/test_migration_faults[1]_include.cmake")
+include("/root/repo/build/tests/test_self_healing[1]_include.cmake")
+include("/root/repo/build/tests/test_chaos[1]_include.cmake")

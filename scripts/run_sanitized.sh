@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Builds the whole tree with AddressSanitizer + UBSan in a dedicated build
+# directory and runs the full test suite under the instrumented binaries.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-asan}
+
+cmake -B "$BUILD_DIR" -S . -DESH_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -49,14 +49,18 @@ void CoordClient::ensure_path(const std::string& path, const std::string& data,
   // Create ancestors left to right; kNodeExists along the way is fine.
   auto state = std::make_shared<std::size_t>(1);  // position after leading '/'
   auto step = std::make_shared<std::function<void()>>();
-  *step = [this, path, data, cb = std::move(cb), state, step] {
+  // The continuation holds itself alive through the in-flight create
+  // callback; its own closure must only capture a weak self-reference or
+  // the cycle would never free.
+  *step = [this, path, data, cb = std::move(cb), state,
+           weak = std::weak_ptr<std::function<void()>>(step)] {
     const std::size_t next = path.find('/', *state);
     const bool leaf = next == std::string::npos;
     const std::string prefix = leaf ? path : path.substr(0, next);
     *state = leaf ? path.size() : next + 1;
     create(prefix, leaf ? data : std::string{},
            CreateMode::kPersistent,
-           [cb, leaf, step](Status st, const std::string&) {
+           [cb, leaf, step = weak.lock()](Status st, const std::string&) {
              if (st != Status::kOk && st != Status::kNodeExists) {
                cb(st);
                return;

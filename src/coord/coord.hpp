@@ -201,6 +201,11 @@ class CoordClient {
   [[nodiscard]] SessionId session() const { return session_; }
   [[nodiscard]] CoordService& service() { return service_; }
 
+  // Stops the keep-alive pings while the client object stays alive,
+  // letting the session expire as if the process stalled or was
+  // partitioned away (fault-injection seam; there is no way back).
+  void stop_pinging() { ping_timer_.reset(); }
+
   void create(const std::string& path, const std::string& data,
               CreateMode mode, CoordService::CreateCallback cb);
   void get(const std::string& path, CoordService::GetCallback cb,

@@ -1,0 +1,107 @@
+#include "elastic/failure_detector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace esh::elastic {
+
+const char* to_string(HostHealth h) {
+  switch (h) {
+    case HostHealth::kAlive:
+      return "alive";
+    case HostHealth::kSuspect:
+      return "suspect";
+    case HostHealth::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
+FailureDetector::FailureDetector(sim::Simulator& simulator,
+                                 FailureDetectorConfig config)
+    : simulator_(simulator), config_(config) {
+  if (config_.probe_interval <= SimDuration::zero()) {
+    throw std::invalid_argument{"FailureDetector: probe_interval must be > 0"};
+  }
+  if (config_.suspect_after == 0 || config_.dead_after < config_.suspect_after) {
+    throw std::invalid_argument{
+        "FailureDetector: need 0 < suspect_after <= dead_after"};
+  }
+  // Deadlines are checked at half the heartbeat period: fine enough that a
+  // verdict lands within half an interval of its deadline, coarse enough
+  // to stay negligible next to the probe traffic itself.
+  const SimDuration period = std::max(config_.probe_interval / 2, micros(1));
+  sweep_timer_ = std::make_unique<sim::PeriodicTimer>(
+      simulator_, period, [this] { this->sweep(); });
+}
+
+void FailureDetector::watch(HostId host) {
+  auto it = watched_.find(host);
+  if (it != watched_.end() && it->second.health == HostHealth::kDead) return;
+  watched_[host] = Watched{simulator_.now(), HostHealth::kAlive};
+}
+
+void FailureDetector::unwatch(HostId host) { watched_.erase(host); }
+
+void FailureDetector::heartbeat(HostId host) {
+  auto it = watched_.find(host);
+  if (it == watched_.end() || it->second.health == HostHealth::kDead) return;
+  if (it->second.health == HostHealth::kSuspect) {
+    ESH_INFO << "FailureDetector: host " << host
+             << " back alive after suspicion";
+  }
+  it->second.last_heard = simulator_.now();
+  it->second.health = HostHealth::kAlive;
+}
+
+void FailureDetector::mark_dead(HostId host) {
+  watched_[host].health = HostHealth::kDead;
+}
+
+HostHealth FailureDetector::health(HostId host) const {
+  auto it = watched_.find(host);
+  if (it == watched_.end()) return HostHealth::kAlive;
+  return it->second.health;
+}
+
+bool FailureDetector::watching(HostId host) const {
+  return watched_.contains(host);
+}
+
+std::vector<HostId> FailureDetector::dead_hosts() const {
+  std::vector<HostId> out;
+  for (const auto& [host, w] : watched_) {
+    if (w.health == HostHealth::kDead) out.push_back(host);
+  }
+  return out;
+}
+
+void FailureDetector::sweep() {
+  const SimTime now = simulator_.now();
+  for (auto& [host, w] : watched_) {
+    if (w.health == HostHealth::kDead) continue;
+    const SimDuration silence = now - w.last_heard;
+    const auto missed =
+        static_cast<std::uint64_t>(silence / config_.probe_interval);
+    if (missed >= config_.dead_after) {
+      w.health = HostHealth::kDead;
+      const HealthEvent ev{host, HostHealth::kDead, now, silence};
+      events_.push_back(ev);
+      ESH_WARN << "FailureDetector: host " << host << " declared dead ("
+               << to_millis(silence) << " ms silent)";
+      if (on_dead_) on_dead_(ev);
+    } else if (missed >= config_.suspect_after &&
+               w.health == HostHealth::kAlive) {
+      w.health = HostHealth::kSuspect;
+      const HealthEvent ev{host, HostHealth::kSuspect, now, silence};
+      events_.push_back(ev);
+      ESH_WARN << "FailureDetector: host " << host << " suspected ("
+               << to_millis(silence) << " ms silent)";
+      if (on_suspect_) on_suspect_(ev);
+    }
+  }
+}
+
+}  // namespace esh::elastic

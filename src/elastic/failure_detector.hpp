@@ -1,0 +1,89 @@
+// Manager-side failure detection (paper §IV-B): hosts heartbeat through
+// their periodic probes; a host that misses enough consecutive probe
+// intervals is first *suspected* and then declared *dead*. Verdicts are
+// final — a dead host never returns to alive; a replacement registers as a
+// new host. The manager records dead verdicts in the coordination tree so
+// a restarted or promoted standby manager inherits them (mark_dead).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace esh::elastic {
+
+enum class HostHealth { kAlive, kSuspect, kDead };
+
+const char* to_string(HostHealth h);
+
+struct FailureDetectorConfig {
+  // Expected heartbeat period: must match the engine's probe_interval.
+  SimDuration probe_interval = seconds(5);
+  // Consecutive missed intervals before escalation.
+  std::uint32_t suspect_after = 2;
+  std::uint32_t dead_after = 4;
+};
+
+// Structured verdict event handed to the manager's callbacks.
+struct HealthEvent {
+  HostId host;
+  HostHealth verdict = HostHealth::kAlive;
+  SimTime at{};
+  // Silence observed when the verdict was reached.
+  SimDuration silence{};
+};
+
+class FailureDetector {
+ public:
+  using Callback = std::function<void(const HealthEvent&)>;
+
+  FailureDetector(sim::Simulator& simulator, FailureDetectorConfig config);
+
+  void on_suspect(Callback cb) { on_suspect_ = std::move(cb); }
+  void on_dead(Callback cb) { on_dead_ = std::move(cb); }
+
+  // Starts the deadline clock for `host` (grace starts now, not at the
+  // first heartbeat). Watching an already-watched host resets its clock;
+  // watching a dead host is a no-op (verdicts are final).
+  void watch(HostId host);
+  void unwatch(HostId host);
+
+  // A probe arrived. Clears a suspect verdict; ignored for dead or
+  // unwatched hosts.
+  void heartbeat(HostId host);
+
+  // Records an inherited verdict (e.g. read from the coordination tree by
+  // a promoted standby). Does not fire callbacks: the caller already knows.
+  void mark_dead(HostId host);
+
+  [[nodiscard]] HostHealth health(HostId host) const;
+  [[nodiscard]] bool watching(HostId host) const;
+  [[nodiscard]] std::vector<HostId> dead_hosts() const;
+  [[nodiscard]] const std::vector<HealthEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] const FailureDetectorConfig& config() const { return config_; }
+
+ private:
+  struct Watched {
+    SimTime last_heard{};
+    HostHealth health = HostHealth::kAlive;
+  };
+
+  void sweep();
+
+  sim::Simulator& simulator_;
+  FailureDetectorConfig config_;
+  std::map<HostId, Watched> watched_;
+  Callback on_suspect_;
+  Callback on_dead_;
+  std::vector<HealthEvent> events_;
+  std::unique_ptr<sim::PeriodicTimer> sweep_timer_;
+};
+
+}  // namespace esh::elastic

@@ -27,38 +27,56 @@ Manager::Manager(sim::Simulator& simulator, net::Network& network,
   for (const auto& name : config_.elastic_operators) {
     elastic_ops_.insert(name);
   }
+  if (config_.recovery.enabled) {
+    detector_ = std::make_unique<FailureDetector>(simulator_,
+                                                  config_.recovery.detector);
+    detector_->on_dead([this](const HealthEvent& ev) {
+      if (is_active()) on_host_dead(ev);
+    });
+  }
   if (config_.use_leader_election) {
     election_ = std::make_unique<coord::LeaderElection>(
         *coord_client_, config_.coord_root + "/manager-election",
         [this](bool leader) {
           if (!leader) return;
-          // Promotion: recover the current managed set and pull the probe
-          // stream to this instance.
-          coord_client_->get(
-              config_.coord_root + "/config/hosts",
-              [this](coord::Status st, const std::string& data, coord::Stat) {
-                if (st == coord::Status::kOk && !data.empty()) {
-                  std::set<HostId> recovered;
-                  std::size_t pos = 0;
-                  while (pos <= data.size()) {
-                    const std::size_t comma = data.find(',', pos);
-                    const std::string token = data.substr(
-                        pos, comma == std::string::npos ? std::string::npos
-                                                        : comma - pos);
-                    if (!token.empty()) {
-                      const HostId host{std::stoull(token)};
-                      if (engine_.has_host(host)) recovered.insert(host);
+          // Promotion: recover the current managed set (minus any host the
+          // previous manager declared dead) and pull the probe stream to
+          // this instance.
+          load_health([this](std::set<HostId> dead) {
+            coord_client_->get(
+                config_.coord_root + "/config/hosts",
+                [this, dead = std::move(dead)](coord::Status st,
+                                               const std::string& data,
+                                               coord::Stat) {
+                  if (st == coord::Status::kOk && !data.empty()) {
+                    std::set<HostId> recovered;
+                    std::size_t pos = 0;
+                    while (pos <= data.size()) {
+                      const std::size_t comma = data.find(',', pos);
+                      const std::string token = data.substr(
+                          pos, comma == std::string::npos ? std::string::npos
+                                                          : comma - pos);
+                      if (!token.empty()) {
+                        const HostId host{std::stoull(token)};
+                        if (engine_.has_host(host) && !dead.contains(host)) {
+                          recovered.insert(host);
+                        }
+                      }
+                      if (comma == std::string::npos) break;
+                      pos = comma + 1;
                     }
-                    if (comma == std::string::npos) break;
-                    pos = comma + 1;
+                    // Keep the bootstrap set if the persisted one is not
+                    // readable yet (fresh deployment racing its first write).
+                    if (!recovered.empty()) managed_ = std::move(recovered);
                   }
-                  // Keep the bootstrap set if the persisted one is not
-                  // readable yet (fresh deployment racing its first write).
-                  if (!recovered.empty()) managed_ = std::move(recovered);
-                }
-                reported_since_eval_.clear();
-                engine_.enable_probes(probe_endpoint_);
-              });
+                  if (detector_) {
+                    for (HostId host : dead) detector_->mark_dead(host);
+                  }
+                  watch_managed();
+                  reported_since_eval_.clear();
+                  engine_.enable_probes(probe_endpoint_);
+                });
+          });
         });
   }
 }
@@ -92,6 +110,7 @@ void Manager::start(const std::vector<HostId>& managed_hosts) {
   if (election_) {
     election_->enter();  // first contender: leads and pulls probes
   } else {
+    watch_managed();
     engine_.enable_probes(probe_endpoint_);
   }
 }
@@ -116,33 +135,50 @@ void Manager::start_from_coordination(std::function<void(bool)> ready) {
     throw std::logic_error{"Manager::start_from_coordination: already started"};
   }
   started_ = true;
-  coord_client_->get(
-      config_.coord_root + "/config/hosts",
-      [this, ready = std::move(ready)](coord::Status st,
-                                       const std::string& data, coord::Stat) {
-        if (st != coord::Status::kOk) {
-          ESH_WARN << "Manager recovery: no persisted host set ("
-                   << coord::to_string(st) << ")";
-          if (ready) ready(false);
-          return;
-        }
-        std::size_t pos = 0;
-        while (pos < data.size()) {
-          const std::size_t comma = data.find(',', pos);
-          const std::string token =
-              data.substr(pos, comma == std::string::npos ? std::string::npos
-                                                          : comma - pos);
-          if (!token.empty()) {
-            const HostId host{std::stoull(token)};
-            // Only hosts that still exist in the engine are recovered.
-            if (engine_.has_host(host)) managed_.insert(host);
+  load_health([this, ready = std::move(ready)](std::set<HostId> dead) {
+    coord_client_->get(
+        config_.coord_root + "/config/hosts",
+        [this, ready = std::move(ready), dead = std::move(dead)](
+            coord::Status st, const std::string& data, coord::Stat) {
+          if (st != coord::Status::kOk) {
+            ESH_WARN << "Manager recovery: no persisted host set ("
+                     << coord::to_string(st) << ")";
+            // Not started after all: a later fresh start() must work.
+            started_ = false;
+            if (ready) ready(false);
+            return;
           }
-          if (comma == std::string::npos) break;
-          pos = comma + 1;
-        }
-        engine_.enable_probes(probe_endpoint_);
-        if (ready) ready(!managed_.empty());
-      });
+          std::size_t pos = 0;
+          while (pos < data.size()) {
+            const std::size_t comma = data.find(',', pos);
+            const std::string token =
+                data.substr(pos, comma == std::string::npos ? std::string::npos
+                                                            : comma - pos);
+            if (!token.empty()) {
+              const HostId host{std::stoull(token)};
+              // Only hosts that still exist in the engine and were not
+              // declared dead by the previous manager are recovered.
+              if (engine_.has_host(host) && !dead.contains(host)) {
+                managed_.insert(host);
+              }
+            }
+            if (comma == std::string::npos) break;
+            pos = comma + 1;
+          }
+          if (managed_.empty()) {
+            ESH_WARN << "Manager recovery: persisted host set empty";
+            started_ = false;
+            if (ready) ready(false);
+            return;
+          }
+          if (detector_) {
+            for (HostId host : dead) detector_->mark_dead(host);
+          }
+          watch_managed();
+          engine_.enable_probes(probe_endpoint_);
+          if (ready) ready(true);
+        });
+  });
 }
 
 std::vector<HostId> Manager::managed_hosts() const {
@@ -158,6 +194,7 @@ void Manager::on_probe(const net::Delivery& delivery) {
   }
   const HostId host = msg->probe.host;
   if (!managed_.contains(host)) return;  // source/sink/dedicated hosts
+  if (detector_) detector_->heartbeat(host);
   latest_probes_[host] = msg->probe;
   reported_since_eval_.insert(host);
   maybe_evaluate();
@@ -219,6 +256,7 @@ void Manager::execute(MigrationPlan plan) {
     try {
       const HostId id = pool_.allocate([this](cluster::Host& host) {
         engine_.add_host(host);
+        if (detector_) detector_->watch(host.id());
         if (--hosts_booting_ == 0) run_next_move();
       });
       plan_new_hosts_.push_back(id);
@@ -254,16 +292,50 @@ void Manager::run_next_move() {
   if (move.new_host_index.has_value()) {
     dst = plan_new_hosts_.at(*move.new_host_index);
   }
-  if (engine_.slice_host(move.slice) == dst) {
+  run_move(move.slice, dst, 0);
+}
+
+void Manager::run_move(SliceId slice, HostId dst, std::size_t attempt) {
+  // The plan may be stale by the time a move runs: hosts die mid-plan and
+  // lost slices belong to the recovery path, not the migration path.
+  if (!engine_.has_host(dst) || engine_.slice_lost(slice) ||
+      engine_.slice_host(slice) == dst) {
     run_next_move();
     return;
   }
-  engine_.migrate(move.slice, dst,
-                  [this, dst](const engine::MigrationReport& report) {
-                    migrations_.push_back(report);
-                    persist_placement(report.slice, dst);
-                    run_next_move();
-                  });
+  engine_.migrate(
+      slice, dst,
+      [this, slice, dst, attempt](const engine::MigrationReport& report) {
+        migrations_.push_back(report);
+        switch (report.outcome) {
+          case engine::MigrationOutcome::kCompleted:
+            persist_placement(slice, dst);
+            run_next_move();
+            return;
+          case engine::MigrationOutcome::kRejected:
+            run_next_move();
+            return;
+          case engine::MigrationOutcome::kAbortedSrcFailed:
+          case engine::MigrationOutcome::kAbortedDstFailed:
+            break;
+        }
+        // Aborted by a host failure mid-protocol. Retry with backoff while
+        // the slice survived and the destination still exists; a lost
+        // slice is the recovery orchestration's problem now.
+        if (attempt < config_.migration_max_retries &&
+            !engine_.slice_lost(slice) && engine_.has_host(dst)) {
+          ESH_WARN << "Manager: migration of slice " << slice << " aborted ("
+                   << to_string(report.outcome) << "); retrying";
+          simulator_.schedule(config_.migration_retry_backoff,
+                              [this, slice, dst, attempt] {
+                                run_move(slice, dst, attempt + 1);
+                              });
+          return;
+        }
+        ESH_WARN << "Manager: migration of slice " << slice << " abandoned ("
+                 << to_string(report.outcome) << ")";
+        run_next_move();
+      });
 }
 
 void Manager::finish_plan() {
@@ -277,6 +349,8 @@ void Manager::finish_plan() {
     pool_.release(host);
     managed_.erase(host);
     latest_probes_.erase(host);
+    // A released host legitimately stops probing.
+    if (detector_) detector_->unwatch(host);
   }
   persist_hosts();
   executing_ = false;
@@ -316,6 +390,239 @@ void Manager::persist_hosts() {
                                                   const std::string&) {});
                        }
                      });
+}
+
+// ---- failure handling -------------------------------------------------------
+
+void Manager::persist_health(HostId host) {
+  // The verdict outlives this manager instance: a restarted or promoted
+  // manager must not re-adopt a host that was already declared dead.
+  coord_client_->ensure_path(
+      config_.coord_root + "/health/" + std::to_string(host.value()), "dead",
+      [](coord::Status) {});
+}
+
+void Manager::load_health(std::function<void(std::set<HostId>)> done) {
+  coord_client_->get_children(
+      config_.coord_root + "/health",
+      [done = std::move(done)](coord::Status st,
+                               const std::vector<std::string>& names) {
+        std::set<HostId> dead;
+        if (st == coord::Status::kOk) {
+          for (const std::string& name : names) {
+            dead.insert(HostId{std::stoull(name)});
+          }
+        }
+        done(std::move(dead));
+      });
+}
+
+void Manager::watch_managed() {
+  if (!detector_) return;
+  for (HostId host : managed_) detector_->watch(host);
+}
+
+void Manager::on_host_dead(const HealthEvent& ev) {
+  const HostId host = ev.host;
+  if (!managed_.contains(host) || active_recoveries_.contains(host)) return;
+  if (!engine_.has_host(host)) {
+    // Already quarantined (e.g. by a concurrent manager instance): just
+    // drop it from the managed set.
+    managed_.erase(host);
+    latest_probes_.erase(host);
+    reported_since_eval_.erase(host);
+    persist_hosts();
+    return;
+  }
+  if (!engine_.config().checkpoints.enabled) {
+    ESH_WARN << "Manager: host " << host
+             << " dead but checkpoints are disabled; cannot recover";
+    return;
+  }
+  ESH_WARN << "Manager: host " << host << " dead, starting recovery";
+  persist_health(host);
+
+  // Snapshot the dead host's last probe before dropping it: the per-slice
+  // CPU weights drive the replacement placement.
+  cluster::HostProbe last_probe{};
+  if (auto it = latest_probes_.find(host); it != latest_probes_.end()) {
+    last_probe = it->second;
+    latest_probes_.erase(it);
+  }
+  managed_.erase(host);
+  reported_since_eval_.erase(host);
+  persist_hosts();
+  // Note: the crashed host is NOT released back to the IaaS pool; its Host
+  // object is still referenced by the quarantined runtime.
+
+  ActiveRecovery rec;
+  rec.report.host = host;
+  rec.report.detected = ev.at;
+  const std::vector<SliceId> lost = engine_.fail_host(host);
+  rec.report.quarantined = simulator_.now();
+  rec.report.slices_lost = lost;
+  if (lost.empty()) {
+    rec.report.placed = rec.report.recovered = simulator_.now();
+    rec.report.complete = true;
+    recoveries_.push_back(std::move(rec.report));
+    return;
+  }
+
+  // Re-place the lost slices over the survivors under the placement cap;
+  // what does not fit goes to fresh hosts from the pool.
+  std::vector<SliceView> moving;
+  for (SliceId slice : lost) {
+    SliceView view{slice, host, 0.0, 0};
+    for (const cluster::SliceProbe& sp : last_probe.slices) {
+      if (sp.slice == slice) {
+        view.cpu = sp.cpu;
+        view.state_bytes = sp.state_bytes;
+        break;
+      }
+    }
+    moving.push_back(view);
+  }
+  std::vector<HostView> bins;
+  for (HostId survivor : managed_) {
+    double cpu = 0.0;
+    if (auto it = latest_probes_.find(survivor); it != latest_probes_.end()) {
+      cpu = it->second.cpu;
+    }
+    bins.push_back(HostView{survivor, cpu});
+  }
+  std::size_t bins_used = 0;
+  const std::vector<MigrationPlan::Move> placement =
+      first_fit_place(std::move(moving), std::move(bins),
+                      enforcer_.config().placement_cap, 0, &bins_used);
+
+  std::vector<std::pair<SliceId, HostId>> immediate;
+  std::map<std::size_t, std::vector<SliceId>> on_new_host;
+  for (const MigrationPlan::Move& mv : placement) {
+    if (mv.new_host_index.has_value()) {
+      on_new_host[*mv.new_host_index].push_back(mv.slice);
+    } else {
+      immediate.emplace_back(mv.slice, mv.dst);
+    }
+  }
+  for (auto& [index, slices] : on_new_host) {
+    try {
+      const HostId fresh =
+          pool_.allocate([this, host, slices](cluster::Host& h) {
+            // Replacement booted: adopt it, then replay the slices that
+            // waited for its capacity.
+            engine_.add_host(h);
+            managed_.insert(h.id());
+            persist_hosts();
+            if (detector_) detector_->watch(h.id());
+            for (SliceId slice : slices) attempt_recover(host, slice, h.id(), 1);
+          });
+      rec.report.replacement_hosts.push_back(fresh);
+    } catch (const std::runtime_error&) {
+      // Pool exhausted: recover onto survivors beyond the cap — degraded
+      // capacity beats lost slices.
+      const std::optional<HostId> fallback = pick_recovery_host(host);
+      if (!fallback) {
+        ESH_WARN << "Manager: no host available to recover slices of " << host;
+        continue;
+      }
+      ESH_WARN << "Manager: IaaS pool exhausted, recovering onto " << *fallback;
+      for (SliceId slice : slices) immediate.emplace_back(slice, *fallback);
+    }
+  }
+  rec.report.placed = simulator_.now();
+  for (SliceId slice : lost) rec.pending.insert(slice);
+  active_recoveries_[host] = std::move(rec);
+  for (const auto& [slice, dst] : immediate) attempt_recover(host, slice, dst, 1);
+}
+
+void Manager::attempt_recover(HostId dead_host, SliceId slice, HostId dst,
+                              std::size_t attempt) {
+  auto it = active_recoveries_.find(dead_host);
+  if (it == active_recoveries_.end()) return;
+  ActiveRecovery& rec = it->second;
+  if (!rec.pending.contains(slice)) return;  // already recovered
+  if (attempt > config_.recovery.max_attempts) {
+    ESH_WARN << "Manager: giving up on slice " << slice << " after "
+             << config_.recovery.max_attempts << " attempts";
+    rec.pending.erase(slice);
+    maybe_finish_recovery(dead_host);
+    return;
+  }
+  if (!engine_.has_host(dst)) {
+    const std::optional<HostId> other = pick_recovery_host(dst);
+    if (!other) {
+      ESH_WARN << "Manager: no live host to recover slice " << slice;
+      rec.pending.erase(slice);
+      maybe_finish_recovery(dead_host);
+      return;
+    }
+    dst = *other;
+  }
+  rec.attempts[slice] = attempt;
+  if (attempt > 1) ++rec.report.retries;
+  engine_.recover_slice(slice, dst, [this, dead_host, slice] {
+    on_slice_recovered(dead_host, slice);
+  });
+  // Watchdog: a replay that missed its deadline is retried on another host
+  // after a backoff (bounded by max_attempts).
+  simulator_.schedule(
+      config_.recovery.attempt_timeout,
+      [this, dead_host, slice, dst, attempt] {
+        auto rit = active_recoveries_.find(dead_host);
+        if (rit == active_recoveries_.end()) return;
+        if (!rit->second.pending.contains(slice)) return;
+        if (rit->second.attempts[slice] != attempt) return;  // superseded
+        ESH_WARN << "Manager: recovery of slice " << slice
+                 << " timed out on host " << dst;
+        const std::optional<HostId> next = pick_recovery_host(dst);
+        const HostId retry_dst = next.value_or(dst);
+        simulator_.schedule(config_.recovery.retry_backoff,
+                            [this, dead_host, slice, retry_dst, attempt] {
+                              attempt_recover(dead_host, slice, retry_dst,
+                                              attempt + 1);
+                            });
+      });
+}
+
+void Manager::on_slice_recovered(HostId dead_host, SliceId slice) {
+  auto it = active_recoveries_.find(dead_host);
+  if (it == active_recoveries_.end()) return;
+  if (it->second.pending.erase(slice) == 0) return;
+  ++it->second.report.slices_recovered;
+  persist_placement(slice, engine_.slice_host(slice));
+  maybe_finish_recovery(dead_host);
+}
+
+void Manager::maybe_finish_recovery(HostId dead_host) {
+  auto it = active_recoveries_.find(dead_host);
+  if (it == active_recoveries_.end() || !it->second.pending.empty()) return;
+  RecoveryReport report = std::move(it->second.report);
+  report.recovered = simulator_.now();
+  report.complete = report.slices_recovered == report.slices_lost.size();
+  ESH_INFO << "Manager: recovery of host " << dead_host << " finished ("
+           << report.slices_recovered << "/" << report.slices_lost.size()
+           << " slices, MTTR " << to_millis(report.mttr()) << " ms)";
+  recoveries_.push_back(std::move(report));
+  active_recoveries_.erase(it);
+  // Fresh probe round before the next policy evaluation.
+  reported_since_eval_.clear();
+}
+
+std::optional<HostId> Manager::pick_recovery_host(HostId avoid) const {
+  std::optional<HostId> best;
+  double best_cpu = 2.0;
+  for (HostId host : managed_) {
+    if (host == avoid || !engine_.has_host(host)) continue;
+    double cpu = 0.0;
+    if (auto it = latest_probes_.find(host); it != latest_probes_.end()) {
+      cpu = it->second.cpu;
+    }
+    if (cpu < best_cpu) {
+      best_cpu = cpu;
+      best = host;
+    }
+  }
+  return best;
 }
 
 }  // namespace esh::elastic

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -22,11 +23,27 @@
 #include "coord/coord.hpp"
 #include "coord/recipes.hpp"
 #include "elastic/enforcer.hpp"
+#include "elastic/failure_detector.hpp"
 #include "engine/engine.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 
 namespace esh::elastic {
+
+// Automatic failure handling: when enabled the manager runs a failure
+// detector over the probe stream and, on a dead verdict, quarantines the
+// host, re-places its slices (allocating replacement hosts from the IaaS
+// pool when the survivors lack capacity) and drives checkpoint+replay
+// recovery for every lost slice. Requires engine checkpoints to be on.
+struct RecoveryConfig {
+  bool enabled = false;
+  FailureDetectorConfig detector{};
+  // Deadline for one recover_slice attempt before it is retried elsewhere.
+  SimDuration attempt_timeout = seconds(10);
+  // Bounded retries per slice (first attempt included).
+  std::size_t max_attempts = 3;
+  SimDuration retry_backoff = seconds(1);
+};
 
 struct ManagerConfig {
   PolicyConfig policy{};
@@ -38,6 +55,27 @@ struct ManagerConfig {
   // Run a leader election among manager instances: only the elected leader
   // collects probes and enforces; standbys take over on failure/resign.
   bool use_leader_election = false;
+  RecoveryConfig recovery{};
+  // A migration aborted by a host failure is retried this many times (with
+  // backoff) before the move is abandoned.
+  std::size_t migration_max_retries = 2;
+  SimDuration migration_retry_backoff = seconds(2);
+};
+
+// Timeline of one automatic host recovery; the MTTR breakdown measured by
+// bench/fig_recovery (detect -> quarantine -> placement -> replay done).
+struct RecoveryReport {
+  HostId host;
+  SimTime detected{};
+  SimTime quarantined{};
+  SimTime placed{};
+  SimTime recovered{};
+  std::vector<SliceId> slices_lost;
+  std::size_t slices_recovered = 0;
+  std::vector<HostId> replacement_hosts;
+  std::size_t retries = 0;
+  bool complete = false;
+  [[nodiscard]] SimDuration mttr() const { return recovered - detected; }
 };
 
 // Aggregate load sample over the managed hosts; recorded on each full probe
@@ -99,6 +137,14 @@ class Manager {
   [[nodiscard]] bool plan_in_progress() const { return executing_; }
   [[nodiscard]] std::uint64_t plans_executed() const { return plans_executed_; }
   [[nodiscard]] Enforcer& enforcer() { return enforcer_; }
+  // Present iff config.recovery.enabled.
+  [[nodiscard]] FailureDetector* failure_detector() { return detector_.get(); }
+  [[nodiscard]] const std::vector<RecoveryReport>& recoveries() const {
+    return recoveries_;
+  }
+  [[nodiscard]] bool recovery_in_progress() const {
+    return !active_recoveries_.empty();
+  }
 
   // Disables/enables policy evaluation (probes still collected); used by
   // experiments that drive migrations manually.
@@ -114,9 +160,20 @@ class Manager {
   void maybe_evaluate();
   void execute(MigrationPlan plan);
   void run_next_move();
+  void run_move(SliceId slice, HostId dst, std::size_t attempt);
   void finish_plan();
   void persist_placement(SliceId slice, HostId host);
   void persist_hosts();
+  void persist_health(HostId host);
+  // Reads the dead-host verdicts persisted under <coord_root>/health.
+  void load_health(std::function<void(std::set<HostId>)> done);
+  void watch_managed();
+  void on_host_dead(const HealthEvent& ev);
+  void attempt_recover(HostId dead_host, SliceId slice, HostId dst,
+                       std::size_t attempt);
+  void on_slice_recovered(HostId dead_host, SliceId slice);
+  void maybe_finish_recovery(HostId dead_host);
+  [[nodiscard]] std::optional<HostId> pick_recovery_host(HostId avoid) const;
 
   sim::Simulator& simulator_;
   net::Network& network_;
@@ -143,6 +200,16 @@ class Manager {
   std::vector<HostId> plan_new_hosts_;
   std::size_t next_move_ = 0;
   std::size_t hosts_booting_ = 0;
+
+  // Failure handling state.
+  struct ActiveRecovery {
+    RecoveryReport report;
+    std::set<SliceId> pending;
+    std::map<SliceId, std::size_t> attempts;
+  };
+  std::unique_ptr<FailureDetector> detector_;
+  std::map<HostId, ActiveRecovery> active_recoveries_;
+  std::vector<RecoveryReport> recoveries_;
 
   std::vector<LoadSample> load_history_;
   std::vector<engine::MigrationReport> migrations_;

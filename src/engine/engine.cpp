@@ -7,6 +7,16 @@
 
 namespace esh::engine {
 
+const char* to_string(MigrationOutcome outcome) {
+  switch (outcome) {
+    case MigrationOutcome::kCompleted: return "completed";
+    case MigrationOutcome::kRejected: return "rejected";
+    case MigrationOutcome::kAbortedSrcFailed: return "aborted-src-failed";
+    case MigrationOutcome::kAbortedDstFailed: return "aborted-dst-failed";
+  }
+  return "unknown";
+}
+
 Engine::Engine(sim::Simulator& simulator, net::Network& network,
                HostId manager_host, EngineConfig config, std::uint64_t seed)
     : simulator_(simulator),
@@ -163,7 +173,12 @@ std::vector<SliceId> Engine::fail_host(HostId host) {
   std::vector<SliceId> lost;
   for (SliceId slice : it->second->slice_ids()) {
     it->second->slice(slice)->retire();  // pending CPU jobs die harmlessly
-    lost.push_back(slice);
+    // Only slices the directory still places here are lost: a mid-migration
+    // replica (primary elsewhere) dies without losing anything.
+    const auto loc = directory_.find(slice);
+    if (loc != directory_.end() && loc->second.primary == host) {
+      lost.push_back(slice);
+    }
   }
   it->second->disable_probes();
   if (network_.bound(it->second->endpoint())) {
@@ -173,14 +188,24 @@ std::vector<SliceId> Engine::fail_host(HostId host) {
   failed_runtimes_.push_back(std::move(it->second));
   host_runtimes_.erase(it);
   std::sort(lost.begin(), lost.end());
+  // Unwedge the migration protocol: abort or advance the in-flight
+  // migration if the dead host participated in it.
+  handle_host_failure(host);
   return lost;
+}
+
+bool Engine::slice_lost(SliceId slice) const {
+  const auto it = directory_.find(slice);
+  if (it == directory_.end()) return false;
+  const auto host_it = host_runtimes_.find(it->second.primary);
+  return host_it == host_runtimes_.end() ||
+         !host_it->second->has_slice(slice);
 }
 
 void Engine::recover_slice(SliceId slice, HostId dst,
                            std::function<void()> done) {
-  auto cp = checkpoints_.find(slice);
-  if (cp == checkpoints_.end()) {
-    throw std::logic_error{"recover_slice: no checkpoint for slice"};
+  if (!directory_.contains(slice)) {
+    throw std::invalid_argument{"recover_slice: unknown slice"};
   }
   if (!host_runtimes_.contains(dst)) {
     throw std::invalid_argument{"recover_slice: unknown destination host"};
@@ -189,11 +214,18 @@ void Engine::recover_slice(SliceId slice, HostId dst,
   directory_[slice] = SliceLocation{dst, HostId{}};
   auto msg = std::make_shared<RestoreFromCheckpointMessage>();
   msg->slice = slice;
-  msg->state = cp->second.state;
-  msg->processed = cp->second.processed;
-  msg->out_seqs = cp->second.out_seqs;
   msg->reply_to = control_endpoint_;
-  const std::size_t bytes = msg->state->size();
+  std::size_t bytes = 96;
+  if (auto cp = checkpoints_.find(slice); cp != checkpoints_.end()) {
+    msg->state = cp->second.state;
+    msg->processed = cp->second.processed;
+    msg->out_seqs = cp->second.out_seqs;
+    msg->log = cp->second.log;
+    bytes = msg->state->size() + 64 * msg->log.size();
+  }
+  // No checkpoint: bootstrap restore with null state and zero watermarks.
+  // The retained logs are complete precisely because no checkpoint ever
+  // truncated them, so the full replay rebuilds the state from scratch.
   network_.send(control_endpoint_, host_runtimes_.at(dst)->endpoint(),
                 std::move(msg), bytes);
 }
@@ -241,20 +273,22 @@ void Engine::enable_probes(net::Endpoint target) {
 // ---- migration coordination --------------------------------------------------
 
 void Engine::migrate(SliceId slice, HostId dst, MigrationCallback callback) {
-  auto dir_it = directory_.find(slice);
-  if (dir_it == directory_.end()) {
-    throw std::invalid_argument{"migrate: unknown slice"};
-  }
-  if (!host_runtimes_.contains(dst)) {
-    throw std::invalid_argument{"migrate: destination host not in engine"};
-  }
   MigrationTask task;
   task.report.id = MigrationId{next_migration_++};
   task.report.slice = slice;
-  task.report.src = dir_it->second.primary;
   task.report.dst = dst;
   task.report.requested = simulator_.now();
   task.callback = std::move(callback);
+  const auto dir_it = directory_.find(slice);
+  if (dir_it == directory_.end() || !host_runtimes_.contains(dst)) {
+    // Invalid request: reject through the callback so callers learn the
+    // outcome the same way they learn any other.
+    task.report.outcome = MigrationOutcome::kRejected;
+    task.report.completed = simulator_.now();
+    if (task.callback) task.callback(task.report);
+    return;
+  }
+  task.report.src = dir_it->second.primary;
   if (task.report.src == dst) {
     // Degenerate migration: report immediately.
     task.report.frozen = task.report.activated = task.report.completed =
@@ -263,33 +297,193 @@ void Engine::migrate(SliceId slice, HostId dst, MigrationCallback callback) {
     return;
   }
   migration_queue_.push_back(std::move(task));
-  if (!current_migration_) start_next_migration();
+  start_next_migration();
 }
 
 void Engine::start_next_migration() {
-  if (migration_queue_.empty()) return;
-  current_migration_ = std::move(migration_queue_.front());
-  migration_queue_.pop_front();
-  MigrationTask& task = *current_migration_;
-  // The slice may have moved since the request was queued.
-  task.report.src = directory_.at(task.report.slice).primary;
-  if (task.report.src == task.report.dst) {
-    auto report = task.report;
-    auto cb = std::move(task.callback);
-    report.frozen = report.activated = report.completed = simulator_.now();
-    current_migration_.reset();
-    if (cb) cb(report);
-    start_next_migration();
+  while (!current_migration_ && !migration_queue_.empty()) {
+    MigrationTask task = std::move(migration_queue_.front());
+    migration_queue_.pop_front();
+    // Cluster state may have changed while the request was queued: the
+    // slice may have moved, been lost to a crash, or the destination host
+    // may have died. Reject stale moves instead of wedging on them.
+    const auto dir_it = directory_.find(task.report.slice);
+    const HostId src =
+        dir_it == directory_.end() ? HostId{} : dir_it->second.primary;
+    const auto src_it = host_runtimes_.find(src);
+    const bool src_ok = src_it != host_runtimes_.end() &&
+                        src_it->second->has_slice(task.report.slice);
+    if (!src_ok || !host_runtimes_.contains(task.report.dst)) {
+      task.report.outcome = MigrationOutcome::kRejected;
+      task.report.completed = simulator_.now();
+      if (task.callback) task.callback(task.report);
+      continue;
+    }
+    task.report.src = src;
+    if (src == task.report.dst) {
+      task.report.frozen = task.report.activated = task.report.completed =
+          simulator_.now();
+      if (task.callback) task.callback(task.report);
+      continue;
+    }
+    current_migration_ = std::move(task);
+    migration_step([this] {
+      MigrationTask& t = *current_migration_;
+      auto req = std::make_shared<CreateReplicaRequest>();
+      req->migration = t.report.id;
+      req->slice = t.report.slice;
+      req->reply_to = control_endpoint_;
+      send_control(host_runtimes_.at(t.report.dst)->endpoint(),
+                   std::move(req));
+    });
+  }
+}
+
+void Engine::finish_migration(MigrationOutcome outcome) {
+  MigrationTask task = std::move(*current_migration_);
+  current_migration_.reset();
+  task.report.outcome = outcome;
+  task.report.completed = simulator_.now();
+  if (outcome == MigrationOutcome::kCompleted) ++migrations_completed_;
+  if (task.callback) task.callback(task.report);
+  start_next_migration();
+}
+
+void Engine::broadcast_location(SliceId slice, HostId host) {
+  for (auto& [id, runtime] : host_runtimes_) {
+    auto update = std::make_shared<DirectoryUpdateMessage>();
+    update->migration = MigrationId{};
+    update->slice = slice;
+    update->host = host;
+    update->reply_to = net::Endpoint{};  // no ack needed
+    send_control(runtime->endpoint(), std::move(update));
+  }
+}
+
+void Engine::after_directory_acks() {
+  MigrationTask& t = *current_migration_;
+  if (!host_runtimes_.contains(t.report.src)) {
+    // The source died after activation: nothing left to tear down, the
+    // slice is safe on the destination.
+    finish_migration(MigrationOutcome::kCompleted);
     return;
   }
-  step_after_tick([this] {
+  t.step = MigrationTask::Step::kTeardown;
+  migration_step([this] {
     MigrationTask& t = *current_migration_;
-    auto req = std::make_shared<CreateReplicaRequest>();
+    auto req = std::make_shared<TeardownRequest>();
     req->migration = t.report.id;
     req->slice = t.report.slice;
     req->reply_to = control_endpoint_;
-    send_control(host_runtimes_.at(t.report.dst)->endpoint(), std::move(req));
+    send_control(host_runtimes_.at(t.report.src)->endpoint(), std::move(req));
   });
+}
+
+void Engine::handle_host_failure(HostId host) {
+  if (!current_migration_) return;
+  MigrationTask& t = *current_migration_;
+  using Step = MigrationTask::Step;
+  const SliceId slice = t.report.slice;
+
+  if (host == t.report.dst) {
+    switch (t.step) {
+      case Step::kCreateReplica:
+        // No duplication started yet; the replica died with the host.
+        finish_migration(MigrationOutcome::kAbortedDstFailed);
+        return;
+      case Step::kDuplication:
+        // Upstreams may already duplicate to the dead host: stop them.
+        directory_[slice].shadow = HostId{};
+        broadcast_location(slice, t.report.src);
+        finish_migration(MigrationOutcome::kAbortedDstFailed);
+        return;
+      case Step::kTransfer: {
+        // The freeze may or may not have reached the source. Ask it to
+        // resume the slice; if the state already shipped (to a dead host),
+        // the source reports the slice unusable and it goes to recovery.
+        t.step = Step::kAborting;
+        t.abort_peer = t.report.src;
+        t.abort_outcome = MigrationOutcome::kAbortedDstFailed;
+        auto req = std::make_shared<AbortMigrationRequest>();
+        req->migration = t.report.id;
+        req->slice = slice;
+        req->reply_to = control_endpoint_;
+        send_control(host_runtimes_.at(t.report.src)->endpoint(),
+                     std::move(req));
+        return;
+      }
+      case Step::kDirectoryUpdate:
+        // Already activated on dst: the move completed, then the host
+        // died. The lost slice is recovery's problem; converge survivors.
+        t.pending_update_hosts.erase(host);
+        if (t.pending_update_hosts.empty()) after_directory_acks();
+        return;
+      case Step::kTeardown:
+        return;  // teardown targets the source; unaffected
+      case Step::kAborting:
+        if (host == t.abort_peer) finish_migration(t.abort_outcome);
+        return;
+    }
+    return;
+  }
+
+  if (host == t.report.src) {
+    switch (t.step) {
+      case Step::kCreateReplica:
+      case Step::kDuplication:
+      case Step::kTransfer: {
+        // The slice was lost with the source. The replica on dst must be
+        // torn down — unless the state transfer raced ahead and it already
+        // activated, in which case the migration completed. Ask dst.
+        directory_[slice].shadow = HostId{};
+        t.step = Step::kAborting;
+        t.abort_peer = t.report.dst;
+        t.abort_outcome = MigrationOutcome::kAbortedSrcFailed;
+        auto req = std::make_shared<AbortReplicaRequest>();
+        req->migration = t.report.id;
+        req->slice = slice;
+        req->reply_to = control_endpoint_;
+        send_control(host_runtimes_.at(t.report.dst)->endpoint(),
+                     std::move(req));
+        return;
+      }
+      case Step::kDirectoryUpdate:
+        t.pending_update_hosts.erase(host);
+        if (t.pending_update_hosts.empty()) after_directory_acks();
+        return;
+      case Step::kTeardown:
+        // The dead source was the last protocol participant.
+        finish_migration(MigrationOutcome::kCompleted);
+        return;
+      case Step::kAborting:
+        if (host == t.abort_peer) finish_migration(t.abort_outcome);
+        return;
+    }
+    return;
+  }
+
+  // A third host died: strike it from any outstanding ack set so the
+  // protocol does not wait for a host that will never answer.
+  if (t.step == Step::kDuplication) {
+    for (auto it = t.pending_dup_slices.begin();
+         it != t.pending_dup_slices.end();) {
+      if (directory_.at(*it).primary == host) {
+        // The upstream died with its host; its channel gets no catch-up
+        // entry. Once recovered, its replayed suffix reaches the replica
+        // through shadow duplication like any live traffic.
+        it = t.pending_dup_slices.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (t.pending_dup_slices.empty()) {
+      t.step = Step::kTransfer;
+      migration_step([this] { send_freeze(); });
+    }
+  } else if (t.step == Step::kDirectoryUpdate) {
+    t.pending_update_hosts.erase(host);
+    if (t.pending_update_hosts.empty()) after_directory_acks();
+  }
 }
 
 void Engine::send_freeze() {
@@ -311,6 +505,20 @@ void Engine::step_after_tick(std::function<void()> fn) {
   simulator_.schedule(delay, std::move(fn));
 }
 
+void Engine::migration_step(std::function<void()> fn) {
+  // A migration can be aborted (and a successor started) while a scheduled
+  // step is in flight: the guard keeps a stale step from firing into the
+  // wrong migration, and from racing an abort handshake (e.g. sending the
+  // freeze after the source was already told to resume the slice).
+  const MigrationId id = current_migration_->report.id;
+  step_after_tick([this, id, fn = std::move(fn)] {
+    if (current_migration_ && current_migration_->report.id == id &&
+        current_migration_->step != MigrationTask::Step::kAborting) {
+      fn();
+    }
+  });
+}
+
 void Engine::send_control(net::Endpoint to, net::MessagePtr msg) {
   network_.send(control_endpoint_, to, std::move(msg), 96);
 }
@@ -330,8 +538,9 @@ void Engine::on_control(const net::Delivery& delivery) {
 
   // ---- passive-replication traffic (independent of migrations) ----
   if (const auto* checkpoint = dynamic_cast<const CheckpointMessage*>(msg)) {
-    checkpoints_[checkpoint->slice] = StoredCheckpoint{
-        checkpoint->state, checkpoint->processed, checkpoint->out_seqs};
+    checkpoints_[checkpoint->slice] =
+        StoredCheckpoint{checkpoint->state, checkpoint->processed,
+                         checkpoint->out_seqs, checkpoint->log};
     // Let upstream logs (and the external injection log) truncate.
     auto notice = std::make_shared<CheckpointNoticeMessage>();
     notice->slice = checkpoint->slice;
@@ -359,24 +568,56 @@ void Engine::on_control(const net::Delivery& delivery) {
     auto recovery = recoveries_.find(ack->slice);
     if (recovery == recoveries_.end()) return;
     const HostId dst = directory_.at(ack->slice).primary;
+    // A slice without a checkpoint bootstraps: zero watermarks ask the
+    // (untruncated) logs for a full replay, and empty output bases make
+    // every downstream rewind to sequence 1.
+    std::vector<std::pair<SliceId, SeqNo>> processed;
+    std::vector<std::pair<SliceId, SeqNo>> out_bases;
+    if (auto cp = checkpoints_.find(ack->slice); cp != checkpoints_.end()) {
+      processed = cp->second.processed;
+      out_bases = cp->second.out_seqs;
+    }
+    // With a single input channel the replay re-creates the original event
+    // order exactly, so the regenerated output matches the original
+    // sequence numbering and downstream dedup stays valid. Only multi-input
+    // slices can interleave replayed channels differently and need their
+    // downstream channels rewound to the restored bases.
+    const std::size_t input_channels =
+        upstream_slices(ack->slice).size() +
+        (next_inject_seq_.contains(ack->slice) ? 1 : 0);
     for (auto& [id, runtime] : host_runtimes_) {
       auto update = std::make_shared<DirectoryUpdateMessage>();
       update->migration = MigrationId{};
       update->slice = ack->slice;
       update->host = dst;
       update->reply_to = net::Endpoint{};  // no ack needed
+      update->reset_channels = input_channels > 1;
+      update->out_bases = out_bases;
       network_.send(control_endpoint_, runtime->endpoint(), update, 96);
     }
-    const auto& cp = checkpoints_.at(ack->slice);
     auto replay = std::make_shared<ReplayRequest>();
     replay->slice = ack->slice;
-    replay->processed = cp.processed;
+    replay->processed = processed;
     for (auto& [id, runtime] : host_runtimes_) {
       network_.send(control_endpoint_, runtime->endpoint(), replay, 96);
     }
+    // Co-recovery rendezvous: slices recovered before this one broadcast
+    // their replay requests while this slice was not live anywhere, so the
+    // events only its (restored) log holds were never re-sent. Re-deliver
+    // those requests to the new host; channel/handler deduplication
+    // absorbs any redundancy.
+    const auto dst_endpoint = host_runtimes_.at(dst)->endpoint();
+    for (const auto& [other, watermarks] : pending_replays_) {
+      if (other == ack->slice) continue;
+      auto again = std::make_shared<ReplayRequest>();
+      again->slice = other;
+      again->processed = watermarks;
+      network_.send(control_endpoint_, dst_endpoint, again, 96);
+    }
+    pending_replays_[ack->slice] = processed;
     // External injections: re-deliver the logged suffix directly.
     SeqNo external_watermark = 0;
-    for (const auto& [upstream, watermark] : cp.processed) {
+    for (const auto& [upstream, watermark] : processed) {
       if (upstream == kExternalChannel) external_watermark = watermark;
     }
     auto log = inject_log_.find(ack->slice);
@@ -400,9 +641,13 @@ void Engine::on_control(const net::Delivery& delivery) {
     return;
   }
   MigrationTask& task = *current_migration_;
+  using Step = MigrationTask::Step;
 
   if (const auto* ack = dynamic_cast<const CreateReplicaAck*>(msg)) {
-    if (ack->migration != task.report.id) return;
+    if (ack->migration != task.report.id ||
+        task.step != Step::kCreateReplica) {
+      return;
+    }
     // Duplication of the external injection channel starts now: record the
     // shadow (Engine::inject consults it) and the catch-up point.
     directory_[task.report.slice].shadow = task.report.dst;
@@ -412,19 +657,29 @@ void Engine::on_control(const net::Delivery& delivery) {
         kExternalChannel,
         inject_it == next_inject_seq_.end() ? SeqNo{1} : inject_it->second);
 
-    const auto upstreams = upstream_slices(task.report.slice);
-    task.awaited_acks = upstreams.size();
-    if (upstreams.empty()) {
-      // No DAG channels (source operator): freeze directly.
-      step_after_tick([this] { send_freeze(); });
+    task.pending_dup_slices.clear();
+    std::set<HostId> hosts;
+    for (SliceId up : upstream_slices(task.report.slice)) {
+      const HostId up_host = directory_.at(up).primary;
+      // A lost upstream (host dead, recovery pending) cannot ack; once it
+      // recovers, its replayed suffix reaches the replica through shadow
+      // duplication like any live traffic.
+      if (!host_runtimes_.contains(up_host)) continue;
+      task.pending_dup_slices.insert(up);
+      hosts.insert(up_host);
+    }
+    if (task.pending_dup_slices.empty()) {
+      // No live DAG channels (source operator): freeze directly.
+      task.step = Step::kTransfer;
+      migration_step([this] { send_freeze(); });
       return;
     }
+    task.step = Step::kDuplication;
     // One request per host holding at least one upstream slice.
-    std::set<HostId> hosts;
-    for (SliceId up : upstreams) hosts.insert(directory_.at(up).primary);
-    step_after_tick([this, hosts] {
+    migration_step([this, hosts] {
       MigrationTask& t = *current_migration_;
       for (HostId host : hosts) {
+        if (!host_runtimes_.contains(host)) continue;  // died meanwhile
         auto req = std::make_shared<StartDuplicationRequest>();
         req->migration = t.report.id;
         req->slice = t.report.slice;
@@ -437,22 +692,34 @@ void Engine::on_control(const net::Delivery& delivery) {
   }
 
   if (const auto* ack = dynamic_cast<const StartDuplicationAck*>(msg)) {
-    if (ack->migration != task.report.id) return;
+    if (ack->migration != task.report.id || task.step != Step::kDuplication) {
+      return;
+    }
+    if (task.pending_dup_slices.erase(ack->upstream_slice) == 0) return;
     task.catchup.emplace_back(ack->upstream_slice, ack->next_seq);
-    if (--task.awaited_acks > 0) return;
-    step_after_tick([this] { send_freeze(); });
+    if (!task.pending_dup_slices.empty()) return;
+    task.step = Step::kTransfer;
+    migration_step([this] { send_freeze(); });
     return;
   }
 
   if (const auto* ack = dynamic_cast<const ActivatedAck*>(msg)) {
     if (ack->migration != task.report.id) return;
+    // Ignore an activation that raced a destination crash: the activated
+    // copy died with the host and the slice goes through the abort path.
+    if (!host_runtimes_.contains(task.report.dst)) return;
+    if (task.step != Step::kTransfer && task.step != Step::kAborting) return;
     task.report.frozen = ack->frozen_at;
     task.report.activated = ack->activated_at;
     task.report.state_bytes = ack->state_bytes;
     directory_[task.report.slice] =
         SliceLocation{task.report.dst, HostId{}};
-    task.awaited_acks = host_runtimes_.size();
-    step_after_tick([this] {
+    task.step = Step::kDirectoryUpdate;
+    task.pending_update_hosts.clear();
+    for (const auto& [id, runtime] : host_runtimes_) {
+      task.pending_update_hosts.insert(id);
+    }
+    migration_step([this] {
       MigrationTask& t = *current_migration_;
       for (auto& [id, runtime] : host_runtimes_) {
         auto update = std::make_shared<DirectoryUpdateMessage>();
@@ -467,28 +734,58 @@ void Engine::on_control(const net::Delivery& delivery) {
   }
 
   if (const auto* ack = dynamic_cast<const DirectoryUpdateAck*>(msg)) {
-    if (ack->migration != task.report.id) return;
-    if (--task.awaited_acks > 0) return;
-    step_after_tick([this] {
-      MigrationTask& t = *current_migration_;
-      auto req = std::make_shared<TeardownRequest>();
-      req->migration = t.report.id;
-      req->slice = t.report.slice;
-      req->reply_to = control_endpoint_;
-      send_control(host_runtimes_.at(t.report.src)->endpoint(), std::move(req));
-    });
+    if (ack->migration != task.report.id ||
+        task.step != Step::kDirectoryUpdate) {
+      return;
+    }
+    task.pending_update_hosts.erase(ack->from_host);
+    if (task.pending_update_hosts.empty()) after_directory_acks();
     return;
   }
 
   if (const auto* ack = dynamic_cast<const TeardownAck*>(msg)) {
-    if (ack->migration != task.report.id) return;
-    task.report.completed = simulator_.now();
-    ++migrations_completed_;
-    auto report = task.report;
-    auto cb = std::move(task.callback);
-    current_migration_.reset();
-    if (cb) cb(report);
-    if (!current_migration_) start_next_migration();
+    if (ack->migration != task.report.id || task.step != Step::kTeardown) {
+      return;
+    }
+    finish_migration(MigrationOutcome::kCompleted);
+    return;
+  }
+
+  if (const auto* ack = dynamic_cast<const AbortMigrationAck*>(msg)) {
+    if (ack->migration != task.report.id || task.step != Step::kAborting) {
+      return;
+    }
+    // The source resolved the abort: either the slice resumed in place, or
+    // its frozen state shipped to the dead destination and it needs
+    // recovery. Either way, stop any lingering duplication.
+    directory_[task.report.slice].shadow = HostId{};
+    broadcast_location(task.report.slice,
+                       directory_.at(task.report.slice).primary);
+    if (!ack->resumed) {
+      ESH_WARN << "Engine: migration abort lost slice "
+               << task.report.slice.value() << " (state shipped to dead host)";
+    }
+    finish_migration(task.abort_outcome);
+    return;
+  }
+
+  if (const auto* ack = dynamic_cast<const AbortReplicaAck*>(msg)) {
+    if (ack->migration != task.report.id || task.step != Step::kAborting) {
+      return;
+    }
+    if (ack->was_active) {
+      // The state transfer raced the abort and the replica went live: the
+      // migration actually completed despite the source's death.
+      directory_[task.report.slice] =
+          SliceLocation{task.report.dst, HostId{}};
+      broadcast_location(task.report.slice, task.report.dst);
+      finish_migration(MigrationOutcome::kCompleted);
+      return;
+    }
+    directory_[task.report.slice].shadow = HostId{};
+    broadcast_location(task.report.slice,
+                       directory_.at(task.report.slice).primary);
+    finish_migration(task.abort_outcome);
     return;
   }
 

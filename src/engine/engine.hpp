@@ -55,11 +55,25 @@ struct EngineConfig {
   cluster::CostModel cost;
 };
 
+// How a migration ended. Anything but kCompleted leaves the slice where the
+// abort semantics put it: still on the source (kAbortedDstFailed with the
+// slice resumed), on the destination (a source crash that raced the state
+// transfer counts as kCompleted), or lost and handed to recovery.
+enum class MigrationOutcome {
+  kCompleted,
+  kRejected,         // invalid slice/destination; nothing happened
+  kAbortedSrcFailed, // source host died mid-protocol
+  kAbortedDstFailed, // destination host died mid-protocol
+};
+
+[[nodiscard]] const char* to_string(MigrationOutcome outcome);
+
 struct MigrationReport {
   MigrationId id;
   SliceId slice;
   HostId src;
   HostId dst;
+  MigrationOutcome outcome = MigrationOutcome::kCompleted;
   SimTime requested{};
   SimTime frozen{};     // processing stopped on the source host
   SimTime activated{};  // processing resumed on the destination host
@@ -104,7 +118,10 @@ class Engine {
   // ---- elasticity mechanism ----
   // Migrates `slice` to `dst`. Migrations are executed one at a time in
   // request order (the enforcer minimizes their number; serializing them
-  // bounds interference). The callback fires on completion.
+  // bounds interference). The callback always fires exactly once and carries
+  // the outcome: an unknown slice or destination is rejected through the
+  // callback (kRejected), and a source/destination crash mid-protocol aborts
+  // the move cleanly instead of wedging the queue.
   void migrate(SliceId slice, HostId dst, MigrationCallback callback);
   [[nodiscard]] std::size_t pending_migrations() const {
     return migration_queue_.size() + (current_migration_ ? 1 : 0);
@@ -122,7 +139,14 @@ class Engine {
 
   // Restores a lost slice on `dst` from its last checkpoint and asks the
   // upstream logs (and the external injection log) to replay the suffix.
+  // A slice with no checkpoint yet bootstraps from scratch: the retained
+  // logs are complete precisely because no checkpoint ever truncated them,
+  // so a full replay reconstructs the state.
   void recover_slice(SliceId slice, HostId dst, std::function<void()> done);
+
+  // True when the slice's directory primary is dead or no longer holds an
+  // instance of the slice (i.e. it needs recover_slice to run again).
+  [[nodiscard]] bool slice_lost(SliceId slice) const;
 
   // Standby-store endpoint slices ship checkpoints to.
   [[nodiscard]] net::Endpoint checkpoint_store_endpoint() const {
@@ -149,16 +173,39 @@ class Engine {
 
  private:
   struct MigrationTask {
+    // Protocol position of the coordinator; determines the correct abort
+    // action when the source or destination host dies.
+    enum class Step {
+      kCreateReplica,    // awaiting CreateReplicaAck from dst
+      kDuplication,      // awaiting StartDuplicationAcks from upstreams
+      kTransfer,         // freeze sent; awaiting ActivatedAck from dst
+      kDirectoryUpdate,  // awaiting DirectoryUpdateAcks from all hosts
+      kTeardown,         // awaiting TeardownAck from src
+      kAborting,         // awaiting AbortMigrationAck / AbortReplicaAck
+    };
     MigrationReport report;
     MigrationCallback callback;
     std::vector<std::pair<SliceId, SeqNo>> catchup;
-    std::size_t awaited_acks = 0;
+    Step step = Step::kCreateReplica;
+    // Outstanding acks tracked as sets (not counters) so a dead host can be
+    // struck from the wait without wedging the protocol.
+    std::set<SliceId> pending_dup_slices;
+    std::set<HostId> pending_update_hosts;
+    // While kAborting: the host whose ack resolves the abort, and the
+    // outcome to report (first failure wins).
+    HostId abort_peer;
+    MigrationOutcome abort_outcome = MigrationOutcome::kCompleted;
   };
 
   void start_next_migration();
+  void finish_migration(MigrationOutcome outcome);
+  void handle_host_failure(HostId host);
+  void after_directory_acks();
+  void broadcast_location(SliceId slice, HostId host);
   void on_control(const net::Delivery& delivery);
   void send_freeze();
   void step_after_tick(std::function<void()> fn);
+  void migration_step(std::function<void()> fn);
   void send_control(net::Endpoint to, net::MessagePtr msg);
   [[nodiscard]] std::vector<SliceId> upstream_slices(SliceId slice) const;
 
@@ -191,10 +238,18 @@ class Engine {
     std::shared_ptr<const std::vector<std::byte>> state;
     std::vector<std::pair<SliceId, SeqNo>> processed;
     std::vector<std::pair<SliceId, SeqNo>> out_seqs;
+    std::vector<WireEvent> log;  // output backlog at the cut
   };
   std::unordered_map<SliceId, StoredCheckpoint> checkpoints_;
   std::unordered_map<SliceId, std::deque<WireEvent>> inject_log_;
   std::unordered_map<SliceId, std::function<void()>> recoveries_;
+  // Watermarks of each slice's most recent recovery replay request. When
+  // several slices recover concurrently, one activated earlier may have
+  // broadcast its request before a co-recovering upstream was live; the
+  // upstream re-receives these on activation so its restored log can serve
+  // them (duplicate replays are deduplicated by the channel protocol).
+  std::unordered_map<SliceId, std::vector<std::pair<SliceId, SeqNo>>>
+      pending_replays_;
   std::vector<std::unique_ptr<HostRuntime>> failed_runtimes_;
 
   friend class HostRuntime;

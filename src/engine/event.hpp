@@ -101,6 +101,12 @@ struct StateTransferMessage final : net::Message {
   std::vector<std::pair<SliceId, SeqNo>> processed;
   // Output counters: per downstream slice, next sequence number to assign.
   std::vector<std::pair<SliceId, SeqNo>> out_seqs;
+  // Retained output backlog (the upstream-backup log, flattened): events
+  // downstream slices have not checkpointed past. It moves with the state
+  // so the new instance can serve replay requests for them — without it, a
+  // later downstream failure could ask for events only the old (gone)
+  // instance had logged.
+  std::vector<WireEvent> log;
   SimTime frozen_at{};
   net::Endpoint reply_to;
 };
@@ -120,6 +126,18 @@ struct DirectoryUpdateMessage final : net::Message {
   SliceId slice;
   HostId host;
   net::Endpoint reply_to;  // invalid when no ack needed
+  // Recovery updates only (invalid migration id). A recovered slice with a
+  // single input channel replays it in order and regenerates exactly the
+  // original (sequence, content) stream, so downstream per-channel
+  // deduplication stays correct. With two or more input channels the
+  // replayed inputs may interleave differently than the original run — the
+  // same sequence number can carry different content — and the engine sets
+  // `reset_channels`: downstreams rewind the channel from `slice` to its
+  // restored output base (absent from `out_bases` = bootstrap = base 1)
+  // and accept the regenerated stream afresh. Content-level duplicates of
+  // the re-delivered prefix are absorbed by idempotent operator handlers.
+  bool reset_channels = false;
+  std::vector<std::pair<SliceId, SeqNo>> out_bases;
 };
 
 struct DirectoryUpdateAck final : net::Message {
@@ -131,6 +149,41 @@ struct TeardownRequest final : net::Message {
   MigrationId migration;
   SliceId slice;
   net::Endpoint reply_to;
+};
+
+// ---- migration abort (destination or source host died mid-flight) ----
+
+// Sent to the *source* host when the destination died mid-migration: resume
+// the slice if it has not shipped its state yet (the replica and its
+// buffered duplicates died with the destination).
+struct AbortMigrationRequest final : net::Message {
+  MigrationId migration;
+  SliceId slice;
+  net::Endpoint reply_to;
+};
+
+// `resumed` is false when the slice had already frozen and shipped its
+// state: the local copy is stale and the slice must go through recovery.
+struct AbortMigrationAck final : net::Message {
+  MigrationId migration;
+  SliceId slice;
+  bool resumed = false;
+};
+
+// Sent to the *destination* host when the source died mid-migration: tear
+// down the inactive replica. If the state transfer raced ahead and the
+// replica already activated, it reports so and stays — the migration
+// actually completed.
+struct AbortReplicaRequest final : net::Message {
+  MigrationId migration;
+  SliceId slice;
+  net::Endpoint reply_to;
+};
+
+struct AbortReplicaAck final : net::Message {
+  MigrationId migration;
+  SliceId slice;
+  bool was_active = false;
 };
 
 struct TeardownAck final : net::Message {
@@ -150,6 +203,11 @@ struct CheckpointMessage final : net::Message {
   std::shared_ptr<const std::vector<std::byte>> state;
   std::vector<std::pair<SliceId, SeqNo>> processed;  // input watermarks
   std::vector<std::pair<SliceId, SeqNo>> out_seqs;   // output counters
+  // Retained output backlog at the cut (see StateTransferMessage::log):
+  // needed when this slice and a downstream fail together — the restored
+  // instance must be able to replay events it emitted before the cut,
+  // which it cannot regenerate (they precede its own watermarks).
+  std::vector<WireEvent> log;
 };
 
 // Broadcast after a checkpoint is stored: upstreams may drop logged events
@@ -165,6 +223,7 @@ struct RestoreFromCheckpointMessage final : net::Message {
   std::shared_ptr<const std::vector<std::byte>> state;
   std::vector<std::pair<SliceId, SeqNo>> processed;
   std::vector<std::pair<SliceId, SeqNo>> out_seqs;
+  std::vector<WireEvent> log;  // checkpointed output backlog
   net::Endpoint reply_to;
 };
 

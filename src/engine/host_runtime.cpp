@@ -197,6 +197,17 @@ void SliceRuntime::replay_log(SliceId downstream, SeqNo above) {
   }
 }
 
+void SliceRuntime::reset_channel(SliceId upstream, SeqNo base) {
+  auto it = in_.find(upstream);
+  if (it == in_.end()) return;
+  ChannelIn& channel = it->second;
+  // Buffered events at or above the base are originals from the old
+  // instance whose sequence numbers no longer mean the same content.
+  std::erase_if(channel.pending,
+                [base](const auto& entry) { return entry.first >= base; });
+  if (channel.expected > base) channel.expected = base;
+}
+
 void SliceRuntime::checkpoint(net::Endpoint store) {
   if (state_ != State::kActive) return;
   const auto& cost_model = host_.engine().config().cost;
@@ -219,7 +230,10 @@ void SliceRuntime::checkpoint(net::Endpoint store) {
     for (const auto& [target, next] : next_out_seq_) {
       msg->out_seqs.emplace_back(target, next);
     }
-    const std::size_t bytes = msg->state->size();
+    for (const auto& [target, log] : out_log_) {
+      msg->log.insert(msg->log.end(), log.begin(), log.end());
+    }
+    const std::size_t bytes = msg->state->size() + 64 * msg->log.size();
     host_.send_control(store, std::move(msg), bytes);
   });
 }
@@ -237,6 +251,24 @@ void SliceRuntime::request_freeze(FreezeSpec spec) {
   freeze_spec_ = std::move(spec);
   state_ = State::kFreezePending;
   check_freeze();
+}
+
+bool SliceRuntime::unfreeze() {
+  switch (state_) {
+    case State::kActive:
+      // The freeze request never arrived (or was lost): nothing to undo.
+      freeze_spec_.reset();
+      return true;
+    case State::kFreezePending:
+      freeze_spec_.reset();
+      state_ = State::kActive;
+      return true;
+    case State::kFrozen:
+    case State::kInactiveReplica:
+    case State::kRetired:
+      return false;
+  }
+  return false;
 }
 
 void SliceRuntime::check_freeze() {
@@ -263,6 +295,7 @@ void SliceRuntime::do_freeze() {
   // kWrite: runs after every in-flight job of this slice completes, so the
   // serialized state reflects exactly the dispatched-events watermark.
   host_.cpu().submit(id_, cluster::LockMode::kWrite, cost, [this] {
+    if (state_ != State::kFrozen) return;  // aborted before serialization
     // Ship whatever the final processing jobs emitted before the state is
     // captured; the output sequence counters must cover these events.
     flush_outputs();
@@ -279,9 +312,15 @@ void SliceRuntime::do_freeze() {
     for (const auto& [target, next] : next_out_seq_) {
       msg->out_seqs.emplace_back(target, next);
     }
+    // The upstream-backup log travels with the state: after teardown the
+    // source is gone, and replay requests for these events reach the
+    // destination host instead.
+    for (const auto& [target, log] : out_log_) {
+      msg->log.insert(msg->log.end(), log.begin(), log.end());
+    }
     msg->frozen_at = host_.engine().simulator().now();
     msg->reply_to = freeze_spec_->reply_to;
-    const std::size_t bytes = msg->state->size();
+    const std::size_t bytes = msg->state->size() + 64 * msg->log.size();
     host_.send_to_host(freeze_spec_->dst_host, std::move(msg), bytes);
   });
 }
@@ -290,24 +329,32 @@ void SliceRuntime::activate(const StateTransferMessage& msg) {
   if (state_ != State::kInactiveReplica) {
     throw std::logic_error{"activate: slice is not an inactive replica"};
   }
+  const std::size_t state_bytes = msg.state ? msg.state->size() : 0;
   const auto& cost_model = host_.engine().config().cost;
   const double cost =
       1000.0 + cost_model.state_deserialize_units_per_byte *
-                   static_cast<double>(msg.state->size());
+                   static_cast<double>(state_bytes);
   // Copy what we need from the message; the delivery object dies with this
   // call, the job runs later.
   auto state = msg.state;
   auto processed = msg.processed;
   auto out_seqs = msg.out_seqs;
+  auto log = msg.log;
   const auto frozen_at = msg.frozen_at;
   const auto reply_to = msg.reply_to;
   const auto migration = msg.migration;
   host_.cpu().submit(
       id_, cluster::LockMode::kWrite, cost,
-      [this, state, processed = std::move(processed),
-       out_seqs = std::move(out_seqs), frozen_at, reply_to, migration] {
-        BinaryReader reader{*state};
-        handler_->restore_state(reader);
+      [this, state, state_bytes, processed = std::move(processed),
+       out_seqs = std::move(out_seqs), log = std::move(log), frozen_at,
+       reply_to, migration] {
+        if (state_ != State::kInactiveReplica) return;  // aborted meanwhile
+        if (state) {
+          // Bootstrap recovery ships no state: the handler starts fresh
+          // and the full log replay reconstructs it.
+          BinaryReader reader{*state};
+          handler_->restore_state(reader);
+        }
         for (const auto& [from, last] : processed) {
           auto& channel = in_[from];
           channel.expected = last + 1;
@@ -315,6 +362,12 @@ void SliceRuntime::activate(const StateTransferMessage& msg) {
         }
         for (const auto& [target, next] : out_seqs) {
           next_out_seq_[target] = next;
+        }
+        // Adopt the transferred upstream-backup log so replay requests for
+        // pre-cut events can be served from here.
+        out_log_.clear();
+        for (const WireEvent& event : log) {
+          out_log_[event.to].push_back(event);
         }
         state_ = State::kActive;
         start_flush_timer();
@@ -342,7 +395,7 @@ void SliceRuntime::activate(const StateTransferMessage& msg) {
         ack->slice = id_;
         ack->frozen_at = frozen_at;
         ack->activated_at = host_.engine().simulator().now();
-        ack->state_bytes = state->size();
+        ack->state_bytes = state_bytes;
         host_.send_control(reply_to, std::move(ack), 64);
       });
 }
@@ -512,6 +565,11 @@ void HostRuntime::handle_control(const net::Delivery& delivery) {
     handle_directory_update(*update);
   } else if (const auto* req = dynamic_cast<const TeardownRequest*>(msg)) {
     handle_teardown(*req);
+  } else if (const auto* req =
+                 dynamic_cast<const AbortMigrationRequest*>(msg)) {
+    handle_abort_migration(*req);
+  } else if (const auto* req = dynamic_cast<const AbortReplicaRequest*>(msg)) {
+    handle_abort_replica(*req);
   } else if (const auto* notice =
                  dynamic_cast<const CheckpointNoticeMessage*>(msg)) {
     // Upstream backup truncation: each local upstream slice drops logged
@@ -543,6 +601,12 @@ void HostRuntime::handle_restore(const RestoreFromCheckpointMessage& msg) {
     add_slice(msg.slice, SliceRuntime::State::kInactiveReplica);
   }
   SliceRuntime* replica = slice(msg.slice);
+  if (replica->state() != SliceRuntime::State::kInactiveReplica) {
+    // A duplicate restore (e.g. a retried recovery whose first attempt
+    // succeeded late) must not clobber the live instance.
+    ESH_WARN << "HostRuntime: ignoring restore for non-replica slice";
+    return;
+  }
   // Reuse the migration activation path: instantiate, deserialize, set the
   // channel watermarks, go live; replayed events arriving meanwhile buffer
   // in the replica and dedup against the checkpoint's vector.
@@ -552,6 +616,7 @@ void HostRuntime::handle_restore(const RestoreFromCheckpointMessage& msg) {
   transfer->state = msg.state;
   transfer->processed = msg.processed;
   transfer->out_seqs = msg.out_seqs;
+  transfer->log = msg.log;
   transfer->frozen_at = engine_.simulator().now();
   transfer->reply_to = msg.reply_to;
   replica->activate(*transfer);
@@ -609,14 +674,31 @@ void HostRuntime::handle_freeze(const FreezeRequest& req) {
 
 void HostRuntime::handle_state_transfer(const StateTransferMessage& msg) {
   SliceRuntime* replica = slice(msg.slice);
-  if (replica == nullptr) {
-    throw std::logic_error{"state_transfer: replica not on this host"};
+  if (replica == nullptr ||
+      replica->state() != SliceRuntime::State::kInactiveReplica) {
+    // Leftover of an aborted migration: the replica was torn down before
+    // the (in-flight) state arrived. The slice recovers from checkpoint.
+    ESH_WARN << "HostRuntime: dropping state transfer without a replica";
+    return;
   }
   replica->activate(msg);
 }
 
 void HostRuntime::handle_directory_update(const DirectoryUpdateMessage& msg) {
   directory_[msg.slice] = SliceLocation{msg.host, HostId{}};
+  if (!msg.migration.valid() && msg.reset_channels) {
+    // Recovery of a multi-input slice: it will regenerate its post-cut
+    // output with fresh (possibly re-interleaved) sequence numbers. Rewind
+    // every local input channel from it to the restored output base so the
+    // regenerated stream is accepted.
+    for (auto& [slice_id, runtime] : slices_) {
+      SeqNo base = 1;  // bootstrap recovery regenerates from scratch
+      for (const auto& [downstream, next] : msg.out_bases) {
+        if (downstream == slice_id) base = next;
+      }
+      runtime->reset_channel(msg.slice, base);
+    }
+  }
   if (msg.reply_to.valid()) {
     auto ack = std::make_shared<DirectoryUpdateAck>();
     ack->migration = msg.migration;
@@ -640,6 +722,54 @@ void HostRuntime::handle_teardown(const TeardownRequest& req) {
   slices_.erase(it);
   auto ack = std::make_shared<TeardownAck>();
   ack->migration = req.migration;
+  send_control(req.reply_to, std::move(ack), 64);
+}
+
+void HostRuntime::evict_slice(SliceId id) {
+  auto it = slices_.find(id);
+  if (it == slices_.end()) return;
+  it->second->retire();
+  if (!cpu_.has_pending_work(id)) {
+    cpu_.forget_slice(id);
+  }
+  last_slice_busy_us_.erase(id);
+  last_slice_net_bytes_.erase(id);
+  // In-flight CPU jobs may still hold a pointer to the runtime; quarantine
+  // it instead of destroying it.
+  retired_slices_.push_back(std::move(it->second));
+  slices_.erase(it);
+}
+
+void HostRuntime::handle_abort_migration(const AbortMigrationRequest& req) {
+  SliceRuntime* target = slice(req.slice);
+  bool resumed = false;
+  if (target != nullptr) {
+    resumed = target->unfreeze();
+    if (!resumed) {
+      // Already frozen: every event since the freeze was dropped locally
+      // (duplicated only to the now-dead replica), so the local copy is
+      // stale. Evict it; the coordinator hands the slice to recovery.
+      evict_slice(req.slice);
+    }
+  }
+  auto ack = std::make_shared<AbortMigrationAck>();
+  ack->migration = req.migration;
+  ack->slice = req.slice;
+  ack->resumed = resumed;
+  send_control(req.reply_to, std::move(ack), 64);
+}
+
+void HostRuntime::handle_abort_replica(const AbortReplicaRequest& req) {
+  SliceRuntime* replica = slice(req.slice);
+  const bool was_active =
+      replica != nullptr && replica->state() == SliceRuntime::State::kActive;
+  if (replica != nullptr && !was_active) {
+    evict_slice(req.slice);
+  }
+  auto ack = std::make_shared<AbortReplicaAck>();
+  ack->migration = req.migration;
+  ack->slice = req.slice;
+  ack->was_active = was_active;
   send_control(req.reply_to, std::move(ack), 64);
 }
 

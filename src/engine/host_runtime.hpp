@@ -91,6 +91,12 @@ class SliceRuntime final : public Context {
   };
   void request_freeze(FreezeSpec spec);
 
+  // Migration abort: cancel a pending freeze and resume processing.
+  // Returns false when the slice already froze (its state — with every
+  // event since the freeze dropped locally — belongs to the replica now),
+  // or is not in a resumable state; the caller must hand it to recovery.
+  [[nodiscard]] bool unfreeze();
+
   // Next sequence number this slice would assign on its channel to
   // `target` (the duplication start point reported to the coordinator).
   [[nodiscard]] SeqNo next_seq_for(SliceId target) const;
@@ -100,6 +106,12 @@ class SliceRuntime final : public Context {
   void truncate_log(SliceId downstream, SeqNo upto);
   // Re-sends logged events for `downstream` above `above` (post-recovery).
   void replay_log(SliceId downstream, SeqNo above);
+  // A recovered upstream regenerates its output from `base` on, but the
+  // regenerated sequence numbers may map content differently than the
+  // original run. Rewind the channel to `base` and drop buffered originals
+  // at or above it; the regenerated stream replaces them (content-level
+  // duplicates are deduplicated by the handlers).
+  void reset_channel(SliceId upstream, SeqNo base);
   // Serializes state and ships a checkpoint to the standby store.
   void checkpoint(net::Endpoint store);
   [[nodiscard]] std::size_t logged_events() const;
@@ -222,11 +234,19 @@ class HostRuntime {
   void handle_directory_update(const DirectoryUpdateMessage& msg);
   void handle_teardown(const TeardownRequest& req);
   void handle_restore(const RestoreFromCheckpointMessage& msg);
+  void handle_abort_migration(const AbortMigrationRequest& req);
+  void handle_abort_replica(const AbortReplicaRequest& req);
+
+  // Retires a slice and removes it from the registry. Unlike teardown this
+  // tolerates pending CPU work: the runtime is quarantined (not destroyed)
+  // so in-flight job callbacks die harmlessly.
+  void evict_slice(SliceId id);
 
   Engine& engine_;
   cluster::Host& cpu_;
   net::Endpoint endpoint_;
   std::unordered_map<SliceId, std::unique_ptr<SliceRuntime>> slices_;
+  std::vector<std::unique_ptr<SliceRuntime>> retired_slices_;
   std::unordered_map<SliceId, SliceLocation> directory_;
   std::unordered_map<HostId, net::Endpoint> host_endpoints_;
   std::uint64_t dropped_events_ = 0;

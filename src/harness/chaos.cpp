@@ -1,0 +1,125 @@
+#include "harness/chaos.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace esh::harness {
+
+FaultSchedule FaultSchedule::random(std::uint64_t seed, SimTime start,
+                                    SimTime end, std::size_t workers,
+                                    std::size_t crash_count,
+                                    bool with_coord_failover,
+                                    bool with_manager_failover) {
+  if (end <= start) {
+    throw std::invalid_argument{"FaultSchedule::random: empty window"};
+  }
+  if (crash_count > workers) {
+    throw std::invalid_argument{
+        "FaultSchedule::random: more crashes than workers"};
+  }
+  Rng rng{seed};
+  std::vector<std::size_t> indices(workers);
+  std::iota(indices.begin(), indices.end(), 0);
+  rng.shuffle(indices);
+
+  const auto span = static_cast<std::uint64_t>((end - start).count());
+  const auto draw = [&] { return start + micros(rng.next_below(span)); };
+
+  FaultSchedule schedule;
+  for (std::size_t i = 0; i < crash_count; ++i) {
+    HostCrash crash;
+    crash.at = draw();
+    crash.worker_index = indices[i];
+    if (rng.next_bool()) {
+      crash.loss_before = rng.uniform(0.02, 0.2);
+      crash.loss_lead = micros(rng.next_below(500'000));
+    }
+    schedule.crashes.push_back(crash);
+  }
+  if (with_coord_failover) schedule.coord_failovers.push_back({draw()});
+  if (with_manager_failover) schedule.manager_failovers.push_back({draw()});
+  return schedule;
+}
+
+ChaosRunner::ChaosRunner(Testbed& bed, FaultSchedule schedule)
+    : bed_(bed), schedule_(std::move(schedule)) {}
+
+void ChaosRunner::arm() {
+  if (armed_) {
+    throw std::logic_error{"ChaosRunner: already armed"};
+  }
+  armed_ = true;
+  auto& sim = bed_.simulator();
+  const auto clamp = [&sim](SimTime when) { return std::max(when, sim.now()); };
+
+  for (const auto& crash : schedule_.crashes) {
+    const HostId host = bed_.worker_hosts().at(crash.worker_index);
+    crashed_.push_back(host);
+    if (crash.loss_before > 0.0 && crash.loss_lead > SimDuration::zero()) {
+      sim.schedule_at(clamp(crash.at - crash.loss_lead),
+                      [this, host, p = crash.loss_before] {
+                        ESH_WARN << "Chaos: host " << host
+                                 << " starts losing messages (p=" << p << ")";
+                        bed_.network().set_host_loss(host, p);
+                      });
+    }
+    sim.schedule_at(clamp(crash.at), [this, host] {
+      ESH_WARN << "Chaos: crashing host " << host;
+      bed_.network().clear_host_loss(host);
+      bed_.network().set_host_down(host, true);
+    });
+  }
+  for (const auto& failover : schedule_.coord_failovers) {
+    sim.schedule_at(clamp(failover.at), [this] {
+      ESH_WARN << "Chaos: coordination leader failover";
+      bed_.coord().inject_leader_failover();
+    });
+  }
+  for (const auto& failover : schedule_.manager_failovers) {
+    sim.schedule_at(clamp(failover.at), [this] {
+      ESH_WARN << "Chaos: manager resigns leadership";
+      if (bed_.manager() != nullptr) bed_.manager()->resign();
+    });
+  }
+}
+
+DeliveryAudit verify_exactly_once(Testbed& bed) {
+  if (!bed.delays().audit_enabled()) {
+    throw std::logic_error{
+        "verify_exactly_once: call delays().enable_audit() before publishing"};
+  }
+  const auto oracle = bed.workload().oracle();
+  const auto& records = bed.delays().audit();
+
+  DeliveryAudit audit;
+  audit.published = bed.hub().publications_sent();
+  // OracleWorkload publication ids are dense, starting at 1.
+  for (std::uint64_t id = 1; id <= audit.published; ++id) {
+    const PublicationId pub{id};
+    const auto it = records.find(pub);
+    if (it == records.end()) {
+      ++audit.missing;
+      continue;
+    }
+    ++audit.delivered;
+    if (it->second.deliveries > 1) {
+      ++audit.duplicated;
+      continue;
+    }
+    std::vector<SubscriberId> expected;
+    for (const std::uint64_t index : oracle->matches(pub)) {
+      expected.push_back(oracle->subscriber_of(index));
+    }
+    std::sort(expected.begin(), expected.end());
+    auto got = it->second.subscribers;
+    std::sort(got.begin(), got.end());
+    if (got != expected) ++audit.mismatched;
+  }
+  return audit;
+}
+
+}  // namespace esh::harness

@@ -1,0 +1,85 @@
+// Chaos harness: deterministic, seeded fault injection against a running
+// Testbed, plus an oracle-backed exactly-once delivery audit. A
+// FaultSchedule lists the faults (worker crashes with optional pre-crash
+// message loss, coordination leader failovers, manager failovers); the
+// ChaosRunner arms them on the simulator clock. After the run,
+// verify_exactly_once() compares every publication's recorded deliveries
+// with the match oracle's ground truth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "harness/testbed.hpp"
+
+namespace esh::harness {
+
+struct FaultSchedule {
+  struct HostCrash {
+    SimTime at{};
+    std::size_t worker_index = 0;  // index into Testbed::worker_hosts()
+    // Optional pre-crash degradation: starting `loss_lead` before the
+    // crash, this fraction of the doomed host's inbound messages is lost.
+    // Only the crashing host may be degraded this way — the engine has no
+    // retransmission below replay, so loss into a host that never fails
+    // (and therefore never replays) would wedge its channels forever.
+    double loss_before = 0.0;
+    SimDuration loss_lead{};
+  };
+  struct CoordFailover {
+    SimTime at{};
+  };
+  struct ManagerFailover {
+    SimTime at{};
+  };
+
+  std::vector<HostCrash> crashes;
+  std::vector<CoordFailover> coord_failovers;
+  std::vector<ManagerFailover> manager_failovers;
+
+  // Seeded random schedule: `crash_count` distinct workers crash at uniform
+  // times in [start, end), optionally preceded by a message-loss window,
+  // plus optional coordination / manager failovers inside the same window.
+  static FaultSchedule random(std::uint64_t seed, SimTime start, SimTime end,
+                              std::size_t workers, std::size_t crash_count,
+                              bool with_coord_failover = false,
+                              bool with_manager_failover = false);
+};
+
+class ChaosRunner {
+ public:
+  ChaosRunner(Testbed& bed, FaultSchedule schedule);
+
+  // Schedules every fault on the testbed's simulator (call once, before or
+  // during the run; past deadlines fire immediately).
+  void arm();
+
+  [[nodiscard]] const std::vector<HostId>& crashed() const { return crashed_; }
+  [[nodiscard]] const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  Testbed& bed_;
+  FaultSchedule schedule_;
+  std::vector<HostId> crashed_;
+  bool armed_ = false;
+};
+
+// Outcome of the oracle comparison over publication ids 1..published.
+struct DeliveryAudit {
+  std::uint64_t published = 0;
+  std::uint64_t delivered = 0;   // publications with >= 1 notification
+  std::uint64_t missing = 0;     // never notified
+  std::uint64_t duplicated = 0;  // notified more than once
+  std::uint64_t mismatched = 0;  // subscriber set differs from ground truth
+  [[nodiscard]] bool exactly_once() const {
+    return published > 0 && missing == 0 && duplicated == 0 &&
+           mismatched == 0;
+  }
+};
+
+// Checks every publication sent so far against the oracle. Requires
+// bed.delays().enable_audit() to have been called before publishing.
+DeliveryAudit verify_exactly_once(Testbed& bed);
+
+}  // namespace esh::harness

@@ -6,7 +6,7 @@
 namespace esh::net {
 
 Network::Network(sim::Simulator& simulator, NetworkConfig config)
-    : simulator_(simulator), config_(config) {
+    : simulator_(simulator), config_(config), loss_rng_(config.loss_seed) {
   if (config_.bytes_per_us <= 0.0) {
     throw std::invalid_argument{"Network: bandwidth must be positive"};
   }
@@ -74,6 +74,19 @@ void Network::send(Endpoint from, Endpoint to, MessagePtr message,
     return;
   }
 
+  // Probabilistic loss: decided at send time, after routing resolved, so
+  // the counter is disjoint from down-host/unbound drops.
+  if (loss_probability_ > 0.0 || !host_loss_.empty()) {
+    double p = loss_probability_;
+    if (auto it = host_loss_.find(dst_host); it != host_loss_.end()) {
+      p = it->second;
+    }
+    if (p > 0.0 && loss_rng_.next_double() < p) {
+      ++stats_.messages_lost;
+      return;
+    }
+  }
+
   SimTime delivery_time{};
   if (src_host == dst_host) {
     delivery_time = simulator_.now() + config_.local_latency;
@@ -116,5 +129,22 @@ void Network::set_host_down(HostId host, bool down) {
 bool Network::host_down(HostId host) const {
   return down_hosts_.contains(host);
 }
+
+void Network::set_loss(double probability) {
+  if (probability < 0.0 || probability > 1.0) {
+    throw std::invalid_argument{"Network::set_loss: probability not in [0,1]"};
+  }
+  loss_probability_ = probability;
+}
+
+void Network::set_host_loss(HostId dst, double probability) {
+  if (probability < 0.0 || probability > 1.0) {
+    throw std::invalid_argument{
+        "Network::set_host_loss: probability not in [0,1]"};
+  }
+  host_loss_[dst] = probability;
+}
+
+void Network::clear_host_loss(HostId dst) { host_loss_.erase(dst); }
 
 }  // namespace esh::net

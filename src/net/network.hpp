@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/rng.hpp"
 #include "common/types.hpp"
 #include "sim/simulator.hpp"
 
@@ -51,12 +52,17 @@ struct NetworkConfig {
   double bytes_per_us = 125.0;
   // Fixed per-message protocol overhead added to the payload size.
   std::size_t overhead_bytes = 64;
+  // Seed of the loss-injection RNG (chaos testing; see set_loss).
+  std::uint64_t loss_seed = 0x6c6f'7373'5f72'6e67ULL;
 };
 
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
+  // Messages discarded by probabilistic loss injection; counted separately
+  // from the down-host/unbound drops above.
+  std::uint64_t messages_lost = 0;
   std::uint64_t bytes_sent = 0;
 };
 
@@ -92,6 +98,16 @@ class Network {
   void set_host_down(HostId host, bool down);
   [[nodiscard]] bool host_down(HostId host) const;
 
+  // Chaos injection: every message is independently discarded at send time
+  // with the given probability (seeded, deterministic). The global knob
+  // applies to all traffic; the per-host knob applies to messages whose
+  // destination endpoint is bound to `dst` and overrides the global one.
+  // Lost messages increment stats().messages_lost, not messages_dropped.
+  void set_loss(double probability);
+  void set_host_loss(HostId dst, double probability);
+  void clear_host_loss(HostId dst);
+  [[nodiscard]] double loss() const { return loss_probability_; }
+
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
 
@@ -108,6 +124,9 @@ class Network {
   std::unordered_map<Endpoint, Binding> bindings_;
   std::unordered_map<HostId, SimTime> nic_busy_until_;
   std::unordered_set<HostId> down_hosts_;
+  double loss_probability_ = 0.0;
+  std::unordered_map<HostId, double> host_loss_;
+  Rng loss_rng_;
   NetworkStats stats_;
 };
 

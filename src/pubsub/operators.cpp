@@ -138,8 +138,14 @@ void EpHandler::on_event(engine::Context& ctx, const engine::PayloadPtr& p) {
   if (list == nullptr) {
     throw std::logic_error{"EpHandler: unexpected payload"};
   }
+  // EP is the exactly-once boundary (the paper's Exit Point): recovery
+  // replays deliver partial lists at-least-once below it, so lists of
+  // already-notified publications and duplicate per-M-slice lists must be
+  // absorbed here.
+  if (completed_.contains(list->publication)) return;
   Pending& pending = pending_[list->publication];
   pending.published_at = list->published_at;
+  if (!pending.lists_from.insert(list->m_slice_index).second) return;
   pending.subscribers.insert(pending.subscribers.end(),
                              list->subscribers.begin(),
                              list->subscribers.end());
@@ -149,12 +155,13 @@ void EpHandler::on_event(engine::Context& ctx, const engine::PayloadPtr& p) {
   const std::uint32_t expected =
       list->expected_lists > 0 ? list->expected_lists
                                : static_cast<std::uint32_t>(m_slices_);
-  if (++pending.lists_received < expected) return;
+  if (pending.lists_from.size() < expected) return;
 
   auto notification = std::make_shared<NotificationPayload>();
   notification->publication = list->publication;
   notification->subscribers = std::move(pending.subscribers);
   notification->published_at = pending.published_at;
+  completed_.insert(list->publication);
   pending_.erase(list->publication);
   const auto routing =
       engine::Routing::hash(route_key(notification->publication));
@@ -174,20 +181,27 @@ void EpHandler::serialize_state(BinaryWriter& w) const {
   w.write_u64(pending_.size());
   for (const auto& [pub, pending] : pending_) {
     w.write_id(pub);
-    w.write_u32(pending.lists_received);
+    w.write_u64(pending.lists_from.size());
+    for (std::uint32_t m : pending.lists_from) w.write_u32(m);
     w.write_i64(pending.published_at.count());
     w.write_u64(pending.subscribers.size());
     for (SubscriberId s : pending.subscribers) w.write_id(s);
   }
+  w.write_u64(completed_.size());
+  for (PublicationId pub : completed_) w.write_id(pub);
 }
 
 void EpHandler::restore_state(BinaryReader& r) {
   pending_.clear();
+  completed_.clear();
   const auto n = r.read_u64();
   for (std::uint64_t i = 0; i < n; ++i) {
     const auto pub = r.read_id<PublicationTag>();
     Pending pending;
-    pending.lists_received = r.read_u32();
+    const auto lists = r.read_u64();
+    for (std::uint64_t j = 0; j < lists; ++j) {
+      pending.lists_from.insert(r.read_u32());
+    }
     pending.published_at = SimTime{r.read_i64()};
     const auto count = r.read_u64();
     pending.subscribers.reserve(count);
@@ -196,6 +210,10 @@ void EpHandler::restore_state(BinaryReader& r) {
     }
     pending_.emplace(pub, std::move(pending));
   }
+  const auto done = r.read_u64();
+  for (std::uint64_t i = 0; i < done; ++i) {
+    completed_.insert(r.read_id<PublicationTag>());
+  }
 }
 
 std::size_t EpHandler::state_bytes() const {
@@ -203,6 +221,7 @@ std::size_t EpHandler::state_bytes() const {
   for (const auto& [pub, pending] : pending_) {
     total += 32 + pending.subscribers.size() * sizeof(SubscriberId);
   }
+  total += completed_.size() * sizeof(PublicationId);
   return total;
 }
 
@@ -213,8 +232,29 @@ void SinkHandler::on_event(engine::Context& ctx, const engine::PayloadPtr& p) {
   if (n == nullptr) {
     throw std::logic_error{"SinkHandler: unexpected payload"};
   }
+  // A recovered EP slice regenerates notifications it had already sent;
+  // each publication is measured once.
+  if (!seen_.insert(n->publication).second) return;
   collector_->record(ctx.now(), ctx.now() - n->published_at,
                      n->subscribers.size());
+  collector_->record_delivery(n->publication, n->subscribers);
+}
+
+void SinkHandler::serialize_state(BinaryWriter& w) const {
+  w.write_u64(seen_.size());
+  for (PublicationId pub : seen_) w.write_id(pub);
+}
+
+void SinkHandler::restore_state(BinaryReader& r) {
+  seen_.clear();
+  const auto n = r.read_u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    seen_.insert(r.read_id<PublicationTag>());
+  }
+}
+
+std::size_t SinkHandler::state_bytes() const {
+  return 16 + seen_.size() * sizeof(PublicationId);
 }
 
 double SinkHandler::cost_units(const engine::PayloadPtr& p) const {

@@ -18,6 +18,7 @@
 
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -149,7 +150,9 @@ class EpHandler final : public engine::Handler {
 
  private:
   struct Pending {
-    std::uint32_t lists_received = 0;
+    // Which M slices' partial lists arrived (a set, not a count: recovery
+    // can re-deliver a list, and EP is the exactly-once boundary).
+    std::set<std::uint32_t> lists_from;
     std::vector<SubscriberId> subscribers;
     SimTime published_at{};
   };
@@ -158,6 +161,10 @@ class EpHandler final : public engine::Handler {
   std::size_t m_slices_;
   cluster::CostModel cost_;
   std::unordered_map<PublicationId, Pending> pending_;
+  // Publications already notified. Upstream recovery replays deliver
+  // at-least-once below this operator; completed publications must not be
+  // re-notified. Grows with the publication count — fine for simulation.
+  std::set<PublicationId> completed_;
 };
 
 // Observation sink: records end-to-end delays (publication emission at the
@@ -175,6 +182,28 @@ class DelayCollector {
   // Optional time-binned view (Figures 7-9).
   void enable_series(SimDuration bin) {
     series_.emplace(bin);
+  }
+
+  // Optional per-publication delivery ledger: every notification is recorded
+  // against its publication id so the chaos harness can compare the actual
+  // deliveries with the match oracle's ground truth (missing, duplicated or
+  // mis-addressed notifications all become visible).
+  struct AuditEntry {
+    std::uint32_t deliveries = 0;
+    std::vector<SubscriberId> subscribers;  // as carried by the last delivery
+  };
+  void enable_audit() { audit_enabled_ = true; }
+  [[nodiscard]] bool audit_enabled() const { return audit_enabled_; }
+  void record_delivery(PublicationId pub,
+                       const std::vector<SubscriberId>& subscribers) {
+    if (!audit_enabled_) return;
+    auto& entry = audit_[pub];
+    ++entry.deliveries;
+    entry.subscribers = subscribers;
+  }
+  [[nodiscard]] const std::unordered_map<PublicationId, AuditEntry>& audit()
+      const {
+    return audit_;
   }
 
   [[nodiscard]] const PercentileTracker& delays_ms() const {
@@ -200,6 +229,8 @@ class DelayCollector {
   std::uint64_t notifications_ = 0;
   std::uint64_t publications_completed_ = 0;
   SimTime last_completion_{0};
+  bool audit_enabled_ = false;
+  std::unordered_map<PublicationId, AuditEntry> audit_;
 };
 
 class SinkHandler final : public engine::Handler {
@@ -210,12 +241,20 @@ class SinkHandler final : public engine::Handler {
   void on_event(engine::Context& ctx, const engine::PayloadPtr& p) override;
   [[nodiscard]] double cost_units(const engine::PayloadPtr& p) const override;
   [[nodiscard]] cluster::LockMode lock_mode(
-      const engine::PayloadPtr&) const override {
-    return cluster::LockMode::kNone;
+      const engine::PayloadPtr& p) const override {
+    return dynamic_cast<const NotificationPayload*>(p.get()) != nullptr
+               ? cluster::LockMode::kWrite  // mutates the seen-set
+               : cluster::LockMode::kNone;
   }
+  void serialize_state(BinaryWriter& w) const override;
+  void restore_state(BinaryReader& r) override;
+  [[nodiscard]] std::size_t state_bytes() const override;
 
  private:
   std::shared_ptr<DelayCollector> collector_;
+  // Publications already recorded: an EP recovery may re-send a
+  // notification, and the measurements must count each publication once.
+  std::set<PublicationId> seen_;
 };
 
 }  // namespace esh::pubsub

@@ -1,0 +1,285 @@
+// Chaos harness tests: seeded fault schedules injected into a live testbed
+// under publication load. The cluster must heal itself — zero manual
+// recover_slice calls — and the match oracle must confirm exactly-once
+// delivery of every publication afterwards.
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "harness/chaos.hpp"
+#include "workload/schedule.hpp"
+
+namespace esh::harness {
+namespace {
+
+TestbedConfig chaos_config() {
+  TestbedConfig config;
+  config.worker_hosts = 3;
+  config.io_hosts = 2;
+  config.workload.dimensions = 4;
+  config.workload.total_subscriptions = 1000;
+  config.workload.matching_rate = 0.02;
+  config.workload.m_slices = 3;
+  config.source_slices = 2;
+  config.ap_slices = 3;
+  config.ep_slices = 3;
+  config.sink_slices = 2;
+  config.engine.flush_interval = millis(10);
+  config.engine.control_tick = millis(5);
+  config.engine.probe_interval = millis(100);
+  config.engine.checkpoints.enabled = true;
+  config.engine.checkpoints.interval = millis(500);
+  config.iaas.max_hosts = 6;  // 3 workers + 3 spares (manager/io on top)
+  config.iaas.boot_delay = millis(500);
+  config.with_manager = true;
+  config.manager.recovery.enabled = true;
+  config.manager.recovery.detector =
+      elastic::FailureDetectorConfig{millis(100), 2, 4};
+  config.manager.recovery.attempt_timeout = seconds(5);
+  config.seed = 11;
+  return config;
+}
+
+void await_heal(Testbed& bed, elastic::Manager& manager, std::size_t crashes) {
+  ASSERT_TRUE(bed.run_until(
+      [&] {
+        return manager.recoveries().size() >= crashes &&
+               !manager.recovery_in_progress();
+      },
+      seconds(60)))
+      << "recovery did not complete (got " << manager.recoveries().size()
+      << "/" << crashes << " reports)";
+}
+
+void await_drain(Testbed& bed) {
+  ASSERT_TRUE(bed.run_until(
+      [&] {
+        return bed.delays().publications_completed() >=
+               bed.hub().publications_sent();
+      },
+      seconds(120)))
+      << "only " << bed.delays().publications_completed() << " of "
+      << bed.hub().publications_sent() << " publications completed";
+}
+
+TEST(FaultScheduleTest, RandomIsSeededBoundedAndDistinct) {
+  const SimTime start = seconds(2);
+  const SimTime end = seconds(10);
+  const auto a = FaultSchedule::random(7, start, end, 5, 3, true, true);
+  const auto b = FaultSchedule::random(7, start, end, 5, 3, true, true);
+  const auto c = FaultSchedule::random(8, start, end, 5, 3, true, true);
+
+  ASSERT_EQ(a.crashes.size(), 3u);
+  ASSERT_EQ(a.coord_failovers.size(), 1u);
+  ASSERT_EQ(a.manager_failovers.size(), 1u);
+  for (std::size_t i = 0; i < a.crashes.size(); ++i) {
+    EXPECT_EQ(a.crashes[i].at, b.crashes[i].at);
+    EXPECT_EQ(a.crashes[i].worker_index, b.crashes[i].worker_index);
+    EXPECT_GE(a.crashes[i].at, start);
+    EXPECT_LT(a.crashes[i].at, end);
+    EXPECT_LT(a.crashes[i].worker_index, 5u);
+    // Distinct victims.
+    for (std::size_t j = i + 1; j < a.crashes.size(); ++j) {
+      EXPECT_NE(a.crashes[i].worker_index, a.crashes[j].worker_index);
+    }
+  }
+  // A different seed perturbs the schedule.
+  const bool differs =
+      a.crashes[0].at != c.crashes[0].at ||
+      a.crashes[0].worker_index != c.crashes[0].worker_index ||
+      a.crashes[1].at != c.crashes[1].at;
+  EXPECT_TRUE(differs);
+
+  EXPECT_THROW(FaultSchedule::random(1, start, end, 2, 3),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::random(1, end, end, 2, 1),
+               std::invalid_argument);
+}
+
+// The acceptance scenario: a worker crashes under live publication load
+// (with a lossy network in the run-up to the crash); the manager detects,
+// quarantines and re-places the lost slices without any manual
+// recover_slice call, and the oracle confirms exactly-once delivery.
+TEST(ChaosTest, WorkerCrashUnderLoadHealsWithExactlyOnceDelivery) {
+  Testbed bed{chaos_config()};
+  bed.manager()->set_enforcement(false);
+  bed.delays().enable_audit();
+  bed.store_subscriptions(1000);
+
+  auto driver =
+      bed.drive(std::make_shared<workload::ConstantRate>(200.0, seconds(6)));
+
+  FaultSchedule schedule;
+  schedule.crashes.push_back(
+      {bed.simulator().now() + seconds(2), 1, 0.1, millis(300)});
+  ChaosRunner chaos{bed, schedule};
+  chaos.arm();
+
+  bed.run_for(seconds(6) + millis(10));
+  driver->stop();
+
+  await_heal(bed, *bed.manager(), 1);
+  await_drain(bed);
+
+  const auto& recoveries = bed.manager()->recoveries();
+  ASSERT_EQ(recoveries.size(), 1u);
+  const auto& report = recoveries.front();
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.host, chaos.crashed().front());
+  EXPECT_FALSE(report.slices_lost.empty());
+  EXPECT_EQ(report.slices_recovered, report.slices_lost.size());
+  EXPECT_GE(report.quarantined, report.detected);
+  EXPECT_GE(report.placed, report.quarantined);
+  EXPECT_GE(report.recovered, report.placed);
+  EXPECT_GT(report.mttr(), SimDuration::zero());
+
+  // The crashed host left the managed set; the network saw real loss.
+  const auto managed = bed.manager()->managed_hosts();
+  EXPECT_EQ(std::count(managed.begin(), managed.end(), report.host), 0);
+  EXPECT_GT(bed.network().stats().messages_lost, 0u);
+
+  const auto audit = verify_exactly_once(bed);
+  EXPECT_GT(audit.published, 1000u);
+  EXPECT_TRUE(audit.exactly_once())
+      << "published=" << audit.published << " missing=" << audit.missing
+      << " duplicated=" << audit.duplicated
+      << " mismatched=" << audit.mismatched;
+}
+
+// When no survivor may absorb the lost slices (placement cap zero), the
+// recovery must allocate replacement hosts from the IaaS pool and replay
+// onto them once booted.
+TEST(ChaosTest, AllocatesReplacementHostsWhenSurvivorsCannotAbsorb) {
+  auto config = chaos_config();
+  config.manager.policy.placement_cap = 0.0;
+  Testbed bed{config};
+  bed.manager()->set_enforcement(false);
+  bed.delays().enable_audit();
+  bed.store_subscriptions(1000);
+
+  auto driver =
+      bed.drive(std::make_shared<workload::ConstantRate>(150.0, seconds(6)));
+
+  FaultSchedule schedule;
+  schedule.crashes.push_back({bed.simulator().now() + seconds(2), 0, 0.0, {}});
+  ChaosRunner chaos{bed, schedule};
+  chaos.arm();
+
+  bed.run_for(seconds(6) + millis(10));
+  driver->stop();
+
+  await_heal(bed, *bed.manager(), 1);
+  await_drain(bed);
+
+  ASSERT_EQ(bed.manager()->recoveries().size(), 1u);
+  const auto& report = bed.manager()->recoveries().front();
+  EXPECT_TRUE(report.complete);
+  ASSERT_FALSE(report.replacement_hosts.empty());
+  // Boot time is part of the MTTR when replacements are needed.
+  EXPECT_GE(report.mttr(), millis(500));
+  const auto managed = bed.manager()->managed_hosts();
+  for (HostId host : report.replacement_hosts) {
+    EXPECT_EQ(std::count(managed.begin(), managed.end(), host), 1)
+        << "replacement host " << host << " not managed";
+    EXPECT_TRUE(bed.engine().has_host(host));
+  }
+
+  const auto audit = verify_exactly_once(bed);
+  EXPECT_TRUE(audit.exactly_once())
+      << "published=" << audit.published << " missing=" << audit.missing
+      << " duplicated=" << audit.duplicated
+      << " mismatched=" << audit.mismatched;
+}
+
+// A coordination leader failover right after the crash stalls the
+// manager's persistence writes but must not block recovery; the dead
+// verdict still lands in the tree once the new leader commits.
+TEST(ChaosTest, CoordFailoverDuringRecoveryStillHeals) {
+  Testbed bed{chaos_config()};
+  bed.manager()->set_enforcement(false);
+  bed.delays().enable_audit();
+  bed.store_subscriptions(1000);
+
+  auto driver =
+      bed.drive(std::make_shared<workload::ConstantRate>(150.0, seconds(5)));
+
+  FaultSchedule schedule;
+  const SimTime crash_at = bed.simulator().now() + seconds(2);
+  schedule.crashes.push_back({crash_at, 2, 0.0, {}});
+  schedule.coord_failovers.push_back({crash_at + millis(150)});
+  ChaosRunner chaos{bed, schedule};
+  chaos.arm();
+
+  bed.run_for(seconds(5) + millis(10));
+  driver->stop();
+
+  await_heal(bed, *bed.manager(), 1);
+  await_drain(bed);
+
+  ASSERT_EQ(bed.manager()->recoveries().size(), 1u);
+  const auto& report = bed.manager()->recoveries().front();
+  EXPECT_TRUE(report.complete);
+
+  // The verdict write survived the failover (committed by the new leader).
+  const std::string health_path =
+      "/estreamhub/health/" + std::to_string(report.host.value());
+  ASSERT_TRUE(bed.run_until(
+      [&] { return bed.coord().node_exists(health_path); }, seconds(10)));
+  EXPECT_EQ(bed.coord().read(health_path), "dead");
+
+  const auto audit = verify_exactly_once(bed);
+  EXPECT_TRUE(audit.exactly_once())
+      << "published=" << audit.published << " missing=" << audit.missing
+      << " duplicated=" << audit.duplicated
+      << " mismatched=" << audit.mismatched;
+}
+
+// Manager failover followed by a worker crash: the promoted standby must
+// inherit the fleet from the coordination tree and run the recovery itself.
+TEST(ChaosTest, PromotedStandbyHealsCrashAfterManagerFailover) {
+  auto config = chaos_config();
+  config.manager.use_leader_election = true;
+  Testbed bed{config};
+  bed.manager()->set_enforcement(false);
+  bed.delays().enable_audit();
+
+  elastic::Manager standby{bed.simulator(), bed.network(), bed.engine(),
+                           bed.pool(),      bed.coord(),   bed.manager_host(),
+                           config.manager};
+  standby.set_enforcement(false);
+  standby.enter_standby();
+
+  bed.store_subscriptions(1000);
+  auto driver =
+      bed.drive(std::make_shared<workload::ConstantRate>(150.0, seconds(6)));
+
+  FaultSchedule schedule;
+  const SimTime t0 = bed.simulator().now();
+  schedule.manager_failovers.push_back({t0 + seconds(1)});
+  schedule.crashes.push_back({t0 + seconds(2), 0, 0.0, {}});
+  ChaosRunner chaos{bed, schedule};
+  chaos.arm();
+
+  bed.run_for(seconds(6) + millis(10));
+  driver->stop();
+
+  await_heal(bed, standby, 1);
+  await_drain(bed);
+
+  EXPECT_FALSE(bed.manager()->is_active());
+  EXPECT_TRUE(standby.is_active());
+  EXPECT_TRUE(bed.manager()->recoveries().empty());
+  ASSERT_EQ(standby.recoveries().size(), 1u);
+  EXPECT_TRUE(standby.recoveries().front().complete);
+  EXPECT_EQ(standby.recoveries().front().host, chaos.crashed().front());
+
+  const auto audit = verify_exactly_once(bed);
+  EXPECT_TRUE(audit.exactly_once())
+      << "published=" << audit.published << " missing=" << audit.missing
+      << " duplicated=" << audit.duplicated
+      << " mismatched=" << audit.mismatched;
+}
+
+}  // namespace
+}  // namespace esh::harness

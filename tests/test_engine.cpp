@@ -337,11 +337,32 @@ TEST_F(EngineTest, MigrationValidation) {
   make_engine(2);
   const Topology t = test_topology(2);
   engine->deploy(t, spread_placement(t));
-  EXPECT_THROW(engine->migrate(SliceId{12345}, hosts[0]->id(), nullptr),
-               std::invalid_argument);
-  EXPECT_THROW(
-      engine->migrate(engine->slice_id("work", 0), HostId{777}, nullptr),
-      std::invalid_argument);
+  // Invalid requests are rejected through the callback, not by throwing.
+  std::vector<MigrationOutcome> outcomes;
+  engine->migrate(SliceId{12345}, hosts[0]->id(),
+                  [&](const MigrationReport& r) {
+                    outcomes.push_back(r.outcome);
+                  });
+  engine->migrate(engine->slice_id("work", 0), HostId{777},
+                  [&](const MigrationReport& r) {
+                    outcomes.push_back(r.outcome);
+                  });
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0], MigrationOutcome::kRejected);
+  EXPECT_EQ(outcomes[1], MigrationOutcome::kRejected);
+  EXPECT_EQ(engine->pending_migrations(), 0u);
+
+  // The engine stays fully usable: a valid migration still completes.
+  const SliceId slice = engine->slice_id("work", 0);
+  const HostId dst = engine->slice_host(slice) == hosts[0]->id()
+                         ? hosts[1]->id()
+                         : hosts[0]->id();
+  std::optional<MigrationReport> report;
+  engine->migrate(slice, dst, [&](const MigrationReport& r) { report = r; });
+  sim.run_until(sim.now() + seconds(5));
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->outcome, MigrationOutcome::kCompleted);
+  EXPECT_EQ(engine->slice_host(slice), dst);
 }
 
 TEST_F(EngineTest, InjectionAfterMigrationFollowsSlice) {

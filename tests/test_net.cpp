@@ -151,6 +151,96 @@ TEST_F(NetworkTest, BindErrors) {
   EXPECT_THROW(net->host_of(ep), std::logic_error);
 }
 
+TEST_F(NetworkTest, LossInjectionDiscardsAndCounts) {
+  std::vector<Delivery> in;
+  const Endpoint src = net->new_endpoint();
+  net->bind(src, h1, [](const Delivery&) {});
+  const Endpoint dst = bind_on(h2, &in);
+
+  net->set_loss(0.3);
+  constexpr std::uint64_t kSends = 1000;
+  for (std::uint64_t i = 0; i < kSends; ++i) net->send(src, dst, msg(1), 10);
+  sim.run();
+
+  const NetworkStats& stats = net->stats();
+  EXPECT_GT(stats.messages_lost, 200u);
+  EXPECT_LT(stats.messages_lost, 400u);
+  EXPECT_EQ(stats.messages_dropped, 0u);  // loss is a distinct counter
+  EXPECT_EQ(stats.messages_sent,
+            stats.messages_delivered + stats.messages_lost);
+  EXPECT_EQ(in.size(), stats.messages_delivered);
+
+  net->set_loss(0.0);
+  in.clear();
+  net->send(src, dst, msg(2), 10);
+  sim.run();
+  EXPECT_EQ(in.size(), 1u);
+}
+
+TEST_F(NetworkTest, LossIsSeededAndDeterministic) {
+  auto run_once = [this] {
+    Network fresh{sim, config};
+    const Endpoint src = fresh.new_endpoint();
+    fresh.bind(src, h1, [](const Delivery&) {});
+    const Endpoint dst = fresh.new_endpoint();
+    fresh.bind(dst, h2, [](const Delivery&) {});
+    fresh.set_loss(0.25);
+    for (int i = 0; i < 500; ++i) fresh.send(src, dst, msg(i), 10);
+    return fresh.stats().messages_lost;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_F(NetworkTest, PerHostLossOnlyAffectsThatDestination) {
+  HostId h3{3};
+  std::vector<Delivery> in_b, in_c;
+  const Endpoint src = net->new_endpoint();
+  net->bind(src, h1, [](const Delivery&) {});
+  const Endpoint to_b = bind_on(h2, &in_b);
+  const Endpoint to_c = bind_on(h3, &in_c);
+
+  net->set_host_loss(h2, 1.0);
+  for (int i = 0; i < 50; ++i) {
+    net->send(src, to_b, msg(i), 10);
+    net->send(src, to_c, msg(i), 10);
+  }
+  sim.run();
+  EXPECT_TRUE(in_b.empty());
+  EXPECT_EQ(in_c.size(), 50u);
+  EXPECT_EQ(net->stats().messages_lost, 50u);
+
+  // The per-host knob overrides the global one, and clears cleanly.
+  net->set_loss(1.0);
+  net->set_host_loss(h2, 0.0);
+  net->send(src, to_b, msg(99), 10);
+  net->send(src, to_c, msg(99), 10);
+  sim.run();
+  EXPECT_EQ(in_b.size(), 1u);
+  EXPECT_EQ(in_c.size(), 50u);
+
+  net->clear_host_loss(h2);
+  net->send(src, to_b, msg(100), 10);
+  sim.run();
+  EXPECT_EQ(in_b.size(), 1u);  // global loss applies again
+
+  EXPECT_THROW(net->set_loss(1.5), std::invalid_argument);
+  EXPECT_THROW(net->set_host_loss(h2, -0.1), std::invalid_argument);
+}
+
+TEST_F(NetworkTest, DownHostDropsAreNotCountedAsLoss) {
+  std::vector<Delivery> in;
+  const Endpoint src = net->new_endpoint();
+  net->bind(src, h1, [](const Delivery&) {});
+  const Endpoint dst = bind_on(h2, &in);
+  net->set_loss(1.0);
+  net->set_host_down(h2, true);
+  net->send(src, dst, msg(1), 10);
+  sim.run();
+  // The down-host check wins: the message is a drop, not a loss.
+  EXPECT_EQ(net->stats().messages_dropped, 1u);
+  EXPECT_EQ(net->stats().messages_lost, 0u);
+}
+
 TEST_F(NetworkTest, StatsCountBytes) {
   const Endpoint src = net->new_endpoint();
   net->bind(src, h1, [](const Delivery&) {});

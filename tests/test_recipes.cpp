@@ -118,6 +118,35 @@ TEST_F(RecipesTest, DoubleAcquireThrows) {
   EXPECT_TRUE(lock.held());
 }
 
+TEST_F(RecipesTest, LockHolderSessionExpiresMidHold) {
+  // The holder's process stalls (pings stop) while it believes it holds
+  // the lock: the session expires, the ephemeral lock node vanishes, and
+  // the lock passes to the contender. The stale holder's release() is a
+  // safe no-op.
+  CoordClient holder{*zk};
+  CoordClient waiter{*zk};
+  DistributedLock l1{holder, "/lock"};
+  DistributedLock l2{waiter, "/lock"};
+  l1.acquire(nullptr);
+  settle();
+  ASSERT_TRUE(l1.held());
+  bool granted = false;
+  l2.acquire([&] { granted = true; });
+  settle();
+  ASSERT_FALSE(granted);
+
+  holder.stop_pinging();
+  sim.run_until(sim.now() + config.session_timeout + seconds(2));
+  EXPECT_FALSE(zk->session_alive(holder.session()));
+  EXPECT_TRUE(granted);
+  EXPECT_TRUE(l2.held());
+
+  l1.release();  // node already gone with the session
+  settle();
+  EXPECT_FALSE(l1.held());
+  EXPECT_TRUE(l2.held());
+}
+
 TEST_F(RecipesTest, LockHolderSessionExpiryUnblocksWaiter) {
   auto holder = std::make_unique<CoordClient>(*zk);
   CoordClient waiter{*zk};

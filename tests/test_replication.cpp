@@ -223,15 +223,34 @@ TEST_F(ReplicationTest, FailHostWithoutCheckpointsThrows) {
   EXPECT_THROW(engine->fail_host(hosts[1]->id()), std::logic_error);
 }
 
-TEST_F(ReplicationTest, RecoverWithoutCheckpointThrows) {
+TEST_F(ReplicationTest, RecoverWithoutCheckpointBootstraps) {
+  // A slice that dies before its first checkpoint recovers from scratch:
+  // nothing ever truncated the upstream logs, so the full replay rebuilds
+  // the state and no event is lost or duplicated.
   make_engine(true, seconds(60));  // interval too long: no checkpoint yet
   deploy();
-  inject_values(10, millis(10));
+  constexpr std::uint64_t kValues = 100;
+  inject_values(kValues, millis(10));
   sim.run_until(sim.now() + millis(500));
   const SliceId lost = engine->slice_id("work", 0);
+  ASSERT_FALSE(engine->has_checkpoint(lost));
   engine->fail_host(hosts[1]->id());
-  EXPECT_THROW(engine->recover_slice(lost, hosts[0]->id(), nullptr),
-               std::logic_error);
+  EXPECT_TRUE(engine->slice_lost(lost));
+  bool recovered = false;
+  engine->recover_slice(lost, hosts[0]->id(), [&] { recovered = true; });
+  sim.run_until(sim.now() + seconds(20));
+  ASSERT_TRUE(recovered);
+  EXPECT_FALSE(engine->slice_lost(lost));
+  EXPECT_EQ(engine->slice_host(lost), hosts[0]->id());
+
+  ASSERT_EQ(collected->size(), kValues);
+  std::map<std::uint64_t, int> seen;
+  for (const Record& r : *collected) ++seen[r.value];
+  for (std::uint64_t v = 1; v <= kValues; ++v) {
+    ASSERT_EQ(seen[v], 1) << "value " << v;
+  }
+  std::uint64_t total = work_handler(0).sum_ + work_handler(1).sum_;
+  EXPECT_EQ(total, kValues * (kValues + 1) / 2);
 }
 
 TEST_F(ReplicationTest, CheckpointingIsExactlyOnceUnderSteadyFlow) {
