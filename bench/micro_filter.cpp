@@ -5,9 +5,20 @@
 //  - plain-text matchers (brute force vs counting index) sweeping the
 //    number of stored subscriptions;
 //  - the oracle matcher used by the cluster-scale experiments.
+//  - a batched-vs-scalar wall-clock sweep (--batch_sweep): pubs/sec per
+//    scheme per batch size, emitted as JSON, with the batched outcomes
+//    verified identical (subscribers and simulated work_units) to scalar.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
 #include <memory>
+#include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -153,6 +164,148 @@ void BM_AspeStateSerialization(benchmark::State& state) {
 }
 BENCHMARK(BM_AspeStateSerialization)->RangeMultiplier(4)->Range(256, 4096);
 
+// ---- batched-vs-scalar wall-clock sweep --------------------------------------
+//
+// Real elapsed time of match() loops vs match_batch() chunks over one
+// fixed publication set, per scheme and batch size. The simulated cost
+// accounting is batching-invariant by design, so this sweep is the place
+// where the batch kernels' wall-clock win (SoA tiles, grouped column
+// scans, blocked ASPE rows) is actually visible -- and it doubles as an
+// end-to-end identity check: any outcome divergence fails the run.
+
+double time_best_seconds(int reps, const std::function<void()>& fn) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+// Returns false (after reporting on stderr) on any scalar/batched outcome
+// divergence.
+bool sweep_scheme(const char* name, filter::Matcher& matcher,
+                  const std::vector<filter::AnyPublication>& pubs,
+                  const std::vector<std::size_t>& batch_sizes, bool last) {
+  auto scalar_pass = [&] {
+    std::vector<filter::MatchOutcome> out;
+    out.reserve(pubs.size());
+    for (const filter::AnyPublication& pub : pubs) {
+      out.push_back(matcher.match(pub));
+    }
+    return out;
+  };
+  auto batched_pass = [&](std::size_t batch) {
+    std::vector<filter::MatchOutcome> out;
+    out.reserve(pubs.size());
+    for (std::size_t i = 0; i < pubs.size(); i += batch) {
+      const std::size_t n = std::min(batch, pubs.size() - i);
+      auto chunk = matcher.match_batch(
+          std::span<const filter::AnyPublication>{pubs.data() + i, n});
+      for (auto& outcome : chunk) out.push_back(std::move(outcome));
+    }
+    return out;
+  };
+
+  const std::vector<filter::MatchOutcome> ref = scalar_pass();  // warm + truth
+  std::uint64_t total_matches = 0;
+  for (const auto& outcome : ref) total_matches += outcome.subscribers.size();
+
+  const double scalar_s = time_best_seconds(3, [&] { scalar_pass(); });
+  const double scalar_rate = static_cast<double>(pubs.size()) / scalar_s;
+
+  std::printf("    {\"scheme\": \"%s\", \"subscriptions\": %zu, "
+              "\"publications\": %zu,\n",
+              name, matcher.subscription_count(), pubs.size());
+  std::printf("     \"matches_total\": %llu, \"scalar_pubs_per_sec\": %.1f,\n",
+              static_cast<unsigned long long>(total_matches), scalar_rate);
+  std::printf("     \"batched\": [");
+  bool ok = true;
+  for (std::size_t bi = 0; bi < batch_sizes.size(); ++bi) {
+    const std::size_t batch = batch_sizes[bi];
+    const auto got = batched_pass(batch);  // warm + verify
+    for (std::size_t p = 0; p < pubs.size(); ++p) {
+      if (got[p].subscribers != ref[p].subscribers) {
+        std::fprintf(stderr,
+                     "%s: batch %zu diverged from scalar on publication %zu "
+                     "(subscriber set)\n",
+                     name, batch, p);
+        ok = false;
+      }
+      if (got[p].work_units != ref[p].work_units) {
+        std::fprintf(stderr,
+                     "%s: batch %zu diverged from scalar on publication %zu "
+                     "(work_units %f vs %f)\n",
+                     name, batch, p, got[p].work_units, ref[p].work_units);
+        ok = false;
+      }
+    }
+    const double batch_s = time_best_seconds(3, [&] { batched_pass(batch); });
+    const double rate = static_cast<double>(pubs.size()) / batch_s;
+    std::printf("%s\n      {\"batch\": %zu, \"pubs_per_sec\": %.1f, "
+                "\"speedup_vs_scalar\": %.3f}",
+                bi == 0 ? "" : ",", batch, rate, rate / scalar_rate);
+  }
+  std::printf("],\n     \"results_identical\": %s, "
+              "\"work_units_identical\": %s}%s\n",
+              ok ? "true" : "false", ok ? "true" : "false", last ? "" : ",");
+  return ok;
+}
+
+int run_batch_sweep() {
+  const std::vector<std::size_t> batch_sizes = {1, 4, 16, 64, 256};
+  constexpr std::size_t kDims = 4;
+  constexpr std::size_t kPlainSubs = 200000;
+  constexpr std::size_t kAspeSubs = 8000;
+  constexpr std::size_t kPlainPubs = 512;
+  constexpr std::size_t kAspePubs = 512;
+
+  workload::PlainWorkload plain_gen{{kDims, 0.01, 7}};
+  filter::BruteForceMatcher brute;
+  filter::CountingIndexMatcher counting;
+  for (std::size_t i = 0; i < kPlainSubs; ++i) {
+    const auto sub = plain_gen.subscription(i);
+    brute.add(filter::AnySubscription{sub});
+    counting.add(filter::AnySubscription{sub});
+  }
+  std::vector<filter::AnyPublication> plain_pubs;
+  for (std::size_t i = 0; i < kPlainPubs; ++i) {
+    plain_pubs.emplace_back(plain_gen.next_publication());
+  }
+
+  workload::EncryptedWorkload enc_gen{{kDims, 0.01, 7}};
+  filter::AspeMatcher aspe;
+  for (std::size_t i = 0; i < kAspeSubs; ++i) {
+    aspe.add(filter::AnySubscription{enc_gen.subscription(i)});
+  }
+  std::vector<filter::AnyPublication> enc_pubs;
+  for (std::size_t i = 0; i < kAspePubs; ++i) {
+    enc_pubs.emplace_back(enc_gen.next_publication());
+  }
+
+  std::printf("{\n  \"benchmark\": \"micro_filter_batch_sweep\",\n"
+              "  \"dimensions\": %zu,\n  \"schemes\": [\n",
+              kDims);
+  bool ok = true;
+  ok &= sweep_scheme("plain-brute", brute, plain_pubs, batch_sizes, false);
+  ok &= sweep_scheme("plain-counting", counting, plain_pubs, batch_sizes,
+                     false);
+  ok &= sweep_scheme("aspe", aspe, enc_pubs, batch_sizes, true);
+  std::printf("  ]\n}\n");
+  return ok ? 0 : 2;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view{argv[i]} == "--batch_sweep") return run_batch_sweep();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

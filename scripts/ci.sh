@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Continuous-integration entry point: configures, builds and runs the
+# tier-1 test suite exactly as ROADMAP.md specifies. Also usable locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -1,11 +1,20 @@
 #!/usr/bin/env bash
 # Builds the whole tree with AddressSanitizer + UBSan in a dedicated build
-# directory and runs the full test suite under the instrumented binaries.
+# directory and runs the test suite under the instrumented binaries.
+#
+# Usage: run_sanitized.sh [ctest-regex]
+#   With an argument, only tests matching the regex run (ctest -R), e.g.
+#   `run_sanitized.sh 'Matcher|Aspe'` for the matcher differential suite.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-asan}
+FILTER=${1:-}
 
 cmake -B "$BUILD_DIR" -S . -DESH_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+if [[ -n "$FILTER" ]]; then
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" -R "$FILTER"
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+fi

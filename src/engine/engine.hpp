@@ -52,6 +52,11 @@ struct EngineConfig {
   // Pacing of the coordinator's migration steps: each control action waits
   // up to this long, modeling the manager's orchestration loop granularity.
   SimDuration control_tick = millis(50);
+  // Most events one in-order delivery run may coalesce into a single
+  // handler batch (Handler::can_batch / on_batch_start). Affects real
+  // wall-clock only: each batched event keeps its own simulated CPU job,
+  // cost and lock, so simulated timing is independent of this cap.
+  std::size_t dispatch_batch_max = 64;
   cluster::CostModel cost;
 };
 

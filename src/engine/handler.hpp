@@ -59,6 +59,27 @@ class Handler {
 
   virtual void on_event(Context& ctx, const PayloadPtr& payload) = 0;
 
+  // ---- batched processing ----
+  // True when `payload` may be coalesced with adjacent batchable events of
+  // the same in-order delivery run into one precomputed batch. Only events
+  // whose processing leaves the slice state unchanged (read-only, e.g.
+  // publication matching) may opt in: every event of the batch is handed to
+  // on_event individually afterwards, and each must observe the same state.
+  [[nodiscard]] virtual bool can_batch(const PayloadPtr& payload) const {
+    (void)payload;
+    return false;
+  }
+  // Called once per coalesced batch, immediately before the first of its
+  // events is processed; lets the handler run one batched computation whose
+  // per-event results the subsequent on_event calls consume. The simulated
+  // cost of the batch is still charged per event through cost_units(), so
+  // batching never changes simulated work or scheduling.
+  virtual void on_batch_start(Context& ctx,
+                              const std::vector<PayloadPtr>& batch) {
+    (void)ctx;
+    (void)batch;
+  }
+
   // Simulated single-core cost of processing `payload` now (cost-model
   // units); evaluated when the event is handed to the host scheduler.
   [[nodiscard]] virtual double cost_units(const PayloadPtr& payload) const = 0;

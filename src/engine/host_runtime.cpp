@@ -84,18 +84,63 @@ void SliceRuntime::on_wire_event(const WireEvent& event) {
 }
 
 void SliceRuntime::deliver_in_order(SliceId from, ChannelIn& channel) {
+  std::vector<PayloadPtr> run;
   while (!channel.pending.empty() &&
          channel.pending.begin()->first == channel.expected) {
     auto node = channel.pending.extract(channel.pending.begin());
-    dispatch(from, node.key(), std::move(node.mapped()));
+    run.push_back(std::move(node.mapped()));
     channel.last_dispatched = channel.expected;
     ++channel.expected;
   }
+  if (!run.empty()) dispatch_run(std::move(run));
 }
 
-void SliceRuntime::dispatch(SliceId from, SeqNo seq, PayloadPtr payload) {
-  (void)from;
-  (void)seq;
+void SliceRuntime::dispatch_run(std::vector<PayloadPtr> run) {
+  const std::size_t cap =
+      std::max<std::size_t>(1, host_.engine().config().dispatch_batch_max);
+  std::size_t i = 0;
+  while (i < run.size()) {
+    if (!handler_->can_batch(run[i])) {
+      dispatch(std::move(run[i]));
+      ++i;
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < run.size() && j - i < cap && handler_->can_batch(run[j])) ++j;
+    if (j == i + 1) {
+      dispatch(std::move(run[i]));
+      ++i;
+      continue;
+    }
+    // Coalesced group: the first of its CPU jobs to run precomputes the
+    // whole batch (the state all of them observe is identical -- any later
+    // write job of this slice waits for these read jobs). Each event keeps
+    // its own job, cost and lock, so simulated scheduling and per-event
+    // completion times are exactly as in the unbatched dispatch.
+    struct BatchRun {
+      std::vector<PayloadPtr> payloads;
+      bool started = false;
+    };
+    auto batch = std::make_shared<BatchRun>();
+    batch->payloads.assign(run.begin() + static_cast<std::ptrdiff_t>(i),
+                           run.begin() + static_cast<std::ptrdiff_t>(j));
+    for (const PayloadPtr& payload : batch->payloads) {
+      const double cost = handler_->cost_units(payload);
+      const cluster::LockMode mode = handler_->lock_mode(payload);
+      host_.cpu().submit(id_, mode, cost, [this, batch, payload]() mutable {
+        if (state_ == State::kRetired) return;
+        if (!batch->started) {
+          batch->started = true;
+          handler_->on_batch_start(*this, batch->payloads);
+        }
+        process(std::move(payload));
+      });
+    }
+    i = j;
+  }
+}
+
+void SliceRuntime::dispatch(PayloadPtr payload) {
   const double cost = handler_->cost_units(payload);
   const cluster::LockMode mode = handler_->lock_mode(payload);
   host_.cpu().submit(id_, mode, cost,

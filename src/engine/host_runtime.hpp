@@ -144,7 +144,12 @@ class SliceRuntime final : public Context {
   };
 
   void deliver_in_order(SliceId from, ChannelIn& channel);
-  void dispatch(SliceId from, SeqNo seq, PayloadPtr payload);
+  // Dispatches one in-order run of deliverable events, coalescing maximal
+  // groups of consecutive batchable events (Handler::can_batch) so the
+  // handler can precompute them together. Every event still gets its own
+  // CPU job with its own cost and lock mode.
+  void dispatch_run(std::vector<PayloadPtr> run);
+  void dispatch(PayloadPtr payload);
   void process(PayloadPtr payload);
   void check_freeze();
   void do_freeze();

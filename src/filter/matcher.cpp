@@ -2,9 +2,33 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace esh::filter {
+
+namespace {
+
+// Sentinel bounds for SoA columns past a subscription's dimension count:
+// an empty interval no attribute value can satisfy.
+constexpr double kNeverLow = std::numeric_limits<double>::infinity();
+constexpr double kNeverHigh = -std::numeric_limits<double>::infinity();
+
+// Column tile scanned per publication before moving to the next batch
+// member: 1024 slots keep one attribute's low+high tile at 16 KiB, so a
+// d-attribute tile stays L2-resident across the whole batch.
+constexpr std::size_t kBruteTileSlots = 1024;
+
+// Publications evaluated per pass over the encrypted rows: 64 ASPE
+// publication ciphertexts (2 shares of d+3 doubles) fit in L1 next to the
+// current subscription row.
+constexpr std::size_t kAspePubBlock = 64;
+
+// Publications evaluated simultaneously by the grouped ASPE kernel: 4
+// independent accumulator chains cover the ~4-cycle FP-add latency.
+constexpr std::size_t kGroup = 4;
+
+}  // namespace
 
 SubscriptionId subscription_id(const AnySubscription& s) {
   return std::visit([](const auto& v) { return v.id; }, s);
@@ -30,60 +54,229 @@ std::size_t publication_bytes(const AnyPublication& p) {
   return 16 + plain.attributes.size() * sizeof(double);
 }
 
+// ---- Matcher -----------------------------------------------------------------
+
+std::vector<MatchOutcome> Matcher::match_batch(
+    std::span<const AnyPublication> pubs) {
+  std::vector<MatchOutcome> out;
+  out.reserve(pubs.size());
+  for (const AnyPublication& pub : pubs) out.push_back(match(pub));
+  return out;
+}
+
 // ---- BruteForceMatcher -------------------------------------------------------
 
 BruteForceMatcher::BruteForceMatcher(cluster::CostModel cost) : cost_(cost) {}
 
 void BruteForceMatcher::add(const AnySubscription& sub) {
-  subs_.push_back(std::get<Subscription>(sub));
+  const auto& plain = std::get<Subscription>(sub);
+  const std::size_t d = plain.predicates.size();
+  if (d > lows_.size()) {
+    lows_.resize(d, std::vector<double>(ids_.size(), kNeverLow));
+    highs_.resize(d, std::vector<double>(ids_.size(), kNeverHigh));
+  }
+  ids_.push_back(plain.id);
+  subscribers_.push_back(plain.subscriber);
+  dims_.push_back(static_cast<std::uint32_t>(d));
+  for (std::size_t a = 0; a < lows_.size(); ++a) {
+    lows_[a].push_back(a < d ? plain.predicates[a].low : kNeverLow);
+    highs_[a].push_back(a < d ? plain.predicates[a].high : kNeverHigh);
+  }
+  predicate_count_ += d;
 }
 
 bool BruteForceMatcher::remove(SubscriptionId id) {
-  auto it = std::find_if(subs_.begin(), subs_.end(),
-                         [id](const Subscription& s) { return s.id == id; });
-  if (it == subs_.end()) return false;
-  subs_.erase(it);
+  const auto it = std::find(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end()) return false;
+  const auto slot =
+      static_cast<std::size_t>(std::distance(ids_.begin(), it));
+  predicate_count_ -= dims_[slot];
+  ids_.erase(it);
+  subscribers_.erase(subscribers_.begin() + static_cast<std::ptrdiff_t>(slot));
+  dims_.erase(dims_.begin() + static_cast<std::ptrdiff_t>(slot));
+  for (auto& col : lows_) {
+    col.erase(col.begin() + static_cast<std::ptrdiff_t>(slot));
+  }
+  for (auto& col : highs_) {
+    col.erase(col.begin() + static_cast<std::ptrdiff_t>(slot));
+  }
   return true;
+}
+
+void BruteForceMatcher::prune_and_emit(const Publication& pub,
+                                       std::vector<std::uint32_t>& survivors,
+                                       MatchOutcome& out) {
+  const std::size_t d = pub.attributes.size();
+  for (std::size_t a = 1; a < d && !survivors.empty(); ++a) {
+    const double v = pub.attributes[a];
+    const double* lo = lows_[a].data();
+    const double* hi = highs_[a].data();
+    std::size_t kept = 0;
+    for (const std::uint32_t s : survivors) {
+      if (lo[s] <= v && v <= hi[s]) survivors[kept++] = s;
+    }
+    survivors.resize(kept);
+  }
+  for (const std::uint32_t s : survivors) {
+    out.subscribers.push_back(subscribers_[s]);
+  }
+}
+
+void BruteForceMatcher::scan_slots(const Publication& pub, std::size_t begin,
+                                   std::size_t end, MatchOutcome& out) {
+  const std::size_t d = pub.attributes.size();
+  if (d > lows_.size()) return;  // no stored subscription has that many
+  if (d == 0) {
+    for (std::size_t s = begin; s < end; ++s) {
+      if (dims_[s] == 0) out.subscribers.push_back(subscribers_[s]);
+    }
+    return;
+  }
+  // Survivor pruning, one contiguous column pair at a time: column 0 also
+  // folds in the dimension-count equality matches() requires.
+  survivors_.clear();
+  const auto du = static_cast<std::uint32_t>(d);
+  const double v0 = pub.attributes[0];
+  const double* lo0 = lows_[0].data();
+  const double* hi0 = highs_[0].data();
+  for (std::size_t s = begin; s < end; ++s) {
+    if (dims_[s] == du && lo0[s] <= v0 && v0 <= hi0[s]) {
+      survivors_.push_back(static_cast<std::uint32_t>(s));
+    }
+  }
+  prune_and_emit(pub, survivors_, out);
+}
+
+void BruteForceMatcher::scan_tile_group(const Publication* const* pubs,
+                                        std::size_t count, std::size_t begin,
+                                        std::size_t end,
+                                        MatchOutcome* const* outs) {
+  std::uint32_t du[kScanGroup];
+  double v0[kScanGroup];
+  std::uint32_t* sv[kScanGroup];
+  std::size_t kept[kScanGroup];
+  for (std::size_t g = 0; g < count; ++g) {
+    du[g] = static_cast<std::uint32_t>(pubs[g]->attributes.size());
+    v0[g] = pubs[g]->attributes[0];
+    group_survivors_[g].resize(end - begin);
+    sv[g] = group_survivors_[g].data();
+    kept[g] = 0;
+  }
+  const double* lo0 = lows_[0].data();
+  const double* hi0 = highs_[0].data();
+  const std::uint32_t* dims = dims_.data();
+  // Branchless survivor collection: each lane unconditionally writes the
+  // slot id and advances its cursor only on a hit, so the 32%-taken data-
+  // dependent branch of the scalar scan never reaches the predictor. The
+  // slot's bounds are loaded once for all kScanGroup publications.
+  for (std::size_t s = begin; s < end; ++s) {
+    const double lo = lo0[s];
+    const double hi = hi0[s];
+    const std::uint32_t dm = dims[s];
+    for (std::size_t g = 0; g < count; ++g) {
+      const bool hitg =
+          (dm == du[g]) & (lo <= v0[g]) & (v0[g] <= hi);
+      sv[g][kept[g]] = static_cast<std::uint32_t>(s);
+      kept[g] += hitg ? 1 : 0;
+    }
+  }
+  for (std::size_t g = 0; g < count; ++g) {
+    group_survivors_[g].resize(kept[g]);
+    prune_and_emit(*pubs[g], group_survivors_[g], *outs[g]);
+  }
 }
 
 MatchOutcome BruteForceMatcher::match(const AnyPublication& pub) {
   const auto& plain = std::get<Publication>(pub);
   MatchOutcome out;
-  for (const Subscription& s : subs_) {
-    if (s.matches(plain)) out.subscribers.push_back(s.subscriber);
+  scan_slots(plain, 0, ids_.size(), out);
+  out.work_units = cost_.plain_match_units_batch(ids_.size(), 1);
+  return out;
+}
+
+std::vector<MatchOutcome> BruteForceMatcher::match_batch(
+    std::span<const AnyPublication> pubs) {
+  std::vector<const Publication*> plains;
+  plains.reserve(pubs.size());
+  for (const AnyPublication& pub : pubs) {
+    plains.push_back(&std::get<Publication>(pub));
   }
-  out.work_units =
-      cost_.plain_match_units * static_cast<double>(subs_.size());
+  std::vector<MatchOutcome> out(pubs.size());
+  const std::size_t n = ids_.size();
+  // Publications the grouped column-0 scan can serve; zero-dimension or
+  // over-wide publications take the scalar scan per tile instead.
+  std::vector<std::size_t> grouped;
+  grouped.reserve(plains.size());
+  std::vector<std::size_t> singles;
+  for (std::size_t p = 0; p < plains.size(); ++p) {
+    const std::size_t d = plains[p]->attributes.size();
+    (d >= 1 && d <= lows_.size() ? grouped : singles).push_back(p);
+  }
+  // Tile the columns: every publication of the batch scans one tile while
+  // it is cache-hot before the next tile streams in, and the grouped scan
+  // loads each slot's bounds once for kScanGroup publications. Subscribers
+  // are still appended in ascending slot order per publication (tiles
+  // ascend), exactly as the scalar scan emits them.
+  for (std::size_t t0 = 0; t0 < n; t0 += kBruteTileSlots) {
+    const std::size_t t1 = std::min(n, t0 + kBruteTileSlots);
+    for (const std::size_t p : singles) {
+      scan_slots(*plains[p], t0, t1, out[p]);
+    }
+    for (std::size_t i = 0; i < grouped.size(); i += kScanGroup) {
+      const std::size_t cnt = std::min(kScanGroup, grouped.size() - i);
+      const Publication* group[kScanGroup];
+      MatchOutcome* group_out[kScanGroup];
+      for (std::size_t g = 0; g < cnt; ++g) {
+        group[g] = plains[grouped[i + g]];
+        group_out[g] = &out[grouped[i + g]];
+      }
+      scan_tile_group(group, cnt, t0, t1, group_out);
+    }
+  }
+  const double per_pub = cost_.plain_match_units_batch(n, 1);
+  for (MatchOutcome& o : out) o.work_units = per_pub;
   return out;
 }
 
 double BruteForceMatcher::estimate_match_units() const {
-  return cost_.plain_match_units * static_cast<double>(subs_.size());
+  return cost_.plain_match_units * static_cast<double>(ids_.size());
 }
 
 std::size_t BruteForceMatcher::subscription_count() const {
-  return subs_.size();
+  return ids_.size();
 }
 
 std::size_t BruteForceMatcher::state_bytes() const {
-  std::size_t total = 0;
-  for (const auto& s : subs_) {
-    total += 24 + s.predicates.size() * 2 * sizeof(double);
-  }
-  return total;
+  return 24 * ids_.size() + predicate_count_ * 2 * sizeof(double);
 }
 
 void BruteForceMatcher::serialize_state(BinaryWriter& w) const {
-  w.write_u64(subs_.size());
-  for (const auto& s : subs_) serialize(w, s);
+  // Same wire format as serialize(w, Subscription) per stored entry.
+  w.write_u64(ids_.size());
+  for (std::size_t s = 0; s < ids_.size(); ++s) {
+    w.write_id(ids_[s]);
+    w.write_id(subscribers_[s]);
+    w.write_u64(dims_[s]);
+    for (std::uint32_t a = 0; a < dims_[s]; ++a) {
+      w.write_f64(lows_[a][s]);
+      w.write_f64(highs_[a][s]);
+    }
+  }
 }
 
 void BruteForceMatcher::restore_state(BinaryReader& r) {
-  subs_.clear();
+  ids_.clear();
+  subscribers_.clear();
+  dims_.clear();
+  lows_.clear();
+  highs_.clear();
+  predicate_count_ = 0;
   const auto n = r.read_u64();
-  subs_.reserve(n);
+  ids_.reserve(n);
+  subscribers_.reserve(n);
+  dims_.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
-    subs_.push_back(deserialize_subscription(r));
+    add(AnySubscription{deserialize_subscription(r)});
   }
 }
 
@@ -149,9 +342,7 @@ void CountingIndexMatcher::rebuild_if_dirty() {
   dirty_ = false;
 }
 
-MatchOutcome CountingIndexMatcher::match(const AnyPublication& pub) {
-  const auto& plain = std::get<Publication>(pub);
-  rebuild_if_dirty();
+MatchOutcome CountingIndexMatcher::match_prepared(const Publication& plain) {
   ++epoch_;
   MatchOutcome out;
   double examined = 0.0;
@@ -184,6 +375,31 @@ MatchOutcome CountingIndexMatcher::match(const AnyPublication& pub) {
       std::log2(std::max<double>(2.0, static_cast<double>(live_count_)));
   out.work_units = cost_.plain_match_units * 0.5 * examined +
                    cost_.plain_match_units * searches;
+  return out;
+}
+
+MatchOutcome CountingIndexMatcher::match(const AnyPublication& pub) {
+  const auto& plain = std::get<Publication>(pub);
+  rebuild_if_dirty();
+  return match_prepared(plain);
+}
+
+std::vector<MatchOutcome> CountingIndexMatcher::match_batch(
+    std::span<const AnyPublication> pubs) {
+  std::vector<const Publication*> plains;
+  plains.reserve(pubs.size());
+  for (const AnyPublication& pub : pubs) {
+    plains.push_back(&std::get<Publication>(pub));
+  }
+  // One rebuild (and one epoch-array reset) serves the whole batch; each
+  // publication still advances its own epoch so counts never leak between
+  // batch members.
+  rebuild_if_dirty();
+  std::vector<MatchOutcome> out;
+  out.reserve(pubs.size());
+  for (const Publication* plain : plains) {
+    out.push_back(match_prepared(*plain));
+  }
   return out;
 }
 
@@ -233,11 +449,41 @@ std::unique_ptr<Matcher> CountingIndexMatcher::clone_empty() const {
 
 AspeMatcher::AspeMatcher(cluster::CostModel cost) : cost_(cost) {}
 
+void AspeMatcher::append_row(const EncryptedSubscription& s) {
+  std::uint32_t len = 0;
+  bool regular = !s.comparisons.empty();
+  if (regular) {
+    len = static_cast<std::uint32_t>(s.comparisons.front().share_a.size());
+    regular = len > 0;
+    for (const EncryptedComparison& cmp : s.comparisons) {
+      regular = regular && cmp.share_a.size() == len &&
+                cmp.share_b.size() == len;
+    }
+  }
+  row_offset_.push_back(flat_.size());
+  row_cmps_.push_back(static_cast<std::uint32_t>(s.comparisons.size()));
+  row_share_len_.push_back(regular ? len : 0);
+  if (!regular) return;
+  for (const EncryptedComparison& cmp : s.comparisons) {
+    flat_.insert(flat_.end(), cmp.share_a.begin(), cmp.share_a.end());
+    flat_.insert(flat_.end(), cmp.share_b.begin(), cmp.share_b.end());
+  }
+}
+
+void AspeMatcher::rebuild_rows() {
+  flat_.clear();
+  row_offset_.clear();
+  row_cmps_.clear();
+  row_share_len_.clear();
+  for (const EncryptedSubscription& s : subs_) append_row(s);
+}
+
 void AspeMatcher::add(const AnySubscription& sub) {
   const auto& enc = std::get<EncryptedSubscription>(sub);
   state_bytes_ += enc.bytes();
   dimensions_ = std::max(dimensions_, enc.comparisons.size() / 2);
   subs_.push_back(enc);
+  append_row(subs_.back());
 }
 
 bool AspeMatcher::remove(SubscriptionId id) {
@@ -247,23 +493,138 @@ bool AspeMatcher::remove(SubscriptionId id) {
   if (it == subs_.end()) return false;
   state_bytes_ -= it->bytes();
   subs_.erase(it);
+  rebuild_rows();
   return true;
+}
+
+bool AspeMatcher::row_matches(std::size_t index, const double* pub_a,
+                              std::size_t len_a, const double* pub_b,
+                              std::size_t len_b) const {
+  const std::uint32_t len = row_share_len_[index];
+  if (pub_a == nullptr || len_a != len || len_b != len) {
+    throw std::invalid_argument{"dot: size mismatch"};
+  }
+  const double* row = flat_.data() + row_offset_[index];
+  const std::uint32_t cmps = row_cmps_[index];
+  for (std::uint32_t c = 0; c < cmps; ++c) {
+    const double* qa = row + static_cast<std::size_t>(c) * 2 * len;
+    const double* qb = qa + len;
+    double acc = 0.0;
+    for (std::uint32_t j = 0; j < len; ++j) acc += qa[j] * pub_a[j];
+    for (std::uint32_t j = 0; j < len; ++j) acc += qb[j] * pub_b[j];
+    if (acc < 0.0) return false;
+  }
+  return true;
+}
+
+void AspeMatcher::row_matches_group(std::size_t index,
+                                    const EncryptedPublication* const* pubs,
+                                    std::size_t count, bool* hit) const {
+  const std::uint32_t len = row_share_len_[index];
+  for (std::size_t g = 0; g < count; ++g) {
+    if (pubs[g]->share_a.size() != len || pubs[g]->share_b.size() != len) {
+      throw std::invalid_argument{"dot: size mismatch"};
+    }
+  }
+  const double* row = flat_.data() + row_offset_[index];
+  const std::uint32_t cmps = row_cmps_[index];
+  const double* pa[kGroup];
+  const double* pb[kGroup];
+  for (std::size_t g = 0; g < kGroup; ++g) {
+    // Pad short groups with lane 0 (their results are discarded): the
+    // kernel always runs kGroup independent accumulator chains, fully
+    // unrollable.
+    const EncryptedPublication* pub = pubs[g < count ? g : 0];
+    pa[g] = pub->share_a.data();
+    pb[g] = pub->share_b.data();
+  }
+  bool ok[kGroup] = {true, true, true, true};
+  for (std::uint32_t c = 0; c < cmps; ++c) {
+    const double* qa = row + static_cast<std::size_t>(c) * 2 * len;
+    const double* qb = qa + len;
+    // One pass of the comparison for all lanes: each query coefficient is
+    // loaded once and feeds kGroup independent accumulator chains, hiding
+    // the floating-point add latency the scalar path serializes on. Every
+    // lane's accumulation order is exactly row_matches' (qa in j order,
+    // then qb), so per-publication results are bit-identical. Failed lanes
+    // keep accumulating (their sign is simply ignored) -- branchless
+    // beats early-exit here because lane lifetimes diverge.
+    double acc[kGroup] = {0.0, 0.0, 0.0, 0.0};
+    for (std::uint32_t j = 0; j < len; ++j) {
+      const double q = qa[j];
+      for (std::size_t g = 0; g < kGroup; ++g) acc[g] += q * pa[g][j];
+    }
+    for (std::uint32_t j = 0; j < len; ++j) {
+      const double q = qb[j];
+      for (std::size_t g = 0; g < kGroup; ++g) acc[g] += q * pb[g][j];
+    }
+    bool any = false;
+    for (std::size_t g = 0; g < kGroup; ++g) {
+      ok[g] = ok[g] & (acc[g] >= 0.0);
+      any |= g < count && ok[g];
+    }
+    if (!any) break;  // every publication of the group already failed
+  }
+  for (std::size_t g = 0; g < count; ++g) hit[g] = ok[g];
 }
 
 MatchOutcome AspeMatcher::match(const AnyPublication& pub) {
   const auto& enc = std::get<EncryptedPublication>(pub);
   MatchOutcome out;
-  for (const EncryptedSubscription& s : subs_) {
-    if (encrypted_match(s, enc)) out.subscribers.push_back(s.subscriber);
+  for (std::size_t i = 0; i < subs_.size(); ++i) {
+    const bool hit =
+        row_share_len_[i] == 0
+            ? encrypted_match(subs_[i], enc)  // irregular: slow AoS path
+            : row_matches(i, enc.share_a.data(), enc.share_a.size(),
+                          enc.share_b.data(), enc.share_b.size());
+    if (hit) out.subscribers.push_back(subs_[i].subscriber);
   }
   // Every stored subscription is tested; each test costs O(d^2).
   out.work_units = estimate_match_units();
   return out;
 }
 
+std::vector<MatchOutcome> AspeMatcher::match_batch(
+    std::span<const AnyPublication> pubs) {
+  std::vector<const EncryptedPublication*> encs;
+  encs.reserve(pubs.size());
+  for (const AnyPublication& pub : pubs) {
+    encs.push_back(&std::get<EncryptedPublication>(pub));
+  }
+  std::vector<MatchOutcome> out(pubs.size());
+  // Block the publications: one pass over the stored rows evaluates a whole
+  // block, so each subscription's 2d query vectors are streamed from memory
+  // once per block instead of once per publication. Subscriber order per
+  // publication stays ascending in storage order, as in match().
+  for (std::size_t b0 = 0; b0 < encs.size(); b0 += kAspePubBlock) {
+    const std::size_t b1 = std::min(encs.size(), b0 + kAspePubBlock);
+    for (std::size_t i = 0; i < subs_.size(); ++i) {
+      if (row_share_len_[i] == 0) {
+        for (std::size_t p = b0; p < b1; ++p) {
+          if (encrypted_match(subs_[i], *encs[p])) {
+            out[p].subscribers.push_back(subs_[i].subscriber);
+          }
+        }
+        continue;
+      }
+      for (std::size_t p = b0; p < b1; p += 4) {
+        const std::size_t cnt = std::min<std::size_t>(4, b1 - p);
+        bool hit[4];
+        row_matches_group(i, encs.data() + p, cnt, hit);
+        for (std::size_t g = 0; g < cnt; ++g) {
+          if (hit[g]) out[p + g].subscribers.push_back(subs_[i].subscriber);
+        }
+      }
+    }
+  }
+  const double per_pub = estimate_match_units();
+  for (MatchOutcome& o : out) o.work_units = per_pub;
+  return out;
+}
+
 double AspeMatcher::estimate_match_units() const {
-  return cost_.aspe_match_units(std::max<std::size_t>(dimensions_, 1)) *
-         static_cast<double>(subs_.size());
+  return cost_.aspe_match_units_batch(std::max<std::size_t>(dimensions_, 1),
+                                      subs_.size(), 1);
 }
 
 std::size_t AspeMatcher::subscription_count() const { return subs_.size(); }
@@ -279,6 +640,10 @@ void AspeMatcher::restore_state(BinaryReader& r) {
   subs_.clear();
   state_bytes_ = 0;
   dimensions_ = 0;
+  flat_.clear();
+  row_offset_.clear();
+  row_cmps_.clear();
+  row_share_len_.clear();
   const auto n = r.read_u64();
   subs_.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -286,6 +651,7 @@ void AspeMatcher::restore_state(BinaryReader& r) {
     state_bytes_ += s.bytes();
     dimensions_ = std::max(dimensions_, s.comparisons.size() / 2);
     subs_.push_back(std::move(s));
+    append_row(subs_.back());
   }
 }
 

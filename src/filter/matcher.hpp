@@ -7,10 +7,25 @@
 // cluster emulation charges work faithfully: encrypted filtering charges
 // O(d^2) per stored subscription, index-based plain filtering charges by
 // candidates actually examined.
+//
+// Matchers additionally expose a batched entry point, match_batch(): a run
+// of publications tested against an unchanged subscription store. The
+// batch is a pure wall-clock optimization -- every outcome (subscriber set
+// and work_units) is identical to the scalar per-publication result, so
+// simulated cost accounting is batching-invariant. The concrete matchers
+// exploit the batch with cache-friendly state layouts: BruteForceMatcher
+// stores bounds as per-attribute SoA columns scanned in tiles,
+// AspeMatcher flattens each encrypted subscription's 2d query vectors
+// into one contiguous row reused across a block of publications while
+// cache-hot, and CountingIndexMatcher amortizes one index rebuild over
+// the whole batch.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <variant>
 #include <vector>
@@ -46,9 +61,21 @@ class Matcher {
   virtual bool remove(SubscriptionId id) = 0;
   [[nodiscard]] virtual MatchOutcome match(const AnyPublication& pub) = 0;
 
+  // Matches a run of publications against the current store. Outcome i is
+  // exactly what match(pubs[i]) would have returned (same subscribers,
+  // same work_units); concrete matchers override this with kernels that
+  // reuse subscription state across the batch. Default: scalar loop.
+  [[nodiscard]] virtual std::vector<MatchOutcome> match_batch(
+      std::span<const AnyPublication> pubs);
+
   // Expected cost of the next match (charged to the host CPU before the
   // match runs; the scheduler needs the cost up front).
   [[nodiscard]] virtual double estimate_match_units() const = 0;
+  // Expected cost of a batch of `batch` matches: batching-invariant, i.e.
+  // exactly `batch` scalar estimates.
+  [[nodiscard]] double estimate_match_units(std::size_t batch) const {
+    return static_cast<double>(batch) * estimate_match_units();
+  }
 
   [[nodiscard]] virtual std::size_t subscription_count() const = 0;
   [[nodiscard]] virtual std::size_t state_bytes() const = 0;
@@ -63,7 +90,11 @@ class Matcher {
   [[nodiscard]] virtual std::string scheme_name() const = 0;
 };
 
-// Plain-text brute force: tests every stored subscription.
+// Plain-text brute force: tests every stored subscription. State is held in
+// structure-of-arrays form -- per-attribute low/high columns -- so a scan
+// walks contiguous arrays instead of chasing each subscription's heap-
+// allocated predicate vector; match_batch() additionally tiles the columns
+// so a block of publications reuses each tile while it is cache-hot.
 class BruteForceMatcher final : public Matcher {
  public:
   explicit BruteForceMatcher(cluster::CostModel cost = {});
@@ -71,6 +102,8 @@ class BruteForceMatcher final : public Matcher {
   void add(const AnySubscription& sub) override;
   bool remove(SubscriptionId id) override;
   [[nodiscard]] MatchOutcome match(const AnyPublication& pub) override;
+  [[nodiscard]] std::vector<MatchOutcome> match_batch(
+      std::span<const AnyPublication> pubs) override;
   [[nodiscard]] double estimate_match_units() const override;
   [[nodiscard]] std::size_t subscription_count() const override;
   [[nodiscard]] std::size_t state_bytes() const override;
@@ -82,13 +115,41 @@ class BruteForceMatcher final : public Matcher {
   }
 
  private:
+  // Appends the subscribers of slots [begin, end) matching `pub`, in slot
+  // order (survivor-list pruning, one column at a time).
+  void scan_slots(const Publication& pub, std::size_t begin, std::size_t end,
+                  MatchOutcome& out);
+  // Column-0 scan of one tile for up to kScanGroup publications at once:
+  // each slot's bounds and dimension count are loaded once and tested
+  // against every publication of the group (the batch kernel's main win --
+  // shared loads and independent compare chains).
+  void scan_tile_group(const Publication* const* pubs, std::size_t count,
+                       std::size_t begin, std::size_t end,
+                       MatchOutcome* const* outs);
+  // Columns 1.. survivor pruning + subscriber emission shared by both scans.
+  void prune_and_emit(const Publication& pub,
+                      std::vector<std::uint32_t>& survivors, MatchOutcome& out);
+
+  static constexpr std::size_t kScanGroup = 4;
+
   cluster::CostModel cost_;
-  std::vector<Subscription> subs_;
+  // SoA store, dense by slot (insertion order; remove shifts like the old
+  // AoS erase did, keeping serialization order stable). Columns past a
+  // subscription's dimension count hold never-matching sentinels.
+  std::vector<SubscriptionId> ids_;
+  std::vector<SubscriberId> subscribers_;
+  std::vector<std::uint32_t> dims_;
+  std::vector<std::vector<double>> lows_;   // [attribute][slot]
+  std::vector<std::vector<double>> highs_;  // [attribute][slot]
+  std::size_t predicate_count_ = 0;
+  std::vector<std::uint32_t> survivors_;  // scan scratch (avoids allocs)
+  std::array<std::vector<std::uint32_t>, kScanGroup> group_survivors_;
 };
 
 // Plain-text counting index (Yan/Garcia-Molina style): per-attribute
 // interval lists sorted by lower bound; a publication only pays for the
-// candidate predicates its attribute values can satisfy.
+// candidate predicates its attribute values can satisfy. match_batch()
+// performs the epoch bookkeeping rebuild once for the whole batch.
 class CountingIndexMatcher final : public Matcher {
  public:
   explicit CountingIndexMatcher(cluster::CostModel cost = {});
@@ -96,6 +157,8 @@ class CountingIndexMatcher final : public Matcher {
   void add(const AnySubscription& sub) override;
   bool remove(SubscriptionId id) override;
   [[nodiscard]] MatchOutcome match(const AnyPublication& pub) override;
+  [[nodiscard]] std::vector<MatchOutcome> match_batch(
+      std::span<const AnyPublication> pubs) override;
   [[nodiscard]] double estimate_match_units() const override;
   [[nodiscard]] std::size_t subscription_count() const override;
   [[nodiscard]] std::size_t state_bytes() const override;
@@ -113,6 +176,8 @@ class CountingIndexMatcher final : public Matcher {
     std::uint32_t slot;
   };
   void rebuild_if_dirty();
+  // One publication against the already-rebuilt index.
+  [[nodiscard]] MatchOutcome match_prepared(const Publication& plain);
 
   cluster::CostModel cost_;
   std::vector<Subscription> subs_;       // dense by slot; removed = empty id
@@ -127,7 +192,10 @@ class CountingIndexMatcher final : public Matcher {
 
 // Encrypted filtering: stores EncryptedSubscriptions, tests every one with
 // the ASPE comparison primitive; no containment or indexing is possible by
-// design (paper §VI-B).
+// design (paper §VI-B). The 2d query-vector pairs of each subscription are
+// additionally flattened into one contiguous row of doubles; match_batch()
+// blocks over the publications so each row's O(d^2) dot products run for
+// the whole block while the row is cache-hot.
 class AspeMatcher final : public Matcher {
  public:
   explicit AspeMatcher(cluster::CostModel cost = {});
@@ -135,6 +203,8 @@ class AspeMatcher final : public Matcher {
   void add(const AnySubscription& sub) override;
   bool remove(SubscriptionId id) override;
   [[nodiscard]] MatchOutcome match(const AnyPublication& pub) override;
+  [[nodiscard]] std::vector<MatchOutcome> match_batch(
+      std::span<const AnyPublication> pubs) override;
   [[nodiscard]] double estimate_match_units() const override;
   [[nodiscard]] std::size_t subscription_count() const override;
   [[nodiscard]] std::size_t state_bytes() const override;
@@ -144,8 +214,34 @@ class AspeMatcher final : public Matcher {
   [[nodiscard]] std::string scheme_name() const override { return "aspe"; }
 
  private:
+  void append_row(const EncryptedSubscription& s);
+  void rebuild_rows();
+  // True iff stored subscription `index` matches the publication given by
+  // its raw share pointers (same evaluation order and early exit as
+  // encrypted_match, including the dimension-mismatch throw).
+  [[nodiscard]] bool row_matches(std::size_t index, const double* pub_a,
+                                 std::size_t len_a, const double* pub_b,
+                                 std::size_t len_b) const;
+  // Evaluates one stored row against up to 4 publications at once. Each
+  // publication sees exactly the scalar evaluation order (same dot-product
+  // accumulation sequence, same early exit on its first failed comparison),
+  // so results are bit-identical to row_matches; the win is the 4
+  // independent accumulator chains the core can overlap, where the scalar
+  // path serializes on one chain's floating-point latency.
+  void row_matches_group(std::size_t index,
+                         const EncryptedPublication* const* pubs,
+                         std::size_t count, bool* hit) const;
+
   cluster::CostModel cost_;
-  std::vector<EncryptedSubscription> subs_;
+  std::vector<EncryptedSubscription> subs_;  // authoritative (serialization)
+  // Flattened kernel mirror: row i holds subscription i's comparisons as
+  // [cmp0.a | cmp0.b | cmp1.a | cmp1.b | ...], each share row_share_len_[i]
+  // doubles. row_share_len_[i] == 0 marks an irregular subscription (shares
+  // of mixed lengths) evaluated through the slow AoS path instead.
+  std::vector<double> flat_;
+  std::vector<std::size_t> row_offset_;
+  std::vector<std::uint32_t> row_cmps_;
+  std::vector<std::uint32_t> row_share_len_;
   std::size_t state_bytes_ = 0;
   std::size_t dimensions_ = 0;
 };

@@ -16,6 +16,7 @@
 //                          notifications and delay measurements out.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <set>
@@ -104,6 +105,15 @@ class MHandler final : public engine::Handler {
   [[nodiscard]] cluster::LockMode lock_mode(
       const engine::PayloadPtr& p) const override;
 
+  // Publications are read-only with respect to the subscription store, so a
+  // run of them drains from the input channel as one batch: on_batch_start
+  // issues a single matcher_->match_batch() whose per-publication outcomes
+  // the subsequent on_event calls emit. Results, simulated costs and lock
+  // modes are identical to scalar processing.
+  [[nodiscard]] bool can_batch(const engine::PayloadPtr& p) const override;
+  void on_batch_start(engine::Context& ctx,
+                      const std::vector<engine::PayloadPtr>& batch) override;
+
   void serialize_state(BinaryWriter& w) const override {
     matcher_->serialize_state(w);
   }
@@ -123,6 +133,9 @@ class MHandler final : public engine::Handler {
   std::uint32_t slice_index_;
   std::unique_ptr<filter::Matcher> matcher_;
   cluster::CostModel cost_;
+  // Outcomes precomputed by on_batch_start, consumed in order by the
+  // per-publication on_event calls of the same batch.
+  std::deque<std::pair<PublicationId, filter::MatchOutcome>> precomputed_;
 };
 
 class EpHandler final : public engine::Handler {
