@@ -10,7 +10,8 @@
 #include "elastic_experiment.hpp"
 #include "workload/schedule.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  esh::bench::parse_args(argc, argv);
   using namespace esh;
   auto config = bench::paper_config(1);
   config.placement = nullptr;  // all 32 slices start on the single host

@@ -124,7 +124,8 @@ RunResult run_one(esh::SimDuration checkpoint) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  esh::bench::parse_args(argc, argv);
   using namespace esh;
   const std::vector<SimDuration> intervals{seconds(2), seconds(10)};
   std::vector<RunResult> results;

@@ -8,11 +8,16 @@
 //  - a batched-vs-scalar wall-clock sweep (--batch_sweep): pubs/sec per
 //    scheme per batch size, emitted as JSON, with the batched outcomes
 //    verified identical (subscribers and simulated work_units) to scalar.
+//  - a threads x batch wall-clock sweep (--thread_sweep): pubs/sec of the
+//    pooled match_batch backend per scheme, thread count and batch size,
+//    emitted as JSON, with every pooled outcome verified identical to the
+//    scalar single-thread pass.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <thread>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -22,6 +27,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "filter/aspe.hpp"
 #include "filter/matcher.hpp"
 #include "workload/generator.hpp"
@@ -297,11 +303,129 @@ int run_batch_sweep() {
   return ok ? 0 : 2;
 }
 
+// ---- threads x batch wall-clock sweep ----------------------------------------
+//
+// Real elapsed time of match_batch() with the worker pool installed, per
+// scheme, thread count and batch size. Before any timing, every pooled
+// configuration's outcomes (subscriber vectors AND simulated work_units)
+// are checked identical to the scalar single-thread pass -- the pool is
+// bit-deterministic by construction, and this sweep enforces it end to
+// end. Speedups are relative to the 1-thread run of the same batch size.
+
+// Returns false (after reporting on stderr) on any divergence.
+bool thread_sweep_scheme(const char* name, filter::Matcher& matcher,
+                         const std::vector<filter::AnyPublication>& pubs,
+                         const std::vector<std::size_t>& thread_counts,
+                         const std::vector<std::size_t>& batch_sizes,
+                         bool last) {
+  auto batched_pass = [&](std::size_t batch) {
+    std::vector<filter::MatchOutcome> out;
+    out.reserve(pubs.size());
+    for (std::size_t i = 0; i < pubs.size(); i += batch) {
+      const std::size_t n = std::min(batch, pubs.size() - i);
+      auto chunk = matcher.match_batch(
+          std::span<const filter::AnyPublication>{pubs.data() + i, n});
+      for (auto& outcome : chunk) out.push_back(std::move(outcome));
+    }
+    return out;
+  };
+
+  matcher.set_thread_pool(nullptr);
+  const std::vector<filter::MatchOutcome> ref =
+      batched_pass(batch_sizes.back());  // warm + truth (scalar backend)
+
+  std::printf("    {\"scheme\": \"%s\", \"subscriptions\": %zu, "
+              "\"publications\": %zu,\n     \"sweep\": [",
+              name, matcher.subscription_count(), pubs.size());
+  bool ok = true;
+  bool first = true;
+  std::vector<double> base_rate(batch_sizes.size(), 0.0);
+  for (const std::size_t threads : thread_counts) {
+    ThreadPool pool{threads};
+    matcher.set_thread_pool(threads > 1 ? &pool : nullptr);
+    for (std::size_t bi = 0; bi < batch_sizes.size(); ++bi) {
+      const std::size_t batch = batch_sizes[bi];
+      const auto got = batched_pass(batch);  // warm + verify
+      for (std::size_t p = 0; p < pubs.size(); ++p) {
+        if (got[p].subscribers != ref[p].subscribers ||
+            got[p].work_units != ref[p].work_units) {
+          std::fprintf(stderr,
+                       "%s: %zu threads, batch %zu diverged from scalar on "
+                       "publication %zu\n",
+                       name, threads, batch, p);
+          ok = false;
+        }
+      }
+      const double s = time_best_seconds(3, [&] { batched_pass(batch); });
+      const double rate = static_cast<double>(pubs.size()) / s;
+      if (threads == thread_counts.front()) base_rate[bi] = rate;
+      std::printf("%s\n      {\"threads\": %zu, \"batch\": %zu, "
+                  "\"pubs_per_sec\": %.1f, \"speedup_vs_1t\": %.3f}",
+                  first ? "" : ",", threads, batch, rate,
+                  rate / base_rate[bi]);
+      first = false;
+    }
+  }
+  matcher.set_thread_pool(nullptr);
+  std::printf("],\n     \"results_identical\": %s}%s\n",
+              ok ? "true" : "false", last ? "" : ",");
+  return ok;
+}
+
+int run_thread_sweep() {
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  const std::vector<std::size_t> batch_sizes = {64, 256};
+  constexpr std::size_t kDims = 4;
+  constexpr std::size_t kPlainSubs = 100000;
+  constexpr std::size_t kAspeSubs = 8000;
+  constexpr std::size_t kPubs = 256;
+
+  workload::PlainWorkload plain_gen{{kDims, 0.01, 7}};
+  filter::BruteForceMatcher brute;
+  filter::CountingIndexMatcher counting;
+  for (std::size_t i = 0; i < kPlainSubs; ++i) {
+    const auto sub = plain_gen.subscription(i);
+    brute.add(filter::AnySubscription{sub});
+    counting.add(filter::AnySubscription{sub});
+  }
+  std::vector<filter::AnyPublication> plain_pubs;
+  for (std::size_t i = 0; i < kPubs; ++i) {
+    plain_pubs.emplace_back(plain_gen.next_publication());
+  }
+
+  workload::EncryptedWorkload enc_gen{{kDims, 0.01, 7}};
+  filter::AspeMatcher aspe;
+  for (std::size_t i = 0; i < kAspeSubs; ++i) {
+    aspe.add(filter::AnySubscription{enc_gen.subscription(i)});
+  }
+  std::vector<filter::AnyPublication> enc_pubs;
+  for (std::size_t i = 0; i < kPubs; ++i) {
+    enc_pubs.emplace_back(enc_gen.next_publication());
+  }
+
+  std::printf("{\n  \"benchmark\": \"micro_filter_thread_sweep\",\n"
+              "  \"dimensions\": %zu,\n  \"host_cores\": %u,\n"
+              "  \"schemes\": [\n",
+              kDims, std::thread::hardware_concurrency());
+  bool ok = true;
+  ok &= thread_sweep_scheme("plain-brute", brute, plain_pubs, thread_counts,
+                            batch_sizes, false);
+  ok &= thread_sweep_scheme("plain-counting", counting, plain_pubs,
+                            thread_counts, batch_sizes, false);
+  ok &= thread_sweep_scheme("aspe", aspe, enc_pubs, thread_counts,
+                            batch_sizes, true);
+  std::printf("  ]\n}\n");
+  return ok ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string_view{argv[i]} == "--batch_sweep") return run_batch_sweep();
+    if (std::string_view{argv[i]} == "--thread_sweep") {
+      return run_thread_sweep();
+    }
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Captures the parallel-matching wall-clock snapshot: runs the micro_filter
+# threads x batch sweep (which also verifies pooled outcomes are identical
+# to scalar) and writes the JSON to BENCH_parallel.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD:-build}
+OUT=${OUT:-BENCH_parallel.json}
+
+if [ ! -x "$BUILD/bench/micro_filter" ]; then
+  cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD" -j "$(nproc)" --target micro_filter
+fi
+
+"$BUILD/bench/micro_filter" --thread_sweep > "$OUT"
+echo "wrote $OUT"

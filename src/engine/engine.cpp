@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "common/thread_pool.hpp"
 
 namespace esh::engine {
 
@@ -22,6 +23,9 @@ Engine::Engine(sim::Simulator& simulator, net::Network& network,
     : simulator_(simulator),
       network_(network),
       config_(config),
+      match_pool_(config.match_threads > 1
+                      ? std::make_unique<ThreadPool>(config.match_threads)
+                      : nullptr),
       rng_(seed),
       manager_host_(manager_host) {
   control_endpoint_ = network_.new_endpoint();

@@ -27,6 +27,10 @@
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 
+namespace esh {
+class ThreadPool;
+}
+
 namespace esh::engine {
 
 // Passive replication (STREAMMINE3G-style, paper §III): slices checkpoint
@@ -57,6 +61,11 @@ struct EngineConfig {
   // wall-clock only: each batched event keeps its own simulated CPU job,
   // cost and lock, so simulated timing is independent of this cap.
   std::size_t dispatch_batch_max = 64;
+  // Real worker threads for the matching hot path's wall-clock compute
+  // (Engine::match_pool). The count includes the simulator thread; 0 or 1
+  // keeps matching inline. Simulated results are bit-identical for every
+  // value -- only wall-clock changes.
+  std::size_t match_threads = 1;
   cluster::CostModel cost;
 };
 
@@ -175,6 +184,10 @@ class Engine {
   [[nodiscard]] net::Network& network() { return network_; }
   [[nodiscard]] const EngineConfig& config() const { return config_; }
   [[nodiscard]] Rng& rng() { return rng_; }
+  // Worker pool for batch-matching compute; nullptr when
+  // config.match_threads <= 1. Handlers install it on their matcher so
+  // match_batch fans out and joins before any result is committed.
+  [[nodiscard]] ThreadPool* match_pool() { return match_pool_.get(); }
 
  private:
   struct MigrationTask {
@@ -217,6 +230,7 @@ class Engine {
   sim::Simulator& simulator_;
   net::Network& network_;
   EngineConfig config_;
+  std::unique_ptr<ThreadPool> match_pool_;
   Rng rng_;
   HostId manager_host_;
   net::Endpoint control_endpoint_;

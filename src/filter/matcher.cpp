@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
+
 namespace esh::filter {
 
 namespace {
@@ -27,6 +29,31 @@ constexpr std::size_t kAspePubBlock = 64;
 // Publications evaluated simultaneously by the grouped ASPE kernel: 4
 // independent accumulator chains cover the ~4-cycle FP-add latency.
 constexpr std::size_t kGroup = 4;
+
+// Encrypted rows per parallel chunk: at the evaluation's d = 4 a row is
+// 8 comparisons x 14 doubles, so 512 rows are ~450 KiB of streamed reads
+// -- enough work to amortize a chunk claim while still giving an 8-worker
+// pool fine-grained load balance on stores of a few thousand rows.
+constexpr std::size_t kAspeRowChunk = 512;
+
+// Fixed-order merge of per-chunk partial outcomes: appending chunk c's
+// subscribers for publication p after chunks 0..c-1 reproduces exactly the
+// serial scan order (tiles and row ranges ascend), which is what keeps the
+// pooled result bit-identical to the scalar one.
+void merge_partials(std::vector<std::vector<MatchOutcome>>& partials,
+                    std::vector<MatchOutcome>& out) {
+  for (auto& partial : partials) {
+    for (std::size_t p = 0; p < out.size(); ++p) {
+      auto& dst = out[p].subscribers;
+      auto& src = partial[p].subscribers;
+      if (dst.empty()) {
+        dst = std::move(src);
+      } else {
+        dst.insert(dst.end(), src.begin(), src.end());
+      }
+    }
+  }
+}
 
 }  // namespace
 
@@ -123,7 +150,8 @@ void BruteForceMatcher::prune_and_emit(const Publication& pub,
 }
 
 void BruteForceMatcher::scan_slots(const Publication& pub, std::size_t begin,
-                                   std::size_t end, MatchOutcome& out) {
+                                   std::size_t end, MatchOutcome& out,
+                                   ScanScratch& scratch) {
   const std::size_t d = pub.attributes.size();
   if (d > lows_.size()) return;  // no stored subscription has that many
   if (d == 0) {
@@ -134,23 +162,24 @@ void BruteForceMatcher::scan_slots(const Publication& pub, std::size_t begin,
   }
   // Survivor pruning, one contiguous column pair at a time: column 0 also
   // folds in the dimension-count equality matches() requires.
-  survivors_.clear();
+  scratch.survivors.clear();
   const auto du = static_cast<std::uint32_t>(d);
   const double v0 = pub.attributes[0];
   const double* lo0 = lows_[0].data();
   const double* hi0 = highs_[0].data();
   for (std::size_t s = begin; s < end; ++s) {
     if (dims_[s] == du && lo0[s] <= v0 && v0 <= hi0[s]) {
-      survivors_.push_back(static_cast<std::uint32_t>(s));
+      scratch.survivors.push_back(static_cast<std::uint32_t>(s));
     }
   }
-  prune_and_emit(pub, survivors_, out);
+  prune_and_emit(pub, scratch.survivors, out);
 }
 
 void BruteForceMatcher::scan_tile_group(const Publication* const* pubs,
                                         std::size_t count, std::size_t begin,
                                         std::size_t end,
-                                        MatchOutcome* const* outs) {
+                                        MatchOutcome* const* outs,
+                                        ScanScratch& scratch) {
   std::uint32_t du[kScanGroup];
   double v0[kScanGroup];
   std::uint32_t* sv[kScanGroup];
@@ -158,8 +187,8 @@ void BruteForceMatcher::scan_tile_group(const Publication* const* pubs,
   for (std::size_t g = 0; g < count; ++g) {
     du[g] = static_cast<std::uint32_t>(pubs[g]->attributes.size());
     v0[g] = pubs[g]->attributes[0];
-    group_survivors_[g].resize(end - begin);
-    sv[g] = group_survivors_[g].data();
+    scratch.group_survivors[g].resize(end - begin);
+    sv[g] = scratch.group_survivors[g].data();
     kept[g] = 0;
   }
   const double* lo0 = lows_[0].data();
@@ -181,17 +210,37 @@ void BruteForceMatcher::scan_tile_group(const Publication* const* pubs,
     }
   }
   for (std::size_t g = 0; g < count; ++g) {
-    group_survivors_[g].resize(kept[g]);
-    prune_and_emit(*pubs[g], group_survivors_[g], *outs[g]);
+    scratch.group_survivors[g].resize(kept[g]);
+    prune_and_emit(*pubs[g], scratch.group_survivors[g], *outs[g]);
   }
 }
 
 MatchOutcome BruteForceMatcher::match(const AnyPublication& pub) {
   const auto& plain = std::get<Publication>(pub);
   MatchOutcome out;
-  scan_slots(plain, 0, ids_.size(), out);
+  scan_slots(plain, 0, ids_.size(), out, scratch_);
   out.work_units = cost_.plain_match_units_batch(ids_.size(), 1);
   return out;
+}
+
+void BruteForceMatcher::scan_batch_tile(
+    const std::vector<const Publication*>& plains,
+    const std::vector<std::size_t>& grouped,
+    const std::vector<std::size_t>& singles, std::size_t t0, std::size_t t1,
+    MatchOutcome* outs, ScanScratch& scratch) {
+  for (const std::size_t p : singles) {
+    scan_slots(*plains[p], t0, t1, outs[p], scratch);
+  }
+  for (std::size_t i = 0; i < grouped.size(); i += kScanGroup) {
+    const std::size_t cnt = std::min(kScanGroup, grouped.size() - i);
+    const Publication* group[kScanGroup];
+    MatchOutcome* group_out[kScanGroup];
+    for (std::size_t g = 0; g < cnt; ++g) {
+      group[g] = plains[grouped[i + g]];
+      group_out[g] = &outs[grouped[i + g]];
+    }
+    scan_tile_group(group, cnt, t0, t1, group_out, scratch);
+  }
 }
 
 std::vector<MatchOutcome> BruteForceMatcher::match_batch(
@@ -217,20 +266,26 @@ std::vector<MatchOutcome> BruteForceMatcher::match_batch(
   // loads each slot's bounds once for kScanGroup publications. Subscribers
   // are still appended in ascending slot order per publication (tiles
   // ascend), exactly as the scalar scan emits them.
-  for (std::size_t t0 = 0; t0 < n; t0 += kBruteTileSlots) {
-    const std::size_t t1 = std::min(n, t0 + kBruteTileSlots);
-    for (const std::size_t p : singles) {
-      scan_slots(*plains[p], t0, t1, out[p]);
-    }
-    for (std::size_t i = 0; i < grouped.size(); i += kScanGroup) {
-      const std::size_t cnt = std::min(kScanGroup, grouped.size() - i);
-      const Publication* group[kScanGroup];
-      MatchOutcome* group_out[kScanGroup];
-      for (std::size_t g = 0; g < cnt; ++g) {
-        group[g] = plains[grouped[i + g]];
-        group_out[g] = &out[grouped[i + g]];
-      }
-      scan_tile_group(group, cnt, t0, t1, group_out);
+  const std::size_t tiles = (n + kBruteTileSlots - 1) / kBruteTileSlots;
+  if (pool_ != nullptr && pool_->worker_count() > 1 && tiles > 1) {
+    // Parallel backend: tiles fan out across the pool into per-tile
+    // partial outcomes, merged in tile order -- the same order the serial
+    // tile loop appends, so the result is bit-identical at any thread
+    // count. The store itself is read-only here.
+    worker_scratch_.resize(pool_->worker_count());
+    std::vector<std::vector<MatchOutcome>> partial(tiles);
+    pool_->parallel_for(tiles, [&](std::size_t t, std::size_t w) {
+      partial[t].resize(plains.size());
+      const std::size_t t0 = t * kBruteTileSlots;
+      scan_batch_tile(plains, grouped, singles, t0,
+                      std::min(n, t0 + kBruteTileSlots), partial[t].data(),
+                      worker_scratch_[w]);
+    });
+    merge_partials(partial, out);
+  } else {
+    for (std::size_t t0 = 0; t0 < n; t0 += kBruteTileSlots) {
+      scan_batch_tile(plains, grouped, singles, t0,
+                      std::min(n, t0 + kBruteTileSlots), out.data(), scratch_);
     }
   }
   const double per_pub = cost_.plain_match_units_batch(n, 1);
@@ -281,7 +336,9 @@ void BruteForceMatcher::restore_state(BinaryReader& r) {
 }
 
 std::unique_ptr<Matcher> BruteForceMatcher::clone_empty() const {
-  return std::make_unique<BruteForceMatcher>(cost_);
+  auto clone = std::make_unique<BruteForceMatcher>(cost_);
+  clone->set_thread_pool(pool_);
+  return clone;
 }
 
 // ---- CountingIndexMatcher ----------------------------------------------------
@@ -336,14 +393,19 @@ void CountingIndexMatcher::rebuild_if_dirty() {
     std::sort(list.begin(), list.end(),
               [](const Entry& x, const Entry& y) { return x.low < y.low; });
   }
-  counts_.assign(subs_.size(), 0);
-  epochs_.assign(subs_.size(), 0);
-  epoch_ = 0;
+  reset_scratch(scratch_);
   dirty_ = false;
 }
 
-MatchOutcome CountingIndexMatcher::match_prepared(const Publication& plain) {
-  ++epoch_;
+void CountingIndexMatcher::reset_scratch(CountScratch& scratch) const {
+  scratch.counts.assign(subs_.size(), 0);
+  scratch.epochs.assign(subs_.size(), 0);
+  scratch.epoch = 0;
+}
+
+MatchOutcome CountingIndexMatcher::match_prepared(const Publication& plain,
+                                                  CountScratch& scratch) {
+  ++scratch.epoch;
   MatchOutcome out;
   double examined = 0.0;
 
@@ -359,11 +421,11 @@ MatchOutcome CountingIndexMatcher::match_prepared(const Publication& plain) {
       examined += 1.0;
       if (it->high < v) continue;
       const std::uint32_t slot = it->slot;
-      if (epochs_[slot] != epoch_) {
-        epochs_[slot] = epoch_;
-        counts_[slot] = 0;
+      if (scratch.epochs[slot] != scratch.epoch) {
+        scratch.epochs[slot] = scratch.epoch;
+        scratch.counts[slot] = 0;
       }
-      if (++counts_[slot] == subs_[slot].predicates.size() &&
+      if (++scratch.counts[slot] == subs_[slot].predicates.size() &&
           subs_[slot].predicates.size() == dims) {
         out.subscribers.push_back(subs_[slot].subscriber);
       }
@@ -381,7 +443,7 @@ MatchOutcome CountingIndexMatcher::match_prepared(const Publication& plain) {
 MatchOutcome CountingIndexMatcher::match(const AnyPublication& pub) {
   const auto& plain = std::get<Publication>(pub);
   rebuild_if_dirty();
-  return match_prepared(plain);
+  return match_prepared(plain, scratch_);
 }
 
 std::vector<MatchOutcome> CountingIndexMatcher::match_batch(
@@ -395,10 +457,27 @@ std::vector<MatchOutcome> CountingIndexMatcher::match_batch(
   // publication still advances its own epoch so counts never leak between
   // batch members.
   rebuild_if_dirty();
-  std::vector<MatchOutcome> out;
-  out.reserve(pubs.size());
-  for (const Publication* plain : plains) {
-    out.push_back(match_prepared(*plain));
+  std::vector<MatchOutcome> out(pubs.size());
+  if (pool_ != nullptr && pool_->worker_count() > 1 && pubs.size() > 1) {
+    // Parallel backend: publications (not slot tiles -- the candidate
+    // index is slot-unordered) fan out across the pool. Each outcome is
+    // computed exactly as the scalar path computes it, against the same
+    // immutable index, into its own slot of `out`; the only shared mutable
+    // state, the epoch-stamped counters, is per worker. Stale stamps from
+    // earlier batches are harmless by the same epoch argument the scalar
+    // path relies on, so a worker scratch only resets when the slot space
+    // changed size.
+    worker_scratch_.resize(pool_->worker_count());
+    for (CountScratch& scratch : worker_scratch_) {
+      if (scratch.counts.size() != subs_.size()) reset_scratch(scratch);
+    }
+    pool_->parallel_for(plains.size(), [&](std::size_t p, std::size_t w) {
+      out[p] = match_prepared(*plains[p], worker_scratch_[w]);
+    });
+  } else {
+    for (std::size_t p = 0; p < plains.size(); ++p) {
+      out[p] = match_prepared(*plains[p], scratch_);
+    }
   }
   return out;
 }
@@ -442,7 +521,9 @@ void CountingIndexMatcher::restore_state(BinaryReader& r) {
 }
 
 std::unique_ptr<Matcher> CountingIndexMatcher::clone_empty() const {
-  return std::make_unique<CountingIndexMatcher>(cost_);
+  auto clone = std::make_unique<CountingIndexMatcher>(cost_);
+  clone->set_thread_pool(pool_);
+  return clone;
 }
 
 // ---- AspeMatcher -------------------------------------------------------------
@@ -584,25 +665,20 @@ MatchOutcome AspeMatcher::match(const AnyPublication& pub) {
   return out;
 }
 
-std::vector<MatchOutcome> AspeMatcher::match_batch(
-    std::span<const AnyPublication> pubs) {
-  std::vector<const EncryptedPublication*> encs;
-  encs.reserve(pubs.size());
-  for (const AnyPublication& pub : pubs) {
-    encs.push_back(&std::get<EncryptedPublication>(pub));
-  }
-  std::vector<MatchOutcome> out(pubs.size());
+void AspeMatcher::match_batch_rows(
+    const std::vector<const EncryptedPublication*>& encs, std::size_t r0,
+    std::size_t r1, MatchOutcome* outs) const {
   // Block the publications: one pass over the stored rows evaluates a whole
   // block, so each subscription's 2d query vectors are streamed from memory
   // once per block instead of once per publication. Subscriber order per
   // publication stays ascending in storage order, as in match().
   for (std::size_t b0 = 0; b0 < encs.size(); b0 += kAspePubBlock) {
     const std::size_t b1 = std::min(encs.size(), b0 + kAspePubBlock);
-    for (std::size_t i = 0; i < subs_.size(); ++i) {
+    for (std::size_t i = r0; i < r1; ++i) {
       if (row_share_len_[i] == 0) {
         for (std::size_t p = b0; p < b1; ++p) {
           if (encrypted_match(subs_[i], *encs[p])) {
-            out[p].subscribers.push_back(subs_[i].subscriber);
+            outs[p].subscribers.push_back(subs_[i].subscriber);
           }
         }
         continue;
@@ -612,10 +688,40 @@ std::vector<MatchOutcome> AspeMatcher::match_batch(
         bool hit[4];
         row_matches_group(i, encs.data() + p, cnt, hit);
         for (std::size_t g = 0; g < cnt; ++g) {
-          if (hit[g]) out[p + g].subscribers.push_back(subs_[i].subscriber);
+          if (hit[g]) outs[p + g].subscribers.push_back(subs_[i].subscriber);
         }
       }
     }
+  }
+}
+
+std::vector<MatchOutcome> AspeMatcher::match_batch(
+    std::span<const AnyPublication> pubs) {
+  std::vector<const EncryptedPublication*> encs;
+  encs.reserve(pubs.size());
+  for (const AnyPublication& pub : pubs) {
+    encs.push_back(&std::get<EncryptedPublication>(pub));
+  }
+  std::vector<MatchOutcome> out(pubs.size());
+  const std::size_t rows = subs_.size();
+  const std::size_t ranges = (rows + kAspeRowChunk - 1) / kAspeRowChunk;
+  if (pool_ != nullptr && pool_->worker_count() > 1 && ranges > 1) {
+    // Parallel backend: fixed row ranges fan out across the pool into
+    // per-range partial outcomes, merged in range order -- the serial
+    // append order. Every row's dot products keep their exact scalar
+    // accumulation sequence, so the floating-point results (and hence the
+    // subscriber sets) are bit-identical at any thread count. A size
+    // mismatch throw inside a range surfaces at the join.
+    std::vector<std::vector<MatchOutcome>> partial(ranges);
+    pool_->parallel_for(ranges, [&](std::size_t r, std::size_t) {
+      partial[r].resize(encs.size());
+      const std::size_t r0 = r * kAspeRowChunk;
+      match_batch_rows(encs, r0, std::min(rows, r0 + kAspeRowChunk),
+                       partial[r].data());
+    });
+    merge_partials(partial, out);
+  } else {
+    match_batch_rows(encs, 0, rows, out.data());
   }
   const double per_pub = estimate_match_units();
   for (MatchOutcome& o : out) o.work_units = per_pub;
@@ -656,7 +762,9 @@ void AspeMatcher::restore_state(BinaryReader& r) {
 }
 
 std::unique_ptr<Matcher> AspeMatcher::clone_empty() const {
-  return std::make_unique<AspeMatcher>(cost_);
+  auto clone = std::make_unique<AspeMatcher>(cost_);
+  clone->set_thread_pool(pool_);
+  return clone;
 }
 
 }  // namespace esh::filter

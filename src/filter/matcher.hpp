@@ -19,6 +19,19 @@
 // into one contiguous row reused across a block of publications while
 // cache-hot, and CountingIndexMatcher amortizes one index rebuild over
 // the whole batch.
+//
+// With a ThreadPool installed (set_thread_pool), match_batch additionally
+// fans the batch's pure compute across real worker threads and joins
+// before returning. The parallel decomposition is chosen per scheme so the
+// merged result is bit-identical to the scalar path at any thread count:
+// BruteForceMatcher partitions the store into its fixed 1024-slot tiles
+// and concatenates per-tile survivor lists in tile order; AspeMatcher
+// partitions the encrypted rows into fixed ranges and concatenates
+// per-range hit lists in range order (each row's floating-point
+// accumulation order is untouched); CountingIndexMatcher partitions by
+// publication (outcomes are indexed, and its candidate index is
+// slot-unordered, so slot tiling would not compose). Simulated work_units
+// never depend on the pool.
 #pragma once
 
 #include <array>
@@ -35,6 +48,10 @@
 #include "common/types.hpp"
 #include "filter/aspe.hpp"
 #include "filter/attribute.hpp"
+
+namespace esh {
+class ThreadPool;
+}
 
 namespace esh::filter {
 
@@ -85,9 +102,21 @@ class Matcher {
   virtual void restore_state(BinaryReader& r) = 0;
 
   // Fresh instance of the same scheme/configuration (for replicas).
+  // Clones inherit the installed thread pool: the pool is configuration,
+  // like the cost model.
   [[nodiscard]] virtual std::unique_ptr<Matcher> clone_empty() const = 0;
 
   [[nodiscard]] virtual std::string scheme_name() const = 0;
+
+  // Installs a worker pool for match_batch's parallel backend (nullptr
+  // restores the serial path). The pool is borrowed, never owned; results
+  // are bit-identical with and without it. match() and all mutators stay
+  // strictly on the calling thread.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  [[nodiscard]] ThreadPool* thread_pool() const { return pool_; }
+
+ protected:
+  ThreadPool* pool_ = nullptr;
 };
 
 // Plain-text brute force: tests every stored subscription. State is held in
@@ -115,22 +144,37 @@ class BruteForceMatcher final : public Matcher {
   }
 
  private:
+  static constexpr std::size_t kScanGroup = 4;
+
+  // Per-worker scan scratch (survivor lists). The scalar path uses one
+  // instance; the pooled batch path hands each pool worker its own, so
+  // concurrent tile scans never share mutable state.
+  struct ScanScratch {
+    std::vector<std::uint32_t> survivors;
+    std::array<std::vector<std::uint32_t>, kScanGroup> group_survivors;
+  };
+
   // Appends the subscribers of slots [begin, end) matching `pub`, in slot
   // order (survivor-list pruning, one column at a time).
   void scan_slots(const Publication& pub, std::size_t begin, std::size_t end,
-                  MatchOutcome& out);
+                  MatchOutcome& out, ScanScratch& scratch);
   // Column-0 scan of one tile for up to kScanGroup publications at once:
   // each slot's bounds and dimension count are loaded once and tested
   // against every publication of the group (the batch kernel's main win --
   // shared loads and independent compare chains).
   void scan_tile_group(const Publication* const* pubs, std::size_t count,
                        std::size_t begin, std::size_t end,
-                       MatchOutcome* const* outs);
+                       MatchOutcome* const* outs, ScanScratch& scratch);
   // Columns 1.. survivor pruning + subscriber emission shared by both scans.
   void prune_and_emit(const Publication& pub,
                       std::vector<std::uint32_t>& survivors, MatchOutcome& out);
-
-  static constexpr std::size_t kScanGroup = 4;
+  // One tile of the batch kernel: every publication of the batch scans
+  // slots [t0, t1), appending matches to outs[p] (indexed like `plains`).
+  void scan_batch_tile(const std::vector<const Publication*>& plains,
+                       const std::vector<std::size_t>& grouped,
+                       const std::vector<std::size_t>& singles, std::size_t t0,
+                       std::size_t t1, MatchOutcome* outs,
+                       ScanScratch& scratch);
 
   cluster::CostModel cost_;
   // SoA store, dense by slot (insertion order; remove shifts like the old
@@ -142,8 +186,8 @@ class BruteForceMatcher final : public Matcher {
   std::vector<std::vector<double>> lows_;   // [attribute][slot]
   std::vector<std::vector<double>> highs_;  // [attribute][slot]
   std::size_t predicate_count_ = 0;
-  std::vector<std::uint32_t> survivors_;  // scan scratch (avoids allocs)
-  std::array<std::vector<std::uint32_t>, kScanGroup> group_survivors_;
+  ScanScratch scratch_;                          // scalar-path scratch
+  std::vector<ScanScratch> worker_scratch_;      // pooled-path scratch
 };
 
 // Plain-text counting index (Yan/Garcia-Molina style): per-attribute
@@ -175,17 +219,27 @@ class CountingIndexMatcher final : public Matcher {
     double high;
     std::uint32_t slot;
   };
+  // Per-slot predicate-hit counters, epoch-stamped so they reset lazily.
+  // Transient bookkeeping only -- no outcome ever depends on the counter
+  // values left behind -- so each pool worker owns a private instance and
+  // parallel results stay identical to the scalar path's shared one.
+  struct CountScratch {
+    std::vector<std::uint32_t> counts;
+    std::vector<std::uint64_t> epochs;
+    std::uint64_t epoch = 0;
+  };
   void rebuild_if_dirty();
+  void reset_scratch(CountScratch& scratch) const;
   // One publication against the already-rebuilt index.
-  [[nodiscard]] MatchOutcome match_prepared(const Publication& plain);
+  [[nodiscard]] MatchOutcome match_prepared(const Publication& plain,
+                                            CountScratch& scratch);
 
   cluster::CostModel cost_;
   std::vector<Subscription> subs_;       // dense by slot; removed = empty id
   std::vector<std::uint32_t> free_slots_;
   std::vector<std::vector<Entry>> index_;  // per attribute, sorted by low
-  std::vector<std::uint32_t> counts_;      // per slot, epoch-stamped
-  std::vector<std::uint64_t> epochs_;
-  std::uint64_t epoch_ = 0;
+  CountScratch scratch_;                   // scalar-path counters
+  std::vector<CountScratch> worker_scratch_;  // pooled-path counters
   bool dirty_ = true;
   std::size_t live_count_ = 0;
 };
@@ -231,6 +285,15 @@ class AspeMatcher final : public Matcher {
   void row_matches_group(std::size_t index,
                          const EncryptedPublication* const* pubs,
                          std::size_t count, bool* hit) const;
+  // Every publication of `encs` against stored rows [r0, r1), appending
+  // hits to outs[p].subscribers in ascending row order. The pooled batch
+  // path runs disjoint row ranges concurrently and concatenates the
+  // per-range lists in range order, reproducing the scalar append order;
+  // each row's evaluation (and its floating-point accumulation order) is
+  // independent of the range partition.
+  void match_batch_rows(const std::vector<const EncryptedPublication*>& encs,
+                        std::size_t r0, std::size_t r1,
+                        MatchOutcome* outs) const;
 
   cluster::CostModel cost_;
   std::vector<EncryptedSubscription> subs_;  // authoritative (serialization)

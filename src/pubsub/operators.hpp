@@ -92,13 +92,20 @@ class ApHandler final : public engine::Handler {
 
 class MHandler final : public engine::Handler {
  public:
+  // `match_pool` (optional) is installed on the matcher: on_batch_start's
+  // match_batch call then fans its compute across the pool and joins before
+  // returning, so every result is committed on the simulator thread and
+  // simulated behavior is independent of the pool.
   MHandler(OperatorNames names, std::string own_op, std::uint32_t slice_index,
-           std::unique_ptr<filter::Matcher> matcher, cluster::CostModel cost)
+           std::unique_ptr<filter::Matcher> matcher, cluster::CostModel cost,
+           ThreadPool* match_pool = nullptr)
       : names_(std::move(names)),
         own_op_(std::move(own_op)),
         slice_index_(slice_index),
         matcher_(std::move(matcher)),
-        cost_(cost) {}
+        cost_(cost) {
+    matcher_->set_thread_pool(match_pool);
+  }
 
   void on_event(engine::Context& ctx, const engine::PayloadPtr& p) override;
   [[nodiscard]] double cost_units(const engine::PayloadPtr& p) const override;

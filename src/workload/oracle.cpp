@@ -128,7 +128,9 @@ void OracleMatcher::restore_state(BinaryReader& r) {
 }
 
 std::unique_ptr<filter::Matcher> OracleMatcher::clone_empty() const {
-  return std::make_unique<OracleMatcher>(oracle_, cost_, slice_index_);
+  auto clone = std::make_unique<OracleMatcher>(oracle_, cost_, slice_index_);
+  clone->set_thread_pool(thread_pool());
+  return clone;
 }
 
 OracleWorkload::OracleWorkload(OracleParams params)
