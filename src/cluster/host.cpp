@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+
 namespace esh::cluster {
 
 Host::Host(sim::Simulator& simulator, HostId id, HostSpec spec)
@@ -73,6 +75,12 @@ bool Host::try_dispatch_slice(SliceId slice, SliceSched& sched) {
       if (sched.running_write || sched.running_read > 0) return false;
       break;
   }
+  ESH_INVARIANT("cluster", "queued-jobs-accounting", queued_jobs_ > 0,
+                ::esh::contracts::Detail{}
+                    .host(id_)
+                    .slice(slice)
+                    .expected("queued_jobs > 0")
+                    .actual(queued_jobs_));
   Job job = std::move(sched.queue.front());
   sched.queue.pop_front();
   --queued_jobs_;
@@ -88,6 +96,14 @@ SimDuration Host::job_duration(double cost_units) const {
 }
 
 void Host::start_job(SliceId slice, Job job) {
+  // Core capacity never goes negative: dispatch() only starts jobs while
+  // free_cores_ > 0, so the decrement below cannot underflow.
+  ESH_INVARIANT("cluster", "core-capacity-nonnegative", free_cores_ > 0,
+                ::esh::contracts::Detail{}
+                    .host(id_)
+                    .slice(slice)
+                    .expected("free_cores > 0")
+                    .actual(free_cores_));
   --free_cores_;
   ++running_jobs_;
   const std::uint64_t job_id = next_job_id_++;
@@ -102,6 +118,13 @@ void Host::start_job(SliceId slice, Job job) {
        duration]() mutable {
         ++free_cores_;
         --running_jobs_;
+        ESH_INVARIANT("cluster", "core-capacity-bounded",
+                      free_cores_ <= spec_.cores,
+                      ::esh::contracts::Detail{}
+                          .host(id_)
+                          .expected(spec_.cores)
+                          .actual(free_cores_)
+                          .note("job completion released a core twice"));
         running_.erase(job_id);
         running_cost_.erase(job_id);
         auto& sched = slices_[slice];
@@ -126,6 +149,7 @@ double Host::slice_busy_core_us(SliceId slice) const {
 double Host::busy_core_us_now() const {
   double busy = busy_core_us_;
   const SimTime now = simulator_.now();
+  // lint:allow(unordered-iteration): order-free sum
   for (const auto& [job_id, entry] : running_) {
     busy += static_cast<double>((now - entry.first).count());
   }
@@ -135,6 +159,7 @@ double Host::busy_core_us_now() const {
 double Host::slice_busy_core_us_now(SliceId slice) const {
   double busy = slice_busy_core_us(slice);
   const SimTime now = simulator_.now();
+  // lint:allow(unordered-iteration): order-free sum
   for (const auto& [job_id, entry] : running_) {
     if (entry.second == slice) {
       busy += static_cast<double>((now - entry.first).count());
@@ -171,6 +196,7 @@ bool Host::has_pending_work(SliceId slice) const {
       it->second.running_write) {
     return true;
   }
+  // lint:allow(unordered-iteration): order-free any-of scan
   for (const auto& [job_id, entry] : running_) {
     if (entry.second == slice) return true;
   }

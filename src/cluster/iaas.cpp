@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+
 namespace esh::cluster {
 
 IaasPool::IaasPool(sim::Simulator& simulator, IaasConfig config)
@@ -20,6 +22,17 @@ HostId IaasPool::allocate(std::function<void(Host&)> ready) {
   hosts_[id] = std::make_unique<Host>(simulator_, id, config_.host_spec);
   booted_[id] = false;
   active_.push_back(id);
+  // Allocate/release balance: the three membership structures move in
+  // lockstep, and the pool never exceeds its configured capacity.
+  ESH_INVARIANT("cluster", "iaas-allocate-balanced",
+                active_.size() <= config_.max_hosts &&
+                    hosts_.size() == active_.size() &&
+                    booted_.size() == active_.size(),
+                ::esh::contracts::Detail{}
+                    .host(id)
+                    .expected(active_.size())
+                    .actual(hosts_.size())
+                    .note("active/hosts/booted sizes diverged"));
   record_count();
   simulator_.schedule(config_.boot_delay,
                       [this, id, ready = std::move(ready)] {
@@ -34,6 +47,15 @@ HostId IaasPool::allocate(std::function<void(Host&)> ready) {
 void IaasPool::release(HostId id) {
   auto it = hosts_.find(id);
   if (it == hosts_.end()) {
+    // Distinguish a double release (the id was allocated, then already
+    // given back) from a never-allocated id; both remain logic_errors in
+    // default builds, but checked builds report the structured payload.
+    ESH_PRECONDITION("cluster", "iaas-no-double-release",
+                     id.value() >= next_host_,
+                     ::esh::contracts::Detail{}
+                         .host(id)
+                         .expected("an active host")
+                         .actual("already released"));
     throw std::logic_error{"IaasPool::release: unknown host"};
   }
   if (it->second->running_jobs() > 0 || it->second->queued_jobs() > 0) {
@@ -43,6 +65,14 @@ void IaasPool::release(HostId id) {
   booted_.erase(id);
   active_.erase(std::remove(active_.begin(), active_.end(), id),
                 active_.end());
+  ESH_INVARIANT("cluster", "iaas-release-balanced",
+                hosts_.size() == active_.size() &&
+                    booted_.size() == active_.size(),
+                ::esh::contracts::Detail{}
+                    .host(id)
+                    .expected(active_.size())
+                    .actual(hosts_.size())
+                    .note("active/hosts/booted sizes diverged"));
   record_count();
 }
 

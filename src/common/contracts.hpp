@@ -1,0 +1,205 @@
+// Checked protocol invariants ("contract layer"). The elasticity claims
+// rest on properties the code upholds only implicitly — gap-free
+// sequence-numbered channels, the duplicate→queue→cut-over migration order,
+// EP exactly-once dispatch, IaaS allocate/release balance. Sanitizers catch
+// memory and race bugs; this layer catches *protocol* bugs.
+//
+// The checks compile in only under the ESH_CHECK_INVARIANTS CMake mode
+// (cmake -DESH_CHECK_INVARIANTS=ON). They are strictly observers: a check
+// never mutates state, so the default and checked builds execute the exact
+// same simulation (fig outputs are byte-identical between them). A failed
+// check throws ContractViolation, a structured diagnostic carrying the
+// subsystem, the violated invariant's name, the offending slice/host id and
+// the expected-vs-actual values.
+//
+// Macro vocabulary (all four arguments are required; `detail` is an
+// esh::contracts::Detail value built fluently at the call site):
+//
+//   ESH_PRECONDITION(subsystem, name, cond, detail)        caller broke the API
+//   ESH_INVARIANT(subsystem, name, cond, detail)           internal state broke
+//   ESH_STATE_MACHINE_ASSERT(subsystem, name, cond, detail) illegal transition
+//
+// In the default build the macros expand to ((void)0) and their arguments
+// are not evaluated; condition expressions must therefore be side-effect
+// free (the linter's job to keep them that way is manual review — keep
+// them pure).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/types.hpp"
+
+#if defined(ESH_CHECK_INVARIANTS) && ESH_CHECK_INVARIANTS
+#define ESH_INVARIANTS_ENABLED 1
+#else
+#define ESH_INVARIANTS_ENABLED 0
+#endif
+
+namespace esh::contracts {
+
+inline constexpr bool kEnabled = ESH_INVARIANTS_ENABLED != 0;
+
+enum class Kind { kPrecondition, kInvariant, kStateMachine };
+
+[[nodiscard]] inline const char* to_string(Kind kind) {
+  switch (kind) {
+    case Kind::kPrecondition: return "precondition";
+    case Kind::kInvariant: return "invariant";
+    case Kind::kStateMachine: return "state-machine";
+  }
+  return "unknown";
+}
+
+namespace internal {
+
+inline std::string stringify(const std::string& v) { return v; }
+inline std::string stringify(const char* v) { return v; }
+inline std::string stringify(SimTime t) {
+  return std::to_string(t.count()) + "us";
+}
+template <typename Tag>
+std::string stringify(Id<Tag> id) {
+  return id.valid() ? std::to_string(id.value()) : "invalid";
+}
+template <typename T>
+std::string stringify(const T& v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace internal
+
+// Structured payload of a violation, built fluently at the check site:
+//   Detail{}.slice(id_).expected(last + 1).actual(event.seq)
+struct Detail {
+  std::uint64_t slice_id = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t host_id = std::numeric_limits<std::uint64_t>::max();
+  std::string expected_value;
+  std::string actual_value;
+  std::string note_text;
+
+  [[nodiscard]] bool has_slice() const {
+    return slice_id != std::numeric_limits<std::uint64_t>::max();
+  }
+  [[nodiscard]] bool has_host() const {
+    return host_id != std::numeric_limits<std::uint64_t>::max();
+  }
+
+  Detail& slice(SliceId id) {
+    slice_id = id.value();
+    return *this;
+  }
+  Detail& host(HostId id) {
+    host_id = id.value();
+    return *this;
+  }
+  template <typename T>
+  Detail& expected(const T& v) {
+    expected_value = internal::stringify(v);
+    return *this;
+  }
+  template <typename T>
+  Detail& actual(const T& v) {
+    actual_value = internal::stringify(v);
+    return *this;
+  }
+  template <typename T>
+  Detail& note(const T& v) {
+    note_text = internal::stringify(v);
+    return *this;
+  }
+  // State-machine sugar: expected = legal successor set, actual = the
+  // attempted transition.
+  Detail& transition(const std::string& from, const std::string& to) {
+    actual_value = from + " -> " + to;
+    return *this;
+  }
+};
+
+// Thrown on any failed check. Derives from std::logic_error so existing
+// defensive-throw expectations (EXPECT_THROW(..., std::logic_error)) keep
+// passing when a contract fires first in checked builds.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(Kind kind, std::string subsystem, std::string name,
+                    std::string condition, Detail detail)
+      : std::logic_error(format(kind, subsystem, name, condition, detail)),
+        kind_(kind),
+        subsystem_(std::move(subsystem)),
+        name_(std::move(name)),
+        condition_(std::move(condition)),
+        detail_(std::move(detail)) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] const std::string& subsystem() const { return subsystem_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& condition() const { return condition_; }
+  [[nodiscard]] const Detail& detail() const { return detail_; }
+
+ private:
+  static std::string format(Kind kind, const std::string& subsystem,
+                            const std::string& name,
+                            const std::string& condition,
+                            const Detail& detail) {
+    std::ostringstream os;
+    os << "ContractViolation[" << to_string(kind) << "] " << subsystem << "/"
+       << name << ": !(" << condition << ")";
+    if (detail.has_slice()) os << " slice=" << detail.slice_id;
+    if (detail.has_host()) os << " host=" << detail.host_id;
+    if (!detail.expected_value.empty()) {
+      os << " expected=" << detail.expected_value;
+    }
+    if (!detail.actual_value.empty()) os << " actual=" << detail.actual_value;
+    if (!detail.note_text.empty()) os << " (" << detail.note_text << ")";
+    return os.str();
+  }
+
+  Kind kind_;
+  std::string subsystem_;
+  std::string name_;
+  std::string condition_;
+  Detail detail_;
+};
+
+[[noreturn]] inline void fail(Kind kind, const char* subsystem,
+                              const char* name, const char* condition,
+                              Detail detail) {
+  throw ContractViolation{kind, subsystem, name, condition,
+                          std::move(detail)};
+}
+
+}  // namespace esh::contracts
+
+#if ESH_INVARIANTS_ENABLED
+
+#define ESH_CONTRACT_CHECK_(kind, subsystem, name, cond, detail)          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::esh::contracts::fail((kind), (subsystem), (name), #cond,          \
+                             (detail));                                   \
+    }                                                                     \
+  } while (false)
+
+#define ESH_PRECONDITION(subsystem, name, cond, detail)                  \
+  ESH_CONTRACT_CHECK_(::esh::contracts::Kind::kPrecondition, subsystem,  \
+                      name, cond, detail)
+#define ESH_INVARIANT(subsystem, name, cond, detail)                  \
+  ESH_CONTRACT_CHECK_(::esh::contracts::Kind::kInvariant, subsystem,  \
+                      name, cond, detail)
+#define ESH_STATE_MACHINE_ASSERT(subsystem, name, cond, detail)          \
+  ESH_CONTRACT_CHECK_(::esh::contracts::Kind::kStateMachine, subsystem,  \
+                      name, cond, detail)
+
+#else
+
+#define ESH_PRECONDITION(subsystem, name, cond, detail) ((void)0)
+#define ESH_INVARIANT(subsystem, name, cond, detail) ((void)0)
+#define ESH_STATE_MACHINE_ASSERT(subsystem, name, cond, detail) ((void)0)
+
+#endif

@@ -1,0 +1,30 @@
+// Deterministic iteration over unordered associative containers.
+//
+// The simulator core must be deterministic across standard libraries and
+// platforms. Iterating a std::unordered_map/set directly is only
+// reproducible for one libstdc++ build; wherever the iteration order feeds
+// a simulated outcome (network send order, probe vectors, placement
+// decisions, serialized state), snapshot the keys and sort them instead.
+// Order-independent folds (sums, any-of scans) may iterate the container
+// directly behind an allow-comment escape (see scripts/lint.py).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace esh {
+
+// Snapshot + sort of a map's keys. O(n log n); the sites using it are
+// control-plane paths (broadcasts, probes, checkpoint cuts), not the
+// per-event hot path.
+template <typename Map>
+[[nodiscard]] std::vector<typename Map::key_type> sorted_keys(
+    const Map& map) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  for (const auto& entry : map) keys.push_back(entry.first);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace esh

@@ -1,6 +1,6 @@
-#include <memory>
-
 #include "coord/coord.hpp"
+
+#include <memory>
 
 namespace esh::coord {
 

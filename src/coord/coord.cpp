@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+
 namespace esh::coord {
 
 const char* to_string(Status s) {
@@ -259,7 +261,18 @@ Status CoordService::apply_set(const std::string& path,
   }
   node->data = data;
   ++node->stat.version;
+  const std::int64_t prev_mzxid = node->stat.mzxid;
   node->stat.mzxid = ++zxid_;
+  // Zxid ordering (ZooKeeper semantics the recipes rely on): every
+  // modification gets a fresh, strictly larger zxid, never below the
+  // node's creation zxid.
+  ESH_INVARIANT("coord", "zxid-monotonic",
+                node->stat.mzxid > prev_mzxid &&
+                    node->stat.mzxid >= node->stat.czxid,
+                ::esh::contracts::Detail{}
+                    .expected(prev_mzxid)
+                    .actual(node->stat.mzxid)
+                    .note(path));
   if (out != nullptr) {
     *out = node->stat;
     out->num_children = node->children.size();

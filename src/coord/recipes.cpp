@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/contracts.hpp"
+
 namespace esh::coord {
 
 namespace {
@@ -146,6 +148,16 @@ void DistributedLock::check_front() {
           }
         }
         if (predecessor.empty()) {
+          // Ownership epoch: the lock may only be granted to an acquisition
+          // attempt that is still pending in the epoch that created the lock
+          // node — a stale watch firing after release() bumped the epoch
+          // must never re-grant.
+          ESH_INVARIANT("coord", "lock-grant-epoch",
+                        pending_ && !held_ && epoch == epoch_,
+                        ::esh::contracts::Detail{}
+                            .expected(epoch)
+                            .actual(epoch_)
+                            .note(node_ + (held_ ? " already held" : "")));
           pending_ = false;
           held_ = true;
           if (granted_) granted_();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/det.hpp"
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
 
@@ -16,6 +17,54 @@ const char* to_string(MigrationOutcome outcome) {
     case MigrationOutcome::kAbortedDstFailed: return "aborted-dst-failed";
   }
   return "unknown";
+}
+
+const char* to_string(MigrationStep step) {
+  switch (step) {
+    case MigrationStep::kCreateReplica: return "create-replica";
+    case MigrationStep::kDuplication: return "duplication";
+    case MigrationStep::kTransfer: return "transfer";
+    case MigrationStep::kDirectoryUpdate: return "directory-update";
+    case MigrationStep::kTeardown: return "teardown";
+    case MigrationStep::kAborting: return "aborting";
+  }
+  return "unknown";
+}
+
+bool migration_transition_legal(MigrationStep from, MigrationStep to) {
+  using Step = MigrationStep;
+  switch (from) {
+    case Step::kCreateReplica:
+      // A source operator with no live upstream channels skips straight to
+      // the freeze; otherwise duplication starts. Either peer may die.
+      return to == Step::kDuplication || to == Step::kTransfer ||
+             to == Step::kAborting;
+    case Step::kDuplication:
+      return to == Step::kTransfer || to == Step::kAborting;
+    case Step::kTransfer:
+      return to == Step::kDirectoryUpdate || to == Step::kAborting;
+    case Step::kAborting:
+      // An ActivatedAck racing the abort handshake means the state transfer
+      // won: the move completed and directory convergence proceeds.
+      return to == Step::kDirectoryUpdate;
+    case Step::kDirectoryUpdate:
+      return to == Step::kTeardown;
+    case Step::kTeardown:
+      return false;  // terminal; resolved by finish_migration
+  }
+  return false;
+}
+
+void assert_migration_transition([[maybe_unused]] MigrationId id,
+                                 [[maybe_unused]] SliceId slice,
+                                 [[maybe_unused]] MigrationStep from,
+                                 [[maybe_unused]] MigrationStep to) {
+  ESH_STATE_MACHINE_ASSERT(
+      "engine", "migration-step-legal", migration_transition_legal(from, to),
+      ::esh::contracts::Detail{}
+          .slice(slice)
+          .transition(to_string(from), to_string(to))
+          .note("migration " + std::to_string(id.value())));
 }
 
 Engine::Engine(sim::Simulator& simulator, net::Network& network,
@@ -48,6 +97,7 @@ void Engine::add_host(cluster::Host& host) {
   auto runtime = std::make_unique<HostRuntime>(*this, host);
   // Configuration distribution: the new host learns every peer endpoint and
   // the current directory; peers learn the new host.
+  // lint:allow(unordered-iteration): local endpoint-table writes, order-free
   for (auto& [other_id, other] : host_runtimes_) {
     other->set_host_endpoint(id, runtime->endpoint());
     runtime->set_host_endpoint(other_id, other->endpoint());
@@ -76,10 +126,9 @@ bool Engine::has_host(HostId host) const {
 }
 
 std::vector<HostId> Engine::hosts() const {
-  std::vector<HostId> out;
-  out.reserve(host_runtimes_.size());
-  for (const auto& [id, rt] : host_runtimes_) out.push_back(id);
-  return out;
+  // Sorted: callers (placement, recovery orchestration) branch on this
+  // order, so it must not depend on hash-table layout.
+  return sorted_keys(host_runtimes_);
 }
 
 void Engine::deploy(
@@ -104,7 +153,7 @@ void Engine::deploy(
     for (std::uint32_t s = 0; s < spec.slices; ++s) {
       const SliceId slice{next_slice_++};
       info.slices.push_back(slice);
-      cfg->slices[slice] = StaticConfig::SliceInfo{i, s};
+      cfg->slice_infos[slice] = StaticConfig::SliceInfo{i, s};
     }
     cfg->op_by_name[spec.name] = i;
     cfg->operators.push_back(std::move(info));
@@ -139,9 +188,13 @@ void Engine::deploy(
   // Commit.
   static_ = std::move(cfg);
   directory_ = std::move(resolved);
+  // lint:allow(unordered-iteration): local directory writes, order-free
   for (auto& [id, runtime] : host_runtimes_) {
     runtime->set_directory(directory_);
   }
+  // lint:allow(unordered-iteration): arming order only picks the same-tick
+  // tie-break among per-slice timers; the map's order is deterministic for
+  // a fixed binary and is kept as the established baseline schedule.
   for (const auto& [slice, loc] : directory_) {
     host_runtimes_.at(loc.primary)->add_slice(slice,
                                               SliceRuntime::State::kActive);
@@ -252,6 +305,7 @@ HostId Engine::slice_host(SliceId slice) const {
 
 std::vector<SliceId> Engine::slices_on(HostId host) const {
   std::vector<SliceId> out;
+  // lint:allow(unordered-iteration): result is sorted below
   for (const auto& [slice, loc] : directory_) {
     if (loc.primary == host) out.push_back(slice);
   }
@@ -269,8 +323,9 @@ SliceRuntime* Engine::slice_runtime(SliceId slice) {
 
 void Engine::enable_probes(net::Endpoint target) {
   probe_target_ = target;
-  for (auto& [id, runtime] : host_runtimes_) {
-    runtime->enable_probes(target, config_.probe_interval);
+  // Sorted: probe-timer scheduling order decides same-tick probe ties.
+  for (const HostId id : sorted_keys(host_runtimes_)) {
+    host_runtimes_.at(id)->enable_probes(target, config_.probe_interval);
   }
 }
 
@@ -348,19 +403,40 @@ void Engine::finish_migration(MigrationOutcome outcome) {
   current_migration_.reset();
   task.report.outcome = outcome;
   task.report.completed = simulator_.now();
+  // Report timestamps must be causally ordered. frozen/activated stay zero
+  // on abort paths where the ActivatedAck never arrived, so the freeze-
+  // before-activate ordering is only checkable when both were recorded.
+  ESH_INVARIANT("engine", "migration-report-ordered",
+                task.report.completed >= task.report.requested &&
+                    (task.report.frozen == SimTime{} ||
+                     task.report.activated == SimTime{} ||
+                     (task.report.frozen >= task.report.requested &&
+                      task.report.activated >= task.report.frozen &&
+                      task.report.completed >= task.report.activated)),
+                ::esh::contracts::Detail{}
+                    .slice(task.report.slice)
+                    .expected("requested <= frozen <= activated <= completed")
+                    .actual(std::to_string(task.report.requested.count()) +
+                            "/" + std::to_string(task.report.frozen.count()) +
+                            "/" +
+                            std::to_string(task.report.activated.count()) +
+                            "/" +
+                            std::to_string(task.report.completed.count())));
   if (outcome == MigrationOutcome::kCompleted) ++migrations_completed_;
   if (task.callback) task.callback(task.report);
   start_next_migration();
 }
 
 void Engine::broadcast_location(SliceId slice, HostId host) {
-  for (auto& [id, runtime] : host_runtimes_) {
+  // Sorted: send order serializes on the manager NIC and decides per-host
+  // delivery times.
+  for (const HostId id : sorted_keys(host_runtimes_)) {
     auto update = std::make_shared<DirectoryUpdateMessage>();
     update->migration = MigrationId{};
     update->slice = slice;
     update->host = host;
     update->reply_to = net::Endpoint{};  // no ack needed
-    send_control(runtime->endpoint(), std::move(update));
+    send_control(host_runtimes_.at(id)->endpoint(), std::move(update));
   }
 }
 
@@ -372,7 +448,7 @@ void Engine::after_directory_acks() {
     finish_migration(MigrationOutcome::kCompleted);
     return;
   }
-  t.step = MigrationTask::Step::kTeardown;
+  t.set_step(MigrationTask::Step::kTeardown);
   migration_step([this] {
     MigrationTask& t = *current_migration_;
     auto req = std::make_shared<TeardownRequest>();
@@ -405,7 +481,7 @@ void Engine::handle_host_failure(HostId host) {
         // The freeze may or may not have reached the source. Ask it to
         // resume the slice; if the state already shipped (to a dead host),
         // the source reports the slice unusable and it goes to recovery.
-        t.step = Step::kAborting;
+        t.set_step(Step::kAborting);
         t.abort_peer = t.report.src;
         t.abort_outcome = MigrationOutcome::kAbortedDstFailed;
         auto req = std::make_shared<AbortMigrationRequest>();
@@ -440,7 +516,7 @@ void Engine::handle_host_failure(HostId host) {
         // torn down — unless the state transfer raced ahead and it already
         // activated, in which case the migration completed. Ask dst.
         directory_[slice].shadow = HostId{};
-        t.step = Step::kAborting;
+        t.set_step(Step::kAborting);
         t.abort_peer = t.report.dst;
         t.abort_outcome = MigrationOutcome::kAbortedSrcFailed;
         auto req = std::make_shared<AbortReplicaRequest>();
@@ -481,7 +557,7 @@ void Engine::handle_host_failure(HostId host) {
       }
     }
     if (t.pending_dup_slices.empty()) {
-      t.step = Step::kTransfer;
+      t.set_step(Step::kTransfer);
       migration_step([this] { send_freeze(); });
     }
   } else if (t.step == Step::kDirectoryUpdate) {
@@ -560,8 +636,10 @@ void Engine::on_control(const net::Delivery& delivery) {
         }
       }
     }
-    for (auto& [id, runtime] : host_runtimes_) {
-      network_.send(control_endpoint_, runtime->endpoint(), notice, 96);
+    // Sorted: broadcast order serializes on the manager NIC.
+    for (const HostId id : sorted_keys(host_runtimes_)) {
+      network_.send(control_endpoint_, host_runtimes_.at(id)->endpoint(),
+                    notice, 96);
     }
     return;
   }
@@ -589,7 +667,9 @@ void Engine::on_control(const net::Delivery& delivery) {
     const std::size_t input_channels =
         upstream_slices(ack->slice).size() +
         (next_inject_seq_.contains(ack->slice) ? 1 : 0);
-    for (auto& [id, runtime] : host_runtimes_) {
+    // Sorted: broadcast order serializes on the manager NIC and decides
+    // when each survivor rewinds / starts replaying.
+    for (const HostId id : sorted_keys(host_runtimes_)) {
       auto update = std::make_shared<DirectoryUpdateMessage>();
       update->migration = MigrationId{};
       update->slice = ack->slice;
@@ -597,13 +677,15 @@ void Engine::on_control(const net::Delivery& delivery) {
       update->reply_to = net::Endpoint{};  // no ack needed
       update->reset_channels = input_channels > 1;
       update->out_bases = out_bases;
-      network_.send(control_endpoint_, runtime->endpoint(), update, 96);
+      network_.send(control_endpoint_, host_runtimes_.at(id)->endpoint(),
+                    update, 96);
     }
     auto replay = std::make_shared<ReplayRequest>();
     replay->slice = ack->slice;
     replay->processed = processed;
-    for (auto& [id, runtime] : host_runtimes_) {
-      network_.send(control_endpoint_, runtime->endpoint(), replay, 96);
+    for (const HostId id : sorted_keys(host_runtimes_)) {
+      network_.send(control_endpoint_, host_runtimes_.at(id)->endpoint(),
+                    replay, 96);
     }
     // Co-recovery rendezvous: slices recovered before this one broadcast
     // their replay requests while this slice was not live anywhere, so the
@@ -611,11 +693,12 @@ void Engine::on_control(const net::Delivery& delivery) {
     // those requests to the new host; channel/handler deduplication
     // absorbs any redundancy.
     const auto dst_endpoint = host_runtimes_.at(dst)->endpoint();
-    for (const auto& [other, watermarks] : pending_replays_) {
+    // Sorted: re-sent replay requests serialize on the manager NIC too.
+    for (const SliceId other : sorted_keys(pending_replays_)) {
       if (other == ack->slice) continue;
       auto again = std::make_shared<ReplayRequest>();
       again->slice = other;
-      again->processed = watermarks;
+      again->processed = pending_replays_.at(other);
       network_.send(control_endpoint_, dst_endpoint, again, 96);
     }
     pending_replays_[ack->slice] = processed;
@@ -674,11 +757,11 @@ void Engine::on_control(const net::Delivery& delivery) {
     }
     if (task.pending_dup_slices.empty()) {
       // No live DAG channels (source operator): freeze directly.
-      task.step = Step::kTransfer;
+      task.set_step(Step::kTransfer);
       migration_step([this] { send_freeze(); });
       return;
     }
-    task.step = Step::kDuplication;
+    task.set_step(Step::kDuplication);
     // One request per host holding at least one upstream slice.
     migration_step([this, hosts] {
       MigrationTask& t = *current_migration_;
@@ -702,7 +785,7 @@ void Engine::on_control(const net::Delivery& delivery) {
     if (task.pending_dup_slices.erase(ack->upstream_slice) == 0) return;
     task.catchup.emplace_back(ack->upstream_slice, ack->next_seq);
     if (!task.pending_dup_slices.empty()) return;
-    task.step = Step::kTransfer;
+    task.set_step(Step::kTransfer);
     migration_step([this] { send_freeze(); });
     return;
   }
@@ -718,20 +801,22 @@ void Engine::on_control(const net::Delivery& delivery) {
     task.report.state_bytes = ack->state_bytes;
     directory_[task.report.slice] =
         SliceLocation{task.report.dst, HostId{}};
-    task.step = Step::kDirectoryUpdate;
+    task.set_step(Step::kDirectoryUpdate);
     task.pending_update_hosts.clear();
+    // lint:allow(unordered-iteration): fills a std::set, order-free
     for (const auto& [id, runtime] : host_runtimes_) {
       task.pending_update_hosts.insert(id);
     }
     migration_step([this] {
       MigrationTask& t = *current_migration_;
-      for (auto& [id, runtime] : host_runtimes_) {
+      // Sorted: update send order serializes on the manager NIC.
+      for (const HostId id : sorted_keys(host_runtimes_)) {
         auto update = std::make_shared<DirectoryUpdateMessage>();
         update->migration = t.report.id;
         update->slice = t.report.slice;
         update->host = t.report.dst;
         update->reply_to = control_endpoint_;
-        send_control(runtime->endpoint(), std::move(update));
+        send_control(host_runtimes_.at(id)->endpoint(), std::move(update));
       }
     });
     return;

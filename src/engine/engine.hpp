@@ -21,6 +21,7 @@
 
 #include "cluster/cost_model.hpp"
 #include "cluster/host.hpp"
+#include "common/contracts.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "engine/host_runtime.hpp"
@@ -81,6 +82,31 @@ enum class MigrationOutcome {
 };
 
 [[nodiscard]] const char* to_string(MigrationOutcome outcome);
+
+// Coordinator-side protocol position of an in-flight migration
+// (paper §IV-A, Figure 3). Namespace-scoped so the transition-legality
+// relation is checkable from tests as well as from the engine itself.
+enum class MigrationStep {
+  kCreateReplica,    // awaiting CreateReplicaAck from dst
+  kDuplication,      // awaiting StartDuplicationAcks from upstreams
+  kTransfer,         // freeze sent; awaiting ActivatedAck from dst
+  kDirectoryUpdate,  // awaiting DirectoryUpdateAcks from all hosts
+  kTeardown,         // awaiting TeardownAck from src
+  kAborting,         // awaiting AbortMigrationAck / AbortReplicaAck
+};
+
+[[nodiscard]] const char* to_string(MigrationStep step);
+
+// The legal coordinator transitions, including the abort edges taken when a
+// participant host dies mid-protocol and the kAborting -> kDirectoryUpdate
+// edge (an ActivatedAck racing an abort means the move actually completed).
+[[nodiscard]] bool migration_transition_legal(MigrationStep from,
+                                              MigrationStep to);
+
+// Contract-layer assertion of the relation above (no-op in default builds);
+// every coordinator step-change funnels through this.
+void assert_migration_transition(MigrationId id, SliceId slice,
+                                 MigrationStep from, MigrationStep to);
 
 struct MigrationReport {
   MigrationId id;
@@ -193,18 +219,17 @@ class Engine {
   struct MigrationTask {
     // Protocol position of the coordinator; determines the correct abort
     // action when the source or destination host dies.
-    enum class Step {
-      kCreateReplica,    // awaiting CreateReplicaAck from dst
-      kDuplication,      // awaiting StartDuplicationAcks from upstreams
-      kTransfer,         // freeze sent; awaiting ActivatedAck from dst
-      kDirectoryUpdate,  // awaiting DirectoryUpdateAcks from all hosts
-      kTeardown,         // awaiting TeardownAck from src
-      kAborting,         // awaiting AbortMigrationAck / AbortReplicaAck
-    };
+    using Step = MigrationStep;
     MigrationReport report;
     MigrationCallback callback;
     std::vector<std::pair<SliceId, SeqNo>> catchup;
     Step step = Step::kCreateReplica;
+    // Every step change goes through here so the state-machine contract
+    // sees it (illegal transitions throw in checked builds).
+    void set_step(Step next) {
+      assert_migration_transition(report.id, report.slice, step, next);
+      step = next;
+    }
     // Outstanding acks tracked as sets (not counters) so a dead host can be
     // struck from the wait without wedging the protocol.
     std::set<SliceId> pending_dup_slices;

@@ -3,10 +3,51 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/det.hpp"
 #include "common/log.hpp"
 #include "engine/engine.hpp"
 
 namespace esh::engine {
+
+const char* to_string(SliceRuntime::State state) {
+  switch (state) {
+    case SliceRuntime::State::kActive: return "active";
+    case SliceRuntime::State::kInactiveReplica: return "inactive-replica";
+    case SliceRuntime::State::kFreezePending: return "freeze-pending";
+    case SliceRuntime::State::kFrozen: return "frozen";
+    case SliceRuntime::State::kRetired: return "retired";
+  }
+  return "unknown";
+}
+
+bool slice_transition_legal(SliceRuntime::State from, SliceRuntime::State to) {
+  using State = SliceRuntime::State;
+  switch (from) {
+    case State::kActive:
+      return to == State::kFreezePending || to == State::kRetired;
+    case State::kFreezePending:
+      // Self-edge: a duplicate freeze request re-arms the catch-up wait.
+      return to == State::kFreezePending || to == State::kActive ||
+             to == State::kFrozen || to == State::kRetired;
+    case State::kFrozen:
+      return to == State::kRetired;
+    case State::kInactiveReplica:
+      return to == State::kActive || to == State::kRetired;
+    case State::kRetired:
+      // Self-edge: fail_host retires, then evict_slice retires again.
+      return to == State::kRetired;
+  }
+  return false;
+}
+
+void assert_slice_transition([[maybe_unused]] SliceId slice,
+                             [[maybe_unused]] SliceRuntime::State from,
+                             [[maybe_unused]] SliceRuntime::State to) {
+  ESH_STATE_MACHINE_ASSERT(
+      "engine", "slice-state-legal", slice_transition_legal(from, to),
+      ::esh::contracts::Detail{}.slice(slice).transition(to_string(from),
+                                                         to_string(to)));
+}
 
 // ---- StaticConfig ------------------------------------------------------------
 
@@ -15,8 +56,8 @@ const StaticConfig::OperatorInfo& StaticConfig::op_of(SliceId id) const {
 }
 
 const StaticConfig::SliceInfo& StaticConfig::info_of(SliceId id) const {
-  auto it = slices.find(id);
-  if (it == slices.end()) {
+  auto it = slice_infos.find(id);
+  if (it == slice_infos.end()) {
     throw std::logic_error{"StaticConfig: unknown slice"};
   }
   return it->second;
@@ -44,6 +85,11 @@ SliceRuntime::SliceRuntime(HostRuntime& host, SliceId id,
 }
 
 SliceRuntime::~SliceRuntime() = default;
+
+void SliceRuntime::set_state(State next) {
+  assert_slice_transition(id_, state_, next);
+  state_ = next;
+}
 
 void SliceRuntime::start_flush_timer() {
   auto& engine = host_.engine();
@@ -83,7 +129,21 @@ void SliceRuntime::on_wire_event(const WireEvent& event) {
   if (state_ == State::kFreezePending) check_freeze();
 }
 
-void SliceRuntime::deliver_in_order(SliceId from, ChannelIn& channel) {
+void SliceRuntime::deliver_in_order([[maybe_unused]] SliceId from,
+                                    ChannelIn& channel) {
+  // Gap-freedom: every sequence number below `expected` has been dispatched
+  // exactly once, so the two cursors stay locked together. The one legal
+  // exception is the window right after a recovery rewind (reset_channel),
+  // marked by `rewound` and closed by the first post-rewind delivery.
+  ESH_INVARIANT("engine", "channel-gap-free",
+                channel.rewound ||
+                    channel.expected == channel.last_dispatched + 1,
+                ::esh::contracts::Detail{}
+                    .slice(id_)
+                    .expected(channel.last_dispatched + 1)
+                    .actual(channel.expected)
+                    .note("input channel from slice " +
+                          std::to_string(from.value())));
   std::vector<PayloadPtr> run;
   while (!channel.pending.empty() &&
          channel.pending.begin()->first == channel.expected) {
@@ -92,7 +152,10 @@ void SliceRuntime::deliver_in_order(SliceId from, ChannelIn& channel) {
     channel.last_dispatched = channel.expected;
     ++channel.expected;
   }
-  if (!run.empty()) dispatch_run(std::move(run));
+  if (!run.empty()) {
+    channel.rewound = false;  // cursors re-locked by the deliveries above
+    dispatch_run(std::move(run));
+  }
 }
 
 void SliceRuntime::dispatch_run(std::vector<PayloadPtr> run) {
@@ -201,6 +264,19 @@ std::size_t SliceRuntime::slice_count(std::string_view op) const {
 
 void SliceRuntime::flush_outputs() {
   if (out_buffer_events_ == 0) return;
+#if ESH_INVARIANTS_ENABLED
+  // state_bytes-style accounting: the running event counter must equal the
+  // sum of the per-target buffers it summarizes.
+  std::size_t buffered = 0;
+  // lint:allow(unordered-iteration): order-free sum
+  for (const auto& [target, events] : out_buffer_) buffered += events.size();
+  ESH_INVARIANT("engine", "out-buffer-accounting",
+                buffered == out_buffer_events_,
+                ::esh::contracts::Detail{}
+                    .slice(id_)
+                    .expected(out_buffer_events_)
+                    .actual(buffered));
+#endif
   auto buffers = std::move(out_buffer_);
   out_buffer_.clear();
   out_buffer_events_ = 0;
@@ -250,7 +326,10 @@ void SliceRuntime::reset_channel(SliceId upstream, SeqNo base) {
   // instance whose sequence numbers no longer mean the same content.
   std::erase_if(channel.pending,
                 [base](const auto& entry) { return entry.first >= base; });
-  if (channel.expected > base) channel.expected = base;
+  if (channel.expected > base) {
+    channel.expected = base;
+    channel.rewound = true;  // gap-freedom exemption until next delivery
+  }
 }
 
 void SliceRuntime::checkpoint(net::Endpoint store) {
@@ -269,13 +348,16 @@ void SliceRuntime::checkpoint(net::Endpoint store) {
     handler_->serialize_state(writer);
     msg->state = std::make_shared<const std::vector<std::byte>>(
         std::move(writer).take());
-    for (const auto& [from, channel] : in_) {
-      msg->processed.emplace_back(from, channel.last_dispatched);
+    // Sorted: checkpoint contents must not depend on hash-table layout
+    // (they are re-delivered verbatim on recovery).
+    for (const SliceId from : sorted_keys(in_)) {
+      msg->processed.emplace_back(from, in_.at(from).last_dispatched);
     }
-    for (const auto& [target, next] : next_out_seq_) {
-      msg->out_seqs.emplace_back(target, next);
+    for (const SliceId target : sorted_keys(next_out_seq_)) {
+      msg->out_seqs.emplace_back(target, next_out_seq_.at(target));
     }
-    for (const auto& [target, log] : out_log_) {
+    for (const SliceId target : sorted_keys(out_log_)) {
+      const auto& log = out_log_.at(target);
       msg->log.insert(msg->log.end(), log.begin(), log.end());
     }
     const std::size_t bytes = msg->state->size() + 64 * msg->log.size();
@@ -285,6 +367,7 @@ void SliceRuntime::checkpoint(net::Endpoint store) {
 
 std::size_t SliceRuntime::logged_events() const {
   std::size_t total = 0;
+  // lint:allow(unordered-iteration): order-free sum
   for (const auto& [target, log] : out_log_) total += log.size();
   return total;
 }
@@ -294,7 +377,7 @@ void SliceRuntime::request_freeze(FreezeSpec spec) {
     throw std::logic_error{"request_freeze: slice not active"};
   }
   freeze_spec_ = std::move(spec);
-  state_ = State::kFreezePending;
+  set_state(State::kFreezePending);
   check_freeze();
 }
 
@@ -306,7 +389,7 @@ bool SliceRuntime::unfreeze() {
       return true;
     case State::kFreezePending:
       freeze_spec_.reset();
-      state_ = State::kActive;
+      set_state(State::kActive);
       return true;
     case State::kFrozen:
     case State::kInactiveReplica:
@@ -330,7 +413,7 @@ void SliceRuntime::check_freeze() {
 }
 
 void SliceRuntime::do_freeze() {
-  state_ = State::kFrozen;
+  set_state(State::kFrozen);
   if (flush_timer_) flush_timer_->stop();
 
   const auto& cost_model = host_.engine().config().cost;
@@ -351,16 +434,19 @@ void SliceRuntime::do_freeze() {
     handler_->serialize_state(writer);
     msg->state = std::make_shared<const std::vector<std::byte>>(
         std::move(writer).take());
-    for (const auto& [from, channel] : in_) {
-      msg->processed.emplace_back(from, channel.last_dispatched);
+    // Sorted: the transfer message is replayed by the destination, so its
+    // contents must not depend on hash-table layout.
+    for (const SliceId from : sorted_keys(in_)) {
+      msg->processed.emplace_back(from, in_.at(from).last_dispatched);
     }
-    for (const auto& [target, next] : next_out_seq_) {
-      msg->out_seqs.emplace_back(target, next);
+    for (const SliceId target : sorted_keys(next_out_seq_)) {
+      msg->out_seqs.emplace_back(target, next_out_seq_.at(target));
     }
     // The upstream-backup log travels with the state: after teardown the
     // source is gone, and replay requests for these events reach the
     // destination host instead.
-    for (const auto& [target, log] : out_log_) {
+    for (const SliceId target : sorted_keys(out_log_)) {
+      const auto& log = out_log_.at(target);
       msg->log.insert(msg->log.end(), log.begin(), log.end());
     }
     msg->frozen_at = host_.engine().simulator().now();
@@ -414,7 +500,7 @@ void SliceRuntime::activate(const StateTransferMessage& msg) {
         for (const WireEvent& event : log) {
           out_log_[event.to].push_back(event);
         }
-        state_ = State::kActive;
+        set_state(State::kActive);
         start_flush_timer();
         start_checkpoint_timer();
         host_.update_location(id_, SliceLocation{host_.host_id(), HostId{}});
@@ -423,7 +509,9 @@ void SliceRuntime::activate(const StateTransferMessage& msg) {
         // deliver the rest in order.
         auto buffered = std::move(replica_buffer_);
         replica_buffer_.clear();
-        for (auto& [from, events] : buffered) {
+        // Sorted: drain order decides cross-channel dispatch interleaving.
+        for (const SliceId from : sorted_keys(buffered)) {
+          auto& events = buffered.at(from);
           auto& channel = in_[from];
           for (auto& [seq, payload] : events) {
             if (seq < channel.expected) {
@@ -446,7 +534,7 @@ void SliceRuntime::activate(const StateTransferMessage& msg) {
 }
 
 void SliceRuntime::retire() {
-  state_ = State::kRetired;
+  set_state(State::kRetired);
   if (flush_timer_) flush_timer_->stop();
   if (checkpoint_timer_) checkpoint_timer_->stop();
   in_.clear();
@@ -504,10 +592,8 @@ SliceRuntime* HostRuntime::slice(SliceId id) {
 }
 
 std::vector<SliceId> HostRuntime::slice_ids() const {
-  std::vector<SliceId> ids;
-  ids.reserve(slices_.size());
-  for (const auto& [id, slice] : slices_) ids.push_back(id);
-  return ids;
+  // Sorted: callers iterate this to retire/recover slices in order.
+  return sorted_keys(slices_);
 }
 
 void HostRuntime::deliver_external(const WireEvent& event) {
@@ -525,9 +611,12 @@ void HostRuntime::send_events(
     std::size_t* bytes_accum) {
   (void)from_slice;
   const auto& cost = engine_.config().cost;
-  // Group per destination host, duplicating to shadows.
+  // Group per destination host, duplicating to shadows. Sorted at both
+  // levels: concatenation order fixes intra-batch delivery order, and send
+  // order serializes on this host's NIC.
   std::unordered_map<HostId, std::vector<WireEvent>> per_host;
-  for (auto& [dest, events] : by_dest) {
+  for (const SliceId dest : sorted_keys(by_dest)) {
+    auto& events = by_dest.at(dest);
     auto it = directory_.find(dest);
     if (it == directory_.end()) {
       dropped_events_ += events.size();
@@ -546,7 +635,8 @@ void HostRuntime::send_events(
                   std::make_move_iterator(events.end()));
     }
   }
-  for (auto& [host, events] : per_host) {
+  for (const HostId host : sorted_keys(per_host)) {
+    auto& events = per_host.at(host);
     auto ep_it = host_endpoints_.find(host);
     if (ep_it == host_endpoints_.end()) {
       dropped_events_ += events.size();
@@ -629,12 +719,13 @@ void HostRuntime::handle_control(const net::Delivery& delivery) {
                  dynamic_cast<const RestoreFromCheckpointMessage*>(msg)) {
     handle_restore(*restore);
   } else if (const auto* replay = dynamic_cast<const ReplayRequest*>(msg)) {
-    for (auto& [slice_id, runtime] : slices_) {
+    // Sorted: replay send order serializes on this host's NIC.
+    for (const SliceId slice_id : sorted_keys(slices_)) {
       SeqNo watermark = 0;
       for (const auto& [upstream, seq] : replay->processed) {
         if (upstream == slice_id) watermark = seq;
       }
-      runtime->replay_log(replay->slice, watermark);
+      slices_.at(slice_id)->replay_log(replay->slice, watermark);
     }
   } else {
     ESH_WARN << "HostRuntime: unknown control message";
@@ -694,7 +785,8 @@ void HostRuntime::handle_start_duplication(const StartDuplicationRequest& req) {
   // start point.
   const auto& cfg = engine_.static_config();
   const auto& target_op = cfg.op_of(req.slice);
-  for (const auto& [slice_id, runtime] : slices_) {
+  // Sorted: ack send order serializes on this host's NIC.
+  for (const SliceId slice_id : sorted_keys(slices_)) {
     const auto& info = cfg.info_of(slice_id);
     const bool upstream =
         std::find(target_op.upstream_ops.begin(), target_op.upstream_ops.end(),
@@ -703,7 +795,7 @@ void HostRuntime::handle_start_duplication(const StartDuplicationRequest& req) {
     auto ack = std::make_shared<StartDuplicationAck>();
     ack->migration = req.migration;
     ack->upstream_slice = slice_id;
-    ack->next_seq = runtime->next_seq_for(req.slice);
+    ack->next_seq = slices_.at(slice_id)->next_seq_for(req.slice);
     send_control(req.reply_to, std::move(ack), 64);
   }
 }
@@ -736,6 +828,7 @@ void HostRuntime::handle_directory_update(const DirectoryUpdateMessage& msg) {
     // output with fresh (possibly re-interleaved) sequence numbers. Rewind
     // every local input channel from it to the restored output base so the
     // regenerated stream is accepted.
+    // lint:allow(unordered-iteration): local channel rewinds, order-free
     for (auto& [slice_id, runtime] : slices_) {
       SeqNo base = 1;  // bootstrap recovery regenerates from scratch
       for (const auto& [downstream, next] : msg.out_bases) {
@@ -828,7 +921,9 @@ cluster::HostProbe HostRuntime::collect_probe(SimDuration window) {
   const double capacity = static_cast<double>(cpu_.spec().cores) *
                           static_cast<double>(window.count());
   const auto& cfg = engine_.static_config();
-  for (const auto& [id, runtime] : slices_) {
+  // Sorted: the probe's slice vector feeds the enforcer's placement math.
+  for (const SliceId id : sorted_keys(slices_)) {
+    const auto& runtime = slices_.at(id);
     cluster::SliceProbe sp;
     sp.slice = id;
     sp.op = cfg.operators.at(cfg.info_of(id).op_index).id;
@@ -837,6 +932,15 @@ cluster::HostProbe HostRuntime::collect_probe(SimDuration window) {
     last_slice_busy_us_[id] = busy;
     sp.state_bytes = runtime->handler().state_bytes();
     const std::size_t net_now = runtime->net_bytes_sent();
+    // Per-slice NIC counters only grow; a shrink means the probe window
+    // accounting went backwards.
+    ESH_INVARIANT("engine", "probe-counters-monotonic",
+                  net_now >= last_slice_net_bytes_[id],
+                  ::esh::contracts::Detail{}
+                      .slice(id)
+                      .host(host_id())
+                      .expected(last_slice_net_bytes_[id])
+                      .actual(net_now));
     sp.net_bytes = net_now - last_slice_net_bytes_[id];
     last_slice_net_bytes_[id] = net_now;
     probe.slices.push_back(sp);

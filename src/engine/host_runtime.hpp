@@ -15,6 +15,7 @@
 
 #include "cluster/host.hpp"
 #include "cluster/probes.hpp"
+#include "common/contracts.hpp"
 #include "common/rng.hpp"
 #include "engine/event.hpp"
 #include "engine/handler.hpp"
@@ -43,7 +44,7 @@ struct StaticConfig {
 
   std::vector<OperatorInfo> operators;
   std::unordered_map<std::string, std::uint32_t> op_by_name;
-  std::unordered_map<SliceId, SliceInfo> slices;
+  std::unordered_map<SliceId, SliceInfo> slice_infos;
 
   [[nodiscard]] const OperatorInfo& op_of(SliceId id) const;
   [[nodiscard]] const SliceInfo& info_of(SliceId id) const;
@@ -136,12 +137,31 @@ class SliceRuntime final : public Context {
   [[nodiscard]] std::size_t slice_index() const override;
   [[nodiscard]] std::size_t slice_count(std::string_view op) const override;
 
+#if ESH_INVARIANTS_ENABLED
+  // Seeded-fault seam for tests/test_contracts.cpp: breaks the channel's
+  // expected/last_dispatched relation so the next delivery trips the
+  // gap-freedom invariant. Compiled only in checked builds.
+  void testing_corrupt_channel(SliceId from) {
+    auto& channel = in_[from];
+    channel.last_dispatched = channel.expected + 1;
+  }
+#endif
+
  private:
   struct ChannelIn {
     SeqNo expected = 1;               // next seq to deliver (active mode)
     std::map<SeqNo, PayloadPtr> pending;
     SeqNo last_dispatched = 0;        // timestamp-vector component
+    // True between a recovery rewind (reset_channel lowering `expected`
+    // below last_dispatched + 1) and the first post-rewind delivery; the
+    // gap-freedom contract exempts exactly that window. Written in every
+    // build so checked and default builds execute identical state updates.
+    bool rewound = false;
   };
+
+  // Every lifecycle change funnels through here so the state-machine
+  // contract sees it (illegal transitions throw in checked builds).
+  void set_state(State next);
 
   void deliver_in_order(SliceId from, ChannelIn& channel);
   // Dispatches one in-order run of deliverable events, coalescing maximal
@@ -183,6 +203,19 @@ class SliceRuntime final : public Context {
   std::unique_ptr<sim::PeriodicTimer> flush_timer_;
   friend class HostRuntime;
 };
+
+[[nodiscard]] const char* to_string(SliceRuntime::State state);
+
+// Legal slice lifecycle transitions: freeze only from active, activation
+// only from a buffering replica, retirement from anywhere (failure and
+// teardown paths), and the self-edges the protocol re-enters (a repeated
+// freeze request, retiring an already-retired slice).
+[[nodiscard]] bool slice_transition_legal(SliceRuntime::State from,
+                                          SliceRuntime::State to);
+
+// Contract-layer assertion of the relation above (no-op in default builds).
+void assert_slice_transition(SliceId slice, SliceRuntime::State from,
+                             SliceRuntime::State to);
 
 // Host-side runtime: message dispatch, slice registry, probes.
 class HostRuntime {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+
 namespace esh::net {
 
 Network::Network(sim::Simulator& simulator, NetworkConfig config)
@@ -96,7 +98,21 @@ void Network::send(Endpoint from, Endpoint to, MessagePtr message,
     const SimTime tx_start = std::max(simulator_.now(), busy_until);
     const auto tx_us = static_cast<std::int64_t>(
         static_cast<double>(bytes) / config_.bytes_per_us);
+    // Bandwidth never negative: a negative transmit time would move the
+    // NIC's busy horizon backwards and let later sends overtake this one.
+    ESH_INVARIANT("net", "nic-transmit-nonnegative", tx_us >= 0,
+                  ::esh::contracts::Detail{}
+                      .host(src_host)
+                      .expected("tx_us >= 0")
+                      .actual(tx_us)
+                      .note(std::to_string(bytes) + " bytes"));
     const SimTime tx_end = tx_start + micros(tx_us);
+    ESH_INVARIANT("net", "nic-egress-serialized", tx_end >= busy_until,
+                  ::esh::contracts::Detail{}
+                      .host(src_host)
+                      .expected(busy_until)
+                      .actual(tx_end)
+                      .note("egress horizon moved backwards"));
     busy_until = tx_end;
     delivery_time = tx_end + config_.latency;
   }
@@ -114,6 +130,17 @@ void Network::send(Endpoint from, Endpoint to, MessagePtr message,
           return;
         }
         ++stats_.messages_delivered;
+        // Conservation: every sent message is delivered, dropped, or lost
+        // exactly once (some are still in flight, hence <=).
+        ESH_INVARIANT("net", "message-conservation",
+                      stats_.messages_delivered + stats_.messages_dropped +
+                              stats_.messages_lost <=
+                          stats_.messages_sent,
+                      ::esh::contracts::Detail{}
+                          .expected(stats_.messages_sent)
+                          .actual(stats_.messages_delivered +
+                                  stats_.messages_dropped +
+                                  stats_.messages_lost));
         it->second.handler(Delivery{from, to, std::move(message), bytes});
       });
 }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/det.hpp"
+
 namespace esh::pubsub {
 
 namespace {
@@ -140,6 +142,16 @@ void MHandler::on_event(engine::Context& ctx, const engine::PayloadPtr& p) {
     list->m_slice_index = slice_index_;
     list->expected_lists =
         static_cast<std::uint32_t>(ctx.slice_count(own_op_));
+    // A partial list labeled with an out-of-range slice index would either
+    // be dropped by EP's dedup or inflate the completeness count.
+    ESH_INVARIANT("pubsub", "m-slice-index-bounds",
+                  slice_index_ < list->expected_lists,
+                  ::esh::contracts::Detail{}
+                      .expected(std::string("< ") +
+                                std::to_string(list->expected_lists))
+                      .actual(slice_index_)
+                      .note("publication " +
+                            std::to_string(list->publication.value())));
     list->subscribers = std::move(outcome.subscribers);
     list->published_at = pub->published_at;
     const auto routing = engine::Routing::hash(route_key(list->publication));
@@ -177,26 +189,55 @@ void EpHandler::on_event(engine::Context& ctx, const engine::PayloadPtr& p) {
   // already-notified publications and duplicate per-M-slice lists must be
   // absorbed here.
   if (completed_.contains(list->publication)) return;
-  Pending& pending = pending_[list->publication];
-  pending.published_at = list->published_at;
-  if (!pending.lists_from.insert(list->m_slice_index).second) return;
-  pending.subscribers.insert(pending.subscribers.end(),
-                             list->subscribers.begin(),
-                             list->subscribers.end());
   // Each publication is filtered by exactly one scheme's M operator; its
   // slice count arrives with every partial list (falls back to the static
   // single-scheme configuration when absent).
   const std::uint32_t expected =
       list->expected_lists > 0 ? list->expected_lists
                                : static_cast<std::uint32_t>(m_slices_);
+  ESH_PRECONDITION("pubsub", "ep-list-slice-bounds",
+                   list->m_slice_index < expected,
+                   ::esh::contracts::Detail{}
+                       .expected(std::string("< ") + std::to_string(expected))
+                       .actual(list->m_slice_index)
+                       .note("publication " +
+                             std::to_string(list->publication.value())));
+  Pending& pending = pending_[list->publication];
+  pending.published_at = list->published_at;
+  if (!pending.lists_from.insert(list->m_slice_index).second) return;
+  pending.subscribers.insert(pending.subscribers.end(),
+                             list->subscribers.begin(),
+                             list->subscribers.end());
   if (pending.lists_from.size() < expected) return;
 
+  // AP broadcast completeness: `expected` distinct indices, each below
+  // `expected`, is exactly the full slice set {0 .. expected-1}.
+  ESH_INVARIANT("pubsub", "ap-broadcast-complete",
+                pending.lists_from.size() == expected &&
+                    *pending.lists_from.rbegin() < expected,
+                ::esh::contracts::Detail{}
+                    .expected(expected)
+                    .actual(pending.lists_from.size())
+                    .note("publication " +
+                          std::to_string(list->publication.value())));
+  complete_publication(ctx, list->publication, std::move(pending));
+}
+
+void EpHandler::complete_publication(engine::Context& ctx, PublicationId pub,
+                                     Pending pending) {
   auto notification = std::make_shared<NotificationPayload>();
-  notification->publication = list->publication;
+  notification->publication = pub;
   notification->subscribers = std::move(pending.subscribers);
   notification->published_at = pending.published_at;
-  completed_.insert(list->publication);
-  pending_.erase(list->publication);
+  // EP exactly-once: a publication enters the completed set precisely once;
+  // a second dispatch would double-notify its subscribers.
+  [[maybe_unused]] const bool first_dispatch = completed_.insert(pub).second;
+  ESH_INVARIANT("pubsub", "ep-exactly-once", first_dispatch,
+                ::esh::contracts::Detail{}
+                    .expected("first dispatch")
+                    .actual("already completed")
+                    .note("publication " + std::to_string(pub.value())));
+  pending_.erase(pub);
   const auto routing =
       engine::Routing::hash(route_key(notification->publication));
   ctx.emit(names_.sink, routing, std::move(notification));
@@ -213,7 +254,9 @@ double EpHandler::cost_units(const engine::PayloadPtr& p) const {
 
 void EpHandler::serialize_state(BinaryWriter& w) const {
   w.write_u64(pending_.size());
-  for (const auto& [pub, pending] : pending_) {
+  // Sorted: checkpoint bytes must not depend on hash-table layout.
+  for (const PublicationId pub : sorted_keys(pending_)) {
+    const Pending& pending = pending_.at(pub);
     w.write_id(pub);
     w.write_u64(pending.lists_from.size());
     for (std::uint32_t m : pending.lists_from) w.write_u32(m);
@@ -252,6 +295,7 @@ void EpHandler::restore_state(BinaryReader& r) {
 
 std::size_t EpHandler::state_bytes() const {
   std::size_t total = 16;
+  // lint:allow(unordered-iteration): order-free sum
   for (const auto& [pub, pending] : pending_) {
     total += 32 + pending.subscribers.size() * sizeof(SubscriberId);
   }

@@ -25,6 +25,7 @@
 #include <utility>
 
 #include "cluster/cost_model.hpp"
+#include "common/contracts.hpp"
 #include "common/stats.hpp"
 #include "engine/handler.hpp"
 #include "filter/matcher.hpp"
@@ -168,6 +169,15 @@ class EpHandler final : public engine::Handler {
     return pending_.size();
   }
 
+#if ESH_INVARIANTS_ENABLED
+  // Seeded-fault seam for tests/test_contracts.cpp: dispatches a
+  // notification while bypassing the completed_-set guard, so a second call
+  // for the same publication trips the exactly-once invariant.
+  void testing_force_dispatch(engine::Context& ctx, PublicationId pub) {
+    complete_publication(ctx, pub, std::move(pending_[pub]));
+  }
+#endif
+
  private:
   struct Pending {
     // Which M slices' partial lists arrived (a set, not a count: recovery
@@ -176,6 +186,12 @@ class EpHandler final : public engine::Handler {
     std::vector<SubscriberId> subscribers;
     SimTime published_at{};
   };
+
+  // Dispatch tail shared by on_event and the seeded-fault hook: marks the
+  // publication completed (the exactly-once boundary) and emits the merged
+  // notification toward the sink.
+  void complete_publication(engine::Context& ctx, PublicationId pub,
+                            Pending pending);
 
   OperatorNames names_;
   std::size_t m_slices_;

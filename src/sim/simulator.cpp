@@ -42,6 +42,8 @@ std::uint64_t Simulator::run_until(SimTime until) {
     queue_.pop();
     --live_events_;
     if (entry.state->cancelled) continue;
+    check_dispatch_order(entry);
+    record_dispatch(entry);
     now_ = entry.when;
     entry.state->fired = true;
     entry.fn();
@@ -57,6 +59,8 @@ bool Simulator::step() {
     queue_.pop();
     --live_events_;
     if (entry.state->cancelled) continue;
+    check_dispatch_order(entry);
+    record_dispatch(entry);
     now_ = entry.when;
     entry.state->fired = true;
     entry.fn();

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "common/types.hpp"
 
 namespace esh::sim {
@@ -65,6 +66,13 @@ class Simulator {
   [[nodiscard]] bool empty() const { return live_events_ == 0; }
   [[nodiscard]] std::size_t pending_events() const { return live_events_; }
 
+#if ESH_INVARIANTS_ENABLED
+  // Seeded-fault seam for tests/test_contracts.cpp: warps the virtual clock
+  // past queued events so the monotonicity invariant trips on the next run.
+  // Compiled only in checked builds; never called by production code.
+  void testing_warp_clock(SimTime t) { now_ = t; }
+#endif
+
  private:
   struct Entry {
     SimTime when{};
@@ -79,9 +87,32 @@ class Simulator {
     }
   };
 
+  // Dispatch-order invariants (checked builds): virtual time never moves
+  // backwards, and events sharing a timestamp fire in scheduling order.
+  void check_dispatch_order([[maybe_unused]] const Entry& entry) const {
+    ESH_INVARIANT(
+        "sim", "event-time-monotonic", entry.when >= now_,
+        ::esh::contracts::Detail{}.expected(now_).actual(entry.when).note(
+            "dispatch would move the virtual clock backwards"));
+    ESH_INVARIANT(
+        "sim", "fifo-tie-break",
+        entry.when != last_fired_when_ || entry.seq > last_fired_seq_,
+        ::esh::contracts::Detail{}
+            .expected(std::string("seq > ") +
+                      std::to_string(last_fired_seq_))
+            .actual(entry.seq)
+            .note("same-timestamp events must fire in scheduling order"));
+  }
+  void record_dispatch(const Entry& entry) {
+    last_fired_when_ = entry.when;
+    last_fired_seq_ = entry.seq;
+  }
+
   SimTime now_{0};
   std::uint64_t next_seq_ = 0;
   std::size_t live_events_ = 0;  // excludes cancelled-but-queued entries
+  SimTime last_fired_when_{SimTime::min()};
+  std::uint64_t last_fired_seq_ = 0;
   std::priority_queue<Entry> queue_;
 };
 

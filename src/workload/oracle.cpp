@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/det.hpp"
+
 namespace esh::workload {
 
 namespace {
@@ -108,9 +110,10 @@ void OracleMatcher::serialize_state(BinaryWriter& w) const {
   w.write_u64(subs_.size());
   w.write_u64(record);
   const std::string padding(record > payload ? record - payload : 0, '\0');
-  for (const auto& [id, subscriber] : subs_) {
+  // Sorted: checkpoint bytes must not depend on hash-table layout.
+  for (const SubscriptionId id : sorted_keys(subs_)) {
     w.write_id(id);
-    w.write_id(subscriber);
+    w.write_id(subs_.at(id));
     w.write_string(padding);
   }
 }

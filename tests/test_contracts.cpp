@@ -1,0 +1,319 @@
+// Contract-layer tests: the transition tables and the structured
+// ContractViolation payload are exercised in every build; each seeded fault
+// (clock warp, corrupted channel, illegal transition, double release,
+// duplicate EP dispatch) must trip its named invariant in checked builds.
+// The complementary property — that the full suite, chaos harness included,
+// runs violation-free under ESH_CHECK_INVARIANTS=ON — is covered by running
+// this whole test directory in the checked CI job (scripts/ci.sh checked).
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/iaas.hpp"
+#include "common/contracts.hpp"
+#include "engine/engine.hpp"
+#include "engine/host_runtime.hpp"
+#include "harness/testbed.hpp"
+#include "pubsub/operators.hpp"
+#include "pubsub/payloads.hpp"
+#include "sim/simulator.hpp"
+
+namespace esh {
+namespace {
+
+using contracts::ContractViolation;
+using contracts::Detail;
+using contracts::Kind;
+
+// ---- payload and tables: live in every build -------------------------------
+
+TEST(ContractViolationTest, CarriesStructuredPayload) {
+  const ContractViolation v{
+      Kind::kInvariant, "engine", "channel-gap-free", "expected == last + 1",
+      Detail{}.slice(SliceId{7}).host(HostId{3}).expected(4).actual(6).note(
+          "input channel from slice 2")};
+  EXPECT_EQ(v.kind(), Kind::kInvariant);
+  EXPECT_EQ(v.subsystem(), "engine");
+  EXPECT_EQ(v.name(), "channel-gap-free");
+  EXPECT_EQ(v.condition(), "expected == last + 1");
+  EXPECT_EQ(v.detail().slice_id, 7u);
+  EXPECT_EQ(v.detail().host_id, 3u);
+  EXPECT_EQ(v.detail().expected_value, "4");
+  EXPECT_EQ(v.detail().actual_value, "6");
+  const std::string what = v.what();
+  EXPECT_NE(what.find("ContractViolation[invariant]"), std::string::npos);
+  EXPECT_NE(what.find("engine/channel-gap-free"), std::string::npos);
+  EXPECT_NE(what.find("slice=7"), std::string::npos);
+  EXPECT_NE(what.find("host=3"), std::string::npos);
+  EXPECT_NE(what.find("expected=4"), std::string::npos);
+  EXPECT_NE(what.find("actual=6"), std::string::npos);
+}
+
+TEST(ContractViolationTest, IsALogicErrorSoDefensiveThrowTestsStillPass) {
+  EXPECT_THROW(
+      contracts::fail(Kind::kPrecondition, "cluster", "iaas-no-double-release",
+                      "id >= next", Detail{}),
+      std::logic_error);
+}
+
+TEST(ContractViolationTest, DetailStringifiesDomainTypes) {
+  Detail d;
+  d.slice(SliceId{1}).expected(micros(1500)).actual(HostId{}).transition(
+      "frozen", "active");
+  EXPECT_EQ(d.expected_value, "1500us");
+  EXPECT_EQ(d.actual_value, "frozen -> active");
+  EXPECT_FALSE(d.has_host());
+  EXPECT_TRUE(d.has_slice());
+}
+
+TEST(MigrationTransitionTest, TableEncodesProtocolOrder) {
+  using Step = engine::MigrationStep;
+  // The paper's migration order: create replica, duplicate, freeze+transfer,
+  // update directory, tear down.
+  EXPECT_TRUE(engine::migration_transition_legal(Step::kCreateReplica,
+                                                 Step::kDuplication));
+  EXPECT_TRUE(
+      engine::migration_transition_legal(Step::kDuplication, Step::kTransfer));
+  EXPECT_TRUE(engine::migration_transition_legal(Step::kTransfer,
+                                                 Step::kDirectoryUpdate));
+  EXPECT_TRUE(engine::migration_transition_legal(Step::kDirectoryUpdate,
+                                                 Step::kTeardown));
+  // Source operators with no upstream channels skip duplication.
+  EXPECT_TRUE(engine::migration_transition_legal(Step::kCreateReplica,
+                                                 Step::kTransfer));
+  // Either peer dying aborts; an ActivatedAck racing the abort means the
+  // transfer won and directory convergence proceeds.
+  EXPECT_TRUE(
+      engine::migration_transition_legal(Step::kTransfer, Step::kAborting));
+  EXPECT_TRUE(engine::migration_transition_legal(Step::kAborting,
+                                                 Step::kDirectoryUpdate));
+  // Never backwards, never out of the terminal step.
+  EXPECT_FALSE(engine::migration_transition_legal(Step::kTeardown,
+                                                  Step::kDuplication));
+  EXPECT_FALSE(engine::migration_transition_legal(Step::kDirectoryUpdate,
+                                                  Step::kDuplication));
+  EXPECT_FALSE(
+      engine::migration_transition_legal(Step::kAborting, Step::kTransfer));
+}
+
+TEST(SliceTransitionTest, TableEncodesLifecycle) {
+  using State = engine::SliceRuntime::State;
+  EXPECT_TRUE(engine::slice_transition_legal(State::kActive,
+                                             State::kFreezePending));
+  EXPECT_TRUE(
+      engine::slice_transition_legal(State::kFreezePending, State::kFrozen));
+  EXPECT_TRUE(
+      engine::slice_transition_legal(State::kFreezePending, State::kActive));
+  EXPECT_TRUE(
+      engine::slice_transition_legal(State::kInactiveReplica, State::kActive));
+  EXPECT_TRUE(engine::slice_transition_legal(State::kFrozen, State::kRetired));
+  // fail_host retires a slice, then evict_slice retires it again.
+  EXPECT_TRUE(engine::slice_transition_legal(State::kRetired, State::kRetired));
+  EXPECT_FALSE(engine::slice_transition_legal(State::kFrozen, State::kActive));
+  EXPECT_FALSE(
+      engine::slice_transition_legal(State::kRetired, State::kActive));
+  EXPECT_FALSE(engine::slice_transition_legal(State::kActive, State::kFrozen));
+}
+
+#if ESH_INVARIANTS_ENABLED
+
+// ---- seeded faults: each must trip its named invariant ---------------------
+
+TEST(SeededFaultTest, ClockWarpTripsEventTimeMonotonicity) {
+  sim::Simulator sim;
+  sim.schedule(millis(10), [] {});
+  sim.testing_warp_clock(millis(100));
+  try {
+    sim.run_until(millis(200));
+    FAIL() << "warped clock not detected";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.subsystem(), "sim");
+    EXPECT_EQ(v.name(), "event-time-monotonic");
+    EXPECT_EQ(v.kind(), Kind::kInvariant);
+  }
+}
+
+TEST(SeededFaultTest, IllegalMigrationTransitionThrowsStructured) {
+  using Step = engine::MigrationStep;
+  try {
+    engine::assert_migration_transition(MigrationId{7}, SliceId{3},
+                                        Step::kTeardown, Step::kDuplication);
+    FAIL() << "illegal transition not detected";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.kind(), Kind::kStateMachine);
+    EXPECT_EQ(v.subsystem(), "engine");
+    EXPECT_EQ(v.name(), "migration-step-legal");
+    EXPECT_EQ(v.detail().slice_id, 3u);
+    EXPECT_EQ(v.detail().actual_value, "teardown -> duplication");
+    EXPECT_NE(v.detail().note_text.find("migration 7"), std::string::npos);
+  }
+}
+
+TEST(SeededFaultTest, IllegalSliceTransitionThrowsStructured) {
+  using State = engine::SliceRuntime::State;
+  try {
+    engine::assert_slice_transition(SliceId{5}, State::kFrozen,
+                                    State::kActive);
+    FAIL() << "illegal transition not detected";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.kind(), Kind::kStateMachine);
+    EXPECT_EQ(v.name(), "slice-state-legal");
+    EXPECT_EQ(v.detail().slice_id, 5u);
+    EXPECT_EQ(v.detail().actual_value, "frozen -> active");
+  }
+}
+
+TEST(SeededFaultTest, IaasDoubleReleaseTripsPrecondition) {
+  sim::Simulator sim;
+  cluster::IaasConfig config;
+  config.max_hosts = 2;
+  cluster::IaasPool pool{sim, config};
+  const HostId id = pool.allocate({});
+  pool.release(id);
+  try {
+    pool.release(id);
+    FAIL() << "double release not detected";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.kind(), Kind::kPrecondition);
+    EXPECT_EQ(v.subsystem(), "cluster");
+    EXPECT_EQ(v.name(), "iaas-no-double-release");
+    EXPECT_EQ(v.detail().host_id, id.value());
+  }
+  // A never-allocated id is a plain defensive logic_error, not a contract
+  // violation: the caller holds no stale handle, it holds garbage.
+  try {
+    pool.release(HostId{999});
+    FAIL() << "unknown host accepted";
+  } catch (const std::logic_error& e) {
+    EXPECT_EQ(dynamic_cast<const ContractViolation*>(&e), nullptr);
+  }
+}
+
+// Minimal engine::Context for driving EpHandler directly.
+class RecordingContext final : public engine::Context {
+ public:
+  void emit(std::string_view op, engine::Routing,
+            engine::PayloadPtr payload) override {
+    emitted.emplace_back(std::string{op}, std::move(payload));
+  }
+  [[nodiscard]] SimTime now() const override { return SimTime{0}; }
+  [[nodiscard]] std::size_t slice_index() const override { return 0; }
+  [[nodiscard]] std::size_t slice_count(std::string_view) const override {
+    return 1;
+  }
+
+  std::vector<std::pair<std::string, engine::PayloadPtr>> emitted;
+};
+
+pubsub::MatchListPayload* make_list(PublicationId pub, std::uint32_t index,
+                                    std::uint32_t expected,
+                                    engine::PayloadPtr* out) {
+  auto list = std::make_shared<pubsub::MatchListPayload>();
+  list->publication = pub;
+  list->m_slice_index = index;
+  list->expected_lists = expected;
+  list->subscribers = {SubscriberId{1}};
+  auto* raw = list.get();
+  *out = std::move(list);
+  return raw;
+}
+
+TEST(SeededFaultTest, EpDuplicateDispatchTripsExactlyOnce) {
+  RecordingContext ctx;
+  pubsub::EpHandler ep{pubsub::OperatorNames{}, 1, cluster::CostModel{}};
+  engine::PayloadPtr p;
+  make_list(PublicationId{42}, 0, 1, &p);
+  ep.on_event(ctx, p);  // sole partial list -> dispatches the notification
+  ASSERT_EQ(ctx.emitted.size(), 1u);
+  EXPECT_EQ(ctx.emitted[0].first, "sink");
+  try {
+    ep.testing_force_dispatch(ctx, PublicationId{42});
+    FAIL() << "duplicate dispatch not detected";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.subsystem(), "pubsub");
+    EXPECT_EQ(v.name(), "ep-exactly-once");
+    EXPECT_NE(v.detail().note_text.find("publication 42"), std::string::npos);
+  }
+  EXPECT_EQ(ctx.emitted.size(), 1u);  // the duplicate never reached the sink
+}
+
+TEST(SeededFaultTest, EpOutOfRangeSliceIndexTripsBoundsPrecondition) {
+  RecordingContext ctx;
+  pubsub::EpHandler ep{pubsub::OperatorNames{}, 2, cluster::CostModel{}};
+  engine::PayloadPtr p;
+  make_list(PublicationId{43}, 5, 2, &p);
+  try {
+    ep.on_event(ctx, p);
+    FAIL() << "out-of-range slice index not detected";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.kind(), Kind::kPrecondition);
+    EXPECT_EQ(v.name(), "ep-list-slice-bounds");
+    EXPECT_EQ(v.detail().actual_value, "5");
+  }
+}
+
+TEST(SeededFaultTest, CorruptedChannelTripsGapFreedom) {
+  harness::TestbedConfig config;
+  config.worker_hosts = 2;
+  config.io_hosts = 2;
+  config.workload.dimensions = 4;
+  config.workload.total_subscriptions = 50;
+  config.workload.matching_rate = 0.05;
+  config.workload.m_slices = 2;
+  config.source_slices = 1;
+  config.ap_slices = 2;
+  config.ep_slices = 2;
+  config.sink_slices = 1;
+  config.iaas.max_hosts = 5;
+  harness::Testbed bed{config};
+  bed.store_subscriptions(50);
+
+  const auto& cfg = bed.engine().static_config();
+  const auto& m_op = cfg.operators.at(cfg.index_of("M"));
+  ASSERT_FALSE(m_op.slices.empty());
+  auto* runtime = bed.engine().slice_runtime(m_op.slices.front());
+  ASSERT_NE(runtime, nullptr);
+  // Corrupt the victim's input-channel cursors from every AP slice, so the
+  // publication trips the invariant no matter which AP slice forwards it.
+  for (SliceId ap : cfg.operators.at(cfg.index_of("AP")).slices) {
+    runtime->testing_corrupt_channel(ap);
+  }
+  bed.publish_one();
+  try {
+    bed.run_for(seconds(2));
+    FAIL() << "corrupted channel cursors not detected";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.subsystem(), "engine");
+    EXPECT_EQ(v.name(), "channel-gap-free");
+    EXPECT_EQ(v.detail().slice_id, m_op.slices.front().value());
+  }
+}
+
+#else  // !ESH_INVARIANTS_ENABLED
+
+// ---- default build: the macros must be free and inert ----------------------
+
+TEST(DisabledContractsTest, MacrosExpandToNoOps) {
+  // Arguments are not evaluated in the default build; a false condition must
+  // neither throw nor be computed.
+  bool evaluated = false;
+  // The macros discard their arguments entirely in this build.
+  [[maybe_unused]] auto probe = [&evaluated] {
+    evaluated = true;
+    return false;
+  };
+  EXPECT_NO_THROW(ESH_INVARIANT("test", "never-fires", probe(), Detail{}));
+  EXPECT_NO_THROW(
+      ESH_PRECONDITION("test", "never-fires", probe(), Detail{}));
+  EXPECT_NO_THROW(
+      ESH_STATE_MACHINE_ASSERT("test", "never-fires", probe(), Detail{}));
+  EXPECT_FALSE(evaluated);
+  EXPECT_FALSE(contracts::kEnabled);
+}
+
+#endif  // ESH_INVARIANTS_ENABLED
+
+}  // namespace
+}  // namespace esh
