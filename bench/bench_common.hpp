@@ -12,8 +12,10 @@
 
 namespace esh::bench {
 
-// Worker threads for the matching hot path (--threads). Affects wall-clock
-// only: every experiment's simulated results are identical for any value.
+// Worker threads for the pipeline hot paths (--threads): AP route planning,
+// M matching and EP merge assembly all fan over the same pool. Affects
+// wall-clock only: every experiment's simulated results are identical for
+// any value.
 inline std::size_t& threads_flag() {
   static std::size_t threads = 1;
   return threads;
@@ -75,7 +77,7 @@ inline harness::TestbedConfig paper_config(std::size_t worker_hosts,
   config.source_slices = 4;
   config.sink_slices = 4;
   config.engine.probe_interval = seconds(5);
-  config.engine.match_threads = threads_flag();
+  config.engine.worker_threads = threads_flag();
   config.placement = paper_layout;
   config.seed = 2014;
   return config;

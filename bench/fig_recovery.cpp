@@ -45,6 +45,9 @@ esh::harness::TestbedConfig recovery_config(esh::SimDuration checkpoint) {
   config.engine.probe_interval = esh::millis(100);
   config.engine.checkpoints.enabled = true;
   config.engine.checkpoints.interval = checkpoint;
+  // This main builds its config from scratch (no paper_config), so --threads
+  // has to be applied explicitly for the AP/M/EP offload pool.
+  config.engine.worker_threads = esh::bench::threads_flag();
   config.iaas.max_hosts = 8;
   config.iaas.boot_delay = esh::millis(500);
   config.with_manager = true;

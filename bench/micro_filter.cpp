@@ -12,6 +12,11 @@
 //    pooled match_batch backend per scheme, thread count and batch size,
 //    emitted as JSON, with every pooled outcome verified identical to the
 //    scalar single-thread pass.
+//  - a pipeline sweep (--pipeline_sweep): wall-clock of a full StreamHub
+//    run (AP route planning, M matching and EP merge assembly all offloaded
+//    to the worker pool) per thread count and dispatch batch cap, emitted
+//    as JSON, with every configuration's simulated outcome verified
+//    identical to the serial single-thread single-event-dispatch run.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -30,8 +35,10 @@
 #include "common/thread_pool.hpp"
 #include "filter/aspe.hpp"
 #include "filter/matcher.hpp"
+#include "harness/testbed.hpp"
 #include "workload/generator.hpp"
 #include "workload/oracle.hpp"
+#include "workload/schedule.hpp"
 
 namespace {
 
@@ -418,6 +425,111 @@ int run_thread_sweep() {
   return ok ? 0 : 2;
 }
 
+// ---- pipeline sweep: threads x dispatch batch over a full StreamHub run -----
+//
+// Unlike the matcher-only sweeps above, this drives the whole simulated
+// pipeline: AP route planning, M matching and EP merge assembly all fan
+// out over the engine's worker pool, while every commit stays on the
+// simulator thread. The determinism contract says the simulated outcome
+// is a function of the workload alone -- so before any timing, each
+// (threads, dispatch_batch_max) cell's outcome is checked identical to
+// the serial reference cell; only then is its wall-clock reported.
+
+// The figure-relevant observables of one run. Byte-exact equality across
+// sweep cells is the precondition for timing them.
+struct PipelineOutcome {
+  std::uint64_t notifications = 0;
+  std::uint64_t completed = 0;
+  std::vector<double> percentiles;
+  SimTime last_completion{};
+  std::vector<std::pair<std::uint64_t, double>> work_us;
+
+  bool operator==(const PipelineOutcome&) const = default;
+};
+
+PipelineOutcome run_pipeline_once(std::size_t threads,
+                                  std::size_t dispatch_batch_max) {
+  harness::TestbedConfig config;
+  config.worker_hosts = 3;
+  config.io_hosts = 2;
+  config.workload.dimensions = 4;
+  config.workload.total_subscriptions = 3000;
+  config.workload.matching_rate = 0.02;
+  config.workload.m_slices = 3;
+  config.source_slices = 2;
+  config.ap_slices = 3;
+  config.ep_slices = 3;
+  config.sink_slices = 2;
+  config.engine.flush_interval = millis(10);
+  config.engine.control_tick = millis(5);
+  config.engine.probe_interval = millis(100);
+  config.engine.worker_threads = threads;
+  config.engine.dispatch_batch_max = dispatch_batch_max;
+  config.seed = 97;
+  harness::Testbed bed{config};
+  bed.store_subscriptions(3000);
+  auto driver = bed.drive(
+      std::make_shared<workload::ConstantRate>(400.0, seconds(2)));
+  bed.run_for(seconds(2) + millis(10));
+  driver->stop();
+  bed.run_for(seconds(2));
+
+  PipelineOutcome outcome;
+  const auto& collector = bed.delays();
+  outcome.notifications = collector.notifications();
+  outcome.completed = collector.publications_completed();
+  outcome.percentiles =
+      collector.delays_ms().percentiles({0, 25, 50, 75, 90, 99, 100});
+  outcome.last_completion = collector.last_completion();
+  std::vector<HostId> hosts = bed.pool().active_hosts();
+  std::sort(hosts.begin(), hosts.end());
+  for (const HostId host : hosts) {
+    outcome.work_us.emplace_back(host.value(),
+                                 bed.pool().host(host).busy_core_us());
+  }
+  return outcome;
+}
+
+int run_pipeline_sweep() {
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  const std::vector<std::size_t> batch_caps = {1, 16, 64};
+
+  const PipelineOutcome ref =
+      run_pipeline_once(thread_counts.front(), batch_caps.front());
+
+  std::printf("{\n  \"benchmark\": \"micro_filter_pipeline_sweep\",\n"
+              "  \"host_cores\": %u,\n"
+              "  \"publications_completed\": %llu,\n  \"sweep\": [",
+              std::thread::hardware_concurrency(),
+              static_cast<unsigned long long>(ref.completed));
+  bool ok = ref.completed > 0;
+  bool first = true;
+  double base_rate = 0.0;
+  for (const std::size_t threads : thread_counts) {
+    for (const std::size_t batch : batch_caps) {
+      if (run_pipeline_once(threads, batch) != ref) {
+        std::fprintf(stderr,
+                     "pipeline_sweep: %zu threads, batch %zu diverged from "
+                     "the serial reference outcome\n",
+                     threads, batch);
+        ok = false;
+      }
+      const double s = time_best_seconds(
+          3, [&] { run_pipeline_once(threads, batch); });
+      const double rate = static_cast<double>(ref.completed) / s;
+      if (base_rate == 0.0) base_rate = rate;
+      std::printf("%s\n    {\"threads\": %zu, \"dispatch_batch_max\": %zu, "
+                  "\"wall_s\": %.3f, \"pubs_per_sec\": %.1f, "
+                  "\"speedup_vs_serial\": %.3f}",
+                  first ? "" : ",", threads, batch, s, rate,
+                  rate / base_rate);
+      first = false;
+    }
+  }
+  std::printf("],\n  \"results_identical\": %s\n}\n", ok ? "true" : "false");
+  return ok ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -425,6 +537,9 @@ int main(int argc, char** argv) {
     if (std::string_view{argv[i]} == "--batch_sweep") return run_batch_sweep();
     if (std::string_view{argv[i]} == "--thread_sweep") {
       return run_thread_sweep();
+    }
+    if (std::string_view{argv[i]} == "--pipeline_sweep") {
+      return run_pipeline_sweep();
     }
   }
   benchmark::Initialize(&argc, argv);

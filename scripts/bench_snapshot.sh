@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# Captures the parallel-matching wall-clock snapshot: runs the micro_filter
-# threads x batch sweep (which also verifies pooled outcomes are identical
-# to scalar) and writes the JSON to BENCH_parallel.json.
+# Captures the wall-clock benchmark snapshots:
+#   - the micro_filter threads x batch matcher sweep (which also verifies
+#     pooled outcomes are identical to scalar) -> BENCH_parallel.json
+#   - the micro_filter pipeline sweep (full StreamHub run per thread count
+#     and dispatch batch cap, outcomes verified identical to the serial
+#     reference before timing) -> BENCH_pipeline.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=${BUILD:-build}
 OUT=${OUT:-BENCH_parallel.json}
+PIPELINE_OUT=${PIPELINE_OUT:-BENCH_pipeline.json}
 
 if [ ! -x "$BUILD/bench/micro_filter" ]; then
   cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
@@ -15,3 +19,6 @@ fi
 
 "$BUILD/bench/micro_filter" --thread_sweep > "$OUT"
 echo "wrote $OUT"
+
+"$BUILD/bench/micro_filter" --pipeline_sweep > "$PIPELINE_OUT"
+echo "wrote $PIPELINE_OUT"

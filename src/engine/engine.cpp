@@ -72,9 +72,10 @@ Engine::Engine(sim::Simulator& simulator, net::Network& network,
     : simulator_(simulator),
       network_(network),
       config_(config),
-      match_pool_(config.match_threads > 1
-                      ? std::make_unique<ThreadPool>(config.match_threads)
-                      : nullptr),
+      worker_pool_(std::max(config.worker_threads, config.match_threads) > 1
+                       ? std::make_unique<ThreadPool>(std::max(
+                             config.worker_threads, config.match_threads))
+                       : nullptr),
       rng_(seed),
       manager_host_(manager_host) {
   control_endpoint_ = network_.new_endpoint();

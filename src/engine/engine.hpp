@@ -62,10 +62,15 @@ struct EngineConfig {
   // wall-clock only: each batched event keeps its own simulated CPU job,
   // cost and lock, so simulated timing is independent of this cap.
   std::size_t dispatch_batch_max = 64;
-  // Real worker threads for the matching hot path's wall-clock compute
-  // (Engine::match_pool). The count includes the simulator thread; 0 or 1
-  // keeps matching inline. Simulated results are bit-identical for every
-  // value -- only wall-clock changes.
+  // Real worker threads for the pipeline's per-event wall-clock compute
+  // (Engine::worker_pool): AP route planning, M matching and EP partial-list
+  // merge assembly all fan out over the same pool. The count includes the
+  // simulator thread; 0 or 1 keeps every tier inline. Simulated results are
+  // bit-identical for every value -- only wall-clock changes.
+  std::size_t worker_threads = 1;
+  // Back-compat alias from the M-tier-only offload era: the pool is sized
+  // max(worker_threads, match_threads), so configs that still set only
+  // match_threads keep driving the (now pipeline-wide) pool.
   std::size_t match_threads = 1;
   cluster::CostModel cost;
 };
@@ -210,10 +215,14 @@ class Engine {
   [[nodiscard]] net::Network& network() { return network_; }
   [[nodiscard]] const EngineConfig& config() const { return config_; }
   [[nodiscard]] Rng& rng() { return rng_; }
-  // Worker pool for batch-matching compute; nullptr when
-  // config.match_threads <= 1. Handlers install it on their matcher so
-  // match_batch fans out and joins before any result is committed.
-  [[nodiscard]] ThreadPool* match_pool() { return match_pool_.get(); }
+  // Worker pool for the pipeline's batched wall-clock compute (AP route
+  // planning, M matching, EP merge assembly); nullptr when
+  // max(config.worker_threads, config.match_threads) <= 1. Handlers fan
+  // their on_batch_start precompute across it and join before any result is
+  // committed on the simulator thread.
+  [[nodiscard]] ThreadPool* worker_pool() { return worker_pool_.get(); }
+  // Back-compat name for the pool from the M-tier-only offload era.
+  [[nodiscard]] ThreadPool* match_pool() { return worker_pool(); }
 
  private:
   struct MigrationTask {
@@ -255,7 +264,7 @@ class Engine {
   sim::Simulator& simulator_;
   net::Network& network_;
   EngineConfig config_;
-  std::unique_ptr<ThreadPool> match_pool_;
+  std::unique_ptr<ThreadPool> worker_pool_;
   Rng rng_;
   HostId manager_host_;
   net::Endpoint control_endpoint_;

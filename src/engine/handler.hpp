@@ -61,19 +61,29 @@ class Handler {
 
   // ---- batched processing ----
   // True when `payload` may be coalesced with adjacent batchable events of
-  // the same in-order delivery run into one precomputed batch. Only events
-  // whose processing leaves the slice state unchanged (read-only, e.g.
-  // publication matching) may opt in: every event of the batch is handed to
-  // on_event individually afterwards, and each must observe the same state.
+  // the same in-order delivery run into one precomputed batch. All of a
+  // batch's jobs are submitted consecutively within one simulator callback
+  // and jobs of one slice dispatch in submission order, so no foreign job of
+  // this slice (checkpoint, freeze, another channel's run) interleaves
+  // between a batch's events. A handler may therefore opt in even for
+  // state-mutating events (e.g. EP's W-locked partial-list merges), as long
+  // as the post-batch state and the per-event emissions are byte-identical
+  // to processing the same events serially; read-only events (publication
+  // matching) satisfy that trivially. Caveat for kNone/kRead events: their
+  // jobs run concurrently in simulated time and may *complete* out of
+  // submission order, so precomputed per-event results must be consumed by
+  // key, not by position (see MHandler/ApHandler).
   [[nodiscard]] virtual bool can_batch(const PayloadPtr& payload) const {
     (void)payload;
     return false;
   }
   // Called once per coalesced batch, immediately before the first of its
-  // events is processed; lets the handler run one batched computation whose
-  // per-event results the subsequent on_event calls consume. The simulated
-  // cost of the batch is still charged per event through cost_units(), so
-  // batching never changes simulated work or scheduling.
+  // events is processed (i.e. after every earlier job of the slice, so the
+  // handler state it observes is exactly the serial-processing state); lets
+  // the handler run one batched computation whose per-event results the
+  // subsequent on_event calls consume. The simulated cost of the batch is
+  // still charged per event through cost_units(), so batching never changes
+  // simulated work or scheduling.
   virtual void on_batch_start(Context& ctx,
                               const std::vector<PayloadPtr>& batch) {
     (void)ctx;

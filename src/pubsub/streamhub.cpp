@@ -70,14 +70,15 @@ void StreamHub::deploy(const HostAssignment& assignment) {
       }});
   topology.operators.push_back(engine::OperatorSpec{
       names.ap, params_.ap_slices,
-      [targets, cost = params_.cost](std::size_t) {
-        return std::make_unique<ApHandler>(targets, cost);
+      [targets, cost = params_.cost,
+       pool = engine_.worker_pool()](std::size_t) {
+        return std::make_unique<ApHandler>(targets, cost, pool);
       }});
   for (const auto& spec : schemes_) {
     topology.operators.push_back(engine::OperatorSpec{
         spec.op_name, spec.slices,
         [names = names, op = spec.op_name, factory = spec.factory,
-         cost = params_.cost, pool = engine_.match_pool()](std::size_t index) {
+         cost = params_.cost, pool = engine_.worker_pool()](std::size_t index) {
           return std::make_unique<MHandler>(
               names, op, static_cast<std::uint32_t>(index), factory(index),
               cost, pool);
@@ -85,9 +86,9 @@ void StreamHub::deploy(const HostAssignment& assignment) {
   }
   topology.operators.push_back(engine::OperatorSpec{
       names.ep, params_.ep_slices,
-      [names = names, m = schemes_.front().slices,
-       cost = params_.cost](std::size_t) {
-        return std::make_unique<EpHandler>(names, m, cost);
+      [names = names, m = schemes_.front().slices, cost = params_.cost,
+       pool = engine_.worker_pool()](std::size_t) {
+        return std::make_unique<EpHandler>(names, m, cost, pool);
       }});
   topology.operators.push_back(engine::OperatorSpec{
       names.sink, params_.sink_slices,

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
+
 #include <atomic>
 #include <cstddef>
 #include <numeric>
@@ -161,6 +163,96 @@ TEST(ThreadPoolTest, PerWorkerScratchNeedsNoLocking) {
 TEST(ThreadPoolTest, DestructionWithNoJobsJoinsCleanly) {
   for (int i = 0; i < 20; ++i) {
     ThreadPool pool{8};  // spin up and immediately tear down
+  }
+}
+
+// ---- stress: the AP/EP offload shapes -------------------------------------
+//
+// The pipeline offload (PR 5) leans on three pool properties under irregular
+// load: correctness at arbitrary chunk-to-worker ratios, the lowest-indexed
+// exception surviving a storm of concurrent throwers, and the pool remaining
+// serviceable for the next batch after a throw. These tests drive all three
+// with seeded-random shapes so every run covers a different mix while
+// staying reproducible.
+
+TEST(ThreadPoolStressTest, RandomizedChunkAndWorkerCounts) {
+  Rng rng{20260807};
+  for (int round = 0; round < 40; ++round) {
+    const auto workers = static_cast<std::size_t>(rng.next_below(9));
+    ThreadPool pool{workers};
+    // Cover the degenerate shapes too: 0 chunks, 1 chunk, fewer chunks than
+    // workers, and far more chunks than workers.
+    const auto chunks = static_cast<std::size_t>(rng.next_below(300));
+    std::vector<std::atomic<int>> runs(chunks > 0 ? chunks : 1);
+    pool.parallel_for(chunks, [&](std::size_t chunk, std::size_t worker) {
+      ASSERT_LT(chunk, chunks);
+      ASSERT_LT(worker, pool.worker_count());
+      runs[chunk].fetch_add(1);
+    });
+    for (std::size_t c = 0; c < chunks; ++c) {
+      ASSERT_EQ(runs[c].load(), 1)
+          << "round " << round << " workers " << workers << " chunk " << c;
+    }
+  }
+}
+
+TEST(ThreadPoolStressTest, LowestIndexedExceptionWinsUnderRandomThrowers) {
+  Rng rng{4242};
+  ThreadPool pool{4};
+  for (int round = 0; round < 25; ++round) {
+    const std::size_t chunks = 16 + rng.next_below(200);
+    // A random subset of chunks throws, mimicking per-event planning
+    // failures scattered through an AP route plan or EP merge batch.
+    std::vector<bool> throws(chunks, false);
+    std::size_t lowest = chunks;
+    const std::size_t throwers = 1 + rng.next_below(chunks / 2);
+    for (std::size_t t = 0; t < throwers; ++t) {
+      const auto c = static_cast<std::size_t>(rng.next_below(chunks));
+      throws[c] = true;
+      lowest = std::min(lowest, c);
+    }
+    std::atomic<std::size_t> ran{0};
+    try {
+      pool.parallel_for(chunks, [&](std::size_t chunk, std::size_t) {
+        ran.fetch_add(1);
+        if (throws[chunk]) {
+          throw std::runtime_error{"chunk " + std::to_string(chunk)};
+        }
+      });
+      FAIL() << "expected a rethrow in round " << round;
+    } catch (const std::runtime_error& e) {
+      ASSERT_EQ(std::string{e.what()}, "chunk " + std::to_string(lowest))
+          << "round " << round;
+    }
+    // Capture never abandons chunks: the full batch still ran.
+    ASSERT_EQ(ran.load(), chunks) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolStressTest, ReusableForNextBatchAfterRandomThrows) {
+  Rng rng{777};
+  ThreadPool pool{4};
+  // Alternate throwing and clean batches of random sizes: the simulator
+  // thread reuses one pool for every AP plan, M match and EP merge, so a
+  // throw in one batch must leave the next batch's fan-out intact.
+  for (int round = 0; round < 30; ++round) {
+    const std::size_t chunks = 8 + rng.next_below(64);
+    const auto doomed = static_cast<std::size_t>(rng.next_below(chunks));
+    EXPECT_THROW(pool.parallel_for(chunks,
+                                   [&](std::size_t chunk, std::size_t) {
+                                     if (chunk == doomed) {
+                                       throw std::logic_error{"boom"};
+                                     }
+                                   }),
+                 std::logic_error);
+    const std::size_t clean = 8 + rng.next_below(64);
+    std::vector<std::atomic<int>> runs(clean);
+    pool.parallel_for(clean, [&](std::size_t chunk, std::size_t) {
+      runs[chunk].fetch_add(1);
+    });
+    for (std::size_t c = 0; c < clean; ++c) {
+      ASSERT_EQ(runs[c].load(), 1) << "round " << round << " chunk " << c;
+    }
   }
 }
 
