@@ -443,6 +443,9 @@ struct PipelineOutcome {
   std::vector<double> percentiles;
   SimTime last_completion{};
   std::vector<std::pair<std::uint64_t, double>> work_us;
+  // The wire counters are part of the determinism contract too: a thread
+  // count that changes what the network saw has leaked into the schedule.
+  net::NetworkStats net;
 
   bool operator==(const PipelineOutcome&) const = default;
 };
@@ -487,6 +490,7 @@ PipelineOutcome run_pipeline_once(std::size_t threads,
     outcome.work_us.emplace_back(host.value(),
                                  bed.pool().host(host).busy_core_us());
   }
+  outcome.net = bed.network().stats();
   return outcome;
 }
 
@@ -499,9 +503,25 @@ int run_pipeline_sweep() {
 
   std::printf("{\n  \"benchmark\": \"micro_filter_pipeline_sweep\",\n"
               "  \"host_cores\": %u,\n"
-              "  \"publications_completed\": %llu,\n  \"sweep\": [",
+              "  \"publications_completed\": %llu,\n",
               std::thread::hardware_concurrency(),
               static_cast<unsigned long long>(ref.completed));
+  // Reference-run wire counters: identical for every sweep cell (they are
+  // part of the outcome fingerprint checked below).
+  std::printf("  \"network\": {\"sent\": %llu, \"delivered\": %llu, "
+              "\"dropped\": %llu, \"lost\": %llu, \"duplicated\": %llu, "
+              "\"reordered\": %llu, \"corrupted\": %llu, "
+              "\"retransmitted\": %llu, \"partitioned\": %llu},\n"
+              "  \"sweep\": [",
+              static_cast<unsigned long long>(ref.net.messages_sent),
+              static_cast<unsigned long long>(ref.net.messages_delivered),
+              static_cast<unsigned long long>(ref.net.messages_dropped),
+              static_cast<unsigned long long>(ref.net.messages_lost),
+              static_cast<unsigned long long>(ref.net.messages_duplicated),
+              static_cast<unsigned long long>(ref.net.messages_reordered),
+              static_cast<unsigned long long>(ref.net.messages_corrupted),
+              static_cast<unsigned long long>(ref.net.messages_retransmitted),
+              static_cast<unsigned long long>(ref.net.messages_partitioned));
   bool ok = ref.completed > 0;
   bool first = true;
   double base_rate = 0.0;

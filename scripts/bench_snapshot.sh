@@ -5,16 +5,21 @@
 #   - the micro_filter pipeline sweep (full StreamHub run per thread count
 #     and dispatch batch cap, outcomes verified identical to the serial
 #     reference before timing) -> BENCH_pipeline.json
+#   - the fig_recovery fault scenarios (crash at two checkpoint intervals,
+#     partition outlasting the conviction window, gray-host drain) with
+#     MTTR phase breakdowns, exactly-once audits and NetworkStats
+#     -> BENCH_recovery.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=${BUILD:-build}
 OUT=${OUT:-BENCH_parallel.json}
 PIPELINE_OUT=${PIPELINE_OUT:-BENCH_pipeline.json}
+RECOVERY_OUT=${RECOVERY_OUT:-BENCH_recovery.json}
 
-if [ ! -x "$BUILD/bench/micro_filter" ]; then
+if [ ! -x "$BUILD/bench/micro_filter" ] || [ ! -x "$BUILD/bench/fig_recovery" ]; then
   cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
-  cmake --build "$BUILD" -j "$(nproc)" --target micro_filter
+  cmake --build "$BUILD" -j "$(nproc)" --target micro_filter fig_recovery
 fi
 
 "$BUILD/bench/micro_filter" --thread_sweep > "$OUT"
@@ -22,3 +27,6 @@ echo "wrote $OUT"
 
 "$BUILD/bench/micro_filter" --pipeline_sweep > "$PIPELINE_OUT"
 echo "wrote $PIPELINE_OUT"
+
+"$BUILD/bench/fig_recovery" --json > "$RECOVERY_OUT"
+echo "wrote $RECOVERY_OUT"

@@ -8,6 +8,10 @@
 #   ci.sh lint       scripts/lint.py determinism/hygiene linter over src/
 #   ci.sh tidy       clang-tidy build (gate configured in .clang-tidy);
 #                    skipped with a notice when clang-tidy is not installed
+#   ci.sh chaos      fault-injection suites (chaos schedules, reliable
+#                    channel, adversarial network, recovery contracts)
+#                    under -DESH_CHECK_INVARIANTS=ON, then again under
+#                    ASan and TSan via scripts/run_sanitized.sh
 #   ci.sh all        every stage above, in that order
 #
 # Each stage is also usable locally; stages never reuse another stage's
@@ -36,6 +40,22 @@ stage_lint() {
   python3 scripts/lint.py
 }
 
+# Robustness gate: the chaos schedules (crash + partition + gray + storm
+# faults), the reliable control channel, and the adversarial network tests
+# must pass with every invariant live, and stay clean under ASan and TSan.
+CHAOS_FILTER='Chaos|Reliable|Net|Contract'
+
+stage_chaos() {
+  local dir=${BUILD_DIR:-build-ci-chaos}
+  cmake -B "$dir" -S . -DESH_WERROR=ON -DESH_CHECK_INVARIANTS=ON
+  cmake --build "$dir" -j "$(nproc)"
+  ctest --test-dir "$dir" --output-on-failure -j "$(nproc)" -R "$CHAOS_FILTER"
+  SANITIZE=address BUILD_DIR=build-ci-chaos-asan \
+    scripts/run_sanitized.sh "$CHAOS_FILTER"
+  SANITIZE=thread BUILD_DIR=build-ci-chaos-tsan \
+    scripts/run_sanitized.sh "$CHAOS_FILTER"
+}
+
 stage_tidy() {
   if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "ci.sh: clang-tidy not installed; skipping tidy stage" >&2
@@ -51,14 +71,16 @@ case "${1:-tier1}" in
   checked) stage_checked ;;
   lint)    stage_lint ;;
   tidy)    stage_tidy ;;
+  chaos)   stage_chaos ;;
   all)
     stage_lint
     stage_tier1
     stage_checked
+    stage_chaos
     stage_tidy
     ;;
   *)
-    echo "usage: $0 [tier1|checked|lint|tidy|all]" >&2
+    echo "usage: $0 [tier1|checked|lint|tidy|chaos|all]" >&2
     exit 2
     ;;
 esac

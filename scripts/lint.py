@@ -15,6 +15,13 @@ the constructs that historically break that contract:
                        visit order feeds an outcome (use esh::sorted_keys)
   pointer-keyed        std::(unordered_)map/set keyed by a raw pointer
                        (iteration order = allocation order = nondeterminism)
+  unseeded-rng         std::mt19937 / default_random_engine / minstd_rand
+                       and friends: retry jitter and backoff randomness must
+                       come from an esh::SplitMix64/esh::Rng seeded from the
+                       configuration, or two runs retransmit differently
+  wall-clock-sleep     sleep_for/sleep_until/usleep/nanosleep: real-time
+                       waits (e.g. retry timeouts) stall the host instead of
+                       the simulation; schedule a sim::Simulator timer
 
 plus hygiene rules that keep the checked-invariants and clang-tidy builds
 honest:
@@ -66,6 +73,16 @@ PATTERN_RULES = [
      re.compile(r"\b(?:unordered_)?(?:map|set)\s*<\s*(?:const\s+)?"
                 r"[A-Za-z_][\w:]*\s*\*"),
      "pointer keys order by allocation address; key by a stable id"),
+    ("unseeded-rng",
+     re.compile(r"\bstd\s*::\s*(?:mt19937(?:_64)?|default_random_engine|"
+                r"minstd_rand0?|ranlux(?:24|48)(?:_base)?|knuth_b)\b"),
+     "std <random> engines hide their seeding discipline; draw retry "
+     "jitter/backoff from an esh::SplitMix64 seeded by the configuration"),
+    ("wall-clock-sleep",
+     re.compile(r"\b(?:sleep_for|sleep_until|usleep|nanosleep|"
+                r"this_thread\s*::\s*yield)\s*\("),
+     "real-time waits stall the host, not the simulation; retry/backoff "
+     "timeouts must be sim::Simulator timers"),
     ("using-namespace", re.compile(r"^\s*using\s+namespace\s"),
      "file-scope using-directives leak and invite ADL surprises"),
 ]

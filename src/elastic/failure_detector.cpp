@@ -29,6 +29,20 @@ FailureDetector::FailureDetector(sim::Simulator& simulator,
     throw std::invalid_argument{
         "FailureDetector: need 0 < suspect_after <= dead_after"};
   }
+  if (config_.latency_suspect_factor < 0.0) {
+    throw std::invalid_argument{
+        "FailureDetector: latency_suspect_factor must be >= 0"};
+  }
+  if (config_.latency_suspect_factor > 0.0 &&
+      config_.latency_suspect_factor <= 1.0) {
+    throw std::invalid_argument{
+        "FailureDetector: latency_suspect_factor must exceed 1 (a host at "
+        "its own baseline would be permanently suspect)"};
+  }
+  if (config_.latency_ewma_alpha <= 0.0 || config_.latency_ewma_alpha > 1.0) {
+    throw std::invalid_argument{
+        "FailureDetector: latency_ewma_alpha must be in (0, 1]"};
+  }
   // Deadlines are checked at half the heartbeat period: fine enough that a
   // verdict lands within half an interval of its deadline, coarse enough
   // to stay negligible next to the probe traffic itself.
@@ -40,20 +54,101 @@ FailureDetector::FailureDetector(sim::Simulator& simulator,
 void FailureDetector::watch(HostId host) {
   auto it = watched_.find(host);
   if (it != watched_.end() && it->second.health == HostHealth::kDead) return;
-  watched_[host] = Watched{simulator_.now(), HostHealth::kAlive};
+  Watched w;
+  w.last_heard = simulator_.now();
+  if (config_.latency_baseline > SimDuration::zero()) {
+    w.baseline_us = static_cast<double>(config_.latency_baseline.count());
+  }
+  watched_[host] = w;
 }
 
 void FailureDetector::unwatch(HostId host) { watched_.erase(host); }
 
+double FailureDetector::latency_ratio(const Watched& w) const {
+  if (config_.latency_suspect_factor <= 0.0 || !w.has_delay ||
+      w.baseline_us <= 0.0) {
+    return 0.0;
+  }
+  return w.delay_ewma_us / (w.baseline_us * config_.latency_suspect_factor);
+}
+
 void FailureDetector::heartbeat(HostId host) {
   auto it = watched_.find(host);
   if (it == watched_.end() || it->second.health == HostHealth::kDead) return;
-  if (it->second.health == HostHealth::kSuspect) {
-    ESH_INFO << "FailureDetector: host " << host
-             << " back alive after suspicion";
+  Watched& w = it->second;
+  w.last_heard = simulator_.now();
+  // A heartbeat ends silence-based suspicion, but a latency-held verdict
+  // stands until the EWMA recovers (the host is up — just gray).
+  if (w.health == HostHealth::kSuspect && !w.latency_suspect) {
+    recover(host, w);
   }
-  it->second.last_heard = simulator_.now();
-  it->second.health = HostHealth::kAlive;
+}
+
+void FailureDetector::heartbeat(HostId host, SimDuration delay) {
+  auto it = watched_.find(host);
+  if (it == watched_.end() || it->second.health == HostHealth::kDead) return;
+  Watched& w = it->second;
+  w.last_heard = simulator_.now();
+  if (config_.latency_suspect_factor > 0.0) {
+    const auto sample = static_cast<double>(delay.count());
+    if (!w.has_delay) {
+      w.has_delay = true;
+      w.delay_ewma_us = sample;
+      // Healthy-at-watch assumption: the first sample is the baseline
+      // unless the config pinned one.
+      if (w.baseline_us <= 0.0) w.baseline_us = std::max(sample, 1.0);
+    } else {
+      w.delay_ewma_us = config_.latency_ewma_alpha * sample +
+                        (1.0 - config_.latency_ewma_alpha) * w.delay_ewma_us;
+    }
+    const double ratio = latency_ratio(w);
+    if (ratio >= 1.0) {
+      if (w.health == HostHealth::kAlive) {
+        w.latency_suspect = true;
+        suspect(host, w, SimDuration::zero());
+      } else {
+        // Already suspect (silence or unreachable evidence): the latency
+        // signal now holds the verdict too.
+        w.latency_suspect = true;
+      }
+      return;
+    }
+    w.latency_suspect = false;
+  }
+  if (w.health == HostHealth::kSuspect && !w.latency_suspect) {
+    recover(host, w);
+  }
+}
+
+void FailureDetector::report_unreachable(HostId host) {
+  auto it = watched_.find(host);
+  if (it == watched_.end() || it->second.health != HostHealth::kAlive) return;
+  ESH_WARN << "FailureDetector: host " << host
+           << " reported unreachable (control-channel retry budget)";
+  suspect(host, it->second, simulator_.now() - it->second.last_heard);
+}
+
+void FailureDetector::suspect(HostId host, Watched& w, SimDuration silence) {
+  w.health = HostHealth::kSuspect;
+  HealthEvent ev{host, HostHealth::kSuspect, simulator_.now(), silence};
+  ev.score = suspicion(host);
+  ev.delay = micros(static_cast<std::int64_t>(w.delay_ewma_us));
+  events_.push_back(ev);
+  ESH_WARN << "FailureDetector: host " << host << " suspected ("
+           << to_millis(silence) << " ms silent, score " << ev.score << ")";
+  if (on_suspect_) on_suspect_(ev);
+}
+
+void FailureDetector::recover(HostId host, Watched& w) {
+  w.health = HostHealth::kAlive;
+  w.latency_suspect = false;
+  ESH_INFO << "FailureDetector: host " << host << " back alive after suspicion";
+  HealthEvent ev{host, HostHealth::kAlive, simulator_.now(),
+                 SimDuration::zero()};
+  ev.score = suspicion(host);
+  ev.delay = micros(static_cast<std::int64_t>(w.delay_ewma_us));
+  events_.push_back(ev);
+  if (on_recovered_) on_recovered_(ev);
 }
 
 void FailureDetector::mark_dead(HostId host) {
@@ -78,6 +173,22 @@ std::vector<HostId> FailureDetector::dead_hosts() const {
   return out;
 }
 
+double FailureDetector::suspicion(HostId host) const {
+  auto it = watched_.find(host);
+  if (it == watched_.end()) return 0.0;
+  const Watched& w = it->second;
+  const SimDuration silence = simulator_.now() - w.last_heard;
+  const double missed = static_cast<double>(silence.count()) /
+                        static_cast<double>(config_.probe_interval.count());
+  return missed + latency_ratio(w);
+}
+
+SimDuration FailureDetector::smoothed_delay(HostId host) const {
+  auto it = watched_.find(host);
+  if (it == watched_.end() || !it->second.has_delay) return {};
+  return micros(static_cast<std::int64_t>(it->second.delay_ewma_us));
+}
+
 void FailureDetector::sweep() {
   const SimTime now = simulator_.now();
   for (auto& [host, w] : watched_) {
@@ -87,19 +198,16 @@ void FailureDetector::sweep() {
         static_cast<std::uint64_t>(silence / config_.probe_interval);
     if (missed >= config_.dead_after) {
       w.health = HostHealth::kDead;
-      const HealthEvent ev{host, HostHealth::kDead, now, silence};
+      HealthEvent ev{host, HostHealth::kDead, now, silence};
+      ev.score = suspicion(host);
+      ev.delay = micros(static_cast<std::int64_t>(w.delay_ewma_us));
       events_.push_back(ev);
       ESH_WARN << "FailureDetector: host " << host << " declared dead ("
                << to_millis(silence) << " ms silent)";
       if (on_dead_) on_dead_(ev);
     } else if (missed >= config_.suspect_after &&
                w.health == HostHealth::kAlive) {
-      w.health = HostHealth::kSuspect;
-      const HealthEvent ev{host, HostHealth::kSuspect, now, silence};
-      events_.push_back(ev);
-      ESH_WARN << "FailureDetector: host " << host << " suspected ("
-               << to_millis(silence) << " ms silent)";
-      if (on_suspect_) on_suspect_(ev);
+      suspect(host, w, silence);
     }
   }
 }

@@ -33,6 +33,19 @@ Manager::Manager(sim::Simulator& simulator, net::Network& network,
     detector_->on_dead([this](const HealthEvent& ev) {
       if (is_active()) on_host_dead(ev);
     });
+    detector_->on_suspect([this](const HealthEvent& ev) {
+      if (is_active()) on_host_suspect(ev);
+    });
+    if (engine_.reliable_control_enabled()) {
+      // Control-channel retry exhaustion is unreachability evidence: raise
+      // suspicion immediately instead of waiting out the probe silence.
+      // (The engine holds one callback; with hot standbys the most recently
+      // constructed manager owns it — inactive instances drop the signal
+      // and silence-based conviction still covers the window.)
+      engine_.on_control_unreachable([this](HostId host) {
+        if (is_active() && detector_) detector_->report_unreachable(host);
+      });
+    }
   }
   if (config_.use_leader_election) {
     election_ = std::make_unique<coord::LeaderElection>(
@@ -194,7 +207,12 @@ void Manager::on_probe(const net::Delivery& delivery) {
   }
   const HostId host = msg->probe.host;
   if (!managed_.contains(host)) return;  // source/sink/dedicated hosts
-  if (detector_) detector_->heartbeat(host);
+  // window_end is the probe's send timestamp on the global virtual clock,
+  // so arrival minus it is the one-way delay — the detector's gray-failure
+  // (latency) signal.
+  if (detector_) {
+    detector_->heartbeat(host, simulator_.now() - msg->probe.window_end);
+  }
   latest_probes_[host] = msg->probe;
   reported_since_eval_.insert(host);
   maybe_evaluate();
@@ -604,6 +622,153 @@ void Manager::maybe_finish_recovery(HostId dead_host) {
            << " slices, MTTR " << to_millis(report.mttr()) << " ms)";
   recoveries_.push_back(std::move(report));
   active_recoveries_.erase(it);
+  // Fresh probe round before the next policy evaluation.
+  reported_since_eval_.clear();
+}
+
+// ---- graceful degradation (suspect drain) -----------------------------------
+
+void Manager::on_host_suspect(const HealthEvent& ev) {
+  if (!config_.recovery.drain_suspects) return;
+  const HostId host = ev.host;
+  if (!managed_.contains(host)) return;
+  if (drain_scheduled_.contains(host) || draining_ == host) return;
+  drain_scheduled_.insert(host);
+  const SimTime suspected = ev.at;
+  simulator_.schedule(config_.recovery.drain_after, [this, host, suspected] {
+    maybe_start_drain(host, suspected);
+  });
+}
+
+void Manager::maybe_start_drain(HostId host, SimTime suspected) {
+  drain_scheduled_.erase(host);
+  if (!is_active() || !detector_) return;
+  // Only *sustained* suspicion drains: a host that recovered (heartbeats
+  // resumed, latency EWMA back under threshold) is left alone, and one
+  // already convicted dead belongs to the recovery path.
+  if (detector_->health(host) != HostHealth::kSuspect) return;
+  if (!managed_.contains(host) || !engine_.has_host(host)) return;
+  if (executing_ || draining_) {
+    // A plan or another drain is in flight; re-check later. The suspicion
+    // re-check above keeps this loop finite.
+    drain_scheduled_.insert(host);
+    simulator_.schedule(config_.recovery.drain_after, [this, host, suspected] {
+      maybe_start_drain(host, suspected);
+    });
+    return;
+  }
+
+  ESH_WARN << "Manager: draining suspect host " << host
+           << " (graceful degradation)";
+  draining_ = host;
+  executing_ = true;  // drains and policy plans are mutually exclusive
+  active_drain_ = DrainReport{};
+  active_drain_.host = host;
+  active_drain_.suspected = suspected;
+  active_drain_.started = simulator_.now();
+  drain_moves_.clear();
+  next_drain_move_ = 0;
+
+  // Re-place every slice over the other survivors under the placement cap,
+  // reusing the recovery placement logic; whatever does not fit piles onto
+  // the least-loaded survivor (degraded capacity beats a gray host).
+  std::vector<SliceView> moving;
+  cluster::HostProbe last_probe{};
+  if (auto it = latest_probes_.find(host); it != latest_probes_.end()) {
+    last_probe = it->second;
+  }
+  for (SliceId slice : engine_.slices_on(host)) {
+    SliceView view{slice, host, 0.0, 0};
+    for (const cluster::SliceProbe& sp : last_probe.slices) {
+      if (sp.slice == slice) {
+        view.cpu = sp.cpu;
+        view.state_bytes = sp.state_bytes;
+        break;
+      }
+    }
+    moving.push_back(view);
+  }
+  std::vector<HostView> bins;
+  for (HostId survivor : managed_) {
+    if (survivor == host) continue;
+    double cpu = 0.0;
+    if (auto it = latest_probes_.find(survivor); it != latest_probes_.end()) {
+      cpu = it->second.cpu;
+    }
+    bins.push_back(HostView{survivor, cpu});
+  }
+  std::size_t bins_used = 0;
+  const std::vector<MigrationPlan::Move> placement =
+      first_fit_place(std::move(moving), std::move(bins),
+                      enforcer_.config().placement_cap, 0, &bins_used);
+  for (const MigrationPlan::Move& mv : placement) {
+    HostId dst = mv.dst;
+    if (mv.new_host_index.has_value()) {
+      const std::optional<HostId> fallback = pick_recovery_host(host);
+      if (!fallback) {
+        ESH_WARN << "Manager: no survivor can absorb slice " << mv.slice
+                 << "; it stays on the suspect host";
+        continue;
+      }
+      dst = *fallback;
+    }
+    drain_moves_.emplace_back(mv.slice, dst);
+  }
+  drain_next_move();
+}
+
+void Manager::drain_next_move() {
+  const HostId host = *draining_;
+  if (!engine_.has_host(host)) {
+    // The host died mid-drain; recovery owns its remaining slices now.
+    active_drain_.aborted = true;
+    finish_drain();
+    return;
+  }
+  if (next_drain_move_ >= drain_moves_.size()) {
+    finish_drain();
+    return;
+  }
+  const auto [slice, dst] = drain_moves_[next_drain_move_++];
+  if (engine_.slice_lost(slice) || !engine_.has_host(dst) ||
+      engine_.slice_host(slice) != host) {
+    drain_next_move();
+    return;
+  }
+  engine_.migrate(slice, dst,
+                  [this, slice, dst](const engine::MigrationReport& report) {
+                    migrations_.push_back(report);
+                    if (report.outcome ==
+                        engine::MigrationOutcome::kCompleted) {
+                      ++active_drain_.slices_moved;
+                      persist_placement(slice, dst);
+                    }
+                    drain_next_move();
+                  });
+}
+
+void Manager::finish_drain() {
+  const HostId host = *draining_;
+  if (!active_drain_.aborted && engine_.has_host(host) &&
+      engine_.slices_on(host).empty()) {
+    // The gray box is out of the dataflow: stop managing it. It is NOT
+    // released back to the IaaS pool — a host that went gray is not reused.
+    engine_.remove_host(host);
+    managed_.erase(host);
+    latest_probes_.erase(host);
+    reported_since_eval_.erase(host);
+    if (detector_) detector_->unwatch(host);
+    persist_hosts();
+    active_drain_.complete = true;
+  }
+  active_drain_.completed = simulator_.now();
+  ESH_INFO << "Manager: drain of host " << host << " finished ("
+           << active_drain_.slices_moved << " slices moved, "
+           << (active_drain_.complete ? "complete" : "incomplete")
+           << (active_drain_.aborted ? ", aborted" : "") << ")";
+  drains_.push_back(active_drain_);
+  draining_.reset();
+  executing_ = false;
   // Fresh probe round before the next policy evaluation.
   reported_since_eval_.clear();
 }

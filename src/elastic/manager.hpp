@@ -43,6 +43,15 @@ struct RecoveryConfig {
   // Bounded retries per slice (first attempt included).
   std::size_t max_attempts = 3;
   SimDuration retry_backoff = seconds(1);
+  // Graceful degradation: a host that stays suspect for drain_after (gray
+  // failure — latency drift past the detector's threshold, or a reliable
+  // control channel giving up on it) is proactively *drained*: its slices
+  // migrate away over the normal migration protocol while the host still
+  // works, instead of waiting for a crash that may never come. The drained
+  // host is removed from the managed set but never returned to the IaaS
+  // pool (a gray box is not reused).
+  bool drain_suspects = false;
+  SimDuration drain_after = seconds(1);
 };
 
 struct ManagerConfig {
@@ -76,6 +85,17 @@ struct RecoveryReport {
   std::size_t retries = 0;
   bool complete = false;
   [[nodiscard]] SimDuration mttr() const { return recovered - detected; }
+};
+
+// Timeline of one proactive suspect drain (graceful degradation).
+struct DrainReport {
+  HostId host;
+  SimTime suspected{};   // the verdict that armed the drain
+  SimTime started{};     // drain_after elapsed with the suspicion sustained
+  SimTime completed{};
+  std::size_t slices_moved = 0;
+  bool complete = false;  // every slice left and the host was removed
+  bool aborted = false;   // the host died mid-drain (recovery took over)
 };
 
 // Aggregate load sample over the managed hosts; recorded on each full probe
@@ -145,6 +165,12 @@ class Manager {
   [[nodiscard]] bool recovery_in_progress() const {
     return !active_recoveries_.empty();
   }
+  [[nodiscard]] const std::vector<DrainReport>& drains() const {
+    return drains_;
+  }
+  [[nodiscard]] bool drain_in_progress() const {
+    return draining_.has_value();
+  }
 
   // Disables/enables policy evaluation (probes still collected); used by
   // experiments that drive migrations manually.
@@ -169,6 +195,10 @@ class Manager {
   void load_health(std::function<void(std::set<HostId>)> done);
   void watch_managed();
   void on_host_dead(const HealthEvent& ev);
+  void on_host_suspect(const HealthEvent& ev);
+  void maybe_start_drain(HostId host, SimTime suspected);
+  void drain_next_move();
+  void finish_drain();
   void attempt_recover(HostId dead_host, SliceId slice, HostId dst,
                        std::size_t attempt);
   void on_slice_recovered(HostId dead_host, SliceId slice);
@@ -210,6 +240,14 @@ class Manager {
   std::unique_ptr<FailureDetector> detector_;
   std::map<HostId, ActiveRecovery> active_recoveries_;
   std::vector<RecoveryReport> recoveries_;
+
+  // Proactive suspect drain (one at a time, like plans).
+  std::set<HostId> drain_scheduled_;
+  std::optional<HostId> draining_;
+  DrainReport active_drain_{};
+  std::vector<std::pair<SliceId, HostId>> drain_moves_;
+  std::size_t next_drain_move_ = 0;
+  std::vector<DrainReport> drains_;
 
   std::vector<LoadSample> load_history_;
   std::vector<engine::MigrationReport> migrations_;

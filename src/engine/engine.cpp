@@ -79,12 +79,21 @@ Engine::Engine(sim::Simulator& simulator, net::Network& network,
       rng_(seed),
       manager_host_(manager_host) {
   control_endpoint_ = network_.new_endpoint();
-  network_.bind(control_endpoint_, manager_host_,
-                [this](const net::Delivery& d) { on_control(d); });
+  if (config_.reliable_control) {
+    control_channel_ = std::make_unique<net::ReliableChannel>(
+        simulator_, network_, control_endpoint_, manager_host_,
+        [this](const net::Delivery& d) { on_control(d); }, config_.reliable);
+    control_channel_->on_give_up(
+        [this](net::Endpoint peer) { notify_control_give_up(peer); });
+  } else {
+    network_.bind(control_endpoint_, manager_host_,
+                  [this](const net::Delivery& d) { on_control(d); });
+  }
 }
 
 Engine::~Engine() {
   host_runtimes_.clear();
+  control_channel_.reset();  // unbinds the control endpoint when reliable
   if (network_.bound(control_endpoint_)) {
     network_.unbind(control_endpoint_);
   }
@@ -108,6 +117,7 @@ void Engine::add_host(cluster::Host& host) {
   if (probe_target_) {
     runtime->enable_probes(*probe_target_, config_.probe_interval);
   }
+  control_peers_[runtime->endpoint()] = id;
   host_runtimes_[id] = std::move(runtime);
 }
 
@@ -239,13 +249,26 @@ std::vector<SliceId> Engine::fail_host(HostId host) {
     }
   }
   it->second->disable_probes();
+  // Tear down the dead host's reliable channel first: otherwise its
+  // retransmission timers keep firing post-quarantine and eventually report
+  // LIVE peers unreachable from the corpse's point of view.
+  it->second->shutdown_control_channel();
   if (network_.bound(it->second->endpoint())) {
     network_.unbind(it->second->endpoint());  // in-flight messages drop
   }
+  // Drop the coordinator's own unacked traffic toward the corpse: its
+  // endpoint is gone, so every retry is wasted simulated bandwidth (and a
+  // redundant give-up escalation later).
+  if (control_channel_) control_channel_->forget_peer(it->second->endpoint());
   // Quarantine the runtime: CPU-job callbacks may still reference it.
   failed_runtimes_.push_back(std::move(it->second));
   host_runtimes_.erase(it);
   std::sort(lost.begin(), lost.end());
+  // Record regenerated-stream bases for every lost multi-input slice NOW,
+  // before any restore message is built: a consumer co-recovering in the
+  // same sweep must see the clamp in its restore watermarks, and the order
+  // in which the manager issues recover_slice calls is placement-driven.
+  for (const SliceId slice : lost) register_recovery_rebases(slice);
   // Unwedge the migration protocol: abort or advance the in-flight
   // migration if the dead host participated in it.
   handle_host_failure(host);
@@ -281,11 +304,15 @@ void Engine::recover_slice(SliceId slice, HostId dst,
     msg->log = cp->second.log;
     bytes = msg->state->size() + 64 * msg->log.size();
   }
+  // Co-recovery with a regenerated upstream: restored channel watermarks
+  // still counting the old stream rewind to the regenerated base, so the
+  // replayed suffix is accepted instead of deduplicated (see
+  // recovery_rebases_).
+  msg->processed = clamp_to_rebases(slice, std::move(msg->processed));
   // No checkpoint: bootstrap restore with null state and zero watermarks.
   // The retained logs are complete precisely because no checkpoint ever
   // truncated them, so the full replay rebuilds the state from scratch.
-  network_.send(control_endpoint_, host_runtimes_.at(dst)->endpoint(),
-                std::move(msg), bytes);
+  send_control(host_runtimes_.at(dst)->endpoint(), std::move(msg), bytes);
 }
 
 SliceId Engine::slice_id(std::string_view op, std::size_t slice_index) const {
@@ -600,8 +627,44 @@ void Engine::migration_step(std::function<void()> fn) {
   });
 }
 
-void Engine::send_control(net::Endpoint to, net::MessagePtr msg) {
-  network_.send(control_endpoint_, to, std::move(msg), 96);
+void Engine::send_control(net::Endpoint to, net::MessagePtr msg,
+                          std::size_t bytes) {
+  if (control_channel_) {
+    control_channel_->send(to, std::move(msg), bytes);
+  } else {
+    network_.send(control_endpoint_, to, std::move(msg), bytes);
+  }
+}
+
+void Engine::notify_control_give_up(net::Endpoint peer) {
+  HostId host{};
+  if (peer == control_endpoint_) {
+    host = manager_host_;
+  } else if (auto it = control_peers_.find(peer); it != control_peers_.end()) {
+    host = it->second;
+  }
+  if (host.valid() && control_unreachable_) {
+    control_unreachable_(host);
+  }
+}
+
+net::ReliableStats Engine::reliable_stats() const {
+  net::ReliableStats total;
+  auto add = [&total](const net::ReliableStats& s) {
+    total.data_sent += s.data_sent;
+    total.retransmits += s.retransmits;
+    total.acks_sent += s.acks_sent;
+    total.delivered += s.delivered;
+    total.duplicates_dropped += s.duplicates_dropped;
+    total.corrupt_dropped += s.corrupt_dropped;
+    total.give_ups += s.give_ups;
+  };
+  if (control_channel_) add(control_channel_->stats());
+  // lint:allow(unordered-iteration): commutative sum, order-free
+  for (const auto& [id, runtime] : host_runtimes_) {
+    if (runtime->control_channel()) add(runtime->control_channel()->stats());
+  }
+  return total;
 }
 
 std::vector<SliceId> Engine::upstream_slices(SliceId slice) const {
@@ -614,6 +677,61 @@ std::vector<SliceId> Engine::upstream_slices(SliceId slice) const {
   return out;
 }
 
+std::vector<SliceId> Engine::downstream_slices(SliceId slice) const {
+  const std::uint32_t op_index = static_->info_of(slice).op_index;
+  std::vector<SliceId> out;
+  for (const auto& op : static_->operators) {
+    if (std::find(op.upstream_ops.begin(), op.upstream_ops.end(), op_index) ==
+        op.upstream_ops.end()) {
+      continue;
+    }
+    out.insert(out.end(), op.slices.begin(), op.slices.end());
+  }
+  return out;
+}
+
+void Engine::register_recovery_rebases(SliceId slice) {
+  // Single-input slices replay their one channel in the original order, so
+  // the regenerated output keeps the original numbering and downstream
+  // dedup stays valid; only multi-input interleavings renumber.
+  const std::size_t input_channels =
+      upstream_slices(slice).size() +
+      (next_inject_seq_.contains(slice) ? 1 : 0);
+  if (input_channels <= 1) return;
+  std::vector<std::pair<SliceId, SeqNo>> out_bases;
+  if (auto cp = checkpoints_.find(slice); cp != checkpoints_.end()) {
+    out_bases = cp->second.out_seqs;
+  }
+  // A consumer absent from out_bases never received anything pre-cut and
+  // rewinds to 1, mirroring handle_directory_update's default.
+  auto& rebases = recovery_rebases_[slice];
+  rebases.clear();
+  for (const SliceId down : downstream_slices(slice)) {
+    SeqNo base = 1;
+    for (const auto& [target, next] : out_bases) {
+      if (target == down) base = next;
+    }
+    rebases[down] = base;
+  }
+}
+
+std::vector<std::pair<SliceId, SeqNo>> Engine::clamp_to_rebases(
+    SliceId slice, std::vector<std::pair<SliceId, SeqNo>> processed) const {
+  for (auto& [upstream, watermark] : processed) {
+    const auto rebase = recovery_rebases_.find(upstream);
+    if (rebase == recovery_rebases_.end()) continue;
+    const auto entry = rebase->second.find(slice);
+    if (entry == rebase->second.end()) continue;
+    // The upstream regenerated its stream from `base`; a restored watermark
+    // at or past it counts the old numbering and must rewind so the
+    // regenerated suffix is replayed and accepted. Content the old
+    // watermark did cover is then reprocessed — absorbed downstream, which
+    // is at-least-once above the EP boundary.
+    if (watermark >= entry->second) watermark = entry->second - 1;
+  }
+  return processed;
+}
+
 void Engine::on_control(const net::Delivery& delivery) {
   const net::Message* msg = delivery.message.get();
 
@@ -622,6 +740,21 @@ void Engine::on_control(const net::Delivery& delivery) {
     checkpoints_[checkpoint->slice] =
         StoredCheckpoint{checkpoint->state, checkpoint->processed,
                          checkpoint->out_seqs, checkpoint->log};
+    // A checkpoint whose watermark reaches a recovered upstream's
+    // regenerated base proves this consumer advanced in the new numbering;
+    // the rebase entry is spent. (Narrow known race: a pre-crash checkpoint
+    // still in flight from a now-dead consumer can spend the entry with an
+    // old-numbering watermark — it is also the restore point recovery will
+    // resume from, so the window is a single checkpoint interval.)
+    for (const auto& [upstream, watermark] : checkpoint->processed) {
+      const auto rebase = recovery_rebases_.find(upstream);
+      if (rebase == recovery_rebases_.end()) continue;
+      const auto entry = rebase->second.find(checkpoint->slice);
+      if (entry != rebase->second.end() && watermark >= entry->second) {
+        rebase->second.erase(entry);
+        if (rebase->second.empty()) recovery_rebases_.erase(rebase);
+      }
+    }
     // Let upstream logs (and the external injection log) truncate.
     auto notice = std::make_shared<CheckpointNoticeMessage>();
     notice->slice = checkpoint->slice;
@@ -639,8 +772,7 @@ void Engine::on_control(const net::Delivery& delivery) {
     }
     // Sorted: broadcast order serializes on the manager NIC.
     for (const HostId id : sorted_keys(host_runtimes_)) {
-      network_.send(control_endpoint_, host_runtimes_.at(id)->endpoint(),
-                    notice, 96);
+      send_control(host_runtimes_.at(id)->endpoint(), notice);
     }
     return;
   }
@@ -660,6 +792,10 @@ void Engine::on_control(const net::Delivery& delivery) {
       processed = cp->second.processed;
       out_bases = cp->second.out_seqs;
     }
+    // Co-recovery: channel watermarks counting an already-regenerated
+    // upstream stream rewind to its new base (matches what the restore
+    // message carried, so the activated channels accept the replay).
+    processed = clamp_to_rebases(ack->slice, std::move(processed));
     // With a single input channel the replay re-creates the original event
     // order exactly, so the regenerated output matches the original
     // sequence numbering and downstream dedup stays valid. Only multi-input
@@ -668,6 +804,11 @@ void Engine::on_control(const net::Delivery& delivery) {
     const std::size_t input_channels =
         upstream_slices(ack->slice).size() +
         (next_inject_seq_.contains(ack->slice) ? 1 : 0);
+    // This recovery renumbers a multi-input slice's output (fresh
+    // interleaving from the checkpoint cut). Refresh the per-consumer
+    // regenerated bases (first recorded at fail_host time) so consumers
+    // that recover later rewind their restored watermarks to them.
+    register_recovery_rebases(ack->slice);
     // Sorted: broadcast order serializes on the manager NIC and decides
     // when each survivor rewinds / starts replaying.
     for (const HostId id : sorted_keys(host_runtimes_)) {
@@ -678,15 +819,13 @@ void Engine::on_control(const net::Delivery& delivery) {
       update->reply_to = net::Endpoint{};  // no ack needed
       update->reset_channels = input_channels > 1;
       update->out_bases = out_bases;
-      network_.send(control_endpoint_, host_runtimes_.at(id)->endpoint(),
-                    update, 96);
+      send_control(host_runtimes_.at(id)->endpoint(), update);
     }
     auto replay = std::make_shared<ReplayRequest>();
     replay->slice = ack->slice;
     replay->processed = processed;
     for (const HostId id : sorted_keys(host_runtimes_)) {
-      network_.send(control_endpoint_, host_runtimes_.at(id)->endpoint(),
-                    replay, 96);
+      send_control(host_runtimes_.at(id)->endpoint(), replay);
     }
     // Co-recovery rendezvous: slices recovered before this one broadcast
     // their replay requests while this slice was not live anywhere, so the
@@ -700,7 +839,7 @@ void Engine::on_control(const net::Delivery& delivery) {
       auto again = std::make_shared<ReplayRequest>();
       again->slice = other;
       again->processed = pending_replays_.at(other);
-      network_.send(control_endpoint_, dst_endpoint, again, 96);
+      send_control(dst_endpoint, again);
     }
     pending_replays_[ack->slice] = processed;
     // External injections: re-deliver the logged suffix directly.

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -26,6 +27,7 @@
 #include "common/types.hpp"
 #include "engine/host_runtime.hpp"
 #include "net/network.hpp"
+#include "net/reliable.hpp"
 #include "sim/simulator.hpp"
 
 namespace esh {
@@ -72,6 +74,15 @@ struct EngineConfig {
   // max(worker_threads, match_threads), so configs that still set only
   // match_threads keep driving the (now pipeline-wide) pool.
   std::size_t match_threads = 1;
+  // Run every control-plane exchange (migration protocol, checkpoint
+  // shipping, recovery orchestration) over net::ReliableChannel:
+  // ack/retransmit with exponential backoff makes the coordinator survive
+  // lossy/duplicating/reordering links. Off by default: with no channel the
+  // wire traffic (and thus all timing) is byte-identical to the raw engine.
+  // Probes are deliberately excluded either way — their silence is the
+  // failure detector's signal.
+  bool reliable_control = false;
+  net::ReliableChannelConfig reliable{};
   cluster::CostModel cost;
 };
 
@@ -176,6 +187,21 @@ class Engine {
   // All engine hosts start sending HostProbe heartbeats to `target`.
   void enable_probes(net::Endpoint target);
 
+  // ---- reliable control plane (requires config.reliable_control) ----
+  // Fires when a control-plane peer exhausted its retry budget (the
+  // reliable channel gave up on it). The HostId is resolved from the peer
+  // endpoint; wire this to the failure detector so unreachable peers are
+  // convicted by evidence instead of waiting out the probe silence.
+  void on_control_unreachable(std::function<void(HostId)> callback) {
+    control_unreachable_ = std::move(callback);
+  }
+  [[nodiscard]] bool reliable_control_enabled() const {
+    return config_.reliable_control;
+  }
+  // Aggregated reliable-channel statistics (coordinator + all live host
+  // runtimes); zeroes when reliable_control is off.
+  [[nodiscard]] net::ReliableStats reliable_stats() const;
+
   // ---- passive replication (requires config.checkpoints.enabled) ----
   // Abrupt host failure: every slice on the host is lost (its runtime is
   // quarantined so in-flight CPU work dies harmlessly). Returns the lost
@@ -258,8 +284,21 @@ class Engine {
   void send_freeze();
   void step_after_tick(std::function<void()> fn);
   void migration_step(std::function<void()> fn);
-  void send_control(net::Endpoint to, net::MessagePtr msg);
+  void send_control(net::Endpoint to, net::MessagePtr msg,
+                    std::size_t bytes = 96);
+  // A reliable channel (the coordinator's or a host runtime's) exhausted
+  // its retry budget toward `peer`; resolve to a HostId and escalate.
+  void notify_control_give_up(net::Endpoint peer);
   [[nodiscard]] std::vector<SliceId> upstream_slices(SliceId slice) const;
+  [[nodiscard]] std::vector<SliceId> downstream_slices(SliceId slice) const;
+  // Record the regenerated-stream base per consumer for a multi-input slice
+  // about to recover (no-op for single-input slices, whose replay preserves
+  // the original numbering).
+  void register_recovery_rebases(SliceId slice);
+  // Rewind a recovering slice's restored channel watermarks below the
+  // regenerated-stream base of any upstream in recovery_rebases_.
+  [[nodiscard]] std::vector<std::pair<SliceId, SeqNo>> clamp_to_rebases(
+      SliceId slice, std::vector<std::pair<SliceId, SeqNo>> processed) const;
 
   sim::Simulator& simulator_;
   net::Network& network_;
@@ -268,6 +307,14 @@ class Engine {
   Rng rng_;
   HostId manager_host_;
   net::Endpoint control_endpoint_;
+  // Non-null iff config_.reliable_control: owns the control endpoint's
+  // binding and retransmits coordinator control traffic.
+  std::unique_ptr<net::ReliableChannel> control_channel_;
+  std::function<void(HostId)> control_unreachable_;
+  // Endpoint -> host for give-up escalation. Append-only: endpoints are
+  // never reused, and a stale entry for a removed host resolves to a HostId
+  // the detector already convicted (or stopped watching).
+  std::map<net::Endpoint, HostId> control_peers_;
 
   std::shared_ptr<const StaticConfig> static_;
   std::unordered_map<HostId, std::unique_ptr<HostRuntime>> host_runtimes_;
@@ -303,6 +350,18 @@ class Engine {
   // them (duplicate replays are deduplicated by the channel protocol).
   std::unordered_map<SliceId, std::vector<std::pair<SliceId, SeqNo>>>
       pending_replays_;
+  // Output-stream rebases of recovered multi-input slices, upstream ->
+  // (consumer -> regenerated first sequence number). A recovered
+  // multi-input slice regenerates its post-cut output with fresh sequence
+  // numbers starting at its checkpoint's out_seqs. Live consumers are
+  // rewound by the recovery's directory update, but a consumer that is
+  // itself mid-recovery restores channel watermarks that still count the
+  // OLD stream; those are clamped to the regenerated base on restore (see
+  // clamp_to_rebases), otherwise regenerated events numbered at or below
+  // the stale watermark are deduplicated although their content was never
+  // processed. An entry expires when the consumer's next checkpoint
+  // reaches the base, proving it has advanced in the new numbering.
+  std::map<SliceId, std::map<SliceId, SeqNo>> recovery_rebases_;
   std::vector<std::unique_ptr<HostRuntime>> failed_runtimes_;
 
   friend class HostRuntime;

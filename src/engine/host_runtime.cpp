@@ -549,12 +549,23 @@ void SliceRuntime::retire() {
 HostRuntime::HostRuntime(Engine& engine, cluster::Host& cpu)
     : engine_(engine), cpu_(cpu) {
   endpoint_ = engine_.network().new_endpoint();
-  engine_.network().bind(endpoint_, cpu_.id(),
-                         [this](const net::Delivery& d) { on_delivery(d); });
+  if (engine_.config().reliable_control) {
+    channel_ = std::make_unique<net::ReliableChannel>(
+        engine_.simulator(), engine_.network(), endpoint_, cpu_.id(),
+        [this](const net::Delivery& d) { on_delivery(d); },
+        engine_.config().reliable);
+    channel_->on_give_up([this](net::Endpoint peer) {
+      engine_.notify_control_give_up(peer);
+    });
+  } else {
+    engine_.network().bind(endpoint_, cpu_.id(),
+                           [this](const net::Delivery& d) { on_delivery(d); });
+  }
 }
 
 HostRuntime::~HostRuntime() {
   probe_timer_.reset();
+  channel_.reset();  // unbinds endpoint_ when reliable
   if (engine_.network().bound(endpoint_)) {
     engine_.network().unbind(endpoint_);
   }
@@ -659,12 +670,16 @@ void HostRuntime::send_to_host(HostId host, net::MessagePtr msg,
   if (it == host_endpoints_.end()) {
     throw std::logic_error{"send_to_host: unknown host endpoint"};
   }
-  engine_.network().send(endpoint_, it->second, std::move(msg), bytes);
+  send_control(it->second, std::move(msg), bytes);
 }
 
 void HostRuntime::send_control(net::Endpoint to, net::MessagePtr msg,
                                std::size_t bytes) {
-  engine_.network().send(endpoint_, to, std::move(msg), bytes);
+  if (channel_) {
+    channel_->send(to, std::move(msg), bytes);
+  } else {
+    engine_.network().send(endpoint_, to, std::move(msg), bytes);
+  }
 }
 
 void HostRuntime::on_delivery(const net::Delivery& delivery) {
@@ -958,7 +973,11 @@ void HostRuntime::enable_probes(net::Endpoint target, SimDuration interval) {
         auto msg = std::make_shared<ProbeMessage>();
         msg->probe = collect_probe(interval);
         const std::size_t bytes = 64 + 32 * msg->probe.slices.size();
-        send_control(probe_target_, std::move(msg), bytes);
+        // Probes deliberately bypass the reliable channel: a retransmitted
+        // heartbeat would mask exactly the silence (and the latency) the
+        // failure detector exists to observe.
+        engine_.network().send(endpoint_, probe_target_, std::move(msg),
+                               bytes);
       });
 }
 

@@ -20,6 +20,7 @@
 #include "engine/event.hpp"
 #include "engine/handler.hpp"
 #include "net/network.hpp"
+#include "net/reliable.hpp"
 #include "sim/simulator.hpp"
 
 namespace esh::engine {
@@ -260,6 +261,15 @@ class HostRuntime {
   void enable_probes(net::Endpoint target, SimDuration interval);
   void disable_probes();
 
+  // Reliable control plane (non-null iff EngineConfig::reliable_control).
+  [[nodiscard]] net::ReliableChannel* control_channel() const {
+    return channel_.get();
+  }
+  // Cancels all pending retransmissions and releases the endpoint binding.
+  // Called when this host is declared failed so the quarantined runtime's
+  // channel cannot keep escalating give-ups against live peers.
+  void shutdown_control_channel() { channel_.reset(); }
+
   [[nodiscard]] std::uint64_t dropped_events() const { return dropped_events_; }
 
  private:
@@ -283,6 +293,11 @@ class HostRuntime {
   Engine& engine_;
   cluster::Host& cpu_;
   net::Endpoint endpoint_;
+  // Non-null iff EngineConfig::reliable_control: owns endpoint_'s binding
+  // and retransmits this host's control traffic. Data-plane batches and
+  // probes bypass it (probes stay lossy on purpose: silence is the failure
+  // detector's signal).
+  std::unique_ptr<net::ReliableChannel> channel_;
   std::unordered_map<SliceId, std::unique_ptr<SliceRuntime>> slices_;
   std::vector<std::unique_ptr<SliceRuntime>> retired_slices_;
   std::unordered_map<SliceId, SliceLocation> directory_;

@@ -85,6 +85,69 @@ void ChaosRunner::arm() {
       if (bed_.manager() != nullptr) bed_.manager()->resign();
     });
   }
+  std::size_t partition_index = 0;
+  for (const auto& part : schedule_.partitions) {
+    // Unique per instance: the same schedule may cut the same group twice.
+    const std::string name =
+        part.name + "#" + std::to_string(partition_index++);
+    std::vector<HostId> group_a;
+    for (const std::size_t index : part.worker_group) {
+      group_a.push_back(bed_.worker_hosts().at(index));
+    }
+    std::vector<HostId> group_b;
+    group_b.push_back(bed_.manager_host());
+    for (const HostId host : bed_.io_hosts()) group_b.push_back(host);
+    for (const HostId host : bed_.worker_hosts()) {
+      if (std::find(group_a.begin(), group_a.end(), host) == group_a.end()) {
+        group_b.push_back(host);
+      }
+    }
+    sim.schedule_at(clamp(part.at), [this, name, group_a, group_b] {
+      ESH_WARN << "Chaos: partition " << name << " (" << group_a.size()
+               << " workers isolated)";
+      bed_.network().partition(name, group_a, group_b);
+    });
+    sim.schedule_at(clamp(part.at + part.duration), [this, name] {
+      ESH_WARN << "Chaos: healing partition " << name;
+      bed_.network().heal(name);
+    });
+  }
+  for (const auto& gray : schedule_.gray_degrades) {
+    const HostId host = bed_.worker_hosts().at(gray.worker_index);
+    sim.schedule_at(clamp(gray.at), [this, host, f = gray.latency_factor] {
+      ESH_WARN << "Chaos: host " << host << " goes gray (latency x" << f
+               << ")";
+      bed_.network().set_host_degradation(host, f);
+    });
+    if (gray.duration > SimDuration::zero()) {
+      sim.schedule_at(clamp(gray.at + gray.duration), [this, host] {
+        ESH_WARN << "Chaos: host " << host << " latency restored";
+        bed_.network().clear_host_degradation(host);
+      });
+    }
+  }
+  for (const auto& storm : schedule_.duplicate_storms) {
+    sim.schedule_at(clamp(storm.at), [this, p = storm.probability] {
+      ESH_WARN << "Chaos: duplicate storm starts (p=" << p << ")";
+      bed_.network().set_duplication(p);
+    });
+    sim.schedule_at(clamp(storm.at + storm.duration), [this] {
+      ESH_WARN << "Chaos: duplicate storm ends";
+      bed_.network().set_duplication(0.0);
+    });
+  }
+  for (const auto& storm : schedule_.reorder_storms) {
+    sim.schedule_at(clamp(storm.at),
+                    [this, p = storm.probability, w = storm.window] {
+                      ESH_WARN << "Chaos: reorder storm starts (p=" << p
+                               << ")";
+                      bed_.network().set_reorder(p, w);
+                    });
+    sim.schedule_at(clamp(storm.at + storm.duration), [this, w = storm.window] {
+      ESH_WARN << "Chaos: reorder storm ends";
+      bed_.network().set_reorder(0.0, w);
+    });
+  }
 }
 
 DeliveryAudit verify_exactly_once(Testbed& bed) {

@@ -1,13 +1,15 @@
 // Chaos harness: deterministic, seeded fault injection against a running
 // Testbed, plus an oracle-backed exactly-once delivery audit. A
 // FaultSchedule lists the faults (worker crashes with optional pre-crash
-// message loss, coordination leader failovers, manager failovers); the
-// ChaosRunner arms them on the simulator clock. After the run,
-// verify_exactly_once() compares every publication's recorded deliveries
-// with the match oracle's ground truth.
+// message loss, coordination leader failovers, manager failovers, timed
+// network partitions, gray-host latency degradations, duplicate and
+// reorder storms); the ChaosRunner arms them on the simulator clock. After
+// the run, verify_exactly_once() compares every publication's recorded
+// deliveries with the match oracle's ground truth.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
@@ -33,10 +35,50 @@ struct FaultSchedule {
   struct ManagerFailover {
     SimTime at{};
   };
+  // Timed bidirectional network partition: the listed workers are cut off
+  // from every other testbed host (remaining workers, IO hosts and the
+  // manager host) at `at` and healed `duration` later. From the cluster's
+  // point of view a partition that outlasts the failure detector's
+  // conviction window is a crash: the isolated workers are declared dead
+  // and quarantined, so healing cannot resurrect them.
+  struct Partition {
+    SimTime at{};
+    SimDuration duration{};
+    std::vector<std::size_t> worker_group;  // indices into worker_hosts()
+    std::string name = "chaos-partition";
+  };
+  // Gray failure: one worker's NIC slows down by `latency_factor` (both
+  // directions) without losing a single message. Detected by the latency
+  // signal of the failure detector, never by silence.
+  struct GrayDegrade {
+    SimTime at{};
+    SimDuration duration{};  // zero = degraded until the end of the run
+    std::size_t worker_index = 0;
+    double latency_factor = 4.0;
+  };
+  // Global duplication window: every message sent while the storm is
+  // active is duplicated with this probability.
+  struct DuplicateStorm {
+    SimTime at{};
+    SimDuration duration{};
+    double probability = 0.1;
+  };
+  // Global reordering window: deliveries get up to `window` of seeded
+  // jitter with this probability (bounded reordering).
+  struct ReorderStorm {
+    SimTime at{};
+    SimDuration duration{};
+    double probability = 0.1;
+    SimDuration window = millis(2);
+  };
 
   std::vector<HostCrash> crashes;
   std::vector<CoordFailover> coord_failovers;
   std::vector<ManagerFailover> manager_failovers;
+  std::vector<Partition> partitions;
+  std::vector<GrayDegrade> gray_degrades;
+  std::vector<DuplicateStorm> duplicate_storms;
+  std::vector<ReorderStorm> reorder_storms;
 
   // Seeded random schedule: `crash_count` distinct workers crash at uniform
   // times in [start, end), optionally preceded by a message-loss window,

@@ -9,13 +9,26 @@
 // connection: if the endpoint moved or unbound before delivery, the message
 // is dropped and counted (the migration protocol tolerates this window by
 // duplicating events).
+//
+// Adversarial injection (chaos testing): beyond whole-host crashes and
+// probabilistic loss, the network can inject duplication, bounded
+// reordering, payload corruption flags, asymmetric per-link loss, latency
+// degradation (gray failures: slow NICs / slow links) and named
+// bidirectional partitions. Every injection is seeded and gated: with all
+// knobs at their defaults no injection RNG is ever consulted, so runs are
+// byte-identical to a network without the machinery.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -39,6 +52,10 @@ struct Delivery {
   Endpoint to;
   MessagePtr message;
   std::size_t bytes = 0;
+  // Corruption injection is size-preserving: the payload object is shared
+  // and immutable, so damage is modeled as a flag the receiver must honor
+  // (a checksum failure; reliable channels treat it as loss).
+  bool corrupted = false;
 };
 
 using DeliveryHandler = std::function<void(const Delivery&)>;
@@ -54,16 +71,35 @@ struct NetworkConfig {
   std::size_t overhead_bytes = 64;
   // Seed of the loss-injection RNG (chaos testing; see set_loss).
   std::uint64_t loss_seed = 0x6c6f'7373'5f72'6e67ULL;
+  // Seed of the duplication/reorder/corruption RNG streams; each injection
+  // type draws from its own stream so enabling one never perturbs another.
+  std::uint64_t inject_seed = 0x696e'6a65'6374'3532ULL;
 };
 
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
-  // Messages discarded by probabilistic loss injection; counted separately
-  // from the down-host/unbound drops above.
+  // Messages discarded by injection (probabilistic loss, link loss,
+  // partitions); counted separately from the down-host/unbound drops above.
   std::uint64_t messages_lost = 0;
+  // Extra copies created by duplication injection (each copy also counts
+  // toward delivered/dropped when it resolves).
+  std::uint64_t messages_duplicated = 0;
+  // Deliveries that received reorder jitter (FIFO displaced, bounded by
+  // the reorder window).
+  std::uint64_t messages_reordered = 0;
+  // Deliveries flagged corrupted.
+  std::uint64_t messages_corrupted = 0;
+  // Retransmissions noted by reliable channels (see ReliableChannel).
+  std::uint64_t messages_retransmitted = 0;
+  // Sends discarded because source and destination were separated by a
+  // named partition (also included in messages_lost).
+  std::uint64_t messages_partitioned = 0;
   std::uint64_t bytes_sent = 0;
+
+  // Byte-identity fingerprints fold the whole counter set in.
+  bool operator==(const NetworkStats&) const = default;
 };
 
 class Network {
@@ -101,12 +137,65 @@ class Network {
   // Chaos injection: every message is independently discarded at send time
   // with the given probability (seeded, deterministic). The global knob
   // applies to all traffic; the per-host knob applies to messages whose
-  // destination endpoint is bound to `dst` and overrides the global one.
+  // destination endpoint is bound to `dst` and overrides the global one;
+  // the per-link knob applies to messages from `src` to `dst` specifically
+  // and overrides both (asymmetric: the reverse direction is unaffected).
   // Lost messages increment stats().messages_lost, not messages_dropped.
   void set_loss(double probability);
   void set_host_loss(HostId dst, double probability);
   void clear_host_loss(HostId dst);
+  void set_link_loss(HostId src, HostId dst, double probability);
+  void clear_link_loss(HostId src, HostId dst);
   [[nodiscard]] double loss() const { return loss_probability_; }
+
+  // Duplication injection: each message surviving the loss stage is
+  // independently delivered twice with probability p. The copy rides the
+  // same route with a small seeded extra delay, so receivers see genuine
+  // duplicates (same bytes, later arrival).
+  void set_duplication(double probability);
+  [[nodiscard]] double duplication() const { return duplication_probability_; }
+
+  // Bounded reordering: each delivery independently receives extra seeded
+  // jitter uniform in (0, window] with probability p. FIFO breaks, but no
+  // message is displaced past the window — receivers with a reorder buffer
+  // of `window` depth still see every message.
+  void set_reorder(double probability, SimDuration window);
+  [[nodiscard]] double reorder() const { return reorder_probability_; }
+
+  // Corruption injection: each delivery is independently flagged corrupted
+  // (Delivery::corrupted) with probability p. Size-preserving: timing and
+  // byte accounting are unchanged.
+  void set_corruption(double probability);
+  [[nodiscard]] double corruption() const { return corruption_probability_; }
+
+  // Gray failures: multiplies the host's NIC transmit time and the latency
+  // of every link touching it (factor >= 1; 1 clears). A degraded host is
+  // slow but alive — nothing is lost, everything is late.
+  void set_host_degradation(HostId host, double latency_factor);
+  void clear_host_degradation(HostId host);
+  [[nodiscard]] double host_degradation(HostId host) const;
+  // Slow link: multiplies the latency of the directed link src->dst.
+  void set_link_degradation(HostId src, HostId dst, double latency_factor);
+  void clear_link_degradation(HostId src, HostId dst);
+
+  // Named bidirectional partition: messages between any host in `group_a`
+  // and any host in `group_b` (either direction) are discarded at send time
+  // and counted as lost until heal(name) removes the partition. Several
+  // partitions may coexist; a message is discarded if any of them separates
+  // its endpoints. Re-using a live name replaces that partition.
+  void partition(const std::string& name, const std::vector<HostId>& group_a,
+                 const std::vector<HostId>& group_b);
+  void heal(const std::string& name);
+  void heal_all();
+  [[nodiscard]] bool partitioned(HostId a, HostId b) const;
+  [[nodiscard]] std::size_t active_partitions() const {
+    return partitions_.size();
+  }
+
+  // Reliable-channel bookkeeping: retransmissions are ordinary sends, so
+  // the channel reports them here to keep stats() a full picture of the
+  // wire (see NetworkStats::messages_retransmitted).
+  void note_retransmit() { ++stats_.messages_retransmitted; }
 
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
@@ -117,6 +206,21 @@ class Network {
     DeliveryHandler handler;
     std::uint64_t generation = 0;
   };
+  struct Partition {
+    std::set<HostId> group_a;
+    std::set<HostId> group_b;
+    [[nodiscard]] bool separates(HostId x, HostId y) const {
+      return (group_a.contains(x) && group_b.contains(y)) ||
+             (group_a.contains(y) && group_b.contains(x));
+    }
+  };
+
+  // Resolved loss probability for a (src, dst) pair under the precedence
+  // link > host > global.
+  [[nodiscard]] double loss_for(HostId src, HostId dst) const;
+  void schedule_delivery(Endpoint from, Endpoint to, HostId dst_host,
+                         std::uint64_t dst_generation, MessagePtr message,
+                         std::size_t bytes, SimTime when, bool corrupted);
 
   sim::Simulator& simulator_;
   NetworkConfig config_;
@@ -126,7 +230,18 @@ class Network {
   std::unordered_set<HostId> down_hosts_;
   double loss_probability_ = 0.0;
   std::unordered_map<HostId, double> host_loss_;
+  std::map<std::pair<HostId, HostId>, double> link_loss_;
+  double duplication_probability_ = 0.0;
+  double reorder_probability_ = 0.0;
+  SimDuration reorder_window_{};
+  double corruption_probability_ = 0.0;
+  std::unordered_map<HostId, double> host_degradation_;
+  std::map<std::pair<HostId, HostId>, double> link_degradation_;
+  std::map<std::string, Partition> partitions_;
   Rng loss_rng_;
+  Rng dup_rng_;
+  Rng reorder_rng_;
+  Rng corrupt_rng_;
   NetworkStats stats_;
 };
 

@@ -1,0 +1,254 @@
+#include "net/reliable.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace esh::net {
+
+ReliableChannel::ReliableChannel(sim::Simulator& simulator, Network& network,
+                                 Endpoint local, HostId host,
+                                 DeliveryHandler app,
+                                 ReliableChannelConfig config)
+    : simulator_(simulator),
+      network_(network),
+      local_(local),
+      app_(std::move(app)),
+      config_(config),
+      // Per-channel stream: distinct endpoints (allocated deterministically)
+      // get decorrelated jitter without sharing draw order.
+      jitter_rng_(config.jitter_seed ^
+                  (0x9e37'79b9'7f4a'7c15ULL * local.value())) {
+  if (config_.backoff_factor < 1.0) {
+    throw std::invalid_argument{
+        "ReliableChannel: backoff_factor must be >= 1"};
+  }
+  if (config_.jitter < 0.0 || config_.jitter >= 1.0) {
+    throw std::invalid_argument{"ReliableChannel: jitter must be in [0,1)"};
+  }
+  if (config_.initial_rto <= SimDuration::zero()) {
+    throw std::invalid_argument{"ReliableChannel: initial_rto must be > 0"};
+  }
+  network_.bind(local_, host, [this](const Delivery& d) { on_delivery(d); });
+}
+
+ReliableChannel::~ReliableChannel() {
+  for (auto& [peer, tx] : senders_) {
+    for (auto& [seq, pending] : tx.pending) pending.timer.cancel();
+  }
+  if (network_.bound(local_)) {
+    network_.unbind(local_);
+  }
+}
+
+std::size_t ReliableChannel::in_flight() const {
+  std::size_t n = 0;
+  for (const auto& [peer, tx] : senders_) n += tx.pending.size();
+  return n;
+}
+
+SimDuration ReliableChannel::base_rto(std::size_t payload_bytes) const {
+  // Large payloads (state transfers) serialize for a long time on the NIC;
+  // budget two traversals so the ack has a chance to return.
+  const auto tx_us = static_cast<std::int64_t>(
+      2.0 * static_cast<double>(payload_bytes + kHeaderBytes) /
+      network_.config().bytes_per_us);
+  return config_.initial_rto + micros(tx_us);
+}
+
+SimDuration ReliableChannel::jittered(SimDuration rto) {
+  if (config_.jitter == 0.0) return rto;
+  const double factor =
+      jitter_rng_.uniform(1.0 - config_.jitter, 1.0 + config_.jitter);
+  return micros(static_cast<std::int64_t>(
+      static_cast<double>(rto.count()) * factor));
+}
+
+void ReliableChannel::send(Endpoint to, MessagePtr message,
+                           std::size_t payload_bytes) {
+  SenderState& tx = senders_[to];
+  const std::uint64_t seq = tx.next_seq++;
+  Pending pending;
+  pending.payload = std::move(message);
+  pending.payload_bytes = payload_bytes;
+  pending.rto = base_rto(payload_bytes);
+  tx.pending.emplace(seq, std::move(pending));
+  ++stats_.data_sent;
+  transmit(to, seq, /*retransmit=*/false);
+}
+
+void ReliableChannel::transmit(Endpoint peer, std::uint64_t seq,
+                               bool retransmit) {
+  auto tx_it = senders_.find(peer);
+  if (tx_it == senders_.end()) return;
+  auto it = tx_it->second.pending.find(seq);
+  if (it == tx_it->second.pending.end()) return;
+  Pending& pending = it->second;
+  // The budget bounds retransmissions per message: the give-up path must
+  // run before a transmission beyond it is ever attempted.
+  ESH_INVARIANT("net", "retry-budget-bounded",
+                pending.retries <= config_.max_retries,
+                ::esh::contracts::Detail{}
+                    .expected(config_.max_retries)
+                    .actual(pending.retries)
+                    .note("seq " + std::to_string(seq)));
+  if (retransmit) {
+    ++stats_.retransmits;
+    network_.note_retransmit();
+  }
+  auto frame = std::make_shared<ReliableData>();
+  frame->seq = seq;
+  frame->payload = pending.payload;
+  frame->payload_bytes = pending.payload_bytes;
+  network_.send(local_, peer, std::move(frame),
+                pending.payload_bytes + kHeaderBytes);
+  arm_timer(peer, seq);
+}
+
+void ReliableChannel::arm_timer(Endpoint peer, std::uint64_t seq) {
+  auto tx_it = senders_.find(peer);
+  if (tx_it == senders_.end()) return;
+  auto it = tx_it->second.pending.find(seq);
+  if (it == tx_it->second.pending.end()) return;
+  Pending& pending = it->second;
+  pending.timer.cancel();
+  pending.timer =
+      simulator_.schedule(jittered(pending.rto), [this, peer, seq] {
+        auto s_it = senders_.find(peer);
+        if (s_it == senders_.end()) return;
+        auto p_it = s_it->second.pending.find(seq);
+        if (p_it == s_it->second.pending.end()) return;  // acked meanwhile
+        Pending& p = p_it->second;
+        if (p.retries >= config_.max_retries) {
+          give_up(peer);
+          return;
+        }
+        ++p.retries;
+        p.rto = std::min(
+            micros(static_cast<std::int64_t>(
+                static_cast<double>(p.rto.count()) * config_.backoff_factor)),
+            config_.max_rto);
+        transmit(peer, seq, /*retransmit=*/true);
+      });
+}
+
+void ReliableChannel::forget_peer(Endpoint peer) {
+  if (auto it = senders_.find(peer); it != senders_.end()) {
+    for (auto& [seq, pending] : it->second.pending) pending.timer.cancel();
+    senders_.erase(it);
+  }
+  receivers_.erase(peer);
+}
+
+void ReliableChannel::give_up(Endpoint peer) {
+  auto it = senders_.find(peer);
+  if (it == senders_.end()) return;
+  ESH_WARN << "ReliableChannel: giving up on peer " << peer << " ("
+           << it->second.pending.size() << " unacked)";
+  for (auto& [seq, pending] : it->second.pending) pending.timer.cancel();
+  senders_.erase(it);
+  ++stats_.give_ups;
+  if (give_up_) give_up_(peer);
+}
+
+void ReliableChannel::on_delivery(const Delivery& d) {
+  if (const auto* data = dynamic_cast<const ReliableData*>(d.message.get())) {
+    on_data(d, *data);
+    return;
+  }
+  if (const auto* ack = dynamic_cast<const ReliableAck*>(d.message.get())) {
+    if (!d.corrupted) on_ack(d.from, *ack);
+    return;
+  }
+  // Unreliable passthrough (e.g. data-plane batches sharing the endpoint).
+  app_(d);
+}
+
+void ReliableChannel::on_data(const Delivery& d, const ReliableData& data) {
+  if (d.corrupted) {
+    // Checksum failure: behave as if the frame was lost — no ack, so the
+    // sender's retransmission covers it.
+    ++stats_.corrupt_dropped;
+    return;
+  }
+  ReceiverState& rx = receivers_[d.from];
+  if (data.seq >= rx.expected && !rx.buffered.contains(data.seq)) {
+    rx.buffered.emplace(data.seq, data.payload);
+  } else {
+    ++stats_.duplicates_dropped;
+  }
+  deliver_ready(d.from, rx);
+  // Cumulative ack (always re-sent, even for duplicates: the previous ack
+  // may have been the casualty).
+  auto ack = std::make_shared<ReliableAck>();
+  ack->cumulative = rx.expected - 1;
+  ++stats_.acks_sent;
+  network_.send(local_, d.from, std::move(ack), kHeaderBytes);
+}
+
+void ReliableChannel::deliver_ready(Endpoint peer, ReceiverState& rx) {
+  while (!rx.buffered.empty() && rx.buffered.begin()->first == rx.expected) {
+    auto it = rx.buffered.begin();
+    const std::uint64_t seq = it->first;
+    MessagePtr payload = std::move(it->second);
+    rx.buffered.erase(it);
+    rx.expected = seq + 1;
+    // Exactly-once, in-order: the app must never see a seq twice...
+    ESH_INVARIANT("net", "reliable-no-dup-deliver",
+                  seq > rx.last_delivered,
+                  ::esh::contracts::Detail{}
+                      .expected(rx.last_delivered + 1)
+                      .actual(seq)
+                      .note("peer " + std::to_string(peer.value())));
+    // ...nor a gap between consecutive deliveries.
+    ESH_INVARIANT("net", "reliable-no-gap", seq == rx.last_delivered + 1,
+                  ::esh::contracts::Detail{}
+                      .expected(rx.last_delivered + 1)
+                      .actual(seq)
+                      .note("peer " + std::to_string(peer.value())));
+    rx.last_delivered = seq;
+    ++stats_.delivered;
+    Delivery up;
+    up.from = peer;
+    up.to = local_;
+    up.message = std::move(payload);
+    up.bytes = 0;  // framing accounted at the wire; app sees logical message
+    app_(up);
+  }
+}
+
+void ReliableChannel::on_ack(Endpoint peer, const ReliableAck& ack) {
+  auto it = senders_.find(peer);
+  if (it == senders_.end()) return;
+  auto& pending = it->second.pending;
+  for (auto p_it = pending.begin();
+       p_it != pending.end() && p_it->first <= ack.cumulative;) {
+    p_it->second.timer.cancel();
+    p_it = pending.erase(p_it);
+  }
+}
+
+#if ESH_INVARIANTS_ENABLED
+void ReliableChannel::testing_rewind_rx_cursor(Endpoint peer,
+                                               std::uint64_t to_seq) {
+  receivers_[peer].expected = to_seq;
+}
+
+void ReliableChannel::testing_skip_rx_cursor(Endpoint peer,
+                                             std::uint64_t to_seq) {
+  auto& rx = receivers_[peer];
+  rx.expected = to_seq;
+  rx.buffered.clear();
+}
+
+void ReliableChannel::testing_force_overbudget_retransmit(Endpoint peer) {
+  auto it = senders_.find(peer);
+  if (it == senders_.end() || it->second.pending.empty()) return;
+  auto& [seq, pending] = *it->second.pending.begin();
+  pending.retries = config_.max_retries + 1;
+  transmit(peer, seq, /*retransmit=*/true);
+}
+#endif
+
+}  // namespace esh::net

@@ -1,0 +1,175 @@
+// Reliable control channel: ack/retransmit over the simulated network for
+// control-plane traffic (migration protocol steps, checkpoint shipping,
+// recovery orchestration). The data plane tolerates duplication and
+// reordering by construction (per-channel sequence numbers + replica
+// buffering) but has no retransmission below the checkpoint/replay layer;
+// control messages used to inherit that gap. A ReliableChannel closes it:
+//
+//   sender                       receiver
+//   ReliableData{seq, payload} ->  dedup + in-order buffer
+//                              <-  ReliableAck{cumulative}
+//   timer: retransmit with exponential backoff + seeded jitter
+//
+// Per-peer sequence numbers, receiver-side dedup and an out-of-order
+// buffer give exactly-once, in-order delivery to the application handler
+// per (sender endpoint, receiver endpoint) pair as long as the peer stays
+// reachable. A bounded retry budget escalates to the registered give-up
+// handler (wired to the failure detector) instead of retrying forever.
+//
+// Determinism: retransmission timers run on the simulator clock and their
+// jitter comes from a seeded RNG stream derived from the local endpoint,
+// so runs are pure functions of config + seeds. Messages that are not
+// ReliableData/ReliableAck pass through to the application handler
+// untouched — data-plane traffic can share the endpoint.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace esh::net {
+
+struct ReliableChannelConfig {
+  // First retransmission deadline. Each unacked message also adds twice its
+  // own serialization time so large transfers (state checkpoints) are not
+  // spuriously retransmitted while still on the NIC.
+  SimDuration initial_rto = millis(50);
+  // Exponential backoff: rto *= backoff_factor per retry, capped at max_rto.
+  double backoff_factor = 2.0;
+  SimDuration max_rto = seconds(2);
+  // Seeded jitter: each retransmission delay is scaled by a factor drawn
+  // uniformly from [1 - jitter, 1 + jitter] (decorrelates retry storms).
+  double jitter = 0.1;
+  std::uint64_t jitter_seed = 0x7265'7472'795f'6a69ULL;
+  // Retransmissions per message before the channel gives up on the peer
+  // and escalates (the first transmission is not counted).
+  std::size_t max_retries = 8;
+};
+
+struct ReliableStats {
+  std::uint64_t data_sent = 0;        // first transmissions
+  std::uint64_t retransmits = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t delivered = 0;        // handed to the application, in order
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t corrupt_dropped = 0;  // treated as loss; retransmit covers
+  std::uint64_t give_ups = 0;         // peers abandoned after budget
+};
+
+// Wire frame carrying one application message on a reliable channel.
+struct ReliableData final : Message {
+  std::uint64_t seq = 0;
+  MessagePtr payload;
+  std::size_t payload_bytes = 0;
+};
+
+// Cumulative acknowledgment: every seq <= cumulative arrived.
+struct ReliableAck final : Message {
+  std::uint64_t cumulative = 0;
+};
+
+class ReliableChannel {
+ public:
+  // Size of the sequence/ack framing added to each payload, and of a
+  // standalone ack message, in simulated bytes.
+  static constexpr std::size_t kHeaderBytes = 16;
+
+  using GiveUpHandler = std::function<void(Endpoint peer)>;
+
+  // Binds `local` on `host` and dispatches reliable frames; deliveries that
+  // are not reliable frames pass through to `app` unchanged. The channel
+  // owns the binding (unbinds on destruction).
+  ReliableChannel(sim::Simulator& simulator, Network& network, Endpoint local,
+                  HostId host, DeliveryHandler app,
+                  ReliableChannelConfig config = {});
+  ~ReliableChannel();
+  ReliableChannel(const ReliableChannel&) = delete;
+  ReliableChannel& operator=(const ReliableChannel&) = delete;
+
+  // Sends `message` to `to` with at-least-once transmission and
+  // exactly-once, in-order delivery at a ReliableChannel-owned peer.
+  void send(Endpoint to, MessagePtr message, std::size_t payload_bytes);
+
+  // Called when a message to a peer exhausted its retry budget. The peer's
+  // entire sender state is dropped (it is presumed failed; the failure
+  // detector takes over) — do not reuse the channel toward that peer.
+  void on_give_up(GiveUpHandler handler) { give_up_ = std::move(handler); }
+
+  // Silently drops all channel state toward `peer` — pending retransmits
+  // are cancelled without the give-up escalation. For callers that already
+  // convicted the peer dead (its endpoint never rebinds).
+  void forget_peer(Endpoint peer);
+
+  [[nodiscard]] const ReliableStats& stats() const { return stats_; }
+  [[nodiscard]] Endpoint endpoint() const { return local_; }
+  // Unacked messages currently awaiting (re)transmission across all peers.
+  [[nodiscard]] std::size_t in_flight() const;
+
+#if ESH_INVARIANTS_ENABLED
+  // Seeded-fault seams for tests/test_contracts.cpp (checked builds only).
+  // Warps the admission cursor for `peer` backwards (below what was already
+  // delivered) so the peer's next retransmission is re-admitted and
+  // re-delivered: trips net/reliable-no-dup-deliver.
+  void testing_rewind_rx_cursor(Endpoint peer, std::uint64_t to_seq);
+  // Warps the admission cursor forward past undelivered seqs so the next
+  // delivery skips them: trips net/reliable-no-gap.
+  void testing_skip_rx_cursor(Endpoint peer, std::uint64_t to_seq);
+  // Inflates the retry counter of the oldest pending message to `peer`
+  // beyond the budget and forces a retransmission attempt: trips
+  // net/retry-budget-bounded.
+  void testing_force_overbudget_retransmit(Endpoint peer);
+#endif
+
+ private:
+  struct Pending {
+    MessagePtr payload;
+    std::size_t payload_bytes = 0;
+    std::size_t retries = 0;
+    SimDuration rto{};
+    sim::EventHandle timer;
+  };
+  struct SenderState {
+    std::uint64_t next_seq = 1;
+    std::map<std::uint64_t, Pending> pending;
+  };
+  struct ReceiverState {
+    // Admission guard: next seq to accept into the in-order stream. Kept
+    // separate from the delivered audit trail below so the contract layer
+    // cross-checks two independently-maintained views (a corrupted cursor
+    // is caught instead of silently re-shaping the stream).
+    std::uint64_t expected = 1;
+    // Audit trail: highest seq actually handed to the application.
+    std::uint64_t last_delivered = 0;
+    std::map<std::uint64_t, MessagePtr> buffered;
+  };
+
+  void on_delivery(const Delivery& d);
+  void on_data(const Delivery& d, const ReliableData& data);
+  void on_ack(Endpoint peer, const ReliableAck& ack);
+  void transmit(Endpoint peer, std::uint64_t seq, bool retransmit);
+  void arm_timer(Endpoint peer, std::uint64_t seq);
+  void deliver_ready(Endpoint peer, ReceiverState& rx);
+  void give_up(Endpoint peer);
+  [[nodiscard]] SimDuration base_rto(std::size_t payload_bytes) const;
+  [[nodiscard]] SimDuration jittered(SimDuration rto);
+
+  sim::Simulator& simulator_;
+  Network& network_;
+  Endpoint local_;
+  DeliveryHandler app_;
+  ReliableChannelConfig config_;
+  Rng jitter_rng_;
+  GiveUpHandler give_up_;
+  std::map<Endpoint, SenderState> senders_;
+  std::map<Endpoint, ReceiverState> receivers_;
+  ReliableStats stats_;
+};
+
+}  // namespace esh::net

@@ -169,10 +169,12 @@ TEST(PercentileTracker, AddAfterQueryResorts) {
 
 TEST(PercentileTracker, ErrorsOnEmptyOrBadPercentile) {
   PercentileTracker t;
-  EXPECT_THROW(t.percentile(50), std::logic_error);
+  // The (void) casts keep [[nodiscard]] quiet under -Werror: the value is
+  // intentionally unused because the call must throw before producing one.
+  EXPECT_THROW((void)t.percentile(50), std::logic_error);
   t.add(1.0);
-  EXPECT_THROW(t.percentile(-1), std::invalid_argument);
-  EXPECT_THROW(t.percentile(101), std::invalid_argument);
+  EXPECT_THROW((void)t.percentile(-1), std::invalid_argument);
+  EXPECT_THROW((void)t.percentile(101), std::invalid_argument);
 }
 
 TEST(Histogram, BucketsAndClamping) {

@@ -17,6 +17,8 @@
 #include "engine/engine.hpp"
 #include "engine/host_runtime.hpp"
 #include "harness/testbed.hpp"
+#include "net/network.hpp"
+#include "net/reliable.hpp"
 #include "pubsub/operators.hpp"
 #include "pubsub/payloads.hpp"
 #include "sim/simulator.hpp"
@@ -319,6 +321,109 @@ TEST(SeededFaultTest, ScrambledMergePlanTripsEpOrderInvariant) {
   }
   // The misordered notification never reached the sink.
   EXPECT_TRUE(ctx.emitted.empty());
+}
+
+// ---- reliable control channel: each invariant tripped by a seeded fault ----
+
+// Shared rig: a ReliableChannel receiver plus a raw endpoint that can forge
+// wire frames at it, bypassing the sender-side state machine entirely.
+struct ReliableFaultRig {
+  sim::Simulator sim;
+  net::NetworkConfig config;
+  net::Network network{sim, config};
+  std::vector<net::Delivery> delivered;
+  net::ReliableChannel rx{sim, network, network.new_endpoint(), HostId{2},
+                          [this](const net::Delivery& d) {
+                            delivered.push_back(d);
+                          }};
+  net::Endpoint forger = network.new_endpoint();
+
+  ReliableFaultRig() {
+    network.bind(forger, HostId{1}, [](const net::Delivery&) {});
+  }
+
+  void forge_data(std::uint64_t seq) {
+    auto frame = std::make_shared<net::ReliableData>();
+    frame->seq = seq;
+    frame->payload = std::make_shared<net::Message>();
+    frame->payload_bytes = 8;
+    network.send(forger, rx.endpoint(), std::move(frame),
+                 8 + net::ReliableChannel::kHeaderBytes);
+  }
+};
+
+TEST(SeededFaultTest, RewoundRxCursorTripsReliableNoDupDeliver) {
+  ReliableFaultRig rig;
+  rig.forge_data(1);
+  rig.sim.run();
+  ASSERT_EQ(rig.delivered.size(), 1u);  // seq 1 reached the app once
+
+  // Warp the admission cursor below the delivered audit trail: the next
+  // retransmission of seq 1 is re-admitted and would reach the app twice.
+  rig.rx.testing_rewind_rx_cursor(rig.forger, 1);
+  rig.forge_data(1);
+  try {
+    rig.sim.run();
+    FAIL() << "duplicate delivery not detected";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.kind(), Kind::kInvariant);
+    EXPECT_EQ(v.subsystem(), "net");
+    EXPECT_EQ(v.name(), "reliable-no-dup-deliver");
+    EXPECT_EQ(v.detail().expected_value, "2");
+    EXPECT_EQ(v.detail().actual_value, "1");
+  }
+  EXPECT_EQ(rig.delivered.size(), 1u);  // the duplicate never reached the app
+}
+
+TEST(SeededFaultTest, SkippedRxCursorTripsReliableNoGap) {
+  ReliableFaultRig rig;
+  rig.forge_data(1);
+  rig.sim.run();
+  ASSERT_EQ(rig.delivered.size(), 1u);
+
+  // Warp the admission cursor past seqs 2..4: seq 5 is admitted as if in
+  // order, but the audit trail still says only seq 1 was handed up.
+  rig.rx.testing_skip_rx_cursor(rig.forger, 5);
+  rig.forge_data(5);
+  try {
+    rig.sim.run();
+    FAIL() << "delivery gap not detected";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.kind(), Kind::kInvariant);
+    EXPECT_EQ(v.subsystem(), "net");
+    EXPECT_EQ(v.name(), "reliable-no-gap");
+    EXPECT_EQ(v.detail().expected_value, "2");
+    EXPECT_EQ(v.detail().actual_value, "5");
+  }
+  EXPECT_EQ(rig.delivered.size(), 1u);  // the gapped message was withheld
+}
+
+TEST(SeededFaultTest, OverbudgetRetransmitTripsRetryBudgetBounded) {
+  sim::Simulator sim;
+  net::NetworkConfig config;
+  net::Network network{sim, config};
+  net::ReliableChannelConfig rc;
+  rc.max_retries = 3;
+  net::ReliableChannel a{sim,     network, network.new_endpoint(),
+                         HostId{1}, [](const net::Delivery&) {}, rc};
+  net::ReliableChannel b{sim,     network, network.new_endpoint(),
+                         HostId{2}, [](const net::Delivery&) {}, rc};
+
+  network.set_host_down(HostId{2}, true);
+  a.send(b.endpoint(), std::make_shared<net::Message>(), 16);
+  ASSERT_EQ(a.in_flight(), 1u);
+  try {
+    // Inflate the retry counter past the budget and force a transmission:
+    // the invariant must fire before the frame hits the wire.
+    a.testing_force_overbudget_retransmit(b.endpoint());
+    FAIL() << "over-budget retransmission not detected";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.kind(), Kind::kInvariant);
+    EXPECT_EQ(v.subsystem(), "net");
+    EXPECT_EQ(v.name(), "retry-budget-bounded");
+    EXPECT_EQ(v.detail().expected_value, "3");
+    EXPECT_EQ(v.detail().actual_value, "4");
+  }
 }
 
 TEST(SeededFaultTest, CorruptedChannelTripsGapFreedom) {

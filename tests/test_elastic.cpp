@@ -242,7 +242,9 @@ TEST(Enforcer, LocalHighRebalancesWithoutGlobalViolation) {
   EXPECT_EQ(plan.reason, MigrationPlan::Reason::kLocalHigh);
   ASSERT_FALSE(plan.moves.empty());
   for (const auto& mv : plan.moves) {
-    if (!mv.new_host_index.has_value()) EXPECT_EQ(mv.dst, HostId{2});
+    if (!mv.new_host_index.has_value()) {
+      EXPECT_EQ(mv.dst, HostId{2});
+    }
   }
 }
 

@@ -45,19 +45,19 @@ TEST(Matrix, TransposeSwapsIndices) {
 
 TEST(Matrix, SingularInversionThrows) {
   Matrix m{2, 2};  // all zeros
-  EXPECT_THROW(m.inverted(), std::domain_error);
+  EXPECT_THROW((void)m.inverted(), std::domain_error);
 }
 
 TEST(Matrix, ShapeErrors) {
   Matrix m{2, 3};
-  EXPECT_THROW(m.inverted(), std::domain_error);
-  EXPECT_THROW(m.multiply(std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW((void)m.inverted(), std::domain_error);
+  EXPECT_THROW((void)m.multiply(std::vector<double>{1.0}), std::invalid_argument);
   EXPECT_THROW((Matrix{0, 3}), std::invalid_argument);
 }
 
 TEST(Matrix, DotProduct) {
   EXPECT_DOUBLE_EQ(dot({1.0, 2.0}, {3.0, 4.0}), 11.0);
-  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)dot({1.0}, {1.0, 2.0}), std::invalid_argument);
 }
 
 // ---- plain model --------------------------------------------------------------

@@ -241,6 +241,314 @@ TEST_F(NetworkTest, DownHostDropsAreNotCountedAsLoss) {
   EXPECT_EQ(net->stats().messages_lost, 0u);
 }
 
+// ---- loss precedence and accounting edge cases ------------------------------
+
+TEST_F(NetworkTest, LinkLossOverridesHostLossOverridesGlobal) {
+  HostId h3{3};
+  std::vector<Delivery> in_b, in_c;
+  const Endpoint src = net->new_endpoint();
+  net->bind(src, h1, [](const Delivery&) {});
+  const Endpoint to_b = bind_on(h2, &in_b);
+  const Endpoint to_c = bind_on(h3, &in_c);
+
+  // Global says drop everything; the host override on h2 and the link
+  // override on h1->h3 both say deliver. Precedence: link > host > global.
+  net->set_loss(1.0);
+  net->set_host_loss(h2, 0.0);
+  net->set_host_loss(h3, 1.0);
+  net->set_link_loss(h1, h3, 0.0);
+  net->send(src, to_b, msg(1), 10);
+  net->send(src, to_c, msg(2), 10);
+  sim.run();
+  EXPECT_EQ(in_b.size(), 1u);
+  EXPECT_EQ(in_c.size(), 1u);
+
+  // Clearing the link override falls back to the host override (lossy).
+  net->clear_link_loss(h1, h3);
+  net->send(src, to_c, msg(3), 10);
+  sim.run();
+  EXPECT_EQ(in_c.size(), 1u);
+  EXPECT_EQ(net->stats().messages_lost, 1u);
+
+  // Clearing the host override falls back to global (still lossy).
+  net->clear_host_loss(h3);
+  net->send(src, to_c, msg(4), 10);
+  sim.run();
+  EXPECT_EQ(in_c.size(), 1u);
+  EXPECT_EQ(net->stats().messages_lost, 2u);
+
+  // Clearing the global knob restores delivery end to end.
+  net->set_loss(0.0);
+  net->clear_host_loss(h2);
+  net->send(src, to_c, msg(5), 10);
+  sim.run();
+  EXPECT_EQ(in_c.size(), 2u);
+  EXPECT_EQ(net->stats().messages_dropped, 0u);
+}
+
+TEST_F(NetworkTest, ClearingUnknownOverridesIsANoOp) {
+  EXPECT_NO_THROW(net->clear_host_loss(HostId{77}));
+  EXPECT_NO_THROW(net->clear_link_loss(HostId{77}, HostId{78}));
+  EXPECT_NO_THROW(net->clear_host_degradation(HostId{77}));
+  EXPECT_NO_THROW(net->clear_link_degradation(HostId{77}, HostId{78}));
+}
+
+TEST_F(NetworkTest, HostLossCountsAsLostUnderEveryInjectionPath) {
+  // With duplication and reordering armed, injected loss must still land in
+  // messages_lost (never messages_dropped): the loss stage runs before the
+  // copy fan-out, so the counter stays per-send, not per-copy.
+  std::vector<Delivery> in;
+  const Endpoint src = net->new_endpoint();
+  net->bind(src, h1, [](const Delivery&) {});
+  const Endpoint dst = bind_on(h2, &in);
+  net->set_host_loss(h2, 1.0);
+  net->set_duplication(1.0);
+  net->set_reorder(1.0, millis(1));
+  net->set_corruption(1.0);
+  for (int i = 0; i < 20; ++i) net->send(src, dst, msg(i), 10);
+  sim.run();
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(net->stats().messages_lost, 20u);
+  EXPECT_EQ(net->stats().messages_dropped, 0u);
+  EXPECT_EQ(net->stats().messages_duplicated, 0u);  // lost before fan-out
+}
+
+// ---- duplication -------------------------------------------------------------
+
+TEST_F(NetworkTest, DuplicationDeliversTheMessageTwice) {
+  std::vector<Delivery> in;
+  const Endpoint src = net->new_endpoint();
+  net->bind(src, h1, [](const Delivery&) {});
+  const Endpoint dst = bind_on(h2, &in);
+  net->set_duplication(1.0);
+  net->send(src, dst, msg(7), 10);
+  sim.run();
+  ASSERT_EQ(in.size(), 2u);
+  EXPECT_EQ(value_of(in[0]), 7);
+  EXPECT_EQ(value_of(in[1]), 7);
+  EXPECT_EQ(net->stats().messages_sent, 1u);
+  EXPECT_EQ(net->stats().messages_duplicated, 1u);
+  EXPECT_EQ(net->stats().messages_delivered, 2u);
+}
+
+TEST_F(NetworkTest, DuplicationIsSeededAndDeterministic) {
+  auto run_once = [this] {
+    Network fresh{sim, config};
+    const Endpoint src = fresh.new_endpoint();
+    fresh.bind(src, h1, [](const Delivery&) {});
+    const Endpoint dst = fresh.new_endpoint();
+    fresh.bind(dst, h2, [](const Delivery&) {});
+    fresh.set_duplication(0.3);
+    for (int i = 0; i < 500; ++i) fresh.send(src, dst, msg(i), 10);
+    return fresh.stats().messages_duplicated;
+  };
+  const auto first = run_once();
+  EXPECT_GT(first, 100u);
+  EXPECT_LT(first, 200u);
+  EXPECT_EQ(first, run_once());
+}
+
+// ---- reordering ---------------------------------------------------------------
+
+TEST_F(NetworkTest, ReorderJitterStaysWithinWindow) {
+  std::vector<Delivery> in;
+  std::vector<SimTime> at;
+  const Endpoint src = net->new_endpoint();
+  net->bind(src, h1, [](const Delivery&) {});
+  const Endpoint dst = net->new_endpoint();
+  net->bind(dst, h2, [&](const Delivery& d) {
+    in.push_back(d);
+    at.push_back(sim.now());
+  });
+
+  const auto window = millis(2);
+  net->set_reorder(1.0, window);
+  net->send(src, dst, msg(1), 10);
+  sim.run();
+  ASSERT_EQ(in.size(), 1u);
+  // Undisturbed arrival would be latency + serialization; jitter adds at
+  // most the window on top.
+  const SimTime base = SimTime{} + config.latency + micros((10 + 64) / 125);
+  EXPECT_GT(at[0], base);
+  EXPECT_LE(at[0], base + window);
+  EXPECT_EQ(net->stats().messages_reordered, 1u);
+}
+
+TEST_F(NetworkTest, ReorderingDisplacesFifoOrder) {
+  // A burst with full reorder probability must displace at least one pair
+  // from per-source FIFO order (that is the point of the fault).
+  std::vector<Delivery> in;
+  const Endpoint src = net->new_endpoint();
+  net->bind(src, h1, [](const Delivery&) {});
+  const Endpoint dst = bind_on(h2, &in);
+  net->set_reorder(1.0, millis(5));
+  for (int i = 0; i < 50; ++i) net->send(src, dst, msg(i), 10);
+  sim.run();
+  ASSERT_EQ(in.size(), 50u);
+  bool displaced = false;
+  for (std::size_t i = 1; i < in.size(); ++i) {
+    if (value_of(in[i]) < value_of(in[i - 1])) displaced = true;
+  }
+  EXPECT_TRUE(displaced);
+  EXPECT_THROW(net->set_reorder(0.5, SimDuration::zero()),
+               std::invalid_argument);
+}
+
+// ---- corruption ---------------------------------------------------------------
+
+TEST_F(NetworkTest, CorruptionFlagsDeliveryAndPreservesSize) {
+  std::vector<Delivery> in;
+  const Endpoint src = net->new_endpoint();
+  net->bind(src, h1, [](const Delivery&) {});
+  const Endpoint dst = bind_on(h2, &in);
+  net->set_corruption(1.0);
+  net->send(src, dst, msg(3), 100);
+  sim.run();
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_TRUE(in[0].corrupted);
+  EXPECT_EQ(in[0].bytes, 100u + config.overhead_bytes);  // size-preserving
+  EXPECT_EQ(value_of(in[0]), 3);  // payload object shared, not mangled
+  EXPECT_EQ(net->stats().messages_corrupted, 1u);
+  EXPECT_EQ(net->stats().messages_delivered, 1u);
+
+  net->set_corruption(0.0);
+  net->send(src, dst, msg(4), 100);
+  sim.run();
+  ASSERT_EQ(in.size(), 2u);
+  EXPECT_FALSE(in[1].corrupted);
+}
+
+// ---- gray degradation ----------------------------------------------------------
+
+TEST_F(NetworkTest, HostDegradationSlowsDeliveryWithoutLoss) {
+  std::vector<Delivery> in;
+  const Endpoint src = net->new_endpoint();
+  net->bind(src, h1, [](const Delivery&) {});
+  const Endpoint dst = bind_on(h2, &in);
+
+  net->send(src, dst, msg(1), 1000);
+  sim.run();
+  const SimTime healthy = sim.now();
+
+  net->set_host_degradation(h2, 4.0);
+  net->send(src, dst, msg(2), 1000);
+  sim.run();
+  const auto degraded_elapsed = sim.now() - healthy;
+  ASSERT_EQ(in.size(), 2u);  // gray means slow, not lossy
+  // Both serialization and propagation stretch by the factor.
+  const auto healthy_elapsed = healthy - SimTime{};
+  EXPECT_GE(degraded_elapsed.count(), healthy_elapsed.count() * 4 - 4);
+
+  net->clear_host_degradation(h2);
+  const SimTime before = sim.now();
+  net->send(src, dst, msg(3), 1000);
+  sim.run();
+  EXPECT_EQ((sim.now() - before).count(), healthy_elapsed.count());
+
+  EXPECT_THROW(net->set_host_degradation(h2, 0.5), std::invalid_argument);
+}
+
+TEST_F(NetworkTest, LinkDegradationAppliesToThatDirectionOnly) {
+  std::vector<Delivery> in_b, in_a;
+  const Endpoint at_a = bind_on(h1, &in_a);
+  const Endpoint at_b = bind_on(h2, &in_b);
+
+  net->send(at_a, at_b, msg(1), 1000);
+  sim.run();
+  const auto healthy = sim.now() - SimTime{};
+
+  net->set_link_degradation(h1, h2, 3.0);
+  SimTime mark = sim.now();
+  net->send(at_a, at_b, msg(2), 1000);
+  sim.run();
+  EXPECT_GE((sim.now() - mark).count(), healthy.count() * 3 - 3);
+
+  // The reverse direction is untouched.
+  mark = sim.now();
+  net->send(at_b, at_a, msg(3), 1000);
+  sim.run();
+  EXPECT_EQ((sim.now() - mark).count(), healthy.count());
+  ASSERT_EQ(in_a.size(), 1u);
+  ASSERT_EQ(in_b.size(), 2u);
+}
+
+// ---- named partitions -----------------------------------------------------------
+
+TEST_F(NetworkTest, PartitionCutsBothDirectionsAndHealRestores) {
+  std::vector<Delivery> in_a, in_b;
+  const Endpoint at_a = bind_on(h1, &in_a);
+  const Endpoint at_b = bind_on(h2, &in_b);
+
+  net->partition("split", {h1}, {h2});
+  EXPECT_TRUE(net->partitioned(h1, h2));
+  EXPECT_TRUE(net->partitioned(h2, h1));
+  EXPECT_EQ(net->active_partitions(), 1u);
+
+  net->send(at_a, at_b, msg(1), 10);
+  net->send(at_b, at_a, msg(2), 10);
+  sim.run();
+  EXPECT_TRUE(in_a.empty());
+  EXPECT_TRUE(in_b.empty());
+  EXPECT_EQ(net->stats().messages_partitioned, 2u);
+  EXPECT_EQ(net->stats().messages_lost, 2u);  // partitions are counted loss
+
+  net->heal("split");
+  EXPECT_FALSE(net->partitioned(h1, h2));
+  EXPECT_EQ(net->active_partitions(), 0u);
+  net->send(at_a, at_b, msg(3), 10);
+  sim.run();
+  ASSERT_EQ(in_b.size(), 1u);
+  EXPECT_EQ(value_of(in_b[0]), 3);
+}
+
+TEST_F(NetworkTest, PartitionLeavesSameSideTrafficAlone) {
+  HostId h3{3};
+  std::vector<Delivery> in_b, in_c;
+  const Endpoint at_b = bind_on(h2, &in_b);
+  const Endpoint at_c = bind_on(h3, &in_c);
+
+  net->partition("cut", {h1, h2}, {h3});
+  const Endpoint src = net->new_endpoint();
+  net->bind(src, h1, [](const Delivery&) {});
+  net->send(src, at_b, msg(1), 10);  // same side: flows
+  net->send(src, at_c, msg(2), 10);  // across: cut
+  sim.run();
+  EXPECT_EQ(in_b.size(), 1u);
+  EXPECT_TRUE(in_c.empty());
+  net->heal_all();
+  EXPECT_EQ(net->active_partitions(), 0u);
+}
+
+TEST_F(NetworkTest, PartitionValidatesItsGroups) {
+  EXPECT_THROW(net->partition("bad", {}, {h2}), std::invalid_argument);
+  EXPECT_THROW(net->partition("bad", {h1}, {h1}), std::invalid_argument);
+  EXPECT_THROW(net->heal("never-existed"), std::invalid_argument);
+  net->partition("cut", {h1}, {h2});
+  net->heal("cut");
+  EXPECT_THROW(net->heal("cut"), std::invalid_argument);  // heal is one-shot
+}
+
+// ---- conservation ---------------------------------------------------------------
+
+TEST_F(NetworkTest, MessageAccountingBalancesUnderCombinedInjection) {
+  std::vector<Delivery> in;
+  const Endpoint src = net->new_endpoint();
+  net->bind(src, h1, [](const Delivery&) {});
+  const Endpoint dst = bind_on(h2, &in);
+  net->set_loss(0.1);
+  net->set_duplication(0.2);
+  net->set_reorder(0.3, millis(1));
+  net->set_corruption(0.1);
+  for (int i = 0; i < 500; ++i) net->send(src, dst, msg(i), 10);
+  // Take the receiver down mid-flight so some copies resolve as drops.
+  sim.schedule(micros(300), [&] { net->set_host_down(h2, true); });
+  sim.run();
+  const NetworkStats& s = net->stats();
+  EXPECT_EQ(s.messages_delivered + s.messages_dropped + s.messages_lost,
+            s.messages_sent + s.messages_duplicated);
+  EXPECT_EQ(in.size(), s.messages_delivered);
+}
+
 TEST_F(NetworkTest, StatsCountBytes) {
   const Endpoint src = net->new_endpoint();
   net->bind(src, h1, [](const Delivery&) {});
