@@ -24,7 +24,7 @@ std::vector<SliceView> random_slices(std::size_t count, Rng& rng) {
   for (std::size_t i = 0; i < count; ++i) {
     slices.push_back(SliceView{SliceId{i + 1}, HostId{1},
                                rng.uniform(0.01, 0.2),
-                               100 + rng.next_below(20'000'000)});
+                               100 + rng.next_below(20'000'000), false, {}});
   }
   return slices;
 }
@@ -65,7 +65,8 @@ void BM_EnforcerEvaluate(benchmark::State& state) {
     for (int s = 0; s < 4; ++s) {
       view.slices.push_back(SliceView{
           SliceId{h * 4 + static_cast<std::size_t>(s) + 1}, HostId{h + 1},
-          rng.uniform(0.1, 0.25), 1000 + rng.next_below(10'000'000)});
+          rng.uniform(0.1, 0.25), 1000 + rng.next_below(10'000'000), false,
+          {}});
     }
   }
   for (auto _ : state) {

@@ -9,6 +9,9 @@
 #     partition outlasting the conviction window, gray-host drain) with
 #     MTTR phase breakdowns, exactly-once audits and NetworkStats
 #     -> BENCH_recovery.json
+#   - the fig_split skewed-workload comparison (static vs migrate-only vs
+#     automatic hotspot split) with sustained tail throughput, delay
+#     percentiles and exactly-once audits -> BENCH_split.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,10 +19,13 @@ BUILD=${BUILD:-build}
 OUT=${OUT:-BENCH_parallel.json}
 PIPELINE_OUT=${PIPELINE_OUT:-BENCH_pipeline.json}
 RECOVERY_OUT=${RECOVERY_OUT:-BENCH_recovery.json}
+SPLIT_OUT=${SPLIT_OUT:-BENCH_split.json}
 
-if [ ! -x "$BUILD/bench/micro_filter" ] || [ ! -x "$BUILD/bench/fig_recovery" ]; then
+if [ ! -x "$BUILD/bench/micro_filter" ] || [ ! -x "$BUILD/bench/fig_recovery" ] \
+   || [ ! -x "$BUILD/bench/fig_split" ]; then
   cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
-  cmake --build "$BUILD" -j "$(nproc)" --target micro_filter fig_recovery
+  cmake --build "$BUILD" -j "$(nproc)" --target micro_filter fig_recovery \
+    fig_split
 fi
 
 "$BUILD/bench/micro_filter" --thread_sweep > "$OUT"
@@ -30,3 +36,6 @@ echo "wrote $PIPELINE_OUT"
 
 "$BUILD/bench/fig_recovery" --json > "$RECOVERY_OUT"
 echo "wrote $RECOVERY_OUT"
+
+"$BUILD/bench/fig_split" --json > "$SPLIT_OUT"
+echo "wrote $SPLIT_OUT"

@@ -1,0 +1,133 @@
+// Key-space coverage descriptors for fine-grained (sub-slice) elasticity.
+//
+// At deploy time every slice i of an m-slice operator covers the keys with
+// key % m == i. A slice split refines one such bucket by one bit of a mixed
+// key hash: the parent keeps the keys whose mixed low bits equal `tag`, the
+// child takes the keys whose bits equal `tag | 1<<depth`. Coverages of one
+// bucket therefore always form a prefix-free binary code, which makes
+// completeness (every key covered exactly once) cheap to assert.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serde.hpp"
+#include "common/types.hpp"
+
+namespace esh {
+
+// SplitMix64 finalizer — identical to std::hash<Id<Tag>> in types.hpp, so
+// coverage refinement splits a bucket's keys the same way the id hash
+// spreads them.
+constexpr std::uint64_t key_mix64(std::uint64_t v) {
+  std::uint64_t x = v + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// The set of routing keys one slice of an operator is responsible for:
+// key % base == bucket, and the low `depth` bits of key_mix64(key) equal
+// `tag`. depth == 0 (tag == 0) is the unsplit deploy-time coverage, for
+// which covers() degenerates to plain modulo routing.
+struct KeyCoverage {
+  std::uint32_t base = 1;    // operator's deploy-time slice count
+  std::uint32_t bucket = 0;  // key % base selects the bucket
+  std::uint32_t depth = 0;   // refinement bits of the mixed key
+  std::uint64_t tag = 0;     // required value of those bits
+
+  [[nodiscard]] constexpr bool covers(std::uint64_t key) const {
+    if (key % base != bucket) return false;
+    const std::uint64_t mask = (depth == 0) ? 0 : ((std::uint64_t{1} << depth) - 1);
+    return (key_mix64(key) & mask) == tag;
+  }
+
+  // Half kept by the parent after a split (low refinement bit 0).
+  [[nodiscard]] constexpr KeyCoverage split_parent() const {
+    return KeyCoverage{base, bucket, depth + 1, tag};
+  }
+
+  // Half taken by the child after a split (new refinement bit set).
+  [[nodiscard]] constexpr KeyCoverage split_child() const {
+    return KeyCoverage{base, bucket, depth + 1,
+                       tag | (std::uint64_t{1} << depth)};
+  }
+
+  // True when `other` is this coverage's merge partner: same bucket, same
+  // depth >= 1, tags differing exactly in the most recent refinement bit.
+  [[nodiscard]] constexpr bool sibling_of(const KeyCoverage& other) const {
+    return base == other.base && bucket == other.bucket &&
+           depth == other.depth && depth >= 1 &&
+           (tag ^ other.tag) == (std::uint64_t{1} << (depth - 1));
+  }
+
+  // Coverage of the union of two siblings.
+  [[nodiscard]] constexpr KeyCoverage merged() const {
+    return KeyCoverage{base, bucket, depth - 1,
+                       tag & ~(std::uint64_t{1} << (depth - 1))};
+  }
+
+  friend constexpr bool operator==(const KeyCoverage&,
+                                   const KeyCoverage&) = default;
+
+  // Canonical routing order: buckets ascend, then coarser-to-finer, then by
+  // tag. For an unsplit operator this equals slice-index order, so routing
+  // views enumerate exactly like the deploy-time slice vector.
+  friend constexpr bool operator<(const KeyCoverage& a, const KeyCoverage& b) {
+    if (a.bucket != b.bucket) return a.bucket < b.bucket;
+    if (a.depth != b.depth) return a.depth < b.depth;
+    return a.tag < b.tag;
+  }
+};
+
+inline void serialize(BinaryWriter& w, const KeyCoverage& c) {
+  w.write_u32(c.base);
+  w.write_u32(c.bucket);
+  w.write_u32(c.depth);
+  w.write_u64(c.tag);
+}
+
+inline KeyCoverage deserialize_coverage(BinaryReader& r) {
+  KeyCoverage c;
+  c.base = r.read_u32();
+  c.bucket = r.read_u32();
+  c.depth = r.read_u32();
+  c.tag = r.read_u64();
+  return c;
+}
+
+// True when two coverages of the same bucket overlap: one tag is a prefix
+// (in low-bit order) of the other.
+[[nodiscard]] constexpr bool coverage_overlaps(const KeyCoverage& a,
+                                               const KeyCoverage& b) {
+  if (a.base != b.base || a.bucket != b.bucket) return false;
+  const std::uint32_t d = a.depth < b.depth ? a.depth : b.depth;
+  const std::uint64_t mask = (d == 0) ? 0 : ((std::uint64_t{1} << d) - 1);
+  return (a.tag & mask) == (b.tag & mask);
+}
+
+// True when the coverages partition the whole key space for an operator
+// with `base` buckets: every bucket 0..base-1 is present, per-bucket weights
+// 2^-depth sum to 1, and no two coverages overlap.
+[[nodiscard]] inline bool coverage_complete(
+    const std::vector<KeyCoverage>& covs, std::uint32_t base) {
+  constexpr std::uint32_t kMaxDepth = 62;
+  std::vector<std::uint64_t> weight(base, 0);
+  for (const KeyCoverage& c : covs) {
+    if (c.base != base || c.bucket >= base || c.depth > kMaxDepth) {
+      return false;
+    }
+    weight[c.bucket] += std::uint64_t{1} << (kMaxDepth - c.depth);
+  }
+  for (std::uint32_t b = 0; b < base; ++b) {
+    if (weight[b] != std::uint64_t{1} << kMaxDepth) return false;
+  }
+  for (std::size_t i = 0; i < covs.size(); ++i) {
+    for (std::size_t j = i + 1; j < covs.size(); ++j) {
+      if (coverage_overlaps(covs[i], covs[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace esh

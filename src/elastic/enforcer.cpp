@@ -31,6 +31,10 @@ const char* to_string(MigrationPlan::Reason r) {
       return "local-high";
     case MigrationPlan::Reason::kLocalLow:
       return "local-low";
+    case MigrationPlan::Reason::kHotspotSplit:
+      return "hotspot-split";
+    case MigrationPlan::Reason::kColdMerge:
+      return "cold-merge";
   }
   return "?";
 }
@@ -168,20 +172,36 @@ MigrationPlan Enforcer::evaluate(const SystemView& view) {
   for (const HostView& host : view.hosts) {
     if (host.cpu > config_.local_high) host_overloaded = true;
   }
+  bool slice_hot = false;
+  if (config_.enable_splits) {
+    for (const SliceView& s : view.slices) {
+      if (s.splittable && s.cpu >= config_.split_share) slice_hot = true;
+    }
+  }
   const SimDuration required_gap =
-      (avg > config_.global_high || host_overloaded) ? config_.scale_out_grace
-                                                     : config_.grace;
+      (avg > config_.global_high || host_overloaded || slice_hot)
+          ? config_.scale_out_grace
+          : config_.grace;
   if (acted_once_ && view.time - last_action_ < required_gap) return plan;
 
-  if (avg > config_.global_high) {
-    plan = scale_out(view);
-  } else if (avg < config_.global_low &&
-             view.hosts.size() > config_.min_hosts) {
-    plan = scale_in(view);
-  } else {
-    // Local rules apply only when no global rule is violated (paper §V).
-    plan = local_rebalance(view);
+  // A single-slice hotspot is the one load pattern whole-slice migration
+  // cannot dilute: moving the slice moves the hotspot. Splitting its key
+  // coverage halves it, so the split rule outranks every placement rule.
+  if (slice_hot) plan = hotspot_split(view);
+  if (plan.empty()) {
+    if (avg > config_.global_high) {
+      plan = scale_out(view);
+    } else if (avg < config_.global_low &&
+               view.hosts.size() > config_.min_hosts) {
+      plan = scale_in(view);
+    } else {
+      // Local rules apply only when no global rule is violated (paper §V).
+      plan = local_rebalance(view);
+    }
   }
+  // Merging back is pure consolidation: considered only when everything
+  // else is quiet, under the slow (scale-in) grace.
+  if (plan.empty() && config_.enable_splits) plan = cold_merge(view);
   if (!plan.empty()) {
     last_action_ = view.time;
     acted_once_ = true;
@@ -301,6 +321,60 @@ MigrationPlan Enforcer::scale_in(const SystemView& view) const {
     plan.releases.push_back(victim);
   }
   if (plan.releases.empty()) return MigrationPlan{};
+  return plan;
+}
+
+MigrationPlan Enforcer::hotspot_split(const SystemView& view) const {
+  // Split the hottest qualifying slice; one split per plan, the grace
+  // period paces successive refinements. The child goes to the least
+  // loaded host so the freed half of the load lands on spare capacity.
+  const SliceView* hottest = nullptr;
+  for (const SliceView& s : view.slices) {
+    if (!s.splittable || s.cpu < config_.split_share) continue;
+    if (hottest == nullptr || s.cpu > hottest->cpu ||
+        (s.cpu == hottest->cpu && s.slice < hottest->slice)) {
+      hottest = &s;
+    }
+  }
+  if (hottest == nullptr) return MigrationPlan{};
+  const HostView* coldest = nullptr;
+  for (const HostView& host : view.hosts) {
+    if (coldest == nullptr || host.cpu < coldest->cpu ||
+        (host.cpu == coldest->cpu && host.host < coldest->host)) {
+      coldest = &host;
+    }
+  }
+  MigrationPlan plan;
+  plan.reason = MigrationPlan::Reason::kHotspotSplit;
+  plan.splits.push_back(MigrationPlan::Split{hottest->slice, coldest->host});
+  return plan;
+}
+
+MigrationPlan Enforcer::cold_merge(const SystemView& view) const {
+  // Fold the coldest sibling pair back together. Requiring the combined
+  // load to stay clear of split_share (hysteresis) prevents a merge from
+  // immediately re-arming the split rule.
+  const SliceView* best = nullptr;
+  double best_combined = 0.0;
+  for (const SliceView& s : view.slices) {
+    if (!s.merge_sibling) continue;
+    const SliceView* sibling = nullptr;
+    for (const SliceView& other : view.slices) {
+      if (other.slice == *s.merge_sibling) sibling = &other;
+    }
+    if (sibling == nullptr) continue;  // sibling probe missing this round
+    const double combined = s.cpu + sibling->cpu;
+    if (combined >= config_.merge_share) continue;
+    if (best == nullptr || combined < best_combined ||
+        (combined == best_combined && s.slice < best->slice)) {
+      best = &s;
+      best_combined = combined;
+    }
+  }
+  if (best == nullptr) return MigrationPlan{};
+  MigrationPlan plan;
+  plan.reason = MigrationPlan::Reason::kColdMerge;
+  plan.merges.push_back(MigrationPlan::Merge{best->slice, *best->merge_sibling});
   return plan;
 }
 

@@ -39,6 +39,15 @@ struct PolicyConfig {
   SimDuration scale_out_grace = seconds(10);
   // Never release the last host.
   std::size_t min_hosts = 1;
+  // Key-level elasticity: a single splittable slice consuming more than
+  // `split_share` of one host's capacity is a hotspot no migration can
+  // dilute — split its key coverage instead (half stays, half moves to the
+  // least-loaded host). The inverse rule merges a coverage-sibling pair
+  // back when their combined load falls below `merge_share`. Disabled by
+  // default: whole-slice migration remains the baseline behaviour.
+  bool enable_splits = false;
+  double split_share = 0.45;
+  double merge_share = 0.10;
 };
 
 struct SliceView {
@@ -48,6 +57,13 @@ struct SliceView {
   double cpu = 0.0;
   // State size: the migration-cost signal minimized during selection.
   std::size_t state_bytes = 0;
+  // True when the slice's operator supports key-level state split (filled
+  // by the manager from the engine; split rules skip everything else).
+  bool splittable = false;
+  // Coverage-sibling that could merge back into this slice. The manager
+  // sets it on the low-tag side of each sibling pair only, so every
+  // mergeable pair appears exactly once in a view.
+  std::optional<SliceId> merge_sibling;
 };
 
 struct HostView {
@@ -65,7 +81,15 @@ struct SystemView {
 };
 
 struct MigrationPlan {
-  enum class Reason { kNone, kScaleOut, kScaleIn, kLocalHigh, kLocalLow };
+  enum class Reason {
+    kNone,
+    kScaleOut,
+    kScaleIn,
+    kLocalHigh,
+    kLocalLow,
+    kHotspotSplit,
+    kColdMerge,
+  };
 
   struct Move {
     SliceId slice;
@@ -75,13 +99,28 @@ struct MigrationPlan {
     std::optional<std::size_t> new_host_index;
   };
 
+  // Key-level split: half of `slice`'s coverage moves to a child on `dst`.
+  struct Split {
+    SliceId slice;
+    HostId dst;
+  };
+
+  // Key-level merge: `retiree` folds back into its sibling `survivor`.
+  struct Merge {
+    SliceId survivor;
+    SliceId retiree;
+  };
+
   Reason reason = Reason::kNone;
   std::vector<Move> moves;
   std::size_t new_hosts = 0;
   std::vector<HostId> releases;
+  std::vector<Split> splits;
+  std::vector<Merge> merges;
 
   [[nodiscard]] bool empty() const {
-    return moves.empty() && releases.empty() && new_hosts == 0;
+    return moves.empty() && releases.empty() && new_hosts == 0 &&
+           splits.empty() && merges.empty();
   }
 };
 
@@ -120,6 +159,8 @@ class Enforcer {
   [[nodiscard]] MigrationPlan scale_out(const SystemView& view) const;
   [[nodiscard]] MigrationPlan scale_in(const SystemView& view) const;
   [[nodiscard]] MigrationPlan local_rebalance(const SystemView& view) const;
+  [[nodiscard]] MigrationPlan hotspot_split(const SystemView& view) const;
+  [[nodiscard]] MigrationPlan cold_merge(const SystemView& view) const;
 
   PolicyConfig config_;
   SimTime last_action_{-config_.grace};

@@ -242,12 +242,49 @@ void Manager::maybe_evaluate() {
     for (const cluster::SliceProbe& sp : probe.slices) {
       const auto& op_name = cfg.op_of(sp.slice).name;
       if (!elastic_ops_.contains(op_name)) continue;
-      view.slices.push_back(
-          SliceView{sp.slice, host, sp.cpu, sp.state_bytes});
+      SliceView sv{sp.slice, host, sp.cpu, sp.state_bytes, false, {}};
+      if (config_.policy.enable_splits) {
+        if (auto* rt = engine_.slice_runtime(sp.slice)) {
+          sv.splittable = rt->handler().supports_split();
+        }
+      }
+      view.slices.push_back(sv);
     }
   }
   sample.avg_cpu /= static_cast<double>(managed_.size());
   load_history_.push_back(sample);
+
+  if (config_.policy.enable_splits) {
+    // Pair coverage-siblings for the cold-merge rule. The low-tag side of
+    // each pair carries the link, so every mergeable pair appears exactly
+    // once per view. Coverage is resolved against CURRENT routing: probes
+    // can be a beat stale, and the engine re-validates before acting.
+    const auto coverage_of = [&cfg](SliceId slice) -> const KeyCoverage* {
+      if (!cfg.slice_infos.contains(slice)) return nullptr;
+      const auto& op = cfg.op_of(slice);
+      for (std::size_t i = 0; i < op.slices.size(); ++i) {
+        if (op.slices[i] == slice) return &op.coverages[i];
+      }
+      return nullptr;
+    };
+    std::map<std::pair<std::size_t, KeyCoverage>, SliceId> by_cov;
+    for (const SliceView& s : view.slices) {
+      if (const KeyCoverage* cov = coverage_of(s.slice)) {
+        by_cov[{cfg.info_of(s.slice).op_index, *cov}] = s.slice;
+      }
+    }
+    for (SliceView& s : view.slices) {
+      if (!s.splittable) continue;
+      const KeyCoverage* cov = coverage_of(s.slice);
+      if (cov == nullptr || cov->depth == 0) continue;
+      if (((cov->tag >> (cov->depth - 1)) & 1U) != 0) continue;
+      const KeyCoverage sibling{
+          cov->base, cov->bucket, cov->depth,
+          cov->tag | (std::uint64_t{1} << (cov->depth - 1))};
+      auto it = by_cov.find({cfg.info_of(s.slice).op_index, sibling});
+      if (it != by_cov.end()) s.merge_sibling = it->second;
+    }
+  }
 
   if (!enforcement_enabled_ || executing_ || !is_active()) return;
   MigrationPlan plan =
@@ -264,6 +301,8 @@ void Manager::execute(MigrationPlan plan) {
   active_plan_ = std::move(plan);
   plan_new_hosts_.clear();
   next_move_ = 0;
+  next_split_ = 0;
+  next_merge_ = 0;
   hosts_booting_ = active_plan_.new_hosts;
   if (active_plan_.new_hosts == 0) {
     run_next_move();
@@ -302,7 +341,7 @@ void Manager::execute(MigrationPlan plan) {
 
 void Manager::run_next_move() {
   if (next_move_ >= active_plan_.moves.size()) {
-    finish_plan();
+    run_next_split();
     return;
   }
   const MigrationPlan::Move& move = active_plan_.moves[next_move_++];
@@ -354,6 +393,47 @@ void Manager::run_move(SliceId slice, HostId dst, std::size_t attempt) {
                  << to_string(report.outcome) << ")";
         run_next_move();
       });
+}
+
+void Manager::run_next_split() {
+  if (next_split_ >= active_plan_.splits.size()) {
+    run_next_merge();
+    return;
+  }
+  const MigrationPlan::Split split = active_plan_.splits[next_split_++];
+  // Stale-plan guard mirrors run_move: a lost slice belongs to recovery.
+  if (engine_.slice_lost(split.slice) || !engine_.has_host(split.dst)) {
+    run_next_split();
+    return;
+  }
+  engine_.split_slice(
+      split.slice, split.dst,
+      [this](const engine::TransitionReport& report) {
+        transitions_.push_back(report);
+        if (report.completed) {
+          persist_placement(report.child, engine_.slice_host(report.child));
+        }
+        // No retry: an aborted split leaves routing intact, and the
+        // enforcer re-arms after the grace period if the hotspot persists.
+        run_next_split();
+      });
+}
+
+void Manager::run_next_merge() {
+  if (next_merge_ >= active_plan_.merges.size()) {
+    finish_plan();
+    return;
+  }
+  const MigrationPlan::Merge merge = active_plan_.merges[next_merge_++];
+  if (engine_.slice_lost(merge.survivor) || engine_.slice_lost(merge.retiree)) {
+    run_next_merge();
+    return;
+  }
+  engine_.merge_slices(merge.survivor, merge.retiree,
+                       [this](const engine::TransitionReport& report) {
+                         transitions_.push_back(report);
+                         run_next_merge();
+                       });
 }
 
 void Manager::finish_plan() {
@@ -490,7 +570,7 @@ void Manager::on_host_dead(const HealthEvent& ev) {
   // what does not fit goes to fresh hosts from the pool.
   std::vector<SliceView> moving;
   for (SliceId slice : lost) {
-    SliceView view{slice, host, 0.0, 0};
+    SliceView view{slice, host, 0.0, 0, false, {}};
     for (const cluster::SliceProbe& sp : last_probe.slices) {
       if (sp.slice == slice) {
         view.cpu = sp.cpu;
@@ -678,7 +758,7 @@ void Manager::maybe_start_drain(HostId host, SimTime suspected) {
     last_probe = it->second;
   }
   for (SliceId slice : engine_.slices_on(host)) {
-    SliceView view{slice, host, 0.0, 0};
+    SliceView view{slice, host, 0.0, 0, false, {}};
     for (const cluster::SliceProbe& sp : last_probe.slices) {
       if (sp.slice == slice) {
         view.cpu = sp.cpu;

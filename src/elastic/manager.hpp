@@ -150,6 +150,11 @@ class Manager {
   [[nodiscard]] const std::vector<engine::MigrationReport>& migrations() const {
     return migrations_;
   }
+  // Key-level splits/merges executed from hotspot-split / cold-merge plans.
+  [[nodiscard]] const std::vector<engine::TransitionReport>& transitions()
+      const {
+    return transitions_;
+  }
   [[nodiscard]] std::size_t managed_host_count() const {
     return managed_.size();
   }
@@ -187,6 +192,8 @@ class Manager {
   void execute(MigrationPlan plan);
   void run_next_move();
   void run_move(SliceId slice, HostId dst, std::size_t attempt);
+  void run_next_split();
+  void run_next_merge();
   void finish_plan();
   void persist_placement(SliceId slice, HostId host);
   void persist_hosts();
@@ -229,6 +236,8 @@ class Manager {
   MigrationPlan active_plan_;
   std::vector<HostId> plan_new_hosts_;
   std::size_t next_move_ = 0;
+  std::size_t next_split_ = 0;
+  std::size_t next_merge_ = 0;
   std::size_t hosts_booting_ = 0;
 
   // Failure handling state.
@@ -251,6 +260,7 @@ class Manager {
 
   std::vector<LoadSample> load_history_;
   std::vector<engine::MigrationReport> migrations_;
+  std::vector<engine::TransitionReport> transitions_;
   std::uint64_t plans_executed_ = 0;
   std::set<std::string> elastic_ops_;
 };

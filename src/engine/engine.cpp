@@ -67,6 +67,92 @@ void assert_migration_transition([[maybe_unused]] MigrationId id,
           .note("migration " + std::to_string(id.value())));
 }
 
+const char* to_string(TransitionKind kind) {
+  switch (kind) {
+    case TransitionKind::kSplit: return "split";
+    case TransitionKind::kMerge: return "merge";
+  }
+  return "unknown";
+}
+
+const char* to_string(SplitStep step) {
+  switch (step) {
+    case SplitStep::kCreateChild: return "create-child";
+    case SplitStep::kCutOver: return "cut-over";
+    case SplitStep::kDrain: return "drain";
+    case SplitStep::kActivate: return "activate";
+    case SplitStep::kAborting: return "aborting";
+  }
+  return "unknown";
+}
+
+const char* to_string(MergeStep step) {
+  switch (step) {
+    case MergeStep::kCutOver: return "cut-over";
+    case MergeStep::kDrainRetiree: return "drain-retiree";
+    case MergeStep::kAbsorb: return "absorb";
+    case MergeStep::kTeardown: return "teardown";
+  }
+  return "unknown";
+}
+
+bool split_transition_legal(SplitStep from, SplitStep to) {
+  switch (from) {
+    case SplitStep::kCreateChild:
+      // The child host dying before the cut-over aborts the whole split
+      // (nothing routed to the child yet); otherwise the routing flips.
+      return to == SplitStep::kCutOver || to == SplitStep::kAborting;
+    case SplitStep::kCutOver:
+      return to == SplitStep::kDrain;
+    case SplitStep::kDrain:
+      // Post-cut-over the split can only roll forward: a dying child host is
+      // replaced within the step, never an abort edge.
+      return to == SplitStep::kActivate;
+    case SplitStep::kActivate:
+      return false;  // terminal; resolved by finish_transition
+    case SplitStep::kAborting:
+      return false;  // terminal
+  }
+  return false;
+}
+
+bool merge_transition_legal(MergeStep from, MergeStep to) {
+  // Merges only roll forward: once routing flipped, both halves' state is
+  // accounted for by the drain/absorb pair and participant deaths are
+  // resolved by recovery re-driving the pending leg.
+  switch (from) {
+    case MergeStep::kCutOver: return to == MergeStep::kDrainRetiree;
+    case MergeStep::kDrainRetiree: return to == MergeStep::kAbsorb;
+    case MergeStep::kAbsorb: return to == MergeStep::kTeardown;
+    case MergeStep::kTeardown: return false;  // terminal
+  }
+  return false;
+}
+
+void assert_split_transition([[maybe_unused]] MigrationId id,
+                             [[maybe_unused]] SliceId slice,
+                             [[maybe_unused]] SplitStep from,
+                             [[maybe_unused]] SplitStep to) {
+  ESH_STATE_MACHINE_ASSERT(
+      "engine", "split-step-legal", split_transition_legal(from, to),
+      ::esh::contracts::Detail{}
+          .slice(slice)
+          .transition(to_string(from), to_string(to))
+          .note("transition " + std::to_string(id.value())));
+}
+
+void assert_merge_transition([[maybe_unused]] MigrationId id,
+                             [[maybe_unused]] SliceId slice,
+                             [[maybe_unused]] MergeStep from,
+                             [[maybe_unused]] MergeStep to) {
+  ESH_STATE_MACHINE_ASSERT(
+      "engine", "merge-step-legal", merge_transition_legal(from, to),
+      ::esh::contracts::Detail{}
+          .slice(slice)
+          .transition(to_string(from), to_string(to))
+          .note("transition " + std::to_string(id.value())));
+}
+
 Engine::Engine(sim::Simulator& simulator, net::Network& network,
                HostId manager_host, EngineConfig config, std::uint64_t seed)
     : simulator_(simulator),
@@ -78,6 +164,7 @@ Engine::Engine(sim::Simulator& simulator, net::Network& network,
                        : nullptr),
       rng_(seed),
       manager_host_(manager_host) {
+  seed_ = seed;
   control_endpoint_ = network_.new_endpoint();
   if (config_.reliable_control) {
     control_channel_ = std::make_unique<net::ReliableChannel>(
@@ -164,8 +251,12 @@ void Engine::deploy(
     for (std::uint32_t s = 0; s < spec.slices; ++s) {
       const SliceId slice{next_slice_++};
       info.slices.push_back(slice);
+      // Deploy-time coverage is plain modulo: slice s covers key % N == s.
+      info.coverages.push_back(
+          KeyCoverage{static_cast<std::uint32_t>(spec.slices), s, 0, 0});
       cfg->slice_infos[slice] = StaticConfig::SliceInfo{i, s};
     }
+    info.coverage_base = static_cast<std::uint32_t>(spec.slices);
     cfg->op_by_name[spec.name] = i;
     cfg->operators.push_back(std::move(info));
   }
@@ -196,19 +287,21 @@ void Engine::deploy(
     }
   }
 
-  // Commit.
-  static_ = std::move(cfg);
+  // Commit. mutable_static_ aliases the same object: split/merge cut-overs
+  // refine it in place (atomically within one simulator callback).
+  mutable_static_ = std::move(cfg);
+  static_ = mutable_static_;
   directory_ = std::move(resolved);
   // lint:allow(unordered-iteration): local directory writes, order-free
   for (auto& [id, runtime] : host_runtimes_) {
     runtime->set_directory(directory_);
   }
-  // lint:allow(unordered-iteration): arming order only picks the same-tick
-  // tie-break among per-slice timers; the map's order is deterministic for
-  // a fixed binary and is kept as the established baseline schedule.
-  for (const auto& [slice, loc] : directory_) {
-    host_runtimes_.at(loc.primary)->add_slice(slice,
-                                              SliceRuntime::State::kActive);
+  // Sorted: arming order no longer matters for timer phasing (each slice's
+  // timers carry a seed-derived phase), but keeping it deterministic by
+  // construction costs nothing.
+  for (const SliceId slice : sorted_keys(directory_)) {
+    host_runtimes_.at(directory_.at(slice).primary)
+        ->add_slice(slice, SliceRuntime::State::kActive);
   }
   deployed_ = true;
 }
@@ -245,6 +338,15 @@ std::vector<SliceId> Engine::fail_host(HostId host) {
     // replica (primary elsewhere) dies without losing anything.
     const auto loc = directory_.find(slice);
     if (loc != directory_.end() && loc->second.primary == host) {
+      // A split child mid-transition is owned by the transition coordinator
+      // (handle_transition_host_failure re-drives it onto a replacement
+      // host); keep it out of the generic recovery sweep so it is not
+      // restored twice.
+      if (current_transition_ &&
+          current_transition_->report.kind == TransitionKind::kSplit &&
+          slice == current_transition_->report.child) {
+        continue;
+      }
       lost.push_back(slice);
     }
   }
@@ -272,6 +374,8 @@ std::vector<SliceId> Engine::fail_host(HostId host) {
   // Unwedge the migration protocol: abort or advance the in-flight
   // migration if the dead host participated in it.
   handle_host_failure(host);
+  // Same for an in-flight split/merge.
+  handle_transition_host_failure(host);
   return lost;
 }
 
@@ -302,7 +406,14 @@ void Engine::recover_slice(SliceId slice, HostId dst,
     msg->processed = cp->second.processed;
     msg->out_seqs = cp->second.out_seqs;
     msg->log = cp->second.log;
+    msg->coverage_epoch = cp->second.coverage_epoch;
     bytes = msg->state->size() + 64 * msg->log.size();
+  }
+  // Mid-split/merge recovery: install the cut-over holds before the replica
+  // drains, so replayed post-cut events stay queued until the re-driven
+  // capture or absorb releases them (see RollForward).
+  if (auto pending = rollforward_.find(slice); pending != rollforward_.end()) {
+    msg->holds = pending->second.cutover;
   }
   // Co-recovery with a regenerated upstream: restored channel watermarks
   // still counting the old stream rewind to the regenerated base, so the
@@ -319,8 +430,25 @@ SliceId Engine::slice_id(std::string_view op, std::size_t slice_index) const {
   if (!static_) {
     throw std::logic_error{"Engine: not deployed yet"};
   }
+  // Scan by slice_index rather than position: merges erase entries from
+  // `slices`, so positions shift while indices stay stable.
   const auto& info = static_->operators.at(static_->index_of(op));
-  return info.slices.at(slice_index);
+  for (const SliceId slice : info.slices) {
+    if (static_->info_of(slice).slice_index == slice_index) return slice;
+  }
+  throw std::out_of_range{"slice_id: no slice with that index"};
+}
+
+KeyCoverage Engine::slice_coverage(SliceId slice) const {
+  const auto& op = static_->op_of(slice);
+  for (std::size_t i = 0; i < op.slices.size(); ++i) {
+    if (op.slices[i] == slice) return op.coverages.at(i);
+  }
+  throw std::invalid_argument{"slice_coverage: slice not routed"};
+}
+
+StaticConfig::OperatorInfo& Engine::mutable_op_of(SliceId slice) {
+  return mutable_static_->operators.at(static_->info_of(slice).op_index);
 }
 
 HostId Engine::slice_host(SliceId slice) const {
@@ -388,7 +516,10 @@ void Engine::migrate(SliceId slice, HostId dst, MigrationCallback callback) {
 }
 
 void Engine::start_next_migration() {
-  while (!current_migration_ && !migration_queue_.empty()) {
+  // One elastic operation of either family (migration or split/merge) runs
+  // at a time; migrations take priority when both are queued.
+  while (!current_migration_ && !current_transition_ &&
+         !migration_queue_.empty()) {
     MigrationTask task = std::move(migration_queue_.front());
     migration_queue_.pop_front();
     // Cluster state may have changed while the request was queued: the
@@ -453,6 +584,576 @@ void Engine::finish_migration(MigrationOutcome outcome) {
   if (outcome == MigrationOutcome::kCompleted) ++migrations_completed_;
   if (task.callback) task.callback(task.report);
   start_next_migration();
+  start_next_transition();
+}
+
+// ---- split / merge coordination ---------------------------------------------
+
+void Engine::split_slice(SliceId parent, HostId dst,
+                         TransitionCallback callback) {
+  TransitionTask task;
+  task.report.id = MigrationId{next_migration_++};
+  task.report.kind = TransitionKind::kSplit;
+  task.report.parent = parent;
+  task.report.requested = simulator_.now();
+  task.callback = std::move(callback);
+  task.dst = dst;
+  transition_queue_.push_back(std::move(task));
+  start_next_transition();
+}
+
+void Engine::merge_slices(SliceId survivor, SliceId retiree,
+                          TransitionCallback callback) {
+  TransitionTask task;
+  task.report.id = MigrationId{next_migration_++};
+  task.report.kind = TransitionKind::kMerge;
+  task.report.parent = survivor;
+  task.report.child = retiree;
+  task.report.requested = simulator_.now();
+  task.callback = std::move(callback);
+  transition_queue_.push_back(std::move(task));
+  start_next_transition();
+}
+
+void Engine::start_next_transition() {
+  // Coverage of a slice under the CURRENT routing, or nullptr when the
+  // slice is not routed (merged away / never deployed).
+  const auto coverage_of = [this](SliceId slice) -> const KeyCoverage* {
+    if (!static_ || !static_->slice_infos.contains(slice)) return nullptr;
+    const auto& op = static_->op_of(slice);
+    for (std::size_t i = 0; i < op.slices.size(); ++i) {
+      if (op.slices[i] == slice) return &op.coverages[i];
+    }
+    return nullptr;
+  };
+  while (!current_migration_ && !current_transition_ &&
+         !transition_queue_.empty()) {
+    TransitionTask task = std::move(transition_queue_.front());
+    transition_queue_.pop_front();
+    const auto reject = [&] {
+      task.report.completed = false;
+      task.report.finished = simulator_.now();
+      if (task.callback) task.callback(task.report);
+    };
+    // Re-validate against current cluster state (the request may have
+    // queued behind operations that changed it).
+    if (task.report.kind == TransitionKind::kSplit) {
+      SliceRuntime* parent = slice_runtime(task.report.parent);
+      const KeyCoverage* cov = coverage_of(task.report.parent);
+      if (parent == nullptr || cov == nullptr ||
+          !host_runtimes_.contains(task.dst) ||
+          !parent->handler().supports_split() || cov->depth >= 62) {
+        reject();
+        continue;
+      }
+      if (rollforward_.contains(task.report.parent)) {
+        // An earlier capture on this slice is not yet proven durable, and
+        // re-driving two stacked captures after a crash is unsupported.
+        // Force the durability boundary and retry when it lands.
+        parent->checkpoint(control_endpoint_);
+        transition_queue_.push_front(std::move(task));
+        return;
+      }
+      current_transition_ = std::move(task);
+      begin_split_transition();
+    } else {
+      SliceRuntime* survivor = slice_runtime(task.report.parent);
+      SliceRuntime* retiree = slice_runtime(task.report.child);
+      const KeyCoverage* surv_cov = coverage_of(task.report.parent);
+      const KeyCoverage* ret_cov = coverage_of(task.report.child);
+      if (survivor == nullptr || retiree == nullptr || surv_cov == nullptr ||
+          ret_cov == nullptr || task.report.parent == task.report.child ||
+          !survivor->handler().supports_split() ||
+          !surv_cov->sibling_of(*ret_cov)) {
+        reject();
+        continue;
+      }
+      if (rollforward_.contains(task.report.parent) ||
+          rollforward_.contains(task.report.child)) {
+        survivor->checkpoint(control_endpoint_);
+        retiree->checkpoint(control_endpoint_);
+        transition_queue_.push_front(std::move(task));
+        return;
+      }
+      current_transition_ = std::move(task);
+      begin_merge_transition();
+    }
+  }
+}
+
+void Engine::finish_transition(bool completed) {
+  TransitionTask task = std::move(*current_transition_);
+  current_transition_.reset();
+  task.report.completed = completed;
+  task.report.finished = simulator_.now();
+  if (completed) {
+    if (task.report.kind == TransitionKind::kSplit) {
+      ++splits_completed_;
+    } else {
+      ++merges_completed_;
+    }
+  }
+  if (task.callback) task.callback(task.report);
+  start_next_migration();
+  start_next_transition();
+}
+
+bool Engine::fire_elastic_step(std::string_view step) {
+  if (!current_transition_) return false;
+  if (!elastic_step_hook_) return true;
+  // The hook may fail hosts (the torture tests do exactly that), which can
+  // abort or finish the transition re-entrantly; tell the caller whether
+  // the transition it was driving is still the current one.
+  const MigrationId id = current_transition_->report.id;
+  elastic_step_hook_(current_transition_->report, step);
+  return current_transition_ && current_transition_->report.id == id;
+}
+
+std::vector<std::pair<SliceId, SeqNo>> Engine::capture_cut_vector(
+    SliceId slice) {
+  // Per live upstream channel, the first post-cut-over sequence number,
+  // read in-process at the cut-over instant (the atomic routing flip the
+  // real engine achieves with a synchronized table swap). A lost upstream
+  // contributes no entry: an upstream crash concurrent with a cut-over is
+  // out of scope (see PROTOCOL.md).
+  std::vector<std::pair<SliceId, SeqNo>> cut;
+  for (const SliceId up : upstream_slices(slice)) {
+    SliceRuntime* rt = slice_runtime(up);
+    if (rt == nullptr) continue;
+    cut.emplace_back(up, rt->next_seq_for(slice));
+  }
+  if (auto it = next_inject_seq_.find(slice); it != next_inject_seq_.end()) {
+    cut.emplace_back(kExternalChannel, it->second);
+  }
+  return cut;
+}
+
+void Engine::begin_split_transition() {
+  TransitionTask& t = *current_transition_;
+  // Allocate the child identity: fresh SliceId, slice_index one past the
+  // operator's current maximum. Indices stay sparse after merges — routing
+  // goes by coverage and downstream completion by fan membership, so only
+  // uniqueness matters.
+  StaticConfig::OperatorInfo& op = mutable_op_of(t.report.parent);
+  const std::uint32_t op_index = static_->info_of(t.report.parent).op_index;
+  std::uint32_t child_index = 0;
+  for (const SliceId s : op.slices) {
+    child_index = std::max(child_index, static_->info_of(s).slice_index + 1);
+  }
+  const SliceId child{next_slice_++};
+  t.report.child = child;
+  mutable_static_->slice_infos[child] =
+      StaticConfig::SliceInfo{op_index, child_index};
+  const KeyCoverage parent_now = slice_coverage(t.report.parent);
+  t.parent_cov = parent_now.split_parent();
+  t.child_cov = parent_now.split_child();
+  // Replica + directory registration precede the cut-over, so every event
+  // ever routed to the child is either buffered by the replica or delivered
+  // after activation.
+  directory_[child] = SliceLocation{t.dst, HostId{}};
+  auto req = std::make_shared<CreateReplicaRequest>();
+  req->migration = t.report.id;
+  req->slice = child;
+  req->reply_to = control_endpoint_;
+  send_control(host_runtimes_.at(t.dst)->endpoint(), std::move(req));
+  t.pending_update_hosts.clear();
+  // lint:allow(unordered-iteration): fills a std::set, order-free
+  for (const auto& [id, runtime] : host_runtimes_) {
+    t.pending_update_hosts.insert(id);
+  }
+  // Sorted: send order serializes on the manager NIC.
+  for (const HostId id : sorted_keys(host_runtimes_)) {
+    auto update = std::make_shared<DirectoryUpdateMessage>();
+    update->migration = t.report.id;
+    update->slice = child;
+    update->host = t.dst;
+    update->reply_to = control_endpoint_;
+    send_control(host_runtimes_.at(id)->endpoint(), std::move(update));
+  }
+  fire_elastic_step(to_string(SplitStep::kCreateChild));
+}
+
+void Engine::split_cutover() {
+  TransitionTask& t = *current_transition_;
+  t.set_split_step(SplitStep::kCutOver);
+  StaticConfig::OperatorInfo& op = mutable_op_of(t.report.parent);
+  std::size_t pos = op.slices.size();
+  for (std::size_t i = 0; i < op.slices.size(); ++i) {
+    if (op.slices[i] == t.report.parent) pos = i;
+  }
+  if (testing_corrupt_split_plan) {
+    // Seeded fault: "forget" to refine the parent, leaving parent and child
+    // overlapping. The completeness contract below must trip.
+    testing_corrupt_split_plan = false;
+  } else {
+    op.coverages.at(pos) = t.parent_cov;
+  }
+  op.slices.push_back(t.report.child);
+  op.coverages.push_back(t.child_cov);
+  op.refined = true;
+  ++routing_epoch_;
+  ESH_INVARIANT("engine", "key-coverage-complete",
+                coverage_complete(op.coverages, op.coverage_base),
+                ::esh::contracts::Detail{}
+                    .slice(t.report.parent)
+                    .note("split cut-over of operator " + op.name));
+  t.report.cutover = simulator_.now();
+  SliceRuntime* parent = slice_runtime(t.report.parent);
+  SliceRuntime::SplitSpec spec;
+  spec.transition = t.report.id;
+  spec.child = t.report.child;
+  spec.child_cov = t.child_cov;
+  spec.cutover = capture_cut_vector(t.report.parent);
+  spec.reply_to = control_endpoint_;
+  if (config_.checkpoints.enabled) {
+    RollForward roll;
+    roll.role = RollForward::Role::kSplitParent;
+    roll.transition = t.report.id;
+    roll.epoch = parent->coverage_epoch() + 1;
+    roll.other = t.report.child;
+    roll.cov = t.child_cov;
+    roll.cutover = spec.cutover;
+    rollforward_[t.report.parent] = std::move(roll);
+  }
+  parent->begin_split(std::move(spec));
+  t.set_split_step(SplitStep::kDrain);
+  fire_elastic_step(to_string(SplitStep::kDrain));
+}
+
+void Engine::begin_merge_transition() {
+  TransitionTask& t = *current_transition_;
+  const SliceId survivor = t.report.parent;
+  const SliceId retiree = t.report.child;
+  t.retiree_host = directory_.at(retiree).primary;
+  t.merged_cov = slice_coverage(survivor).merged();
+  SliceRuntime* survivor_rt = slice_runtime(survivor);
+  SliceRuntime* retiree_rt = slice_runtime(retiree);
+  // Cut vectors and the routing flip happen at one simulated instant, so
+  // order within this callback is immaterial: no event moves in between.
+  const auto survivor_cut = capture_cut_vector(survivor);
+  const auto retiree_final = capture_cut_vector(retiree);
+  StaticConfig::OperatorInfo& op = mutable_op_of(survivor);
+  std::size_t surv_pos = op.slices.size();
+  std::size_t ret_pos = op.slices.size();
+  for (std::size_t i = 0; i < op.slices.size(); ++i) {
+    if (op.slices[i] == survivor) surv_pos = i;
+    if (op.slices[i] == retiree) ret_pos = i;
+  }
+  op.coverages.at(surv_pos) = t.merged_cov;
+  op.slices.erase(op.slices.begin() + static_cast<std::ptrdiff_t>(ret_pos));
+  op.coverages.erase(op.coverages.begin() +
+                     static_cast<std::ptrdiff_t>(ret_pos));
+  ++routing_epoch_;
+  ESH_INVARIANT("engine", "key-coverage-complete",
+                coverage_complete(op.coverages, op.coverage_base),
+                ::esh::contracts::Detail{}
+                    .slice(survivor)
+                    .note("merge cut-over of operator " + op.name));
+  t.report.cutover = simulator_.now();
+  if (config_.checkpoints.enabled) {
+    RollForward surv_roll;
+    surv_roll.role = RollForward::Role::kMergeSurvivor;
+    surv_roll.transition = t.report.id;
+    surv_roll.epoch = survivor_rt->coverage_epoch() + 1;
+    surv_roll.other = retiree;
+    surv_roll.cutover = survivor_cut;
+    rollforward_[survivor] = std::move(surv_roll);
+    RollForward ret_roll;
+    ret_roll.role = RollForward::Role::kMergeRetiree;
+    ret_roll.transition = t.report.id;
+    ret_roll.epoch = retiree_rt->coverage_epoch() + 1;
+    ret_roll.other = survivor;
+    ret_roll.cutover = retiree_final;
+    rollforward_[retiree] = std::move(ret_roll);
+  }
+  SliceRuntime::AbsorbSpec absorb;
+  absorb.transition = t.report.id;
+  absorb.retiree = retiree;
+  absorb.cutover = survivor_cut;
+  absorb.reply_to = control_endpoint_;
+  survivor_rt->begin_absorb(std::move(absorb));
+  SliceRuntime::FreezeSpec freeze;
+  freeze.migration = t.report.id;
+  freeze.catchup = retiree_final;
+  freeze.dst_host = HostId{};
+  freeze.reply_to = control_endpoint_;
+  freeze.merge_capture = true;
+  retiree_rt->request_freeze(std::move(freeze));
+  t.set_merge_step(MergeStep::kDrainRetiree);
+  fire_elastic_step(to_string(MergeStep::kDrainRetiree));
+}
+
+bool Engine::handle_transition_control(const net::Message* msg) {
+  if (const auto* cap = dynamic_cast<const SplitStateMessage*>(msg)) {
+    if (current_transition_ &&
+        cap->transition == current_transition_->report.id &&
+        current_transition_->report.kind == TransitionKind::kSplit &&
+        current_transition_->split_step == SplitStep::kDrain) {
+      TransitionTask& t = *current_transition_;
+      t.report.moved = cap->moved;
+      // The captured half becomes a synthetic checkpoint: the child
+      // activates through the ordinary recovery path, channels starting
+      // fresh at sequence 1 (empty watermarks ask for a full replay of the
+      // post-cut-over traffic the logs / replica buffer hold).
+      checkpoints_[t.report.child] =
+          StoredCheckpoint{cap->state, {}, {}, {}, 0};
+      t.set_split_step(SplitStep::kActivate);
+      recover_slice(t.report.child, t.dst, [this, id = t.report.id] {
+        if (current_transition_ && current_transition_->report.id == id) {
+          finish_transition(true);
+        }
+      });
+      fire_elastic_step(to_string(SplitStep::kActivate));
+      return true;
+    }
+    // Duplicate from a re-driven parent leg (deterministic replay makes the
+    // re-capture byte-identical): refresh the synthetic checkpoint unless
+    // the child has checkpointed real progress since.
+    if (auto roll = rollforward_.find(cap->parent);
+        roll != rollforward_.end() &&
+        roll->second.transition == cap->transition) {
+      auto existing = checkpoints_.find(cap->child);
+      if (existing == checkpoints_.end() ||
+          existing->second.processed.empty()) {
+        checkpoints_[cap->child] = StoredCheckpoint{cap->state, {}, {}, {}, 0};
+      }
+    }
+    return true;
+  }
+
+  if (const auto* cap = dynamic_cast<const MergeStateMessage*>(msg)) {
+    if (current_transition_ &&
+        cap->transition == current_transition_->report.id &&
+        current_transition_->report.kind == TransitionKind::kMerge &&
+        current_transition_->merge_step == MergeStep::kDrainRetiree) {
+      TransitionTask& t = *current_transition_;
+      // The retiree's routable identity ends here: erase its directory
+      // entry and checkpoint so no recovery sweep resurrects a zombie copy.
+      directory_.erase(t.report.child);
+      checkpoints_.erase(t.report.child);
+      rollforward_.erase(t.report.child);
+      pending_replays_.erase(t.report.child);
+      if (auto roll = rollforward_.find(t.report.parent);
+          roll != rollforward_.end() &&
+          roll->second.transition == t.report.id) {
+        roll->second.state = cap->state;
+        roll->second.log = cap->log;
+        roll->second.state_ready = true;
+      }
+      t.set_merge_step(MergeStep::kAbsorb);
+      // Ship to the survivor's current primary. If the survivor is lost or
+      // mid-recovery the request is dropped there — its recovery re-drives
+      // the absorb from the RollForward stash instead.
+      const auto loc = directory_.find(t.report.parent);
+      if (loc != directory_.end() &&
+          host_runtimes_.contains(loc->second.primary)) {
+        auto req = std::make_shared<MergeAbsorbRequest>();
+        req->transition = t.report.id;
+        req->survivor = t.report.parent;
+        req->retiree = t.report.child;
+        req->state = cap->state;
+        req->log = cap->log;
+        req->reply_to = control_endpoint_;
+        const std::size_t bytes =
+            (cap->state ? cap->state->size() : 0) + 64 * cap->log.size() + 96;
+        send_control(host_runtimes_.at(loc->second.primary)->endpoint(),
+                     std::move(req), bytes);
+      }
+      fire_elastic_step(to_string(MergeStep::kAbsorb));
+      return true;
+    }
+    return true;  // stale duplicate from a re-driven retiree leg
+  }
+
+  if (const auto* ack = dynamic_cast<const MergeAbsorbAck*>(msg)) {
+    if (current_transition_ &&
+        ack->transition == current_transition_->report.id &&
+        current_transition_->report.kind == TransitionKind::kMerge &&
+        current_transition_->merge_step == MergeStep::kAbsorb) {
+      TransitionTask& t = *current_transition_;
+      t.set_merge_step(MergeStep::kTeardown);
+      const bool retiree_live = host_runtimes_.contains(t.retiree_host);
+      if (retiree_live) {
+        auto req = std::make_shared<TeardownRequest>();
+        req->migration = t.report.id;
+        req->slice = t.report.child;
+        req->reply_to = control_endpoint_;
+        send_control(host_runtimes_.at(t.retiree_host)->endpoint(),
+                     std::move(req));
+      }
+      if (fire_elastic_step(to_string(MergeStep::kTeardown)) &&
+          !retiree_live) {
+        finish_transition(true);
+      }
+    }
+    return true;  // stale duplicate from a re-driven survivor leg
+  }
+
+  if (!current_transition_) return false;
+  TransitionTask& t = *current_transition_;
+
+  if (const auto* ack = dynamic_cast<const CreateReplicaAck*>(msg)) {
+    if (ack->migration != t.report.id) return false;
+    if (t.report.kind == TransitionKind::kSplit &&
+        t.split_step == SplitStep::kCreateChild) {
+      t.create_acked = true;
+      if (t.pending_update_hosts.empty()) split_cutover();
+    }
+    return true;
+  }
+  if (const auto* ack = dynamic_cast<const DirectoryUpdateAck*>(msg)) {
+    if (ack->migration != t.report.id) return false;
+    if (t.report.kind == TransitionKind::kSplit &&
+        t.split_step == SplitStep::kCreateChild) {
+      t.pending_update_hosts.erase(ack->from_host);
+      if (t.create_acked && t.pending_update_hosts.empty()) split_cutover();
+    }
+    return true;
+  }
+  if (const auto* ack = dynamic_cast<const TeardownAck*>(msg)) {
+    if (ack->migration != t.report.id) return false;
+    if (t.report.kind == TransitionKind::kMerge &&
+        t.merge_step == MergeStep::kTeardown) {
+      finish_transition(true);
+    }
+    return true;
+  }
+  if (const auto* ack = dynamic_cast<const AbortReplicaAck*>(msg)) {
+    if (ack->migration != t.report.id) return false;
+    if (t.report.kind == TransitionKind::kSplit &&
+        t.split_step == SplitStep::kAborting) {
+      finish_transition(false);
+    }
+    return true;
+  }
+  return false;
+}
+
+void Engine::handle_transition_host_failure(HostId host) {
+  if (!current_transition_) return;
+  TransitionTask& t = *current_transition_;
+
+  if (t.report.kind == TransitionKind::kMerge) {
+    // Every merge leg re-drives through RollForward after the lost slice
+    // recovers; the only coordinator action is resolving a teardown aimed
+    // at a host that just died.
+    if (t.merge_step == MergeStep::kTeardown && host == t.retiree_host) {
+      finish_transition(true);
+    }
+    return;
+  }
+
+  if (host == t.dst) {
+    switch (t.split_step) {
+      case SplitStep::kCreateChild:
+        // Nothing routed to the child yet and its replica died with the
+        // host: abort the split outright.
+        t.set_split_step(SplitStep::kAborting);
+        directory_.erase(t.report.child);
+        mutable_static_->slice_infos.erase(t.report.child);
+        finish_transition(false);
+        return;
+      case SplitStep::kCutOver:
+        return;  // transient within one callback; never observed here
+      case SplitStep::kDrain:
+      case SplitStep::kActivate: {
+        // Post-cut-over the split can only roll forward: re-home the child
+        // on a deterministic replacement (smallest live host). Events
+        // routed there before the restore lands are dropped-but-logged
+        // upstream and replayed after activation.
+        const std::vector<HostId> live = hosts();
+        if (live.empty()) return;  // no cluster left; nothing to drive
+        t.dst = live.front();
+        directory_[t.report.child] = SliceLocation{t.dst, HostId{}};
+        broadcast_location(t.report.child, t.dst);
+        if (t.split_step == SplitStep::kActivate) {
+          // The restore went to the dead host; re-issue it.
+          recover_slice(t.report.child, t.dst, [this, id = t.report.id] {
+            if (current_transition_ && current_transition_->report.id == id) {
+              finish_transition(true);
+            }
+          });
+        }
+        return;
+      }
+      case SplitStep::kAborting:
+        // The abort-replica ack died with the host.
+        finish_transition(false);
+        return;
+    }
+    return;
+  }
+
+  const auto parent_loc = directory_.find(t.report.parent);
+  if (parent_loc != directory_.end() && parent_loc->second.primary == host) {
+    switch (t.split_step) {
+      case SplitStep::kCreateChild: {
+        // Parent lost pre-cut-over: abort, tearing the child replica down.
+        t.set_split_step(SplitStep::kAborting);
+        auto req = std::make_shared<AbortReplicaRequest>();
+        req->migration = t.report.id;
+        req->slice = t.report.child;
+        req->reply_to = control_endpoint_;
+        send_control(host_runtimes_.at(t.dst)->endpoint(), std::move(req));
+        return;
+      }
+      case SplitStep::kCutOver:
+      case SplitStep::kDrain:
+      case SplitStep::kActivate:
+        // Post-cut-over the parent's leg re-drives through RollForward
+        // after recovery; the coordinator keeps waiting.
+        return;
+      case SplitStep::kAborting:
+        return;  // abort ack comes from dst, unaffected
+    }
+    return;
+  }
+
+  // A third host died: strike it from the outstanding directory-ack set.
+  if (t.split_step == SplitStep::kCreateChild) {
+    t.pending_update_hosts.erase(host);
+    if (t.create_acked && t.pending_update_hosts.empty()) split_cutover();
+  }
+}
+
+void Engine::redrive_rollforward(SliceId slice) {
+  auto it = rollforward_.find(slice);
+  if (it == rollforward_.end()) return;
+  RollForward& roll = it->second;
+  SliceRuntime* rt = slice_runtime(slice);
+  if (rt == nullptr) return;
+  switch (roll.role) {
+    case RollForward::Role::kSplitParent: {
+      SliceRuntime::SplitSpec spec;
+      spec.transition = roll.transition;
+      spec.child = roll.other;
+      spec.child_cov = roll.cov;
+      spec.cutover = roll.cutover;
+      spec.reply_to = control_endpoint_;
+      rt->begin_split(std::move(spec));
+      return;
+    }
+    case RollForward::Role::kMergeSurvivor: {
+      SliceRuntime::AbsorbSpec spec;
+      spec.transition = roll.transition;
+      spec.retiree = roll.other;
+      spec.cutover = roll.cutover;
+      spec.reply_to = control_endpoint_;
+      rt->begin_absorb(std::move(spec));
+      if (roll.state_ready) rt->deliver_absorb_state(roll.state, roll.log);
+      return;
+    }
+    case RollForward::Role::kMergeRetiree: {
+      SliceRuntime::FreezeSpec spec;
+      spec.migration = roll.transition;
+      spec.catchup = roll.cutover;
+      spec.dst_host = HostId{};
+      spec.reply_to = control_endpoint_;
+      spec.merge_capture = true;
+      rt->request_freeze(std::move(spec));
+      return;
+    }
+  }
 }
 
 void Engine::broadcast_location(SliceId slice, HostId host) {
@@ -739,7 +1440,17 @@ void Engine::on_control(const net::Delivery& delivery) {
   if (const auto* checkpoint = dynamic_cast<const CheckpointMessage*>(msg)) {
     checkpoints_[checkpoint->slice] =
         StoredCheckpoint{checkpoint->state, checkpoint->processed,
-                         checkpoint->out_seqs, checkpoint->log};
+                         checkpoint->out_seqs, checkpoint->log,
+                         checkpoint->coverage_epoch};
+    // A checkpoint at or past a pending split/merge capture's coverage
+    // epoch proves that capture durable: the roll-forward record is spent,
+    // and a transition deferred behind it may start.
+    if (auto roll = rollforward_.find(checkpoint->slice);
+        roll != rollforward_.end() &&
+        checkpoint->coverage_epoch >= roll->second.epoch) {
+      rollforward_.erase(roll);
+      start_next_transition();
+    }
     // A checkpoint whose watermark reaches a recovered upstream's
     // regenerated base proves this consumer advanced in the new numbering;
     // the rebase entry is spent. (Narrow known race: a pre-crash checkpoint
@@ -782,6 +1493,14 @@ void Engine::on_control(const net::Delivery& delivery) {
     // replay upstream logs and the external injection log.
     auto recovery = recoveries_.find(ack->slice);
     if (recovery == recoveries_.end()) return;
+    if (!directory_.contains(ack->slice)) {
+      // The slice was merged away while this recovery was in flight: the
+      // activated copy is a harmless idle zombie (nothing routes to it).
+      auto orphaned = std::move(recovery->second);
+      recoveries_.erase(recovery);
+      if (orphaned) orphaned();
+      return;
+    }
     const HostId dst = directory_.at(ack->slice).primary;
     // A slice without a checkpoint bootstraps: zero watermarks ask the
     // (untruncated) logs for a full replay, and empty output bases make
@@ -857,11 +1576,18 @@ void Engine::on_control(const net::Delivery& delivery) {
         }
       }
     }
+    // A pending split/merge capture on this slice replays now, from the
+    // freshly restored state — deterministically identical to the original.
+    redrive_rollforward(ack->slice);
     auto done = std::move(recovery->second);
     recoveries_.erase(recovery);
     if (done) done();
     return;
   }
+
+  // ---- split / merge traffic (ids never clash with migrations: both
+  // families draw from the same counter) ----
+  if (handle_transition_control(msg)) return;
 
   if (!current_migration_) {
     ESH_WARN << "Engine: control message with no migration in flight";

@@ -124,6 +124,60 @@ enum class MigrationStep {
 void assert_migration_transition(MigrationId id, SliceId slice,
                                  MigrationStep from, MigrationStep to);
 
+// ---- fine-grained elasticity: key-level slice split / merge -----------------
+
+// A split refines one slice's key coverage by a bit: the parent keeps one
+// half, a fresh child slice takes the other. A merge is the inverse: a
+// retiree's coverage and state fold back into its coverage-sibling
+// survivor. See PROTOCOL.md for the cut-over sequence.
+enum class TransitionKind { kSplit, kMerge };
+
+[[nodiscard]] const char* to_string(TransitionKind kind);
+
+// Coordinator-side protocol position of an in-flight split.
+enum class SplitStep {
+  kCreateChild,  // replica + directory registration for the child
+  kCutOver,      // atomic routing flip (transient within one callback)
+  kDrain,        // parent draining to the cut; awaiting SplitStateMessage
+  kActivate,     // child restoring from the captured half
+  kAborting,     // child host died pre-cut-over; tearing the replica down
+};
+
+// Coordinator-side protocol position of an in-flight merge.
+enum class MergeStep {
+  kCutOver,       // atomic routing flip (transient within one callback)
+  kDrainRetiree,  // retiree draining to its final vector; awaiting capture
+  kAbsorb,        // survivor absorbing the retiree's state
+  kTeardown,      // retiring the drained retiree instance
+};
+
+[[nodiscard]] const char* to_string(SplitStep step);
+[[nodiscard]] const char* to_string(MergeStep step);
+
+// Legal coordinator transitions (checked via the contract layer on every
+// step change, like the migration state machine).
+[[nodiscard]] bool split_transition_legal(SplitStep from, SplitStep to);
+[[nodiscard]] bool merge_transition_legal(MergeStep from, MergeStep to);
+
+void assert_split_transition(MigrationId id, SliceId slice, SplitStep from,
+                             SplitStep to);
+void assert_merge_transition(MigrationId id, SliceId slice, MergeStep from,
+                             MergeStep to);
+
+struct TransitionReport {
+  MigrationId id;
+  TransitionKind kind = TransitionKind::kSplit;
+  SliceId parent;  // split parent / merge survivor
+  SliceId child;   // split child / merge retiree
+  bool completed = false;  // false: rejected or aborted
+  SimTime requested{};
+  SimTime cutover{};    // routing flipped (start of the drain)
+  SimTime finished{};
+  std::size_t moved = 0;  // state entries split off (splits only)
+};
+
+using TransitionCallback = std::function<void(const TransitionReport&)>;
+
 struct MigrationReport {
   MigrationId id;
   SliceId slice;
@@ -182,6 +236,45 @@ class Engine {
   [[nodiscard]] std::size_t pending_migrations() const {
     return migration_queue_.size() + (current_migration_ ? 1 : 0);
   }
+
+  // ---- fine-grained elasticity: key-level split / merge ----
+  // Splits `parent`'s key coverage in two: the parent keeps one half and a
+  // fresh child slice hosted on `dst` takes the other. Serialized with
+  // migrations on the same coordinator (one elastic operation in flight at
+  // a time). The callback fires exactly once; invalid arguments reject
+  // through it (completed=false).
+  void split_slice(SliceId parent, HostId dst, TransitionCallback callback);
+  // Inverse of split_slice: `retiree`'s coverage and state fold back into
+  // its coverage-sibling `survivor`, and the retiree slice is torn down.
+  void merge_slices(SliceId survivor, SliceId retiree,
+                    TransitionCallback callback);
+  [[nodiscard]] std::size_t pending_transitions() const {
+    return transition_queue_.size() + (current_transition_ ? 1 : 0);
+  }
+  [[nodiscard]] std::uint64_t splits_completed() const {
+    return splits_completed_;
+  }
+  [[nodiscard]] std::uint64_t merges_completed() const {
+    return merges_completed_;
+  }
+  // Monotone counter bumped at every split/merge cut-over; routing plans
+  // stamped with an older epoch predate the current broadcast fan.
+  [[nodiscard]] std::uint64_t routing_epoch() const { return routing_epoch_; }
+  // Deployment seed (deterministic per-slice timer phases derive from it).
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  // Key coverage currently routed to `slice` (throws for unknown slices).
+  [[nodiscard]] KeyCoverage slice_coverage(SliceId slice) const;
+  // Chaos hook: fired after every coordinator step change of an in-flight
+  // split or merge; `step` matches to_string(SplitStep/MergeStep). The hook
+  // may fail hosts, which is exactly what the torture tests do.
+  void on_elastic_step(
+      std::function<void(const TransitionReport&, std::string_view)> hook) {
+    elastic_step_hook_ = std::move(hook);
+  }
+  // Testing seam: the next split cut-over "forgets" to refine the parent's
+  // coverage, leaving parent and child overlapping — the key-coverage
+  // completeness contract must trip (checked builds only).
+  bool testing_corrupt_split_plan = false;
 
   // ---- probes ----
   // All engine hosts start sending HostProbe heartbeats to `target`.
@@ -275,8 +368,69 @@ class Engine {
     MigrationOutcome abort_outcome = MigrationOutcome::kCompleted;
   };
 
+  // One in-flight split or merge, serialized with migrations: the
+  // coordinator runs at most one elastic operation (of either family) at a
+  // time, migrations first.
+  struct TransitionTask {
+    TransitionReport report;
+    TransitionCallback callback;
+    HostId dst;               // split: child host (replaced if it dies)
+    HostId retiree_host;      // merge: where the retiree drains
+    KeyCoverage parent_cov;   // split: parent's post-cut-over coverage
+    KeyCoverage child_cov;    // split: child's coverage
+    KeyCoverage merged_cov;   // merge: survivor's post-cut-over coverage
+    SplitStep split_step = SplitStep::kCreateChild;
+    MergeStep merge_step = MergeStep::kCutOver;
+    void set_split_step(SplitStep next) {
+      assert_split_transition(report.id, report.parent, split_step, next);
+      split_step = next;
+    }
+    void set_merge_step(MergeStep next) {
+      assert_merge_transition(report.id, report.parent, merge_step, next);
+      merge_step = next;
+    }
+    // kCreateChild: outstanding directory acks (dead hosts are struck).
+    std::set<HostId> pending_update_hosts;
+    bool create_acked = false;
+  };
+
+  // Roll-forward record of a slice mid split/merge (checkpointed clusters
+  // only): if the slice's host dies before its next checkpoint proves the
+  // capture/absorb durable (coverage_epoch >= epoch), recovery re-drives the
+  // slice's leg of the protocol — holds are re-installed from `cutover` and
+  // the deterministic replay reproduces the identical capture.
+  struct RollForward {
+    enum class Role { kSplitParent, kMergeSurvivor, kMergeRetiree };
+    Role role = Role::kSplitParent;
+    MigrationId transition;
+    std::uint64_t epoch = 0;  // coverage epoch the pending capture produces
+    SliceId other;            // split: child; merge: the opposite slice
+    KeyCoverage cov;          // split: child coverage (for re-capture)
+    std::vector<std::pair<SliceId, SeqNo>> cutover;
+    // Merge survivor: the retiree's captured state, once shipped.
+    std::shared_ptr<const std::vector<std::byte>> state;
+    std::vector<WireEvent> log;
+    bool state_ready = false;
+  };
+
   void start_next_migration();
   void finish_migration(MigrationOutcome outcome);
+  void start_next_transition();
+  void finish_transition(bool completed);
+  void begin_split_transition();
+  void begin_merge_transition();
+  void split_cutover();
+  // Split/merge control traffic is dispatched before the migration block in
+  // on_control; returns true when the message was consumed.
+  bool handle_transition_control(const net::Message* msg);
+  void handle_transition_host_failure(HostId host);
+  // Re-drive the pending protocol leg of a just-recovered slice (see
+  // RollForward).
+  void redrive_rollforward(SliceId slice);
+  bool fire_elastic_step(std::string_view step);
+  [[nodiscard]] std::vector<std::pair<SliceId, SeqNo>> capture_cut_vector(
+      SliceId slice);
+  [[nodiscard]] StaticConfig::OperatorInfo& mutable_op_of(SliceId slice);
   void handle_host_failure(HostId host);
   void after_directory_acks();
   void broadcast_location(SliceId slice, HostId host);
@@ -317,6 +471,11 @@ class Engine {
   std::map<net::Endpoint, HostId> control_peers_;
 
   std::shared_ptr<const StaticConfig> static_;
+  // Same object as static_, mutated only inside an atomic cut-over callback
+  // (the simulator is single-threaded; worker pools only run inside
+  // on_batch_start, which joins before returning, so no reader can observe
+  // a half-applied fan change).
+  std::shared_ptr<StaticConfig> mutable_static_;
   std::unordered_map<HostId, std::unique_ptr<HostRuntime>> host_runtimes_;
   // Authoritative directory at the coordinator.
   std::unordered_map<SliceId, SliceLocation> directory_;
@@ -324,9 +483,18 @@ class Engine {
   std::uint64_t next_slice_ = 1;
   std::uint64_t next_migration_ = 1;
   std::uint64_t migrations_completed_ = 0;
+  std::uint64_t seed_ = 0;
+  std::uint64_t routing_epoch_ = 0;
+  std::uint64_t splits_completed_ = 0;
+  std::uint64_t merges_completed_ = 0;
 
   std::deque<MigrationTask> migration_queue_;
   std::optional<MigrationTask> current_migration_;
+  std::deque<TransitionTask> transition_queue_;
+  std::optional<TransitionTask> current_transition_;
+  std::map<SliceId, RollForward> rollforward_;
+  std::function<void(const TransitionReport&, std::string_view)>
+      elastic_step_hook_;
   std::optional<net::Endpoint> probe_target_;
   // Per-slice sequence counters of the external injection channel.
   std::unordered_map<SliceId, SeqNo> next_inject_seq_;
@@ -339,6 +507,10 @@ class Engine {
     std::vector<std::pair<SliceId, SeqNo>> processed;
     std::vector<std::pair<SliceId, SeqNo>> out_seqs;
     std::vector<WireEvent> log;  // output backlog at the cut
+    // Coverage epoch of the state (bumped by every completed split capture
+    // or merge absorb); restored so a recovered slice's epoch stays
+    // comparable against RollForward::epoch.
+    std::uint64_t coverage_epoch = 0;
   };
   std::unordered_map<SliceId, StoredCheckpoint> checkpoints_;
   std::unordered_map<SliceId, std::deque<WireEvent>> inject_log_;

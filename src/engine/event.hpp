@@ -108,6 +108,9 @@ struct StateTransferMessage final : net::Message {
   // instance had logged.
   std::vector<WireEvent> log;
   SimTime frozen_at{};
+  // Coverage epoch of the frozen slice (preserved across the move so the
+  // destination's checkpoints keep proving split/merge captures durable).
+  std::uint64_t coverage_epoch = 0;
   net::Endpoint reply_to;
 };
 
@@ -190,6 +193,57 @@ struct TeardownAck final : net::Message {
   MigrationId migration;
 };
 
+// ---- slice split / merge (fine-grained elasticity) ----
+//
+// A split refines one M slice's key coverage by one bit: the parent keeps
+// half, a fresh child slice takes the other half. The coordinator flips the
+// routing tables atomically (the cut-over), the parent drains its channels
+// to the captured cut-over sequence numbers, splits off the child's half of
+// its state in one write job, and the child activates from that state like
+// a checkpoint restore. A merge is the inverse: the retiree drains, ships
+// its full state to the coordinator, and the survivor absorbs it. See
+// PROTOCOL.md for the full sequence.
+
+// Parent host -> coordinator: the drained parent captured the child's half
+// of its state. `moved` is the number of subscriptions split off;
+// `coverage_epoch` is the parent's epoch after the capture (checkpoints at
+// or past it prove the capture is durable).
+struct SplitStateMessage final : net::Message {
+  MigrationId transition;
+  SliceId parent;
+  SliceId child;
+  std::shared_ptr<const std::vector<std::byte>> state;
+  std::size_t moved = 0;
+  std::uint64_t coverage_epoch = 0;
+};
+
+// Retiree host -> coordinator: the drained retiree serialized its full
+// state and upstream-backup log (flattened, adopted origins included).
+struct MergeStateMessage final : net::Message {
+  MigrationId transition;
+  SliceId retiree;
+  std::shared_ptr<const std::vector<std::byte>> state;
+  std::vector<WireEvent> log;
+};
+
+// Coordinator -> survivor host: absorb the retiree's captured state. The
+// survivor may still be draining to its cut-over; the absorb runs once both
+// the drain and this state have arrived.
+struct MergeAbsorbRequest final : net::Message {
+  MigrationId transition;
+  SliceId survivor;
+  SliceId retiree;
+  std::shared_ptr<const std::vector<std::byte>> state;
+  std::vector<WireEvent> log;
+  net::Endpoint reply_to;
+};
+
+struct MergeAbsorbAck final : net::Message {
+  MigrationId transition;
+  SliceId survivor;
+  std::uint64_t coverage_epoch = 0;
+};
+
 // Periodic probe from a host runtime to the manager (paper §IV-B).
 struct ProbeMessage final : net::Message {
   cluster::HostProbe probe;
@@ -203,6 +257,10 @@ struct CheckpointMessage final : net::Message {
   std::shared_ptr<const std::vector<std::byte>> state;
   std::vector<std::pair<SliceId, SeqNo>> processed;  // input watermarks
   std::vector<std::pair<SliceId, SeqNo>> out_seqs;   // output counters
+  // Coverage epoch of the slice at the cut: a checkpoint at or past a
+  // pending split/merge capture's epoch proves the captured state is
+  // durable, so a later recovery must not re-run the capture.
+  std::uint64_t coverage_epoch = 0;
   // Retained output backlog at the cut (see StateTransferMessage::log):
   // needed when this slice and a downstream fail together — the restored
   // instance must be able to replay events it emitted before the cut,
@@ -224,6 +282,11 @@ struct RestoreFromCheckpointMessage final : net::Message {
   std::vector<std::pair<SliceId, SeqNo>> processed;
   std::vector<std::pair<SliceId, SeqNo>> out_seqs;
   std::vector<WireEvent> log;  // checkpointed output backlog
+  std::uint64_t coverage_epoch = 0;
+  // Cut-over holds of a pending split/merge the restored slice is mid-way
+  // through: installed before the replica buffer drains, so replayed events
+  // at or past a hold stay queued until the re-driven capture releases them.
+  std::vector<std::pair<SliceId, SeqNo>> holds;
   net::Endpoint reply_to;
 };
 

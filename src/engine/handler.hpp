@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cluster/host.hpp"
+#include "common/keyspace.hpp"
 #include "common/serde.hpp"
 #include "common/types.hpp"
 #include "engine/event.hpp"
@@ -51,6 +52,15 @@ class Context {
   [[nodiscard]] virtual SimTime now() const = 0;
   [[nodiscard]] virtual std::size_t slice_index() const = 0;
   [[nodiscard]] virtual std::size_t slice_count(std::string_view op) const = 0;
+  // Current broadcast fan of `op`: the slice indices a kBroadcast emit
+  // reaches right now, ascending. Changes when a slice splits or merges;
+  // handlers stamp it into payloads whose downstream completion logic must
+  // match the fan the event was actually routed with.
+  [[nodiscard]] virtual std::vector<std::uint32_t> fan_indices(
+      std::string_view op) const = 0;
+  // Monotone counter bumped at every split/merge cut-over; lets handlers
+  // detect that a routing plan computed earlier predates the current fan.
+  [[nodiscard]] virtual std::uint64_t routing_epoch() const = 0;
 };
 
 class Handler {
@@ -104,6 +114,24 @@ class Handler {
   [[nodiscard]] virtual std::size_t state_bytes() const { return 0; }
   // CPU cost of instantiating an empty replica (runtime + library setup).
   [[nodiscard]] virtual double replica_init_units() const { return 5e4; }
+
+  // ---- key-level state split / merge (fine-grained elasticity) ----
+  // A splittable handler partitions its state by routing key. split_state
+  // atomically serializes the part covered by `cov` (restorable by
+  // restore_state) and removes it from the live state, returning the number
+  // of state entries moved; absorb_state merges a previously split-off part
+  // back in. Non-splittable handlers keep the defaults.
+  [[nodiscard]] virtual bool supports_split() const { return false; }
+  [[nodiscard]] virtual std::size_t split_state(const KeyCoverage& cov,
+                                                BinaryWriter& w) {
+    (void)cov;
+    (void)w;
+    throw std::logic_error{"handler does not support split_state"};
+  }
+  virtual void absorb_state(BinaryReader& r) {
+    (void)r;
+    throw std::logic_error{"handler does not support absorb_state"};
+  }
 };
 
 using HandlerFactory =

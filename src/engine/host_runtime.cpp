@@ -71,6 +71,15 @@ std::uint32_t StaticConfig::index_of(std::string_view name) const {
   return it->second;
 }
 
+SliceId StaticConfig::OperatorInfo::route(std::uint64_t key) const {
+  // Linear scan: operators have a handful of slices, and the coverage set
+  // tiles the key space exactly, so the first hit is the only hit.
+  for (std::size_t i = 0; i < coverages.size(); ++i) {
+    if (coverages[i].covers(key)) return slices[i];
+  }
+  throw std::logic_error{"OperatorInfo::route: key not covered"};
+}
+
 // ---- SliceRuntime ------------------------------------------------------------
 
 SliceRuntime::SliceRuntime(HostRuntime& host, SliceId id,
@@ -94,9 +103,14 @@ void SliceRuntime::set_state(State next) {
 void SliceRuntime::start_flush_timer() {
   auto& engine = host_.engine();
   const auto period = engine.config().flush_interval;
-  // Random phase so slices do not flush in lockstep.
+  // Deterministic per-slice phase so slices do not flush in lockstep. A
+  // seeded hash of the slice id — not the shared RNG stream — keeps every
+  // slice's phase independent of how many timers started before it, so
+  // creating a slice mid-run (split child, recovery) never rephases the
+  // rest of the cluster.
   const auto phase = micros(static_cast<std::int64_t>(
-      engine.rng().next_below(static_cast<std::uint64_t>(period.count()))));
+      key_mix64(engine.seed() ^ id_.value()) %
+      static_cast<std::uint64_t>(period.count())));
   flush_timer_ = std::make_unique<sim::PeriodicTimer>(
       engine.simulator(), phase + micros(1), period, [this] { flush_outputs(); });
 }
@@ -127,6 +141,7 @@ void SliceRuntime::on_wire_event(const WireEvent& event) {
   channel.pending.emplace(event.seq, event.payload);
   deliver_in_order(event.from, channel);
   if (state_ == State::kFreezePending) check_freeze();
+  if (split_spec_ || absorb_spec_) check_transition_drain();
 }
 
 void SliceRuntime::deliver_in_order([[maybe_unused]] SliceId from,
@@ -146,7 +161,8 @@ void SliceRuntime::deliver_in_order([[maybe_unused]] SliceId from,
                           std::to_string(from.value())));
   std::vector<PayloadPtr> run;
   while (!channel.pending.empty() &&
-         channel.pending.begin()->first == channel.expected) {
+         channel.pending.begin()->first == channel.expected &&
+         (channel.hold == 0 || channel.expected < channel.hold)) {
     auto node = channel.pending.extract(channel.pending.begin());
     run.push_back(std::move(node.mapped()));
     channel.last_dispatched = channel.expected;
@@ -244,7 +260,11 @@ void SliceRuntime::emit(std::string_view op, Routing routing,
       for (SliceId target : slices) queue_to(target);
       break;
     case Routing::Kind::kHash:
-      queue_to(slices[routing.key() % slices.size()]);
+      // Never-split operators keep the original modulo rule (byte-identical
+      // to the pre-elasticity engine); refined operators route through the
+      // coverage set flipped atomically at each cut-over.
+      queue_to(target_op.refined ? target_op.route(routing.key())
+                                 : slices[routing.key() % slices.size()]);
       break;
   }
 }
@@ -260,6 +280,23 @@ std::size_t SliceRuntime::slice_index() const {
 std::size_t SliceRuntime::slice_count(std::string_view op) const {
   const auto& cfg = host_.engine().static_config();
   return cfg.operators.at(cfg.index_of(op)).slices.size();
+}
+
+std::vector<std::uint32_t> SliceRuntime::fan_indices(
+    std::string_view op) const {
+  const auto& cfg = host_.engine().static_config();
+  const auto& target_op = cfg.operators.at(cfg.index_of(op));
+  std::vector<std::uint32_t> fan;
+  fan.reserve(target_op.slices.size());
+  for (const SliceId slice : target_op.slices) {
+    fan.push_back(cfg.info_of(slice).slice_index);
+  }
+  std::sort(fan.begin(), fan.end());
+  return fan;
+}
+
+std::uint64_t SliceRuntime::routing_epoch() const {
+  return host_.engine().routing_epoch();
 }
 
 void SliceRuntime::flush_outputs() {
@@ -292,8 +329,12 @@ void SliceRuntime::start_checkpoint_timer() {
   if (!logging_) return;
   auto& engine = host_.engine();
   const auto period = engine.config().checkpoints.interval;
+  // Same per-slice hash phase as the flush timer (different period, so the
+  // two timers de-phase naturally); see start_flush_timer for why this is
+  // a hash of the slice id and not a shared-RNG draw.
   const auto phase = micros(static_cast<std::int64_t>(
-      engine.rng().next_below(static_cast<std::uint64_t>(period.count()))));
+      key_mix64(engine.seed() ^ id_.value()) %
+      static_cast<std::uint64_t>(period.count())));
   checkpoint_timer_ = std::make_unique<sim::PeriodicTimer>(
       engine.simulator(), phase + micros(1), period,
       [this] { checkpoint(host_.engine().checkpoint_store_endpoint()); });
@@ -344,6 +385,7 @@ void SliceRuntime::checkpoint(net::Endpoint store) {
     if (state_ != State::kActive) return;
     auto msg = std::make_shared<CheckpointMessage>();
     msg->slice = id_;
+    msg->coverage_epoch = coverage_epoch_;
     BinaryWriter writer;
     handler_->serialize_state(writer);
     msg->state = std::make_shared<const std::vector<std::byte>>(
@@ -356,19 +398,59 @@ void SliceRuntime::checkpoint(net::Endpoint store) {
     for (const SliceId target : sorted_keys(next_out_seq_)) {
       msg->out_seqs.emplace_back(target, next_out_seq_.at(target));
     }
-    for (const SliceId target : sorted_keys(out_log_)) {
-      const auto& log = out_log_.at(target);
-      msg->log.insert(msg->log.end(), log.begin(), log.end());
-    }
+    append_flattened_logs(msg->log);
     const std::size_t bytes = msg->state->size() + 64 * msg->log.size();
     host_.send_control(store, std::move(msg), bytes);
   });
+}
+
+void SliceRuntime::append_flattened_logs(std::vector<WireEvent>& out) const {
+  // Own log first, then adopted origins; sorted at every level so the wire
+  // format never depends on hash-table layout. The reader reconstructs the
+  // partition by WireEvent::from (== id_ for own entries).
+  for (const SliceId target : sorted_keys(out_log_)) {
+    const auto& log = out_log_.at(target);
+    out.insert(out.end(), log.begin(), log.end());
+  }
+  for (const auto& [origin, per_target] : adopted_log_) {
+    for (const auto& [target, log] : per_target) {
+      out.insert(out.end(), log.begin(), log.end());
+    }
+  }
+}
+
+void SliceRuntime::truncate_adopted(SliceId origin, SliceId downstream,
+                                    SeqNo upto) {
+  auto origin_it = adopted_log_.find(origin);
+  if (origin_it == adopted_log_.end()) return;
+  auto it = origin_it->second.find(downstream);
+  if (it == origin_it->second.end()) return;
+  auto& log = it->second;
+  while (!log.empty() && log.front().seq <= upto) log.pop_front();
+}
+
+void SliceRuntime::replay_adopted(SliceId origin, SliceId downstream,
+                                  SeqNo above) {
+  auto origin_it = adopted_log_.find(origin);
+  if (origin_it == adopted_log_.end()) return;
+  auto it = origin_it->second.find(downstream);
+  if (it == origin_it->second.end()) return;
+  std::unordered_map<SliceId, std::vector<WireEvent>> resend;
+  for (const WireEvent& event : it->second) {
+    if (event.seq > above) resend[downstream].push_back(event);
+  }
+  if (!resend.empty()) {
+    host_.send_events(id_, std::move(resend), &net_bytes_sent_);
+  }
 }
 
 std::size_t SliceRuntime::logged_events() const {
   std::size_t total = 0;
   // lint:allow(unordered-iteration): order-free sum
   for (const auto& [target, log] : out_log_) total += log.size();
+  for (const auto& [origin, per_target] : adopted_log_) {
+    for (const auto& [target, log] : per_target) total += log.size();
+  }
   return total;
 }
 
@@ -427,9 +509,26 @@ void SliceRuntime::do_freeze() {
     // Ship whatever the final processing jobs emitted before the state is
     // captured; the output sequence counters must cover these events.
     flush_outputs();
+    if (freeze_spec_->merge_capture) {
+      // Merge retiree: the full state and backup log go to the coordinator
+      // (which forwards them to the survivor); the slice stays frozen here
+      // until the coordinator tears it down.
+      auto msg = std::make_shared<MergeStateMessage>();
+      msg->transition = freeze_spec_->migration;
+      msg->retiree = id_;
+      BinaryWriter writer;
+      handler_->serialize_state(writer);
+      msg->state = std::make_shared<const std::vector<std::byte>>(
+          std::move(writer).take());
+      append_flattened_logs(msg->log);
+      const std::size_t bytes = msg->state->size() + 64 * msg->log.size();
+      host_.send_control(freeze_spec_->reply_to, std::move(msg), bytes);
+      return;
+    }
     auto msg = std::make_shared<StateTransferMessage>();
     msg->migration = freeze_spec_->migration;
     msg->slice = id_;
+    msg->coverage_epoch = coverage_epoch_;
     BinaryWriter writer;
     handler_->serialize_state(writer);
     msg->state = std::make_shared<const std::vector<std::byte>>(
@@ -445,10 +544,7 @@ void SliceRuntime::do_freeze() {
     // The upstream-backup log travels with the state: after teardown the
     // source is gone, and replay requests for these events reach the
     // destination host instead.
-    for (const SliceId target : sorted_keys(out_log_)) {
-      const auto& log = out_log_.at(target);
-      msg->log.insert(msg->log.end(), log.begin(), log.end());
-    }
+    append_flattened_logs(msg->log);
     msg->frozen_at = host_.engine().simulator().now();
     msg->reply_to = freeze_spec_->reply_to;
     const std::size_t bytes = msg->state->size() + 64 * msg->log.size();
@@ -474,11 +570,12 @@ void SliceRuntime::activate(const StateTransferMessage& msg) {
   const auto frozen_at = msg.frozen_at;
   const auto reply_to = msg.reply_to;
   const auto migration = msg.migration;
+  const auto coverage_epoch = msg.coverage_epoch;
   host_.cpu().submit(
       id_, cluster::LockMode::kWrite, cost,
       [this, state, state_bytes, processed = std::move(processed),
        out_seqs = std::move(out_seqs), log = std::move(log), frozen_at,
-       reply_to, migration] {
+       reply_to, migration, coverage_epoch] {
         if (state_ != State::kInactiveReplica) return;  // aborted meanwhile
         if (state) {
           // Bootstrap recovery ships no state: the handler starts fresh
@@ -486,6 +583,7 @@ void SliceRuntime::activate(const StateTransferMessage& msg) {
           BinaryReader reader{*state};
           handler_->restore_state(reader);
         }
+        coverage_epoch_ = coverage_epoch;
         for (const auto& [from, last] : processed) {
           auto& channel = in_[from];
           channel.expected = last + 1;
@@ -495,10 +593,17 @@ void SliceRuntime::activate(const StateTransferMessage& msg) {
           next_out_seq_[target] = next;
         }
         // Adopt the transferred upstream-backup log so replay requests for
-        // pre-cut events can be served from here.
+        // pre-cut events can be served from here. Entries this slice did
+        // not emit itself belong to adopted channels of merged-away
+        // origins and keep their origin's channel identity.
         out_log_.clear();
+        adopted_log_.clear();
         for (const WireEvent& event : log) {
-          out_log_[event.to].push_back(event);
+          if (event.from == id_) {
+            out_log_[event.to].push_back(event);
+          } else {
+            adopted_log_[event.from][event.to].push_back(event);
+          }
         }
         set_state(State::kActive);
         start_flush_timer();
@@ -542,6 +647,150 @@ void SliceRuntime::retire() {
   out_buffer_.clear();
   out_buffer_events_ = 0;
   out_log_.clear();
+  adopted_log_.clear();
+  split_spec_.reset();
+  absorb_spec_.reset();
+  absorb_state_.reset();
+  absorb_log_.clear();
+  absorb_state_ready_ = false;
+  capture_submitted_ = false;
+}
+
+// ---- key-level split / merge -------------------------------------------------
+
+void SliceRuntime::begin_split(SplitSpec spec) {
+  if (state_ != State::kActive) {
+    throw std::logic_error{"begin_split: slice not active"};
+  }
+  split_spec_ = std::move(spec);
+  capture_submitted_ = false;
+  for (const auto& [channel_id, cut] : split_spec_->cutover) {
+    in_[channel_id].hold = cut;
+  }
+  check_transition_drain();
+}
+
+void SliceRuntime::begin_absorb(AbsorbSpec spec) {
+  if (state_ != State::kActive) {
+    throw std::logic_error{"begin_absorb: slice not active"};
+  }
+  absorb_spec_ = std::move(spec);
+  capture_submitted_ = false;
+  for (const auto& [channel_id, cut] : absorb_spec_->cutover) {
+    in_[channel_id].hold = cut;
+  }
+  check_transition_drain();
+}
+
+void SliceRuntime::deliver_absorb_state(
+    std::shared_ptr<const std::vector<std::byte>> state,
+    std::vector<WireEvent> log) {
+  absorb_state_ = std::move(state);
+  absorb_log_ = std::move(log);
+  absorb_state_ready_ = true;
+  check_transition_drain();
+}
+
+void SliceRuntime::preinstall_holds(
+    const std::vector<std::pair<SliceId, SeqNo>>& holds) {
+  for (const auto& [channel_id, cut] : holds) {
+    in_[channel_id].hold = cut;
+  }
+}
+
+void SliceRuntime::check_transition_drain() {
+  if (capture_submitted_) return;
+  if (!split_spec_ && !absorb_spec_) return;
+  const auto& cutover =
+      split_spec_ ? split_spec_->cutover : absorb_spec_->cutover;
+  // Drained when every cut-over channel has dispatched its full pre-cut
+  // prefix: expected == cut (holds stop delivery exactly there).
+  for (const auto& [channel_id, cut] : cutover) {
+    const auto it = in_.find(channel_id);
+    const SeqNo expected = it == in_.end() ? SeqNo{1} : it->second.expected;
+    if (expected < cut) return;
+  }
+  if (absorb_spec_ && !absorb_state_ready_) return;
+  capture_submitted_ = true;
+  if (split_spec_) {
+    run_split_capture();
+  } else {
+    run_absorb();
+  }
+}
+
+void SliceRuntime::run_split_capture() {
+  const auto& cost_model = host_.engine().config().cost;
+  // Serializing roughly half the store; the kWrite lock makes the capture
+  // run after every in-flight pre-cut job, so the state it sees is exactly
+  // the pre-cut-over prefix.
+  const double cost =
+      1000.0 + cost_model.state_serialize_units_per_byte *
+                   static_cast<double>(handler_->state_bytes() / 2);
+  host_.cpu().submit(id_, cluster::LockMode::kWrite, cost, [this] {
+    if (state_ != State::kActive || !split_spec_) return;
+    // Ship pre-capture emissions first: the child must not see matches the
+    // parent produced for events it will never hold.
+    flush_outputs();
+    auto msg = std::make_shared<SplitStateMessage>();
+    msg->transition = split_spec_->transition;
+    msg->parent = id_;
+    msg->child = split_spec_->child;
+    BinaryWriter writer;
+    msg->moved = handler_->split_state(split_spec_->child_cov, writer);
+    msg->state = std::make_shared<const std::vector<std::byte>>(
+        std::move(writer).take());
+    ++coverage_epoch_;
+    msg->coverage_epoch = coverage_epoch_;
+    const std::size_t bytes = msg->state->size() + 64;
+    host_.send_control(split_spec_->reply_to, std::move(msg), bytes);
+    split_spec_.reset();
+    capture_submitted_ = false;
+    release_holds();
+  });
+}
+
+void SliceRuntime::run_absorb() {
+  const auto& cost_model = host_.engine().config().cost;
+  const double cost =
+      1000.0 + cost_model.state_deserialize_units_per_byte *
+                   static_cast<double>(absorb_state_ ? absorb_state_->size()
+                                                     : 0);
+  host_.cpu().submit(id_, cluster::LockMode::kWrite, cost, [this] {
+    if (state_ != State::kActive || !absorb_spec_) return;
+    flush_outputs();
+    if (absorb_state_ && !absorb_state_->empty()) {
+      BinaryReader reader{*absorb_state_};
+      handler_->absorb_state(reader);
+    }
+    // Adopt the retiree's backup log (and any logs it had itself adopted):
+    // replay requests for its pre-merge output are served from here now.
+    for (const WireEvent& event : absorb_log_) {
+      adopted_log_[event.from][event.to].push_back(event);
+    }
+    ++coverage_epoch_;
+    auto ack = std::make_shared<MergeAbsorbAck>();
+    ack->transition = absorb_spec_->transition;
+    ack->survivor = id_;
+    ack->coverage_epoch = coverage_epoch_;
+    host_.send_control(absorb_spec_->reply_to, std::move(ack), 64);
+    absorb_spec_.reset();
+    absorb_state_.reset();
+    absorb_log_.clear();
+    absorb_state_ready_ = false;
+    capture_submitted_ = false;
+    release_holds();
+  });
+}
+
+void SliceRuntime::release_holds() {
+  // Sorted: release order decides cross-channel dispatch interleaving.
+  for (const SliceId channel_id : sorted_keys(in_)) {
+    auto& channel = in_.at(channel_id);
+    if (channel.hold == 0) continue;
+    channel.hold = 0;
+    deliver_in_order(channel_id, channel);
+  }
 }
 
 // ---- HostRuntime -------------------------------------------------------------
@@ -720,14 +969,31 @@ void HostRuntime::handle_control(const net::Delivery& delivery) {
     handle_abort_migration(*req);
   } else if (const auto* req = dynamic_cast<const AbortReplicaRequest*>(msg)) {
     handle_abort_replica(*req);
+  } else if (const auto* absorb = dynamic_cast<const MergeAbsorbRequest*>(msg)) {
+    SliceRuntime* survivor = slice(absorb->survivor);
+    if (survivor == nullptr ||
+        survivor->state() != SliceRuntime::State::kActive) {
+      // The survivor died (or is mid-recovery); the coordinator re-drives
+      // the absorb after its recovery completes.
+      ESH_WARN << "HostRuntime: dropping absorb state without a survivor";
+    } else {
+      survivor->deliver_absorb_state(absorb->state, absorb->log);
+    }
   } else if (const auto* notice =
                  dynamic_cast<const CheckpointNoticeMessage*>(msg)) {
     // Upstream backup truncation: each local upstream slice drops logged
-    // events the checkpoint already covers.
+    // events the checkpoint already covers — both its own channel's and
+    // any adopted channel's of a merged-away origin.
     for (const auto& [upstream, watermark] : notice->processed) {
       auto it = slices_.find(upstream);
       if (it != slices_.end()) {
         it->second->truncate_log(notice->slice, watermark);
+      }
+    }
+    // lint:allow(unordered-iteration): truncation is order-free
+    for (auto& [slice_id, runtime] : slices_) {
+      for (const auto& [upstream, watermark] : notice->processed) {
+        runtime->truncate_adopted(upstream, notice->slice, watermark);
       }
     }
   } else if (const auto* restore =
@@ -741,6 +1007,12 @@ void HostRuntime::handle_control(const net::Delivery& delivery) {
         if (upstream == slice_id) watermark = seq;
       }
       slices_.at(slice_id)->replay_log(replay->slice, watermark);
+      // Adopted channels: any local slice may hold a merged-away
+      // upstream's log and serves its replay under the origin's identity.
+      for (const auto& [upstream, seq] : replay->processed) {
+        if (upstream == slice_id) continue;
+        slices_.at(slice_id)->replay_adopted(upstream, replay->slice, seq);
+      }
     }
   } else {
     ESH_WARN << "HostRuntime: unknown control message";
@@ -768,8 +1040,13 @@ void HostRuntime::handle_restore(const RestoreFromCheckpointMessage& msg) {
   transfer->processed = msg.processed;
   transfer->out_seqs = msg.out_seqs;
   transfer->log = msg.log;
+  transfer->coverage_epoch = msg.coverage_epoch;
   transfer->frozen_at = engine_.simulator().now();
   transfer->reply_to = msg.reply_to;
+  // Pending split/merge cut-over holds go in before the replica buffer
+  // drains, so replayed post-cut events stay queued until the re-driven
+  // capture or absorb releases them.
+  replica->preinstall_holds(msg.holds);
   replica->activate(*transfer);
 }
 

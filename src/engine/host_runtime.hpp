@@ -16,6 +16,7 @@
 #include "cluster/host.hpp"
 #include "cluster/probes.hpp"
 #include "common/contracts.hpp"
+#include "common/keyspace.hpp"
 #include "common/rng.hpp"
 #include "engine/event.hpp"
 #include "engine/handler.hpp"
@@ -35,8 +36,22 @@ struct StaticConfig {
     OperatorId id;
     std::string name;
     std::vector<SliceId> slices;
+    // Key coverage of each slice, parallel to `slices`. Deploy-time slices
+    // start with modulo coverage {base = N, bucket = i, depth = 0}; a split
+    // refines one entry by a bit and appends the child's, a merge erases
+    // the retiree's and widens the survivor's. The entries always tile the
+    // key space exactly (the key-coverage-complete invariant).
+    std::vector<KeyCoverage> coverages;
+    std::uint32_t coverage_base = 0;  // deploy-time slice count (fixed)
+    // False until the operator's first split: hash routing keeps the
+    // original modulo fast path — byte-for-byte identical behavior to the
+    // pre-elasticity engine — for never-split operators.
+    bool refined = false;
     HandlerFactory factory;
     std::vector<std::uint32_t> upstream_ops;  // indices into `operators`
+
+    // Hash-routing target for `key` under the current coverage set.
+    [[nodiscard]] SliceId route(std::uint64_t key) const;
   };
   struct SliceInfo {
     std::uint32_t op_index = 0;
@@ -90,6 +105,11 @@ class SliceRuntime final : public Context {
     std::vector<std::pair<SliceId, SeqNo>> catchup;
     HostId dst_host;
     net::Endpoint reply_to;
+    // Merge retiree capture: instead of shipping a StateTransferMessage to
+    // dst_host, the freeze job sends a MergeStateMessage (full state +
+    // flattened backup log) to reply_to and the slice stays frozen until
+    // the coordinator tears it down.
+    bool merge_capture = false;
   };
   void request_freeze(FreezeSpec spec);
 
@@ -123,6 +143,43 @@ class SliceRuntime final : public Context {
 
   void retire();
 
+  // Key-level split / merge (fine-grained elasticity) ----------------------
+  struct SplitSpec {
+    MigrationId transition;
+    SliceId child;
+    KeyCoverage child_cov;
+    // Cut-over vector: per upstream channel, the first post-cut-over seq.
+    std::vector<std::pair<SliceId, SeqNo>> cutover;
+    net::Endpoint reply_to;
+  };
+  struct AbsorbSpec {
+    MigrationId transition;
+    SliceId retiree;
+    std::vector<std::pair<SliceId, SeqNo>> cutover;
+    net::Endpoint reply_to;
+  };
+  // Parent side of a split: hold every cut-over channel at its cut; once
+  // all pre-cut-over events have been dispatched, split off the child's
+  // half of the state in one write job and ship it to the coordinator.
+  void begin_split(SplitSpec spec);
+  // Survivor side of a merge: hold channels at the cut; absorb the
+  // retiree's captured state once both the drain and the state are in.
+  void begin_absorb(AbsorbSpec spec);
+  void deliver_absorb_state(
+      std::shared_ptr<const std::vector<std::byte>> state,
+      std::vector<WireEvent> log);
+  // Installs cut-over holds before activation (recovery of a slice that
+  // died mid-transition): replayed events at or past a hold stay queued
+  // until the re-driven capture or absorb releases them.
+  void preinstall_holds(const std::vector<std::pair<SliceId, SeqNo>>& holds);
+  // Bumped at every completed split capture / merge absorb; a checkpoint
+  // at or past a pending transition's epoch proves its capture durable.
+  [[nodiscard]] std::uint64_t coverage_epoch() const { return coverage_epoch_; }
+  // Adopted-log maintenance (upstream backup inherited from merged-away
+  // slices; channel identity is the retired origin, not this slice).
+  void truncate_adopted(SliceId origin, SliceId downstream, SeqNo upto);
+  void replay_adopted(SliceId origin, SliceId downstream, SeqNo above);
+
   // Introspection ---------------------------------------------------------
   [[nodiscard]] std::uint64_t events_processed() const {
     return events_processed_;
@@ -137,6 +194,9 @@ class SliceRuntime final : public Context {
   [[nodiscard]] SimTime now() const override;
   [[nodiscard]] std::size_t slice_index() const override;
   [[nodiscard]] std::size_t slice_count(std::string_view op) const override;
+  [[nodiscard]] std::vector<std::uint32_t> fan_indices(
+      std::string_view op) const override;
+  [[nodiscard]] std::uint64_t routing_epoch() const override;
 
 #if ESH_INVARIANTS_ENABLED
   // Seeded-fault seam for tests/test_contracts.cpp: breaks the channel's
@@ -158,6 +218,10 @@ class SliceRuntime final : public Context {
     // gap-freedom contract exempts exactly that window. Written in every
     // build so checked and default builds execute identical state updates.
     bool rewound = false;
+    // Split/merge cut-over hold: while non-zero, events at or past it stay
+    // pending — a split parent / merge survivor must not process any
+    // post-cut-over event before its capture (resp. absorb) job runs.
+    SeqNo hold = 0;
   };
 
   // Every lifecycle change funnels through here so the state-machine
@@ -174,6 +238,16 @@ class SliceRuntime final : public Context {
   void process(PayloadPtr payload);
   void check_freeze();
   void do_freeze();
+  // Split/merge drain gate: submits the capture (split) or absorb (merge)
+  // write job once every cut-over channel has dispatched its full pre-cut
+  // prefix (and, for a merge, the retiree's state has arrived).
+  void check_transition_drain();
+  void run_split_capture();
+  void run_absorb();
+  void release_holds();
+  // Flattens out_log_ then adopted_log_ in deterministic order (checkpoint
+  // and state-transfer wire format).
+  void append_flattened_logs(std::vector<WireEvent>& out) const;
   void start_flush_timer();
   void start_checkpoint_timer();
 
@@ -196,6 +270,21 @@ class SliceRuntime final : public Context {
   std::unique_ptr<sim::PeriodicTimer> checkpoint_timer_;
 
   std::optional<FreezeSpec> freeze_spec_;
+
+  // In-flight split/merge leg on this slice (at most one at a time; the
+  // coordinator serializes elastic operations engine-wide).
+  std::optional<SplitSpec> split_spec_;
+  std::optional<AbsorbSpec> absorb_spec_;
+  std::shared_ptr<const std::vector<std::byte>> absorb_state_;
+  std::vector<WireEvent> absorb_log_;
+  bool absorb_state_ready_ = false;
+  bool capture_submitted_ = false;
+  std::uint64_t coverage_epoch_ = 0;
+  // Upstream-backup logs adopted from merged-away slices, keyed by the
+  // retired origin slice, then the downstream target. Kept apart from
+  // out_log_ so per-channel truncation and replay stay exact (the events
+  // carry the origin's channel identity, not this slice's).
+  std::map<SliceId, std::map<SliceId, std::deque<WireEvent>>> adopted_log_;
 
   std::uint64_t events_processed_ = 0;
   std::uint64_t duplicates_dropped_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <stdexcept>
 
@@ -89,6 +90,21 @@ std::vector<MatchOutcome> Matcher::match_batch(
   out.reserve(pubs.size());
   for (const AnyPublication& pub : pubs) out.push_back(match(pub));
   return out;
+}
+
+std::size_t Matcher::split_state(const KeyCoverage&, BinaryWriter&) {
+  throw std::logic_error{"matcher scheme does not support split_state"};
+}
+
+void Matcher::absorb_state(BinaryReader&) {
+  throw std::logic_error{"matcher scheme does not support absorb_state"};
+}
+
+void Matcher::merge_state(const Matcher& other) {
+  BinaryWriter w;
+  other.serialize_state(w);
+  BinaryReader r{w.buffer()};
+  absorb_state(r);
 }
 
 // ---- BruteForceMatcher -------------------------------------------------------
@@ -335,6 +351,79 @@ void BruteForceMatcher::restore_state(BinaryReader& r) {
   }
 }
 
+std::size_t BruteForceMatcher::split_state(const KeyCoverage& cov,
+                                           BinaryWriter& w) {
+  std::vector<std::size_t> moved;
+  for (std::size_t s = 0; s < ids_.size(); ++s) {
+    if (cov.covers(ids_[s].value())) moved.push_back(s);
+  }
+  w.write_u64(moved.size());
+  for (const std::size_t s : moved) {
+    w.write_id(ids_[s]);
+    w.write_id(subscribers_[s]);
+    w.write_u64(dims_[s]);
+    for (std::uint32_t a = 0; a < dims_[s]; ++a) {
+      w.write_f64(lows_[a][s]);
+      w.write_f64(highs_[a][s]);
+    }
+  }
+  const std::size_t serialized = moved.size();
+  if (testing_keep_one_on_split && !moved.empty()) moved.pop_back();
+  // Forward compaction: kept slots keep their relative (insertion) order.
+  std::size_t kept = 0;
+  std::size_t next_moved = 0;
+  for (std::size_t s = 0; s < ids_.size(); ++s) {
+    if (next_moved < moved.size() && moved[next_moved] == s) {
+      ++next_moved;
+      predicate_count_ -= dims_[s];
+      continue;
+    }
+    ids_[kept] = ids_[s];
+    subscribers_[kept] = subscribers_[s];
+    dims_[kept] = dims_[s];
+    for (auto& col : lows_) col[kept] = col[s];
+    for (auto& col : highs_) col[kept] = col[s];
+    ++kept;
+  }
+  ids_.resize(kept);
+  subscribers_.resize(kept);
+  dims_.resize(kept);
+  for (auto& col : lows_) col.resize(kept);
+  for (auto& col : highs_) col.resize(kept);
+  return serialized;
+}
+
+void BruteForceMatcher::insert_subscription(std::size_t pos,
+                                            const Subscription& plain) {
+  const std::size_t d = plain.predicates.size();
+  if (d > lows_.size()) {
+    lows_.resize(d, std::vector<double>(ids_.size(), kNeverLow));
+    highs_.resize(d, std::vector<double>(ids_.size(), kNeverHigh));
+  }
+  const auto at = static_cast<std::ptrdiff_t>(pos);
+  ids_.insert(ids_.begin() + at, plain.id);
+  subscribers_.insert(subscribers_.begin() + at, plain.subscriber);
+  dims_.insert(dims_.begin() + at, static_cast<std::uint32_t>(d));
+  for (std::size_t a = 0; a < lows_.size(); ++a) {
+    lows_[a].insert(lows_[a].begin() + at,
+                    a < d ? plain.predicates[a].low : kNeverLow);
+    highs_[a].insert(highs_[a].begin() + at,
+                     a < d ? plain.predicates[a].high : kNeverHigh);
+  }
+  predicate_count_ += d;
+}
+
+void BruteForceMatcher::absorb_state(BinaryReader& r) {
+  const auto n = r.read_u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Subscription plain = deserialize_subscription(r);
+    // Ascending-id merge position: before the first stored id above ours.
+    std::size_t pos = 0;
+    while (pos < ids_.size() && ids_[pos].value() < plain.id.value()) ++pos;
+    insert_subscription(pos, plain);
+  }
+}
+
 std::unique_ptr<Matcher> BruteForceMatcher::clone_empty() const {
   auto clone = std::make_unique<BruteForceMatcher>(cost_);
   clone->set_thread_pool(pool_);
@@ -390,8 +479,15 @@ void CountingIndexMatcher::rebuild_if_dirty() {
     }
   }
   for (auto& list : index_) {
+    // Equal lows tie-break on subscription id, not slot: slot numbering
+    // depends on removal/reuse history, id order is canonical, so the
+    // candidate traversal (and the subscriber append order it produces) is
+    // identical for any slot layout holding the same live set.
     std::sort(list.begin(), list.end(),
-              [](const Entry& x, const Entry& y) { return x.low < y.low; });
+              [this](const Entry& x, const Entry& y) {
+                if (x.low != y.low) return x.low < y.low;
+                return subs_[x.slot].id.value() < subs_[y.slot].id.value();
+              });
   }
   reset_scratch(scratch_);
   dirty_ = false;
@@ -504,10 +600,21 @@ std::size_t CountingIndexMatcher::state_bytes() const {
 }
 
 void CountingIndexMatcher::serialize_state(BinaryWriter& w) const {
-  w.write_u64(live_count_);
-  for (const auto& s : subs_) {
-    if (s.id.valid()) serialize(w, s);
+  // Canonical wire order: ascending subscription id, independent of the
+  // slot layout churn and slot reuse left behind. Split and merge then
+  // compose byte-stably -- any split/merge history serializes identically
+  // to a never-split store holding the same live set.
+  std::vector<std::uint32_t> live;
+  live.reserve(live_count_);
+  for (std::uint32_t slot = 0; slot < subs_.size(); ++slot) {
+    if (subs_[slot].id.valid()) live.push_back(slot);
   }
+  std::sort(live.begin(), live.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return subs_[a].id.value() < subs_[b].id.value();
+            });
+  w.write_u64(live.size());
+  for (const std::uint32_t slot : live) serialize(w, subs_[slot]);
 }
 
 void CountingIndexMatcher::restore_state(BinaryReader& r) {
@@ -518,6 +625,57 @@ void CountingIndexMatcher::restore_state(BinaryReader& r) {
   for (std::uint64_t i = 0; i < n; ++i) {
     add(AnySubscription{deserialize_subscription(r)});
   }
+}
+
+std::size_t CountingIndexMatcher::split_state(const KeyCoverage& cov,
+                                              BinaryWriter& w) {
+  std::vector<std::uint32_t> moved;
+  for (std::uint32_t slot = 0; slot < subs_.size(); ++slot) {
+    if (subs_[slot].id.valid() && cov.covers(subs_[slot].id.value())) {
+      moved.push_back(slot);
+    }
+  }
+  // Same canonical ascending-id wire order as serialize_state.
+  std::sort(moved.begin(), moved.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return subs_[a].id.value() < subs_[b].id.value();
+            });
+  w.write_u64(moved.size());
+  for (const std::uint32_t slot : moved) serialize(w, subs_[slot]);
+  const std::size_t serialized = moved.size();
+  if (testing_keep_one_on_split && !moved.empty()) moved.pop_back();
+  // Punch holes highest-slot-first so slot reuse refills ascending.
+  std::sort(moved.begin(), moved.end(), std::greater<>{});
+  for (const std::uint32_t slot : moved) {
+    subs_[slot] = Subscription{};
+    free_slots_.push_back(slot);
+    --live_count_;
+  }
+  dirty_ = true;
+  return serialized;
+}
+
+void CountingIndexMatcher::absorb_state(BinaryReader& r) {
+  // Canonical rebuild: live entries in slot (insertion) order, incoming
+  // entries merged at ascending-id positions, then re-slotted densely.
+  std::vector<Subscription> live;
+  live.reserve(live_count_);
+  for (const auto& s : subs_) {
+    if (s.id.valid()) live.push_back(s);
+  }
+  const auto n = r.read_u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Subscription plain = deserialize_subscription(r);
+    auto pos = std::find_if(live.begin(), live.end(),
+                            [&plain](const Subscription& e) {
+                              return plain.id.value() < e.id.value();
+                            });
+    live.insert(pos, std::move(plain));
+  }
+  subs_ = std::move(live);
+  free_slots_.clear();
+  live_count_ = subs_.size();
+  dirty_ = true;
 }
 
 std::unique_ptr<Matcher> CountingIndexMatcher::clone_empty() const {
@@ -759,6 +917,41 @@ void AspeMatcher::restore_state(BinaryReader& r) {
     subs_.push_back(std::move(s));
     append_row(subs_.back());
   }
+}
+
+std::size_t AspeMatcher::split_state(const KeyCoverage& cov,
+                                     BinaryWriter& w) {
+  std::vector<std::size_t> moved;
+  for (std::size_t i = 0; i < subs_.size(); ++i) {
+    if (cov.covers(subs_[i].id.value())) moved.push_back(i);
+  }
+  w.write_u64(moved.size());
+  for (const std::size_t i : moved) serialize(w, subs_[i]);
+  const std::size_t serialized = moved.size();
+  if (testing_keep_one_on_split && !moved.empty()) moved.pop_back();
+  for (auto it = moved.rbegin(); it != moved.rend(); ++it) {
+    state_bytes_ -= subs_[*it].bytes();
+    subs_.erase(subs_.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+  // dimensions_ stays at its historical max, exactly as remove() leaves it:
+  // the cost estimate then matches a store that never split.
+  rebuild_rows();
+  return serialized;
+}
+
+void AspeMatcher::absorb_state(BinaryReader& r) {
+  const auto n = r.read_u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto s = deserialize_encrypted_subscription(r);
+    state_bytes_ += s.bytes();
+    dimensions_ = std::max(dimensions_, s.comparisons.size() / 2);
+    auto pos = std::find_if(subs_.begin(), subs_.end(),
+                            [&s](const EncryptedSubscription& e) {
+                              return s.id.value() < e.id.value();
+                            });
+    subs_.insert(pos, std::move(s));
+  }
+  rebuild_rows();
 }
 
 std::unique_ptr<Matcher> AspeMatcher::clone_empty() const {

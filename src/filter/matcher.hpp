@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "cluster/cost_model.hpp"
+#include "common/keyspace.hpp"
 #include "common/serde.hpp"
 #include "common/types.hpp"
 #include "filter/aspe.hpp"
@@ -101,6 +102,26 @@ class Matcher {
   virtual void serialize_state(BinaryWriter& w) const = 0;
   virtual void restore_state(BinaryReader& r) = 0;
 
+  // Key-level split: serializes every stored subscription whose id the
+  // coverage covers -- count + entries, the exact serialize_state wire
+  // format, so the bytes restore into a fresh clone with restore_state --
+  // and atomically removes those subscriptions from this matcher. Returns
+  // the number of subscriptions serialized. Default: unsupported (throws).
+  virtual std::size_t split_state(const KeyCoverage& cov, BinaryWriter& w);
+  // Inverse of split_state: reads serialize_state-format bytes and inserts
+  // the entries on top of the current store (restore-without-clear). Each
+  // entry is placed in ascending-subscription-id position, so merging the
+  // two halves of a previous split reconstructs the pre-split store order
+  // exactly (stores grow with ascending ids). Default: unsupported.
+  virtual void absorb_state(BinaryReader& r);
+  // Convenience: absorb everything `other` stores (serialize -> absorb).
+  void merge_state(const Matcher& other);
+
+  // Test seam (contract tests only): when set, split_state serializes the
+  // covered subscriptions but leaves the last one in place, violating the
+  // split-state-conserved invariant checked by the M handler.
+  bool testing_keep_one_on_split = false;
+
   // Fresh instance of the same scheme/configuration (for replicas).
   // Clones inherit the installed thread pool: the pool is configuration,
   // like the cost model.
@@ -138,6 +159,8 @@ class BruteForceMatcher final : public Matcher {
   [[nodiscard]] std::size_t state_bytes() const override;
   void serialize_state(BinaryWriter& w) const override;
   void restore_state(BinaryReader& r) override;
+  std::size_t split_state(const KeyCoverage& cov, BinaryWriter& w) override;
+  void absorb_state(BinaryReader& r) override;
   [[nodiscard]] std::unique_ptr<Matcher> clone_empty() const override;
   [[nodiscard]] std::string scheme_name() const override {
     return "plain-brute";
@@ -175,6 +198,9 @@ class BruteForceMatcher final : public Matcher {
                        const std::vector<std::size_t>& singles, std::size_t t0,
                        std::size_t t1, MatchOutcome* outs,
                        ScanScratch& scratch);
+  // Inserts a subscription at slot `pos`, shifting later slots up (absorb
+  // path; add() is the pos == size() special case).
+  void insert_subscription(std::size_t pos, const Subscription& plain);
 
   cluster::CostModel cost_;
   // SoA store, dense by slot (insertion order; remove shifts like the old
@@ -208,6 +234,8 @@ class CountingIndexMatcher final : public Matcher {
   [[nodiscard]] std::size_t state_bytes() const override;
   void serialize_state(BinaryWriter& w) const override;
   void restore_state(BinaryReader& r) override;
+  std::size_t split_state(const KeyCoverage& cov, BinaryWriter& w) override;
+  void absorb_state(BinaryReader& r) override;
   [[nodiscard]] std::unique_ptr<Matcher> clone_empty() const override;
   [[nodiscard]] std::string scheme_name() const override {
     return "plain-counting";
@@ -264,6 +292,8 @@ class AspeMatcher final : public Matcher {
   [[nodiscard]] std::size_t state_bytes() const override;
   void serialize_state(BinaryWriter& w) const override;
   void restore_state(BinaryReader& r) override;
+  std::size_t split_state(const KeyCoverage& cov, BinaryWriter& w) override;
+  void absorb_state(BinaryReader& r) override;
   [[nodiscard]] std::unique_ptr<Matcher> clone_empty() const override;
   [[nodiscard]] std::string scheme_name() const override { return "aspe"; }
 

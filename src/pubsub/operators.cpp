@@ -71,7 +71,6 @@ bool ApHandler::can_batch(const engine::PayloadPtr& p) const {
 
 void ApHandler::on_batch_start(engine::Context& ctx,
                                const std::vector<engine::PayloadPtr>& batch) {
-  (void)ctx;
   // Reclaim once every outstanding plan entry was consumed; concurrent
   // batches (AP's kNone jobs overlap in simulated time) may still hold
   // unconsumed entries, which must survive this append.
@@ -110,7 +109,12 @@ void ApHandler::on_batch_start(engine::Context& ctx,
         route.encrypted = encrypted;
         route.key = route_key(filter::publication_id(pub->publication));
         route.target = &target_for(encrypted);
-        route.slices = route.target->slices;
+        // Plan against the live fan, not the deploy-time slice count: a
+        // prior split/merge may have resized the target operator. Pure read
+        // of the routing table, safe off-thread (the simulator thread is
+        // parked in the parallel_for join, so no cut-over can interleave).
+        route.slices = ctx.slice_count(route.target->op_name);
+        route.epoch = ctx.routing_epoch();
       } else {
         throw std::logic_error{"ApHandler: non-batchable payload in batch"};
       }
@@ -162,11 +166,15 @@ void ApHandler::on_event(engine::Context& ctx, const engine::PayloadPtr& p) {
     const MatchingTarget* target;
     if (const PlannedRoute* plan = consume_planned_route(true, encrypted, key)) {
       // Offloaded AP broadcasts must stay complete: the fan-out planned off
-      // the simulator thread has to cover every deployed slice of the
-      // target operator, or some M partition would silently never see the
-      // publication (EP would then wait forever on its partial list).
+      // the simulator thread has to cover every live slice of the target
+      // operator, or some M partition would silently never see the
+      // publication (EP would then wait forever on its partial list). A
+      // plan from an older routing epoch is exempt — the cut-over between
+      // planning and commit resized the fan, and the commit-time stamp
+      // below is what EP completes against.
       ESH_INVARIANT("pubsub", "ap-offload-broadcast-complete",
-                    plan->slices == ctx.slice_count(plan->target->op_name),
+                    plan->epoch != ctx.routing_epoch() ||
+                        plan->slices == ctx.slice_count(plan->target->op_name),
                     ::esh::contracts::Detail{}
                         .expected(ctx.slice_count(plan->target->op_name))
                         .actual(plan->slices)
@@ -175,7 +183,13 @@ void ApHandler::on_event(engine::Context& ctx, const engine::PayloadPtr& p) {
     } else {
       target = &target_for(encrypted);
     }
-    ctx.emit(target->op_name, engine::Routing::broadcast(), p);
+    // Stamp the broadcast fan at the commit instant: the emit below
+    // delivers to exactly these slice indices, and downstream completion
+    // (EP) must collect against the fan the event was actually routed
+    // with, not whatever the fan is when a partial list arrives.
+    auto stamped = std::make_shared<PublicationPayload>(
+        pub->publication, pub->published_at, ctx.fan_indices(target->op_name));
+    ctx.emit(target->op_name, engine::Routing::broadcast(), std::move(stamped));
     return;
   }
   if (const auto* unsub = dynamic_cast<const UnsubscriptionPayload*>(p.get())) {
@@ -248,15 +262,26 @@ void MHandler::on_event(engine::Context& ctx, const engine::PayloadPtr& p) {
     auto list = std::make_shared<MatchListPayload>();
     list->publication = filter::publication_id(pub->publication);
     list->m_slice_index = slice_index_;
+    // The completion target is the fan the publication was broadcast with
+    // (pinned at AP emit time), not the operator's current slice count: a
+    // split/merge cut-over between broadcast and match must not change how
+    // many partial lists EP waits for.
+    list->fan_indices = pub->fan_indices;
     list->expected_lists =
-        static_cast<std::uint32_t>(ctx.slice_count(own_op_));
-    // A partial list labeled with an out-of-range slice index would either
-    // be dropped by EP's dedup or inflate the completeness count.
-    ESH_INVARIANT("pubsub", "m-slice-index-bounds",
-                  slice_index_ < list->expected_lists,
+        pub->fan_indices.empty()
+            ? static_cast<std::uint32_t>(ctx.slice_count(own_op_))
+            : static_cast<std::uint32_t>(pub->fan_indices.size());
+    // A partial list labeled with a slice index outside the broadcast fan
+    // would either be dropped by EP's dedup or inflate the completeness
+    // count.
+    const bool in_fan =
+        pub->fan_indices.empty()
+            ? slice_index_ < list->expected_lists
+            : std::find(pub->fan_indices.begin(), pub->fan_indices.end(),
+                        slice_index_) != pub->fan_indices.end();
+    ESH_INVARIANT("pubsub", "m-slice-in-fan", in_fan,
                   ::esh::contracts::Detail{}
-                      .expected(std::string("< ") +
-                                std::to_string(list->expected_lists))
+                      .expected("member of the broadcast fan")
                       .actual(slice_index_)
                       .note("publication " +
                             std::to_string(list->publication.value())));
@@ -276,6 +301,22 @@ double MHandler::cost_units(const engine::PayloadPtr& p) const {
   return 4.0;  // subscription insertion
 }
 
+std::size_t MHandler::split_state(const KeyCoverage& cov, BinaryWriter& w) {
+  const std::size_t before = matcher_->subscription_count();
+  const std::size_t moved = matcher_->split_state(cov, w);
+  // Conservation: every subscription either stayed or was serialized for
+  // the child — a split must not drop or duplicate stored state.
+  ESH_INVARIANT("pubsub", "split-state-conserved",
+                matcher_->subscription_count() + moved == before,
+                ::esh::contracts::Detail{}
+                    .expected(before)
+                    .actual(matcher_->subscription_count() + moved)
+                    .note("subscriptions before vs. retained + moved"));
+  return moved;
+}
+
+void MHandler::absorb_state(BinaryReader& r) { matcher_->absorb_state(r); }
+
 cluster::LockMode MHandler::lock_mode(const engine::PayloadPtr& p) const {
   // Matching only reads the subscription store: R lock, so one slice's
   // matches parallelize across the host's cores (paper §III).
@@ -286,6 +327,27 @@ cluster::LockMode MHandler::lock_mode(const engine::PayloadPtr& p) const {
 }
 
 // ---- EpHandler -----------------------------------------------------------------
+
+namespace {
+
+// True when `lists_from` covers the completion target of `list`: the
+// broadcast fan stamped on the publication at AP emit time when present,
+// the dense 0..expected-1 range otherwise (legacy / never-split payloads).
+bool lists_complete(const std::set<std::uint32_t>& lists_from,
+                    const MatchListPayload& list, std::size_t fallback) {
+  if (!list.fan_indices.empty()) {
+    for (const std::uint32_t index : list.fan_indices) {
+      if (!lists_from.contains(index)) return false;
+    }
+    return true;
+  }
+  const std::uint32_t expected =
+      list.expected_lists > 0 ? list.expected_lists
+                              : static_cast<std::uint32_t>(fallback);
+  return lists_from.size() >= expected;
+}
+
+}  // namespace
 
 bool EpHandler::can_batch(const engine::PayloadPtr& p) const {
   return dynamic_cast<const MatchListPayload*>(p.get()) != nullptr;
@@ -330,14 +392,11 @@ void EpHandler::on_batch_start(engine::Context& ctx,
         shadow_pending.lists_from = live->second.lists_from;
       }
     }
-    const std::uint32_t expected =
-        list->expected_lists > 0 ? list->expected_lists
-                                 : static_cast<std::uint32_t>(m_slices_);
     if (!shadow_pending.lists_from.insert(list->m_slice_index).second) {
       continue;
     }
     shadow_pending.arriving.push_back(list);
-    if (shadow_pending.lists_from.size() < expected) continue;
+    if (!lists_complete(shadow_pending.lists_from, *list, m_slices_)) continue;
     Completion completion;
     completion.pub = pub;
     if (const auto live = pending_.find(pub); live != pending_.end()) {
@@ -388,15 +447,19 @@ void EpHandler::on_event(engine::Context& ctx, const engine::PayloadPtr& p) {
   // absorbed here.
   if (completed_.contains(list->publication)) return;
   // Each publication is filtered by exactly one scheme's M operator; its
-  // slice count arrives with every partial list (falls back to the static
-  // single-scheme configuration when absent).
-  const std::uint32_t expected =
-      list->expected_lists > 0 ? list->expected_lists
-                               : static_cast<std::uint32_t>(m_slices_);
-  ESH_PRECONDITION("pubsub", "ep-list-slice-bounds",
-                   list->m_slice_index < expected,
+  // completion target arrives with every partial list: the broadcast fan
+  // pinned at AP emit time (falls back to a dense count for legacy /
+  // never-split payloads).
+  const bool in_fan =
+      list->fan_indices.empty()
+          ? list->m_slice_index < (list->expected_lists > 0
+                                       ? list->expected_lists
+                                       : static_cast<std::uint32_t>(m_slices_))
+          : std::find(list->fan_indices.begin(), list->fan_indices.end(),
+                      list->m_slice_index) != list->fan_indices.end();
+  ESH_PRECONDITION("pubsub", "ep-list-in-fan", in_fan,
                    ::esh::contracts::Detail{}
-                       .expected(std::string("< ") + std::to_string(expected))
+                       .expected("member of the broadcast fan")
                        .actual(list->m_slice_index)
                        .note("publication " +
                              std::to_string(list->publication.value())));
@@ -412,15 +475,23 @@ void EpHandler::on_event(engine::Context& ctx, const engine::PayloadPtr& p) {
                                list->subscribers.begin(),
                                list->subscribers.end());
   }
-  if (pending.lists_from.size() < expected) return;
+  if (!lists_complete(pending.lists_from, *list, m_slices_)) return;
 
-  // AP broadcast completeness: `expected` distinct indices, each below
-  // `expected`, is exactly the full slice set {0 .. expected-1}.
+  // AP broadcast completeness: every collected index passed the fan
+  // membership precondition and the full fan is covered, so set equality
+  // reduces to a size check (dense fallback: `expected` distinct indices,
+  // each below `expected`, is exactly {0 .. expected-1}).
+  const std::size_t fan_size =
+      list->fan_indices.empty()
+          ? (list->expected_lists > 0 ? list->expected_lists
+                                      : static_cast<std::uint32_t>(m_slices_))
+          : list->fan_indices.size();
   ESH_INVARIANT("pubsub", "ap-broadcast-complete",
-                pending.lists_from.size() == expected &&
-                    *pending.lists_from.rbegin() < expected,
+                pending.lists_from.size() == fan_size &&
+                    (!list->fan_indices.empty() ||
+                     *pending.lists_from.rbegin() < fan_size),
                 ::esh::contracts::Detail{}
-                    .expected(expected)
+                    .expected(fan_size)
                     .actual(pending.lists_from.size())
                     .note("publication " +
                           std::to_string(list->publication.value())));

@@ -125,6 +125,9 @@ class ApHandler final : public engine::Handler {
     std::uint64_t key = 0;
     const MatchingTarget* target = nullptr;
     std::size_t slices = 0;  // planned broadcast fan-out (publications)
+    // Routing epoch the fan-out was planned under; a split/merge cut-over
+    // between planning and commit legitimately changes the fan width.
+    std::uint64_t epoch = 0;
     bool consumed = false;
   };
 
@@ -187,6 +190,13 @@ class MHandler final : public engine::Handler {
   }
 
   [[nodiscard]] const filter::Matcher& matcher() const { return *matcher_; }
+
+  // Key-level elasticity: M partitions its subscription store by routing
+  // key, so a slice can split off the half a child slice takes over (and
+  // absorb it back on a merge). Delegates to the filtering library.
+  [[nodiscard]] bool supports_split() const override { return true; }
+  std::size_t split_state(const KeyCoverage& cov, BinaryWriter& w) override;
+  void absorb_state(BinaryReader& r) override;
 
  private:
   OperatorNames names_;

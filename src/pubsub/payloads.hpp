@@ -24,9 +24,21 @@ struct SubscriptionPayload final : engine::Payload {
 struct PublicationPayload final : engine::Payload {
   filter::AnyPublication publication;
   SimTime published_at{};
+  // Broadcast fan (ascending M slice indices) stamped by AP at emit time.
+  // EP completes a publication when it has one partial list per fan entry;
+  // the stamp pins the fan the event was actually routed with, so matching
+  // stays exactly-once across split/merge cut-overs. Empty = deploy-time
+  // fan (never-split operators). Not counted in bytes(): the wire carries
+  // the fan implicitly in the real engine's routing header.
+  std::vector<std::uint32_t> fan_indices;
 
   PublicationPayload(filter::AnyPublication p, SimTime at)
       : publication(std::move(p)), published_at(at) {}
+  PublicationPayload(filter::AnyPublication p, SimTime at,
+                     std::vector<std::uint32_t> fan)
+      : publication(std::move(p)),
+        published_at(at),
+        fan_indices(std::move(fan)) {}
   [[nodiscard]] std::size_t bytes() const override {
     return filter::publication_bytes(publication);
   }
@@ -52,6 +64,10 @@ struct MatchListPayload final : engine::Payload {
   // slice count of the M operator that filtered it; with several filtering
   // schemes deployed, each scheme's operator reports its own count).
   std::uint32_t expected_lists = 0;
+  // Broadcast fan the publication carried (copied from PublicationPayload);
+  // EP completes against this set rather than a dense 0..expected-1 range,
+  // since split children occupy sparse slice indices. Empty = dense fan.
+  std::vector<std::uint32_t> fan_indices;
   std::vector<SubscriberId> subscribers;
   SimTime published_at{};
 

@@ -19,6 +19,9 @@ MatchOracle::MatchOracle(OracleParams params) : params_(params) {
   if (params_.matching_rate < 0.0 || params_.matching_rate > 1.0) {
     throw std::invalid_argument{"MatchOracle: matching rate in [0, 1]"};
   }
+  if (params_.hot_fraction < 0.0 || params_.hot_fraction > 1.0) {
+    throw std::invalid_argument{"MatchOracle: hot fraction in [0, 1]"};
+  }
 }
 
 std::vector<std::uint64_t> MatchOracle::matches(PublicationId pub) const {
@@ -63,9 +66,8 @@ std::shared_ptr<const MatchOracle::Partition> MatchOracle::partitioned_matches(
 OracleMatcher::OracleMatcher(std::shared_ptr<const MatchOracle> oracle,
                              cluster::CostModel cost, std::size_t slice_index)
     : oracle_(std::move(oracle)), cost_(cost), slice_index_(slice_index) {
-  if (slice_index_ >= oracle_->params().m_slices) {
-    throw std::invalid_argument{"OracleMatcher: slice index out of range"};
-  }
+  // Indices >= m_slices are legitimate: key-level splits create child
+  // slices beyond the deploy-time count.
 }
 
 void OracleMatcher::add(const filter::AnySubscription& sub) {
@@ -79,11 +81,22 @@ filter::MatchOutcome OracleMatcher::match(const filter::AnyPublication& pub) {
   filter::MatchOutcome out;
   const auto pub_id = filter::publication_id(pub);
   const auto partition = oracle_->partitioned_matches(pub_id);
-  for (std::uint64_t index : (*partition)[slice_index_]) {
-    // Only subscriptions actually stored here may match: under partial
-    // storage or mid-migration the matcher stays truthful.
-    auto it = subs_.find(oracle_->sub_id(index));
-    if (it != subs_.end()) out.subscribers.push_back(it->second);
+  // Only subscriptions actually stored here may match: under partial
+  // storage, mid-migration or mid-split the matcher stays truthful.
+  const auto scan = [&](const std::vector<std::uint64_t>& indices) {
+    for (std::uint64_t index : indices) {
+      auto it = subs_.find(oracle_->sub_id(index));
+      if (it != subs_.end()) out.subscribers.push_back(it->second);
+    }
+  };
+  if (slice_index_ < oracle_->params().m_slices) {
+    // A deploy-time slice's store never leaves its own bucket: splits and
+    // merges only shuffle state within one bucket lineage.
+    scan((*partition)[slice_index_]);
+  } else {
+    // Split child: its bucket comes from the parent lineage, which the
+    // matcher does not know. Scan every bucket; subs_ filters the rest.
+    for (const auto& indices : *partition) scan(indices);
   }
   out.work_units = estimate_match_units();
   return out;
@@ -115,6 +128,41 @@ void OracleMatcher::serialize_state(BinaryWriter& w) const {
     w.write_id(id);
     w.write_id(subs_.at(id));
     w.write_string(padding);
+  }
+}
+
+std::size_t OracleMatcher::split_state(const KeyCoverage& cov,
+                                       BinaryWriter& w) {
+  std::vector<SubscriptionId> moving;
+  // Sorted: split bytes must not depend on hash-table layout.
+  for (const SubscriptionId id : sorted_keys(subs_)) {
+    if (cov.covers(id.value())) moving.push_back(id);
+  }
+  const std::size_t record =
+      cost_.subscription_bytes(oracle_->params().dimensions);
+  const std::size_t payload = 16;  // id + subscriber
+  const std::string padding(record > payload ? record - payload : 0, '\0');
+  w.write_u64(moving.size());
+  w.write_u64(record);
+  for (const SubscriptionId id : moving) {
+    w.write_id(id);
+    w.write_id(subs_.at(id));
+    w.write_string(padding);
+  }
+  const std::size_t serialized = moving.size();
+  if (testing_keep_one_on_split && !moving.empty()) moving.pop_back();
+  for (const SubscriptionId id : moving) subs_.erase(id);
+  return serialized;
+}
+
+void OracleMatcher::absorb_state(BinaryReader& r) {
+  const auto n = r.read_u64();
+  (void)r.read_u64();  // record size
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto id = r.read_id<SubscriptionTag>();
+    const auto subscriber = r.read_id<SubscriberTag>();
+    (void)r.read_string();  // padding
+    subs_[id] = subscriber;
   }
 }
 

@@ -39,6 +39,11 @@ struct OracleParams {
   // partitions match sets the way AP partitions subscriptions).
   std::size_t m_slices = 16;
   std::uint64_t seed = 42;
+  // Key skew: this fraction of the subscriptions gets ids congruent to
+  // 0 mod m_slices, so they all land in bucket 0 and that M slice becomes
+  // a hotspot no whole-slice migration can dilute. 0 keeps the historical
+  // uniform ids (index + 1). Last field: positional initializers predate it.
+  double hot_fraction = 0.0;
 };
 
 // Deterministic ground-truth sampler shared by every OracleMatcher.
@@ -46,10 +51,23 @@ class MatchOracle {
  public:
   explicit MatchOracle(OracleParams params);
 
-  // Identity scheme: subscription `index` has id index+1 and subscriber
-  // index (one subscriber per subscription, as in the paper's workload).
+  // Id scheme: uniform ids are index+1; under hot_fraction the first
+  // hot_count indices get multiples of m_slices (bucket 0) and the rest
+  // walk the non-multiples in order. Both ranges are injective and
+  // disjoint, so ids stay unique and AP's modulo routing sees the skew.
   [[nodiscard]] SubscriptionId sub_id(std::uint64_t index) const {
-    return SubscriptionId{index + 1};
+    const std::uint64_t hot = hot_count();
+    if (hot == 0) return SubscriptionId{index + 1};
+    const auto m = static_cast<std::uint64_t>(params_.m_slices);
+    if (index < hot) return SubscriptionId{(index + 1) * m};
+    const std::uint64_t j = index - hot;  // j-th id not divisible by m
+    return SubscriptionId{(j / (m - 1)) * m + (j % (m - 1)) + 1};
+  }
+  [[nodiscard]] std::uint64_t hot_count() const {
+    if (params_.hot_fraction <= 0.0 || params_.m_slices < 2) return 0;
+    return static_cast<std::uint64_t>(
+        params_.hot_fraction *
+        static_cast<double>(params_.total_subscriptions));
   }
   [[nodiscard]] SubscriberId subscriber_of(std::uint64_t index) const {
     return SubscriberId{index};
@@ -81,6 +99,10 @@ class MatchOracle {
 // Matcher backed by the oracle: stores (id -> subscriber) of its partition,
 // reports encrypted-equivalent state size and ASPE-model match cost, and
 // returns the oracle's ground truth restricted to the stored entries.
+// Key-level split aware: a deploy-time slice (index < m_slices) only ever
+// stores subscriptions of its own oracle bucket, while a split child
+// (index >= m_slices) inherits its bucket from the parent lineage and
+// scans every bucket to stay truthful.
 class OracleMatcher final : public filter::Matcher {
  public:
   OracleMatcher(std::shared_ptr<const MatchOracle> oracle,
@@ -95,6 +117,8 @@ class OracleMatcher final : public filter::Matcher {
   [[nodiscard]] std::size_t state_bytes() const override;
   void serialize_state(BinaryWriter& w) const override;
   void restore_state(BinaryReader& r) override;
+  std::size_t split_state(const KeyCoverage& cov, BinaryWriter& w) override;
+  void absorb_state(BinaryReader& r) override;
   [[nodiscard]] std::unique_ptr<filter::Matcher> clone_empty() const override;
   [[nodiscard]] std::string scheme_name() const override {
     return "aspe-oracle";

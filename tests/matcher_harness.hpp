@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/keyspace.hpp"
 #include "common/rng.hpp"
 #include "common/serde.hpp"
 #include "filter/aspe.hpp"
@@ -59,6 +60,13 @@ class DifferentialHarness {
     double min_width = 0.05;           // per-attribute predicate width range
     double max_width = 0.45;
     std::size_t subscriber_pool = 50;  // small pool => duplicate subscribers
+    // Ops between split/merge round trips (0 = off). Each round trip splits
+    // every scheme's store at a seeded random key coverage into a fresh
+    // child (validated byte-for-byte against a clone_empty + reinsert
+    // reference of each half) and merges it back; a never-split twin of
+    // each scheme then pins subscriber order, work_units and serialized
+    // state byte-identical for the rest of the run.
+    std::size_t split_merge_every = 0;
   };
 
   explicit DifferentialHarness(Params params)
@@ -76,10 +84,15 @@ class DifferentialHarness {
   void add_scheme(std::string label, std::unique_ptr<Matcher> matcher,
                   bool encrypted, bool batched) {
     schemes_.push_back(
-        Scheme{std::move(label), std::move(matcher), encrypted, batched});
+        Scheme{std::move(label), std::move(matcher), encrypted, batched, {}});
   }
 
   void run() {
+    if (params_.split_merge_every != 0) {
+      for (Scheme& scheme : schemes_) {
+        scheme.twin = scheme.matcher->clone_empty();
+      }
+    }
     for (std::size_t i = 0; i < params_.initial_subscriptions; ++i) do_add();
     check_counts();
     for (std::size_t op = 0; op < params_.operations; ++op) {
@@ -97,6 +110,10 @@ class DifferentialHarness {
           (op + 1) % params_.roundtrip_every == 0) {
         do_roundtrip();
       }
+      if (params_.split_merge_every != 0 &&
+          (op + 1) % params_.split_merge_every == 0) {
+        do_split_merge();
+      }
       // A real divergence would otherwise repeat on every later step;
       // stop at the first failing operation to keep the report readable.
       if (::testing::Test::HasFailure()) return;
@@ -111,6 +128,7 @@ class DifferentialHarness {
     return oracle_.size();
   }
   [[nodiscard]] std::size_t restores_run() const { return restores_run_; }
+  [[nodiscard]] std::size_t splits_run() const { return splits_run_; }
 
  private:
   struct Scheme {
@@ -118,6 +136,8 @@ class DifferentialHarness {
     std::unique_ptr<Matcher> matcher;
     bool encrypted;
     bool batched;
+    // Never-split shadow fed the identical op stream (split runs only).
+    std::unique_ptr<Matcher> twin;
   };
 
   Subscription random_subscription() {
@@ -151,12 +171,12 @@ class DifferentialHarness {
     const Subscription sub = random_subscription();
     const EncryptedSubscription enc = encryptor_.encrypt(sub);
     oracle_.emplace(sub.id, sub);
+    enc_oracle_.emplace(sub.id, enc);
     for (Scheme& scheme : schemes_) {
-      if (scheme.encrypted) {
-        scheme.matcher->add(AnySubscription{enc});
-      } else {
-        scheme.matcher->add(AnySubscription{sub});
-      }
+      const AnySubscription any = scheme.encrypted ? AnySubscription{enc}
+                                                   : AnySubscription{sub};
+      scheme.matcher->add(any);
+      if (scheme.twin) scheme.twin->add(any);
     }
   }
 
@@ -176,9 +196,13 @@ class DifferentialHarness {
                          rng_.next_below(oracle_.size())));
     const SubscriptionId victim = it->first;
     oracle_.erase(it);
+    enc_oracle_.erase(victim);
     for (Scheme& scheme : schemes_) {
       EXPECT_TRUE(scheme.matcher->remove(victim))
           << scheme.label << ": lost subscription " << victim.value();
+      if (scheme.twin) {
+        EXPECT_TRUE(scheme.twin->remove(victim)) << scheme.label << " twin";
+      }
     }
   }
 
@@ -221,6 +245,31 @@ class DifferentialHarness {
             << plains[i].id.value() << " (op " << ops_run_ << ", "
             << oracle_.size() << " live subscriptions)";
       }
+      if (scheme.twin) {
+        // The split/merged store must behave byte-identically to the
+        // never-split twin: exact subscriber order AND work_units, not
+        // just the same set.
+        std::vector<MatchOutcome> twin_outcomes;
+        if (scheme.batched) {
+          twin_outcomes = scheme.twin->match_batch(pubs);
+        } else {
+          twin_outcomes.reserve(pubs.size());
+          for (const AnyPublication& pub : pubs) {
+            twin_outcomes.push_back(scheme.twin->match(pub));
+          }
+        }
+        ASSERT_EQ(twin_outcomes.size(), outcomes.size()) << scheme.label;
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+          EXPECT_EQ(outcomes[i].subscribers, twin_outcomes[i].subscribers)
+              << scheme.label
+              << ": split/merge changed subscriber order on publication "
+              << plains[i].id.value();
+          EXPECT_EQ(outcomes[i].work_units, twin_outcomes[i].work_units)
+              << scheme.label
+              << ": split/merge changed work accounting on publication "
+              << plains[i].id.value();
+        }
+      }
     }
     pubs_checked_ += plains.size();
   }
@@ -249,10 +298,64 @@ class DifferentialHarness {
     ++restores_run_;
   }
 
+  static std::vector<std::byte> serialized(const Matcher& m) {
+    BinaryWriter w;
+    m.serialize_state(w);
+    return std::move(w).take();
+  }
+
+  // One seeded split/merge round trip per scheme: split_state carves a
+  // random key coverage into a fresh child, both halves are checked
+  // byte-for-byte against clone_empty + reinsert references, and the merge
+  // must reunite the store byte-identically to the never-split twin.
+  void do_split_merge() {
+    const auto depth = static_cast<std::uint32_t>(1 + rng_.next_below(3));
+    const std::uint64_t tag = rng_.next_below(std::uint64_t{1} << depth);
+    const KeyCoverage cov{1, 0, depth, tag};
+    for (Scheme& scheme : schemes_) {
+      BinaryWriter split_bytes;
+      const std::size_t moved = scheme.matcher->split_state(cov, split_bytes);
+      auto child = scheme.matcher->clone_empty();
+      BinaryReader r{split_bytes.buffer()};
+      child->restore_state(r);
+      EXPECT_EQ(child->subscription_count(), moved) << scheme.label;
+      EXPECT_EQ(scheme.matcher->subscription_count() + moved, oracle_.size())
+          << scheme.label << ": split dropped or duplicated subscriptions";
+
+      auto ref_child = scheme.matcher->clone_empty();
+      auto ref_parent = scheme.matcher->clone_empty();
+      for (const auto& [id, sub] : oracle_) {
+        const AnySubscription any =
+            scheme.encrypted ? AnySubscription{enc_oracle_.at(id)}
+                             : AnySubscription{sub};
+        (cov.covers(id.value()) ? *ref_child : *ref_parent).add(any);
+      }
+      EXPECT_EQ(serialized(*child), serialized(*ref_child))
+          << scheme.label << ": child half != clone_empty + reinsert (op "
+          << ops_run_ << ")";
+      EXPECT_EQ(serialized(*scheme.matcher), serialized(*ref_parent))
+          << scheme.label << ": parent half != clone_empty + reinsert (op "
+          << ops_run_ << ")";
+
+      scheme.matcher->merge_state(*child);
+      EXPECT_EQ(scheme.matcher->subscription_count(), oracle_.size())
+          << scheme.label << ": merge lost subscriptions";
+      EXPECT_EQ(serialized(*scheme.matcher), serialized(*scheme.twin))
+          << scheme.label
+          << ": merge did not restore the never-split state (op " << ops_run_
+          << ")";
+    }
+    ++splits_run_;
+  }
+
   void check_counts() {
     for (const Scheme& scheme : schemes_) {
       EXPECT_EQ(scheme.matcher->subscription_count(), oracle_.size())
           << scheme.label;
+      if (scheme.twin) {
+        EXPECT_EQ(scheme.twin->subscription_count(), oracle_.size())
+            << scheme.label << " twin";
+      }
     }
   }
 
@@ -263,11 +366,16 @@ class DifferentialHarness {
   AspeEncryptor encryptor_;
   std::vector<Scheme> schemes_;
   std::map<SubscriptionId, Subscription> oracle_;  // live set, ground truth
+  // Ciphertexts of the live set (clone_empty + reinsert references for the
+  // encrypted schemes need the exact stored ciphertexts; re-encrypting
+  // would draw fresh randomness).
+  std::map<SubscriptionId, EncryptedSubscription> enc_oracle_;
   std::uint64_t next_sub_ = 1;
   std::uint64_t next_pub_ = 1;
   std::size_t ops_run_ = 0;
   std::size_t pubs_checked_ = 0;
   std::size_t restores_run_ = 0;
+  std::size_t splits_run_ = 0;
 };
 
 }  // namespace esh::filter::harness

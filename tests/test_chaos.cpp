@@ -5,6 +5,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <tuple>
 #include <vector>
 
@@ -343,6 +346,7 @@ struct ChaosFingerprint {
   std::uint64_t reliable_delivered = 0, reliable_retransmits = 0,
                 reliable_dup_dropped = 0;
   std::size_t recoveries = 0, drains_completed = 0, drains_aborted = 0;
+  std::uint64_t splits = 0, merges = 0;
 
   bool operator==(const ChaosFingerprint&) const = default;
 };
@@ -378,6 +382,8 @@ ChaosFingerprint chaos_fingerprint(Testbed& bed) {
     if (drain.complete) ++fp.drains_completed;
     if (drain.aborted) ++fp.drains_aborted;
   }
+  fp.splits = bed.engine().splits_completed();
+  fp.merges = bed.engine().merges_completed();
   return fp;
 }
 
@@ -478,6 +484,340 @@ TEST(ChaosTest, CombinedScheduleExactlyOnceAndByteIdenticalAcrossThreads) {
   for (const std::size_t threads : {2u, 4u, 8u}) {
     EXPECT_EQ(run(threads), reference) << threads << " threads";
   }
+}
+
+// ---- split/merge torture ----------------------------------------------------
+
+// Crash-torture deployment: M isolated on its own pair of hosts. A crash
+// mid-transition must kill matcher state, not the co-located upstream AP —
+// an AP crash concurrent with an in-flight split/merge invalidates the
+// saved cut vector's channel numbering and is documented out-of-scope
+// (PROTOCOL.md); the generic co-crash chaos tests cover AP deaths.
+TestbedConfig torture_config() {
+  auto config = chaos_config();
+  config.worker_hosts = 4;
+  config.iaas.max_hosts = 7;
+  config.placement = [](const std::vector<HostId>& workers) {
+    pubsub::HostAssignment assignment;
+    assignment["AP"] = {workers[0], workers[1]};
+    assignment["EP"] = {workers[0], workers[1]};
+    assignment["M"] = {workers[2], workers[3]};
+    return assignment;
+  };
+  return config;
+}
+
+// The M-side worker (torture_config placement) not hosting `slice`.
+HostId other_m_worker(Testbed& bed, SliceId slice) {
+  const HostId current = bed.engine().slice_host(slice);
+  const auto& workers = bed.worker_hosts();
+  return workers[2] == current ? workers[3] : workers[2];
+}
+
+// Baseline: a key-level split and the inverse merge under live publication
+// load, no faults. Routing flips mid-stream twice; the oracle must still
+// confirm exactly-once delivery and the coverage must return to depth 0.
+TEST(SplitMergeTortureTest, SplitThenMergeUnderLoadIsExactlyOnce) {
+  Testbed bed{torture_config()};
+  bed.manager()->set_enforcement(false);
+  bed.delays().enable_audit();
+  bed.store_subscriptions(1000);
+
+  auto driver =
+      bed.drive(std::make_shared<workload::ConstantRate>(200.0, seconds(6)));
+
+  const SliceId parent = bed.engine().slice_id("M", 0);
+  const HostId dst = other_m_worker(bed, parent);
+  std::optional<engine::TransitionReport> split_report;
+  std::optional<engine::TransitionReport> merge_report;
+  bed.simulator().schedule(seconds(2), [&] {
+    bed.engine().split_slice(
+        parent, dst, [&](const engine::TransitionReport& r) {
+          split_report = r;
+          bed.simulator().schedule(seconds(1), [&] {
+            bed.engine().merge_slices(
+                parent, split_report->child,
+                [&](const engine::TransitionReport& r2) { merge_report = r2; });
+          });
+        });
+  });
+
+  bed.run_for(seconds(6) + millis(10));
+  driver->stop();
+  ASSERT_TRUE(bed.run_until([&] { return merge_report.has_value(); },
+                            seconds(30)));
+  await_drain(bed);
+  bed.run_for(seconds(1));
+
+  ASSERT_TRUE(split_report.has_value());
+  EXPECT_TRUE(split_report->completed);
+  EXPECT_EQ(split_report->kind, engine::TransitionKind::kSplit);
+  EXPECT_GT(split_report->moved, 0u);  // state actually changed hands
+  EXPECT_GE(split_report->cutover, split_report->requested);
+  EXPECT_GE(split_report->finished, split_report->cutover);
+  EXPECT_TRUE(merge_report->completed);
+  EXPECT_EQ(merge_report->kind, engine::TransitionKind::kMerge);
+  EXPECT_EQ(bed.engine().splits_completed(), 1u);
+  EXPECT_EQ(bed.engine().merges_completed(), 1u);
+  EXPECT_EQ(bed.engine().slice_coverage(parent).depth, 0u);
+
+  const auto audit = verify_exactly_once(bed);
+  EXPECT_GT(audit.published, 500u);
+  EXPECT_TRUE(audit.exactly_once())
+      << "published=" << audit.published << " missing=" << audit.missing
+      << " duplicated=" << audit.duplicated
+      << " mismatched=" << audit.mismatched;
+}
+
+// Crash torture, split half: at every coordinator step of an in-flight
+// split, kill the parent's host or the child's host (via the network, so
+// detection, conviction and recovery all run the production path). The
+// transition must finish (abort pre-cut-over, roll forward after), the
+// cluster must heal, and delivery must stay exactly-once.
+TEST(SplitMergeTortureTest, CrashAtEverySplitStepHealsExactlyOnce) {
+  struct Case {
+    std::string_view step;
+    bool kill_parent;
+  };
+  const Case cases[] = {
+      {"create-child", true}, {"create-child", false}, {"drain", true},
+      {"drain", false},       {"activate", true},      {"activate", false},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(std::string{"step="} + std::string{c.step} +
+                 (c.kill_parent ? " victim=parent" : " victim=child"));
+    Testbed bed{torture_config()};
+    bed.manager()->set_enforcement(false);
+    bed.delays().enable_audit();
+    bed.store_subscriptions(1000);
+    auto driver =
+        bed.drive(std::make_shared<workload::ConstantRate>(200.0, seconds(6)));
+
+    const SliceId parent = bed.engine().slice_id("M", 0);
+    const HostId parent_host = bed.engine().slice_host(parent);
+    const HostId dst = other_m_worker(bed, parent);
+    bool crashed = false;
+    std::optional<engine::TransitionReport> report;
+    bed.engine().on_elastic_step(
+        [&](const engine::TransitionReport&, std::string_view step) {
+          if (crashed || step != c.step) return;
+          crashed = true;
+          bed.network().set_host_down(c.kill_parent ? parent_host : dst, true);
+        });
+    bed.simulator().schedule(seconds(2), [&] {
+      bed.engine().split_slice(
+          parent, dst,
+          [&](const engine::TransitionReport& r) { report = r; });
+    });
+
+    bed.run_for(seconds(6) + millis(10));
+    driver->stop();
+    EXPECT_TRUE(crashed);
+    await_heal(bed, *bed.manager(), 1);
+    ASSERT_TRUE(
+        bed.run_until([&] { return report.has_value(); }, seconds(60)));
+    await_drain(bed);
+    bed.run_for(seconds(2));
+
+    EXPECT_EQ(bed.engine().pending_transitions(), 0u);
+    const auto audit = verify_exactly_once(bed);
+    EXPECT_TRUE(audit.exactly_once())
+        << "published=" << audit.published << " missing=" << audit.missing
+        << " duplicated=" << audit.duplicated
+        << " mismatched=" << audit.mismatched;
+  }
+}
+
+// Crash torture, merge half: same drill at every step of an in-flight
+// merge — survivor's host and retiree's host each die at drain-retiree,
+// absorb and teardown. Merges never abort; every case must roll forward to
+// completion through recovery, and delivery must stay exactly-once.
+TEST(SplitMergeTortureTest, CrashAtEveryMergeStepHealsExactlyOnce) {
+  struct Case {
+    std::string_view step;
+    bool kill_survivor;
+  };
+  const Case cases[] = {
+      {"drain-retiree", true}, {"drain-retiree", false}, {"absorb", true},
+      {"absorb", false},       {"teardown", true},       {"teardown", false},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(std::string{"step="} + std::string{c.step} +
+                 (c.kill_survivor ? " victim=survivor" : " victim=retiree"));
+    Testbed bed{torture_config()};
+    bed.manager()->set_enforcement(false);
+    bed.delays().enable_audit();
+    bed.store_subscriptions(1000);
+    auto driver =
+        bed.drive(std::make_shared<workload::ConstantRate>(200.0, seconds(7)));
+
+    const SliceId parent = bed.engine().slice_id("M", 0);
+    const HostId parent_host = bed.engine().slice_host(parent);
+    const HostId dst = other_m_worker(bed, parent);
+    bool crashed = false;
+    std::optional<engine::TransitionReport> merge_report;
+    bed.engine().on_elastic_step(
+        [&](const engine::TransitionReport&, std::string_view step) {
+          if (crashed || step != c.step) return;
+          crashed = true;
+          bed.network().set_host_down(c.kill_survivor ? parent_host : dst,
+                                      true);
+        });
+    bed.simulator().schedule(seconds(1), [&] {
+      bed.engine().split_slice(
+          parent, dst, [&](const engine::TransitionReport& split_r) {
+            ASSERT_TRUE(split_r.completed);
+            const SliceId child = split_r.child;
+            bed.simulator().schedule(millis(500), [&bed, parent, child,
+                                                   &merge_report] {
+              bed.engine().merge_slices(
+                  parent, child,
+                  [&merge_report](const engine::TransitionReport& r) {
+                    merge_report = r;
+                  });
+            });
+          });
+    });
+
+    bed.run_for(seconds(7) + millis(10));
+    driver->stop();
+    EXPECT_TRUE(crashed);
+    await_heal(bed, *bed.manager(), 1);
+    ASSERT_TRUE(
+        bed.run_until([&] { return merge_report.has_value(); }, seconds(60)));
+    EXPECT_TRUE(merge_report->completed);
+    await_drain(bed);
+    bed.run_for(seconds(2));
+
+    EXPECT_EQ(bed.engine().pending_transitions(), 0u);
+    EXPECT_EQ(bed.engine().merges_completed(), 1u);
+    const auto audit = verify_exactly_once(bed);
+    EXPECT_TRUE(audit.exactly_once())
+        << "published=" << audit.published << " missing=" << audit.missing
+        << " duplicated=" << audit.duplicated
+        << " mismatched=" << audit.mismatched;
+  }
+}
+
+// Determinism: a split whose parent host dies mid-drain (forcing the
+// checkpoint+replay roll-forward), followed by the merge back — the whole
+// outcome must be byte-identical at every worker thread count.
+TEST(SplitMergeTortureTest, SplitCrashMergeByteIdenticalAcrossThreads) {
+  auto run = [](std::size_t threads) {
+    auto config = torture_config();
+    config.engine.worker_threads = threads;
+    Testbed bed{config};
+    bed.manager()->set_enforcement(false);
+    bed.delays().enable_audit();
+    bed.store_subscriptions(1000);
+    auto driver =
+        bed.drive(std::make_shared<workload::ConstantRate>(200.0, seconds(7)));
+
+    const SliceId parent = bed.engine().slice_id("M", 1);
+    const HostId parent_host = bed.engine().slice_host(parent);
+    const HostId dst = other_m_worker(bed, parent);
+    bool crashed = false;
+    std::optional<engine::TransitionReport> merge_report;
+    bed.engine().on_elastic_step(
+        [&](const engine::TransitionReport&, std::string_view step) {
+          if (crashed || step != "drain") return;
+          crashed = true;
+          bed.network().set_host_down(parent_host, true);
+        });
+    bed.simulator().schedule(millis(1500), [&] {
+      bed.engine().split_slice(
+          parent, dst, [&](const engine::TransitionReport& split_r) {
+            EXPECT_TRUE(split_r.completed) << threads << " threads";
+            const SliceId child = split_r.child;
+            bed.simulator().schedule(seconds(1), [&bed, parent, child,
+                                                  &merge_report] {
+              bed.engine().merge_slices(
+                  parent, child,
+                  [&merge_report](const engine::TransitionReport& r) {
+                    merge_report = r;
+                  });
+            });
+          });
+    });
+
+    bed.run_for(seconds(7) + millis(10));
+    driver->stop();
+    await_heal(bed, *bed.manager(), 1);
+    EXPECT_TRUE(bed.run_until([&] { return merge_report.has_value(); },
+                              seconds(60)))
+        << threads << " threads";
+    await_drain(bed);
+    bed.run_for(seconds(2));
+
+    EXPECT_EQ(bed.engine().splits_completed(), 1u) << threads << " threads";
+    EXPECT_EQ(bed.engine().merges_completed(), 1u) << threads << " threads";
+    const auto audit = verify_exactly_once(bed);
+    EXPECT_TRUE(audit.exactly_once())
+        << "published=" << audit.published << " missing=" << audit.missing
+        << " duplicated=" << audit.duplicated
+        << " mismatched=" << audit.mismatched << " at " << threads
+        << " threads";
+    return chaos_fingerprint(bed);
+  };
+
+  const ChaosFingerprint reference = run(1);
+  EXPECT_GT(reference.notifications, 0u);
+  EXPECT_EQ(reference.splits, 1u);
+  EXPECT_EQ(reference.merges, 1u);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    EXPECT_EQ(run(threads), reference) << threads << " threads";
+  }
+}
+
+// The enforcer's key-level rules end to end: a hot M slice (split_share
+// tuned below the live load) triggers an automatic hotspot split through
+// the manager, and once the load stops, the cold-merge rule folds the pair
+// back — no manual split/merge calls anywhere.
+TEST(SplitMergeTortureTest, EnforcerHotspotSplitsAndColdMergesAutomatically) {
+  auto config = chaos_config();
+  config.manager.policy.enable_splits = true;
+  config.manager.policy.split_share = 0.002;
+  config.manager.policy.merge_share = 0.5;
+  // Isolate the key-level rules: park every placement rule out of reach.
+  config.manager.policy.global_high = 10.0;
+  config.manager.policy.global_low = 0.0;
+  config.manager.policy.local_high = 10.0;
+  config.manager.policy.local_low = 0.0;
+  config.manager.policy.grace = seconds(3);
+  config.manager.policy.scale_out_grace = seconds(60);  // one split, not many
+  Testbed bed{config};
+  bed.delays().enable_audit();
+  bed.store_subscriptions(1000);
+
+  auto driver =
+      bed.drive(std::make_shared<workload::ConstantRate>(200.0, seconds(6)));
+  ASSERT_TRUE(bed.run_until(
+      [&] { return bed.engine().splits_completed() >= 1; }, seconds(6)))
+      << "no automatic split; hottest slice never crossed split_share";
+  bed.run_for(seconds(6));
+  driver->stop();
+
+  ASSERT_TRUE(bed.run_until(
+      [&] { return bed.engine().merges_completed() >= 1; }, seconds(60)))
+      << "cold-merge rule never folded the split pair back";
+  await_drain(bed);
+  bed.run_for(seconds(1));
+
+  const auto& transitions = bed.manager()->transitions();
+  ASSERT_GE(transitions.size(), 2u);
+  EXPECT_EQ(transitions.front().kind, engine::TransitionKind::kSplit);
+  EXPECT_TRUE(transitions.front().completed);
+  bool merged = false;
+  for (const auto& t : transitions) {
+    if (t.kind == engine::TransitionKind::kMerge && t.completed) merged = true;
+  }
+  EXPECT_TRUE(merged);
+
+  const auto audit = verify_exactly_once(bed);
+  EXPECT_TRUE(audit.exactly_once())
+      << "published=" << audit.published << " missing=" << audit.missing
+      << " duplicated=" << audit.duplicated
+      << " mismatched=" << audit.mismatched;
 }
 
 }  // namespace

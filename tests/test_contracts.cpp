@@ -13,7 +13,10 @@
 
 #include "cluster/iaas.hpp"
 #include "common/contracts.hpp"
+#include "common/keyspace.hpp"
+#include "common/serde.hpp"
 #include "common/thread_pool.hpp"
+#include "filter/matcher.hpp"
 #include "engine/engine.hpp"
 #include "engine/host_runtime.hpp"
 #include "harness/testbed.hpp"
@@ -121,6 +124,28 @@ TEST(SliceTransitionTest, TableEncodesLifecycle) {
   EXPECT_FALSE(engine::slice_transition_legal(State::kActive, State::kFrozen));
 }
 
+TEST(SplitMergeTransitionTest, TablesEncodeRollForwardProtocol) {
+  using S = engine::SplitStep;
+  using M = engine::MergeStep;
+  // Split order: create child, cut routing over, drain the captured half,
+  // activate the child. Only the pre-cut-over step may abort.
+  EXPECT_TRUE(engine::split_transition_legal(S::kCreateChild, S::kCutOver));
+  EXPECT_TRUE(engine::split_transition_legal(S::kCreateChild, S::kAborting));
+  EXPECT_TRUE(engine::split_transition_legal(S::kCutOver, S::kDrain));
+  EXPECT_TRUE(engine::split_transition_legal(S::kDrain, S::kActivate));
+  // Post-cut-over the split can only roll forward, never abort or rewind.
+  EXPECT_FALSE(engine::split_transition_legal(S::kDrain, S::kAborting));
+  EXPECT_FALSE(engine::split_transition_legal(S::kActivate, S::kCreateChild));
+  EXPECT_FALSE(engine::split_transition_legal(S::kAborting, S::kCutOver));
+  // Merge order: inline cut-over, drain the retiree, absorb its state into
+  // the survivor, tear down. Merges have no abort edge at all.
+  EXPECT_TRUE(engine::merge_transition_legal(M::kCutOver, M::kDrainRetiree));
+  EXPECT_TRUE(engine::merge_transition_legal(M::kDrainRetiree, M::kAbsorb));
+  EXPECT_TRUE(engine::merge_transition_legal(M::kAbsorb, M::kTeardown));
+  EXPECT_FALSE(engine::merge_transition_legal(M::kTeardown, M::kCutOver));
+  EXPECT_FALSE(engine::merge_transition_legal(M::kAbsorb, M::kDrainRetiree));
+}
+
 #if ESH_INVARIANTS_ENABLED
 
 // ---- seeded faults: each must trip its named invariant ---------------------
@@ -169,6 +194,59 @@ TEST(SeededFaultTest, IllegalSliceTransitionThrowsStructured) {
   }
 }
 
+TEST(SeededFaultTest, IllegalSplitAndMergeTransitionsThrowStructured) {
+  try {
+    engine::assert_split_transition(MigrationId{9}, SliceId{4},
+                                    engine::SplitStep::kDrain,
+                                    engine::SplitStep::kAborting);
+    FAIL() << "post-cut-over abort edge not detected";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.kind(), Kind::kStateMachine);
+    EXPECT_EQ(v.subsystem(), "engine");
+    EXPECT_EQ(v.name(), "split-step-legal");
+    EXPECT_EQ(v.detail().slice_id, 4u);
+    EXPECT_EQ(v.detail().actual_value, "drain -> aborting");
+    EXPECT_NE(v.detail().note_text.find("transition 9"), std::string::npos);
+  }
+  try {
+    engine::assert_merge_transition(MigrationId{10}, SliceId{6},
+                                    engine::MergeStep::kAbsorb,
+                                    engine::MergeStep::kDrainRetiree);
+    FAIL() << "backwards merge edge not detected";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.kind(), Kind::kStateMachine);
+    EXPECT_EQ(v.name(), "merge-step-legal");
+    EXPECT_EQ(v.detail().slice_id, 6u);
+    EXPECT_EQ(v.detail().actual_value, "absorb -> drain-retiree");
+  }
+}
+
+// A split that serializes a subscription for the child but keeps it in the
+// parent store (or drops one outright) breaks exactly-once; the M handler's
+// conservation check must trip before the corrupt capture leaves the host.
+TEST(SeededFaultTest, KeepOneOnSplitTripsStateConservation) {
+  workload::PlainWorkload plain{{4, 0.02, 91}};
+  auto matcher = std::make_unique<filter::BruteForceMatcher>();
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    matcher->add(filter::AnySubscription{plain.subscription(i)});
+  }
+  matcher->testing_keep_one_on_split = true;
+  pubsub::MHandler m{pubsub::OperatorNames{}, "M", 0, std::move(matcher),
+                     cluster::CostModel{}};
+  BinaryWriter w;
+  const KeyCoverage everything{1, 0, 0, 0};  // covers every key
+  try {
+    (void)m.split_state(everything, w);
+    FAIL() << "retained-but-serialized subscription not detected";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.kind(), Kind::kInvariant);
+    EXPECT_EQ(v.subsystem(), "pubsub");
+    EXPECT_EQ(v.name(), "split-state-conserved");
+    EXPECT_EQ(v.detail().expected_value, "8");
+    EXPECT_EQ(v.detail().actual_value, "9");  // 1 retained + 8 serialized
+  }
+}
+
 TEST(SeededFaultTest, IaasDoubleReleaseTripsPrecondition) {
   sim::Simulator sim;
   cluster::IaasConfig config;
@@ -207,6 +285,11 @@ class RecordingContext final : public engine::Context {
   [[nodiscard]] std::size_t slice_count(std::string_view) const override {
     return 1;
   }
+  [[nodiscard]] std::vector<std::uint32_t> fan_indices(
+      std::string_view) const override {
+    return {0};
+  }
+  [[nodiscard]] std::uint64_t routing_epoch() const override { return 0; }
 
   std::vector<std::pair<std::string, engine::PayloadPtr>> emitted;
 };
@@ -253,7 +336,7 @@ TEST(SeededFaultTest, EpOutOfRangeSliceIndexTripsBoundsPrecondition) {
     FAIL() << "out-of-range slice index not detected";
   } catch (const ContractViolation& v) {
     EXPECT_EQ(v.kind(), Kind::kPrecondition);
-    EXPECT_EQ(v.name(), "ep-list-slice-bounds");
+    EXPECT_EQ(v.name(), "ep-list-in-fan");
     EXPECT_EQ(v.detail().actual_value, "5");
   }
 }
@@ -460,6 +543,51 @@ TEST(SeededFaultTest, CorruptedChannelTripsGapFreedom) {
     EXPECT_EQ(v.subsystem(), "engine");
     EXPECT_EQ(v.name(), "channel-gap-free");
     EXPECT_EQ(v.detail().slice_id, m_op.slices.front().value());
+  }
+}
+
+// A split plan that "forgets" to refine the parent's coverage leaves parent
+// and child overlapping: some keys would be matched twice. The cut-over's
+// completeness invariant must trip before the corrupt routing table is used.
+TEST(SeededFaultTest, CorruptSplitPlanTripsKeyCoverageCompleteness) {
+  harness::TestbedConfig config;
+  config.worker_hosts = 2;
+  config.io_hosts = 2;
+  config.workload.dimensions = 4;
+  config.workload.total_subscriptions = 50;
+  config.workload.matching_rate = 0.05;
+  config.workload.m_slices = 2;
+  config.source_slices = 1;
+  config.ap_slices = 2;
+  config.ep_slices = 2;
+  config.sink_slices = 1;
+  config.iaas.max_hosts = 5;
+  harness::Testbed bed{config};  // no manager: the split is driven manually
+  bed.store_subscriptions(50);
+
+  const auto& cfg = bed.engine().static_config();
+  const SliceId parent = cfg.operators.at(cfg.index_of("M")).slices.front();
+  const HostId parent_host = bed.engine().slice_host(parent);
+  HostId dst = parent_host;
+  for (const HostId host : bed.worker_hosts()) {
+    if (host != parent_host) dst = host;
+  }
+  ASSERT_NE(dst, parent_host);
+
+  bed.engine().testing_corrupt_split_plan = true;
+  bed.simulator().schedule(millis(10), [&] {
+    bed.engine().split_slice(parent, dst,
+                             [](const engine::TransitionReport&) {});
+  });
+  try {
+    bed.run_for(seconds(5));
+    FAIL() << "overlapping split coverages not detected";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.kind(), Kind::kInvariant);
+    EXPECT_EQ(v.subsystem(), "engine");
+    EXPECT_EQ(v.name(), "key-coverage-complete");
+    EXPECT_EQ(v.detail().slice_id, parent.value());
+    EXPECT_NE(v.detail().note_text.find("split cut-over"), std::string::npos);
   }
 }
 

@@ -14,7 +14,7 @@ namespace {
 
 SliceView slice(std::uint64_t id, std::uint64_t host, double cpu,
                 std::size_t bytes = 1000) {
-  return SliceView{SliceId{id}, HostId{host}, cpu, bytes};
+  return SliceView{SliceId{id}, HostId{host}, cpu, bytes, false, {}};
 }
 
 // ---- subset-sum selection -----------------------------------------------------

@@ -100,6 +100,151 @@ TEST(MatcherDiff, EncryptedSchemesSecondSeed) {
   EXPECT_GE(h.operations_run(), 400u);
 }
 
+// ---- split/merge round trips -------------------------------------------------
+
+// Key-coverage algebra: refinement is a prefix-free binary trie over the
+// mixed key hash, so split halves partition the parent and sibling merges
+// reunite it.
+TEST(KeyCoverage, SplitHalvesPartitionAndMergeReunites) {
+  const KeyCoverage whole{4, 1, 0, 0};
+  const KeyCoverage parent = whole.split_parent();
+  const KeyCoverage child = whole.split_child();
+  EXPECT_TRUE(parent.sibling_of(child));
+  EXPECT_TRUE(child.sibling_of(parent));
+  EXPECT_EQ(parent.merged(), whole);
+  EXPECT_EQ(child.merged(), whole);
+  EXPECT_FALSE(parent.sibling_of(parent));
+  EXPECT_FALSE(whole.sibling_of(child));
+  std::size_t covered = 0;
+  for (std::uint64_t key = 0; key < 4000; ++key) {
+    const bool in_whole = whole.covers(key);
+    EXPECT_EQ(in_whole, parent.covers(key) || child.covers(key)) << key;
+    EXPECT_FALSE(parent.covers(key) && child.covers(key)) << key;
+    if (in_whole) ++covered;
+  }
+  EXPECT_GT(covered, 0u);
+  // Depth-0 coverage is plain modulo routing.
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    EXPECT_EQ(whole.covers(key), key % 4 == 1);
+  }
+  EXPECT_TRUE(coverage_complete({{2, 0, 0, 0}, {2, 1, 0, 0}}, 2));
+  EXPECT_TRUE(coverage_complete(
+      {{2, 0, 1, 0}, {2, 0, 1, 1}, {2, 1, 0, 0}}, 2));
+  // Gap: bucket 1 missing half its keys.
+  EXPECT_FALSE(coverage_complete({{2, 0, 0, 0}, {2, 1, 1, 0}}, 2));
+  // Overlap summing to full weight is still rejected.
+  EXPECT_FALSE(coverage_complete(
+      {{2, 0, 0, 0}, {2, 1, 1, 0}, {2, 1, 1, 0}}, 2));
+  EXPECT_FALSE(coverage_complete({{2, 0, 0, 0}}, 2));
+}
+
+// The headline split/merge property run: all five schemes take seeded
+// random split points (random depth + tag), each half is validated
+// byte-for-byte against a clone_empty + reinsert reference, the merge must
+// reunite byte-identically to a never-split twin, and every later
+// publication must produce the twin's exact subscriber order and
+// work_units -- through churn and serialize/restore swaps.
+TEST(MatcherSplitMerge, AllSchemesSurviveSeededSplitMergeRoundTrips) {
+  DifferentialHarness::Params params;
+  params.dimensions = 3;
+  params.seed = 777001;
+  params.initial_subscriptions = 48;
+  params.operations = 600;
+  params.publish_batch = 5;
+  params.roundtrip_every = 89;
+  params.split_merge_every = 71;
+  DifferentialHarness h{params};
+  h.add_scheme("brute/scalar", std::make_unique<BruteForceMatcher>(), false,
+               false);
+  h.add_scheme("brute/batched", std::make_unique<BruteForceMatcher>(), false,
+               true);
+  h.add_scheme("counting/batched", std::make_unique<CountingIndexMatcher>(),
+               false, true);
+  h.add_scheme("aspe/scalar", std::make_unique<AspeMatcher>(), true, false);
+  h.add_scheme("aspe/batched", std::make_unique<AspeMatcher>(), true, true);
+  h.run();
+  EXPECT_GE(h.splits_run(), 8u);
+  EXPECT_GT(h.publications_checked(), 1000u);
+}
+
+// Seed sweep of the same property at other dimensions/seeds (plain
+// schemes; counting exercises split across freed-slot reuse).
+TEST(MatcherSplitMerge, PlainSchemesSplitMergeSeedSweep) {
+  for (const std::uint64_t seed : {11ULL, 5309ULL}) {
+    DifferentialHarness::Params params;
+    params.dimensions = 2;
+    params.seed = seed;
+    params.initial_subscriptions = 32;
+    params.operations = 300;
+    params.publish_batch = 4;
+    params.roundtrip_every = 67;
+    params.split_merge_every = 43;
+    DifferentialHarness h{params};
+    h.add_scheme("brute/scalar", std::make_unique<BruteForceMatcher>(), false,
+                 false);
+    h.add_scheme("counting/scalar", std::make_unique<CountingIndexMatcher>(),
+                 false, false);
+    h.add_scheme("counting/batched", std::make_unique<CountingIndexMatcher>(),
+                 false, true);
+    h.run();
+    ASSERT_FALSE(::testing::Test::HasFailure()) << "diverged at seed " << seed;
+    EXPECT_GE(h.splits_run(), 5u);
+  }
+}
+
+// A second-level split (splitting an already-split half) still partitions:
+// split off a child, split the child again, and the three-way merge in any
+// order restores the original bytes.
+TEST(MatcherSplitMerge, NestedSplitThenMergeRestoresOriginal) {
+  Rng rng{424242};
+  auto build = [&] {
+    auto m = std::make_unique<BruteForceMatcher>();
+    return m;
+  };
+  auto original = build();
+  for (std::uint64_t id = 1; id <= 200; ++id) {
+    std::vector<Range> preds;
+    for (int a = 0; a < 2; ++a) {
+      const double low = rng.uniform(0.0, 0.7);
+      preds.push_back(Range{low, low + 0.2});
+    }
+    Subscription s;
+    s.id = SubscriptionId{id};
+    s.subscriber = SubscriberId{1 + id % 13};
+    s.predicates = std::move(preds);
+    original->add(AnySubscription{s});
+  }
+  BinaryWriter before;
+  original->serialize_state(before);
+
+  const KeyCoverage whole{1, 0, 0, 0};
+  const KeyCoverage c1 = whole.split_child();      // depth 1, tag 1
+  const KeyCoverage c2 = c1.split_child();         // depth 2, tag 11
+  BinaryWriter w1;
+  const std::size_t moved1 = original->split_state(c1, w1);
+  auto child1 = original->clone_empty();
+  BinaryReader r1{w1.buffer()};
+  child1->restore_state(r1);
+  EXPECT_EQ(child1->subscription_count(), moved1);
+  BinaryWriter w2;
+  const std::size_t moved2 = child1->split_state(c2, w2);
+  auto child2 = child1->clone_empty();
+  BinaryReader r2{w2.buffer()};
+  child2->restore_state(r2);
+  EXPECT_EQ(child2->subscription_count(), moved2);
+  EXPECT_EQ(original->subscription_count() + moved1, 200u);
+  EXPECT_GT(moved1, 0u);
+  EXPECT_GT(moved2, 0u);
+
+  // Merge back in a different order than the splits happened.
+  original->merge_state(*child2);
+  original->merge_state(*child1);
+  EXPECT_EQ(original->subscription_count(), 200u);
+  BinaryWriter after;
+  original->serialize_state(after);
+  EXPECT_EQ(after.buffer(), before.buffer());
+}
+
 // ---- churn properties --------------------------------------------------------
 
 Subscription make_sub(std::uint64_t id, std::uint64_t subscriber,

@@ -118,6 +118,25 @@ TEST(MatchOracle, PartitionConsistentWithFlatMatches) {
   EXPECT_EQ(merged, flat);
 }
 
+TEST(MatchOracle, SkewedIdsStayUniqueAndConcentrateInBucketZero) {
+  MatchOracle oracle{{4, 10'000, 0.01, 4, 9, 0.55}};
+  std::set<std::uint64_t> ids;
+  std::size_t in_hot_bucket = 0;
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    const auto id = oracle.sub_id(i);
+    EXPECT_TRUE(ids.insert(id.value()).second) << "duplicate id " << i;
+    // slice_of must stay the modulo of the (skewed) id, matching AP.
+    EXPECT_EQ(oracle.slice_of(i), id.value() % 4);
+    if (oracle.slice_of(i) == 0) ++in_hot_bucket;
+  }
+  EXPECT_EQ(in_hot_bucket, 5'500u);  // hot_fraction of the population
+  // Uniform scheme untouched: ids are still index + 1.
+  MatchOracle uniform{{4, 100, 0.01, 4, 9}};
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(uniform.sub_id(i).value(), i + 1);
+  }
+}
+
 TEST(OracleMatcher, OnlyStoredSubscriptionsMatch) {
   OracleParams params{4, 1'000, 0.05, 2, 77};
   OracleWorkload workload{params};
