@@ -17,10 +17,16 @@
 //    to the worker pool) per thread count and dispatch batch cap, emitted
 //    as JSON, with every configuration's simulated outcome verified
 //    identical to the serial single-thread single-event-dispatch run.
+//  - an index sweep (--index_sweep): per-publication match work-units and
+//    wall-clock of IntervalIndexMatcher vs BruteForceMatcher while the
+//    store scales 100 K -> 1 M subscriptions at a 1 % matching rate,
+//    emitted as JSON (BENCH_index.json), with subscriber-set agreement
+//    verified at every size -- before and after a churn phase.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <thread>
 #include <cstdio>
@@ -34,6 +40,7 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "filter/aspe.hpp"
+#include "filter/interval_index.hpp"
 #include "filter/matcher.hpp"
 #include "harness/testbed.hpp"
 #include "workload/generator.hpp"
@@ -425,6 +432,180 @@ int run_thread_sweep() {
   return ok ? 0 : 2;
 }
 
+// ---- index sweep: sublinear matching at 100 K -> 1 M subscriptions -----------
+//
+// The million-subscriber question: how does per-publication match cost
+// scale with the store when predicates are selective? The workload is a
+// social-feed shape -- each subscription has one narrow "topic" interval
+// (attribute 0, width 0.02) and three broad contextual intervals sized so
+// the overall matching rate stays at the paper's 1 % -- and a uniform
+// publication stream. BruteForceMatcher pays O(subs) per publication by
+// construction; IntervalIndexMatcher's covering rule registers the narrow
+// interval, so candidates scale with its selectivity, not the store. The
+// sweep reports simulated work-units per publication (the figure-relevant
+// number: batching- and thread-invariant) and wall-clock as a sanity
+// check, verifies subscriber-set agreement at every size, then churns ~2 %
+// of the store (removals + fresh inserts forcing slot reuse and a tree
+// rebuild) and re-verifies against a direct evaluation.
+
+constexpr std::size_t kIndexDims = 4;
+constexpr double kIndexNarrowWidth = 0.02;
+constexpr double kIndexMatchingRate = 0.01;
+
+filter::Subscription index_sweep_subscription(std::uint64_t index) {
+  Rng rng{0x5eedULL ^ (index * 0x9e3779b97f4a7c15ULL + 5)};
+  // Width product = matching rate: one narrow topic interval plus three
+  // equal broad ones covering the residual.
+  const double broad = std::cbrt(kIndexMatchingRate / kIndexNarrowWidth);
+  filter::Subscription s;
+  s.id = SubscriptionId{index + 1};
+  s.subscriber = SubscriberId{index + 1};
+  s.predicates.resize(kIndexDims);
+  for (std::size_t a = 0; a < kIndexDims; ++a) {
+    const double w = a == 0 ? kIndexNarrowWidth : broad;
+    const double low = rng.uniform(0.0, 1.0 - w);
+    s.predicates[a] = filter::Range{low, low + w};
+  }
+  return s;
+}
+
+std::vector<filter::AnyPublication> index_sweep_publications(std::size_t count) {
+  std::vector<filter::AnyPublication> pubs;
+  pubs.reserve(count);
+  for (std::size_t p = 0; p < count; ++p) {
+    Rng rng{0xb0b0ULL ^ (p * 0xbf58476d1ce4e5b9ULL + 3)};
+    filter::Publication pub;
+    pub.id = PublicationId{p + 1};
+    pub.attributes.resize(kIndexDims);
+    for (double& v : pub.attributes) v = rng.next_double();
+    pubs.emplace_back(std::move(pub));
+  }
+  return pubs;
+}
+
+std::vector<SubscriberId> sorted_subscribers(std::vector<SubscriberId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+// One store size: returns false (after reporting on stderr) on any
+// divergence between the index backend, the brute reference, and the
+// direct post-churn evaluation.
+bool index_sweep_size(std::size_t n, bool last) {
+  constexpr std::size_t kPubs = 32;
+  filter::BruteForceMatcher brute;
+  filter::IntervalIndexMatcher interval;
+  std::vector<filter::Subscription> all_subs;
+  all_subs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    all_subs.push_back(index_sweep_subscription(i));
+    brute.add(filter::AnySubscription{all_subs.back()});
+    interval.add(filter::AnySubscription{all_subs.back()});
+  }
+  const std::vector<filter::AnyPublication> pubs =
+      index_sweep_publications(kPubs);
+  const std::span<const filter::AnyPublication> span{pubs.data(), pubs.size()};
+
+  // Warm passes double as the agreement check (and trigger the one-off
+  // index build before timing).
+  const auto ref = brute.match_batch(span);
+  const auto got = interval.match_batch(span);
+  bool ok = true;
+  double brute_units = 0.0;
+  double index_units = 0.0;
+  std::uint64_t total_matches = 0;
+  for (std::size_t p = 0; p < pubs.size(); ++p) {
+    if (sorted_subscribers(got[p].subscribers) !=
+        sorted_subscribers(ref[p].subscribers)) {
+      std::fprintf(stderr,
+                   "index_sweep: %zu subs, publication %zu subscriber sets "
+                   "diverge (index %zu vs brute %zu)\n",
+                   n, p, got[p].subscribers.size(), ref[p].subscribers.size());
+      ok = false;
+    }
+    brute_units += ref[p].work_units;
+    index_units += got[p].work_units;
+    total_matches += ref[p].subscribers.size();
+  }
+  brute_units /= static_cast<double>(pubs.size());
+  index_units /= static_cast<double>(pubs.size());
+
+  const double brute_s =
+      time_best_seconds(3, [&] { (void)brute.match_batch(span); });
+  const double index_s =
+      time_best_seconds(3, [&] { (void)interval.match_batch(span); });
+  const double brute_rate = static_cast<double>(pubs.size()) / brute_s;
+  const double index_rate = static_cast<double>(pubs.size()) / index_s;
+
+  // Churn phase: remove ~2 % of the store, insert the same number of fresh
+  // subscriptions (slot reuse + rebuild), verify against direct evaluation.
+  std::vector<char> dead(all_subs.size(), 0);
+  std::size_t removed = 0;
+  for (std::size_t i = 7; i < n; i += 50) {
+    if (!interval.remove(all_subs[i].id)) {
+      std::fprintf(stderr, "index_sweep: remove of stored id failed\n");
+      ok = false;
+    }
+    dead[i] = 1;
+    ++removed;
+  }
+  for (std::uint64_t j = 0; j < removed; ++j) {
+    all_subs.push_back(index_sweep_subscription(n + j));
+    dead.push_back(0);
+    interval.add(filter::AnySubscription{all_subs.back()});
+  }
+  constexpr std::size_t kChurnPubs = 4;
+  for (std::size_t p = 0; p < kChurnPubs; ++p) {
+    const auto& plain = std::get<filter::Publication>(pubs[p]);
+    std::vector<SubscriberId> expected;
+    for (std::size_t i = 0; i < all_subs.size(); ++i) {
+      if (!dead[i] && all_subs[i].matches(plain)) {
+        expected.push_back(all_subs[i].subscriber);
+      }
+    }
+    const auto outcome = interval.match(pubs[p]);
+    if (sorted_subscribers(outcome.subscribers) !=
+        sorted_subscribers(std::move(expected))) {
+      std::fprintf(stderr,
+                   "index_sweep: %zu subs, post-churn publication %zu "
+                   "diverges from direct evaluation\n",
+                   n, p);
+      ok = false;
+    }
+  }
+
+  std::printf("    {\"subscriptions\": %zu, \"publications\": %zu,\n"
+              "     \"matches_per_pub\": %.1f,\n"
+              "     \"brute_work_units_per_pub\": %.1f, "
+              "\"index_work_units_per_pub\": %.1f,\n"
+              "     \"work_reduction_factor\": %.1f,\n"
+              "     \"brute_pubs_per_sec\": %.1f, "
+              "\"index_pubs_per_sec\": %.1f, \"wall_clock_speedup\": %.2f,\n"
+              "     \"churned\": %zu, \"results_identical\": %s}%s\n",
+              n, pubs.size(),
+              static_cast<double>(total_matches) /
+                  static_cast<double>(pubs.size()),
+              brute_units, index_units, brute_units / index_units, brute_rate,
+              index_rate, index_rate / brute_rate, removed,
+              ok ? "true" : "false", last ? "" : ",");
+  return ok;
+}
+
+int run_index_sweep() {
+  const std::vector<std::size_t> sizes = {100'000, 250'000, 500'000,
+                                          1'000'000};
+  std::printf("{\n  \"benchmark\": \"micro_filter_index_sweep\",\n"
+              "  \"dimensions\": %zu,\n  \"matching_rate\": %.3f,\n"
+              "  \"narrow_width\": %.3f,\n  \"sizes\": [\n",
+              kIndexDims, kIndexMatchingRate, kIndexNarrowWidth);
+  bool ok = true;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    ok &= index_sweep_size(sizes[i], i + 1 == sizes.size());
+  }
+  std::printf("  ]\n}\n");
+  return ok ? 0 : 2;
+}
+
 // ---- pipeline sweep: threads x dispatch batch over a full StreamHub run -----
 //
 // Unlike the matcher-only sweeps above, this drives the whole simulated
@@ -561,6 +742,7 @@ int main(int argc, char** argv) {
     if (std::string_view{argv[i]} == "--pipeline_sweep") {
       return run_pipeline_sweep();
     }
+    if (std::string_view{argv[i]} == "--index_sweep") return run_index_sweep();
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

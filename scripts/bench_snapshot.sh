@@ -5,6 +5,9 @@
 #   - the micro_filter pipeline sweep (full StreamHub run per thread count
 #     and dispatch batch cap, outcomes verified identical to the serial
 #     reference before timing) -> BENCH_pipeline.json
+#   - the micro_filter index sweep (IntervalIndexMatcher vs brute force at
+#     100 K -> 1 M subscriptions, subscriber sets verified identical before
+#     and after churn) -> BENCH_index.json
 #   - the fig_recovery fault scenarios (crash at two checkpoint intervals,
 #     partition outlasting the conviction window, gray-host drain) with
 #     MTTR phase breakdowns, exactly-once audits and NetworkStats
@@ -18,6 +21,7 @@ cd "$(dirname "$0")/.."
 BUILD=${BUILD:-build}
 OUT=${OUT:-BENCH_parallel.json}
 PIPELINE_OUT=${PIPELINE_OUT:-BENCH_pipeline.json}
+INDEX_OUT=${INDEX_OUT:-BENCH_index.json}
 RECOVERY_OUT=${RECOVERY_OUT:-BENCH_recovery.json}
 SPLIT_OUT=${SPLIT_OUT:-BENCH_split.json}
 
@@ -33,6 +37,9 @@ echo "wrote $OUT"
 
 "$BUILD/bench/micro_filter" --pipeline_sweep > "$PIPELINE_OUT"
 echo "wrote $PIPELINE_OUT"
+
+"$BUILD/bench/micro_filter" --index_sweep > "$INDEX_OUT"
+echo "wrote $INDEX_OUT"
 
 "$BUILD/bench/fig_recovery" --json > "$RECOVERY_OUT"
 echo "wrote $RECOVERY_OUT"

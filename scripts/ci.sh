@@ -41,10 +41,10 @@ stage_lint() {
 }
 
 # Robustness gate: the chaos schedules (crash + partition + gray + storm
-# faults), the split/merge torture suite, the reliable control channel, and
-# the adversarial network tests must pass with every invariant live, and
-# stay clean under ASan and TSan.
-CHAOS_FILTER='Chaos|Reliable|Net|Contract|Split|Merge'
+# faults), the split/merge torture suite, the reliable control channel, the
+# adversarial network tests, and the interval-index determinism tests must
+# pass with every invariant live, and stay clean under ASan and TSan.
+CHAOS_FILTER='Chaos|Reliable|Net|Contract|Split|Merge|Interval'
 
 stage_chaos() {
   local dir=${BUILD_DIR:-build-ci-chaos}

@@ -22,6 +22,16 @@ struct CostModel {
   double aspe_match_units_per_d2 = 0.063;
   // Plain-text range matching of one publication against one subscription.
   double plain_match_units = 0.02;
+  // Interval-index matching (IntervalIndexMatcher): the index prunes by the
+  // registered predicate's selectivity, so cost is charged per tree node
+  // visited during the stabbing descent and per surviving candidate
+  // verified against the arena columns -- not per stored subscription.
+  // A node visit is one compare + one pointer chase, about a binary-search
+  // step (one plain_match_units); a candidate verification is a partial
+  // rectangle test that early-exits on the first failing attribute, about
+  // half a full plain match.
+  double index_node_units = 0.02;
+  double index_candidate_units = 0.01;
   // Encrypting one publication / subscription client-side (matrix-vector
   // products) -- only exercised by the workload pre-encryption pipeline.
   double aspe_encrypt_units_per_d2 = 0.5;

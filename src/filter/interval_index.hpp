@@ -1,0 +1,131 @@
+// Sublinear plain-text matching for million-subscriber stores.
+//
+// The brute/counting backends touch every stored subscription (or every
+// predicate below the query point) per publication -- O(subs) work that
+// caps the matching tier well short of the ROADMAP's million-user
+// north-star. IntervalIndexMatcher prunes by predicate selectivity
+// instead: each subscription registers exactly ONE of its intervals -- the
+// narrowest (covering rule: any match must stab every predicate, so the
+// most selective one admits the fewest false candidates; its wider,
+// dominated siblings are dropped from the index and only consulted during
+// verification) -- in a per-attribute centered interval tree. A
+// publication stabs each attribute's tree with its value and only the
+// subscriptions whose registered interval contains the value surface as
+// candidates; each candidate is then verified against the full rectangle
+// (minus the already-certified registered attribute) straight from the
+// arena columns, with early exit.
+//
+// Storage is an arena-backed SoA pool: stable 32-bit slots, per-attribute
+// low/high columns with never-matching sentinels past a subscription's
+// dimension count, holes reused LIFO -- no per-subscription allocations on
+// the add/remove path and O(1) removal via an id->slot map. The trees are
+// rebuilt lazily (one rebuild amortized over a whole match_batch) from the
+// live slots in ascending-subscription-id order, and every tie inside a
+// tree breaks on subscription id, never on slot: the candidate traversal
+// -- and with it the subscriber append order and the work-unit counts --
+// is a pure function of the live subscription set, identical for any
+// slot-reuse history. That is what makes serialize/split/merge byte-stable
+// and the pooled batch path bit-identical at any thread count (the pool
+// partitions by publication against the immutable index; there is no
+// shared mutable scratch at all).
+//
+// Work accounting uses the CostModel index family: index_node_units per
+// tree node visited on the stabbing descents plus index_candidate_units
+// per candidate verified. Both are exact integer counts, so work_units is
+// batching-invariant and deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cost_model.hpp"
+#include "common/keyspace.hpp"
+#include "common/serde.hpp"
+#include "common/types.hpp"
+#include "filter/matcher.hpp"
+
+namespace esh::filter {
+
+class IntervalIndexMatcher final : public Matcher {
+ public:
+  explicit IntervalIndexMatcher(cluster::CostModel cost = {});
+
+  void add(const AnySubscription& sub) override;
+  bool remove(SubscriptionId id) override;
+  [[nodiscard]] MatchOutcome match(const AnyPublication& pub) override;
+  [[nodiscard]] std::vector<MatchOutcome> match_batch(
+      std::span<const AnyPublication> pubs) override;
+  [[nodiscard]] double estimate_match_units() const override;
+  [[nodiscard]] std::size_t subscription_count() const override;
+  [[nodiscard]] std::size_t state_bytes() const override;
+  void serialize_state(BinaryWriter& w) const override;
+  void restore_state(BinaryReader& r) override;
+  std::size_t split_state(const KeyCoverage& cov, BinaryWriter& w) override;
+  void absorb_state(BinaryReader& r) override;
+  [[nodiscard]] std::unique_ptr<Matcher> clone_empty() const override;
+  [[nodiscard]] std::string scheme_name() const override {
+    return "plain-interval";
+  }
+
+ private:
+  struct TreeEntry {
+    double low;
+    double high;
+    std::uint32_t slot;
+  };
+  // Centered interval-tree node, flattened: intervals entirely below the
+  // center live in the left subtree, entirely above in the right, and the
+  // ones straddling it in two cross lists -- ascending-low for descents to
+  // the left of the center, descending-high for descents to the right --
+  // so a stab scans exactly the stabbing prefix of one list per node.
+  struct TreeNode {
+    double center;
+    std::int32_t left;
+    std::int32_t right;
+    std::uint32_t cross_begin;
+    std::uint32_t cross_count;
+  };
+  struct AttrTree {
+    std::vector<TreeNode> nodes;  // node 0 is the root when non-empty
+    std::vector<TreeEntry> asc;   // cross lists by (low asc, id asc)
+    std::vector<TreeEntry> desc;  // cross lists by (high desc, id asc)
+  };
+
+  void rebuild_if_dirty();
+  std::int32_t build_node(AttrTree& tree, const std::vector<TreeEntry>& entries);
+  // One publication against the already-rebuilt trees. Read-only: the
+  // pooled batch path runs this concurrently with no shared scratch.
+  [[nodiscard]] MatchOutcome match_prepared(const Publication& plain) const;
+  // Full-rectangle verification of one stabbed candidate; `reg` is the
+  // attribute the stab already certified.
+  void verify_and_emit(std::uint32_t slot, std::size_t reg,
+                       const Publication& pub, MatchOutcome& out) const;
+  void punch_hole(std::uint32_t slot);
+  void write_slot(BinaryWriter& w, std::uint32_t slot) const;
+  [[nodiscard]] std::vector<std::uint32_t> live_slots_by_id() const;
+
+  cluster::CostModel cost_;
+  // Arena SoA pool, dense by slot; an invalid id marks a hole.
+  std::vector<SubscriptionId> ids_;
+  std::vector<SubscriberId> subscribers_;
+  std::vector<std::uint32_t> dims_;
+  std::vector<std::uint32_t> reg_attr_;     // kNoAttribute for zero-dim
+  std::vector<std::vector<double>> lows_;   // [attribute][slot]
+  std::vector<std::vector<double>> highs_;  // [attribute][slot]
+  std::vector<std::uint32_t> free_slots_;   // LIFO reuse
+  // O(1) removal; lookups only, never iterated.
+  std::unordered_map<SubscriptionId, std::uint32_t> slot_of_;
+  std::vector<AttrTree> trees_;                // per attribute
+  std::vector<std::uint32_t> zero_dim_slots_;  // id-ascending at rebuild
+  std::size_t live_count_ = 0;
+  std::size_t predicate_count_ = 0;  // live predicates (state accounting)
+  std::size_t max_dims_ = 0;         // historical max, like AspeMatcher's
+  bool dirty_ = true;
+};
+
+}  // namespace esh::filter

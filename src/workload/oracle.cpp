@@ -22,6 +22,20 @@ MatchOracle::MatchOracle(OracleParams params) : params_(params) {
   if (params_.hot_fraction < 0.0 || params_.hot_fraction > 1.0) {
     throw std::invalid_argument{"MatchOracle: hot fraction in [0, 1]"};
   }
+  if (params_.zipf_exponent < 0.0 || params_.zipf_exponent > 4.0) {
+    throw std::invalid_argument{"MatchOracle: zipf exponent in [0, 4]"};
+  }
+  if (params_.churn_fraction < 0.0 || params_.churn_fraction > 1.0) {
+    throw std::invalid_argument{"MatchOracle: churn fraction in [0, 1]"};
+  }
+  if (params_.zipf_exponent > 0.0) {
+    zipf_cum_.reserve(params_.total_subscriptions);
+    double cum = 0.0;
+    for (std::uint64_t i = 0; i < params_.total_subscriptions; ++i) {
+      cum += std::pow(static_cast<double>(i + 1), -params_.zipf_exponent);
+      zipf_cum_.push_back(cum);
+    }
+  }
 }
 
 std::vector<std::uint64_t> MatchOracle::matches(PublicationId pub) const {
@@ -40,11 +54,57 @@ std::vector<std::uint64_t> MatchOracle::matches(PublicationId pub) const {
   std::unordered_set<std::uint64_t> seen;
   seen.reserve(k * 2);
   while (chosen.size() < k) {
-    const std::uint64_t idx = rng.next_below(n);
+    // Uniform popularity, or Zipf-weighted inversion sampling: the match
+    // count stays Binomial(n, p) either way, only which indices carry the
+    // matches skews (rejection handles without-replacement duplicates).
+    std::uint64_t idx;
+    if (zipf_cum_.empty()) {
+      idx = rng.next_below(n);
+    } else {
+      const double r = rng.next_double() * zipf_cum_.back();
+      idx = static_cast<std::uint64_t>(std::distance(
+          zipf_cum_.begin(),
+          std::lower_bound(zipf_cum_.begin(), zipf_cum_.end(), r)));
+      if (idx >= n) idx = n - 1;  // floating-point edge of the last bucket
+    }
     if (seen.insert(idx).second) chosen.push_back(idx);
   }
   std::sort(chosen.begin(), chosen.end());
   return chosen;
+}
+
+// ---- ChurnStream -------------------------------------------------------------
+
+ChurnStream::ChurnStream(std::shared_ptr<const MatchOracle> oracle,
+                         std::uint64_t seed)
+    : oracle_(std::move(oracle)),
+      rng_(seed * 0xd1342543de82ef95ULL + 19) {
+  if (oracle_ == nullptr) {
+    throw std::invalid_argument{"ChurnStream: oracle required"};
+  }
+}
+
+std::uint64_t ChurnStream::target_fringe() const {
+  const auto& p = oracle_->params();
+  return static_cast<std::uint64_t>(
+      p.churn_fraction * static_cast<double>(p.total_subscriptions));
+}
+
+ChurnStream::Event ChurnStream::next() {
+  // Subscribe-biased while filling toward the target fringe, unsubscribe-
+  // biased above it: the fringe size random-walks around the target.
+  const bool below = live_.size() < target_fringe();
+  const double subscribe_p = below ? 0.7 : 0.3;
+  if (live_.empty() || rng_.next_double() < subscribe_p) {
+    const std::uint64_t index =
+        oracle_->params().total_subscriptions + next_fresh_++;
+    live_.push_back(index);
+    return Event{true, index};
+  }
+  const std::size_t pos = rng_.next_below(live_.size());
+  const std::uint64_t index = live_[pos];
+  live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(pos));
+  return Event{false, index};
 }
 
 std::shared_ptr<const MatchOracle::Partition> MatchOracle::partitioned_matches(

@@ -42,8 +42,25 @@ struct OracleParams {
   // Key skew: this fraction of the subscriptions gets ids congruent to
   // 0 mod m_slices, so they all land in bucket 0 and that M slice becomes
   // a hotspot no whole-slice migration can dilute. 0 keeps the historical
-  // uniform ids (index + 1). Last field: positional initializers predate it.
+  // uniform ids (index + 1).
   double hot_fraction = 0.0;
+  // Popularity skew (social-feed shape): with exponent s > 0, a
+  // publication's ground-truth match set is sampled with P(index i)
+  // proportional to 1 / (i + 1)^s instead of uniformly -- low indices are
+  // the celebrities that match almost every publication, the long tail
+  // almost never does. The match-count distribution (and with it every
+  // pinned throughput/notification expectation) is unchanged; only which
+  // indices match skews. 0 keeps the historical uniform sampling.
+  double zipf_exponent = 0.0;
+  // Target steady-state size of the churning fringe driven by ChurnStream,
+  // as a fraction of total_subscriptions. The fringe lives at indices >=
+  // total_subscriptions (fresh, unique ids; see ChurnStream), so the base
+  // population and the oracle's match sampling are unaffected. 0 disables.
+  //
+  // All call sites use designated initializers (the old positional-
+  // initializer trap on hot_fraction is retired), so appending knobs here
+  // is safe.
+  double churn_fraction = 0.0;
 };
 
 // Deterministic ground-truth sampler shared by every OracleMatcher.
@@ -90,10 +107,49 @@ class MatchOracle {
 
  private:
   OracleParams params_;
+  // Cumulative Zipf weights over [0, total_subscriptions); empty when
+  // zipf_exponent == 0 (uniform sampling, the historical path).
+  std::vector<double> zipf_cum_;
   // FIFO memoization (single-threaded simulation).
   mutable std::unordered_map<PublicationId, std::shared_ptr<const Partition>>
       cache_;
   mutable std::deque<PublicationId> cache_order_;
+};
+
+// Deterministic subscribe/unsubscribe stream over the churning fringe
+// (social-feed shape: the stable base population keeps matching, while a
+// fringe of size ~ churn_fraction * total_subscriptions subscribes and
+// unsubscribes throughout the run). Fringe subscriptions live at indices >=
+// total_subscriptions: sub_id() is injective over ALL indices (hot and
+// uniform ranges alike), so every churned-in subscription carries a fresh,
+// never-reused id and AP's modulo routing spreads the fringe like any
+// other traffic. The oracle's match sampling draws from the base
+// population only, so the fringe is cold -- it consumes subscribe/
+// unsubscribe bandwidth and M-slice state without inflating notifications.
+class ChurnStream {
+ public:
+  struct Event {
+    bool subscribe;       // false = unsubscribe
+    std::uint64_t index;  // workload subscription index (>= base population)
+  };
+
+  ChurnStream(std::shared_ptr<const MatchOracle> oracle, std::uint64_t seed);
+
+  // Next deterministic churn event. Below the target fringe size the
+  // stream is subscribe-biased (the fringe fills), at or above it the bias
+  // flips (steady state); unsubscribes always target a currently live
+  // fringe index, chosen uniformly.
+  [[nodiscard]] Event next();
+
+  [[nodiscard]] std::size_t live_fringe() const { return live_.size(); }
+  [[nodiscard]] std::uint64_t spawned() const { return next_fresh_; }
+  [[nodiscard]] std::uint64_t target_fringe() const;
+
+ private:
+  std::shared_ptr<const MatchOracle> oracle_;
+  Rng rng_;
+  std::vector<std::uint64_t> live_;  // churned-in fringe, insertion order
+  std::uint64_t next_fresh_ = 0;
 };
 
 // Matcher backed by the oracle: stores (id -> subscriber) of its partition,

@@ -6,6 +6,7 @@
 #include "common/rng.hpp"
 #include "filter/aspe.hpp"
 #include "filter/attribute.hpp"
+#include "filter/interval_index.hpp"
 #include "filter/matcher.hpp"
 #include "filter/matrix.hpp"
 #include "workload/generator.hpp"
@@ -204,7 +205,7 @@ TEST_F(AspeTest, DimensionMismatchThrows) {
 
 // All plain matchers must produce identical results; run the same suite
 // over each via a typed parameterized fixture.
-enum class MatcherKind { kBrute, kCounting };
+enum class MatcherKind { kBrute, kCounting, kInterval };
 
 class PlainMatcherTest : public ::testing::TestWithParam<MatcherKind> {
  protected:
@@ -214,6 +215,8 @@ class PlainMatcherTest : public ::testing::TestWithParam<MatcherKind> {
         return std::make_unique<BruteForceMatcher>();
       case MatcherKind::kCounting:
         return std::make_unique<CountingIndexMatcher>();
+      case MatcherKind::kInterval:
+        return std::make_unique<IntervalIndexMatcher>();
     }
     return nullptr;
   }
@@ -289,12 +292,116 @@ TEST_P(PlainMatcherTest, StateBytesGrowWithSubscriptions) {
 
 INSTANTIATE_TEST_SUITE_P(AllPlainMatchers, PlainMatcherTest,
                          ::testing::Values(MatcherKind::kBrute,
-                                           MatcherKind::kCounting),
+                                           MatcherKind::kCounting,
+                                           MatcherKind::kInterval),
                          [](const auto& info) {
-                           return info.param == MatcherKind::kBrute
-                                      ? "BruteForce"
-                                      : "CountingIndex";
+                           switch (info.param) {
+                             case MatcherKind::kBrute:
+                               return "BruteForce";
+                             case MatcherKind::kCounting:
+                               return "CountingIndex";
+                             case MatcherKind::kInterval:
+                               return "IntervalIndex";
+                           }
+                           return "Unknown";
                          });
+
+// ---- interval index specifics --------------------------------------------------
+
+// The covering rule registers only the narrowest predicate per
+// subscription: a publication stabbing the wide (dominated) attribute but
+// not the narrow one must pay for zero candidates -- only the tree
+// descents. With N subscriptions whose attribute 0 spans the whole domain
+// and whose attribute 1 is a tiny disjoint sliver, the per-publication
+// work must stay far below the brute-force O(N) scan.
+TEST(IntervalIndexTest, CoveringRuleIndexesTheNarrowestPredicate) {
+  IntervalIndexMatcher interval;
+  BruteForceMatcher brute;
+  constexpr std::uint64_t kN = 2000;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    Subscription s;
+    s.id = SubscriptionId{i + 1};
+    s.subscriber = SubscriberId{i + 1};
+    const double at = static_cast<double>(i) / static_cast<double>(kN);
+    s.predicates = {Range{0.0, 1.0},             // wide: dominated
+                    Range{at, at + 0.0001}};     // narrow: registered
+    interval.add(AnySubscription{s});
+    brute.add(AnySubscription{s});
+  }
+  // Attribute 1 value that no sliver contains (the slivers tile [0, 1) at
+  // stride 1/kN with width 0.0001 << stride after the first few).
+  Publication pub{PublicationId{1}, {0.5, 0.12345}};
+  const auto from_index = interval.match(AnyPublication{pub});
+  const auto from_brute = brute.match(AnyPublication{pub});
+  EXPECT_EQ(from_index.subscribers, from_brute.subscribers);
+  EXPECT_GT(from_index.work_units, 0.0);
+  // Brute pays 0.02 * 2000 = 40 units; the index pays a descent plus a
+  // handful of candidates. An order of magnitude is a conservative floor.
+  EXPECT_LT(from_index.work_units, from_brute.work_units / 10.0);
+
+  // A value inside sliver i = 1000 finds exactly that subscription.
+  Publication hit{PublicationId{2}, {0.5, 0.50005}};
+  const auto outcome = interval.match(AnyPublication{hit});
+  ASSERT_EQ(outcome.subscribers.size(), 1u);
+  EXPECT_EQ(outcome.subscribers[0], SubscriberId{1001});
+}
+
+// Zero-dimension subscriptions (no predicates) have nothing to register:
+// they must match exactly the zero-attribute publications, and nothing
+// else.
+TEST(IntervalIndexTest, ZeroDimensionSubscriptionsMatchZeroDimPublications) {
+  IntervalIndexMatcher m;
+  Subscription none;
+  none.id = SubscriptionId{1};
+  none.subscriber = SubscriberId{11};
+  m.add(AnySubscription{none});
+  Subscription one;
+  one.id = SubscriptionId{2};
+  one.subscriber = SubscriberId{22};
+  one.predicates = {Range{0.0, 1.0}};
+  m.add(AnySubscription{one});
+
+  Publication empty{PublicationId{1}, {}};
+  const auto e = m.match(AnyPublication{empty});
+  ASSERT_EQ(e.subscribers.size(), 1u);
+  EXPECT_EQ(e.subscribers[0], SubscriberId{11});
+
+  Publication wide{PublicationId{2}, {0.5}};
+  const auto w = m.match(AnyPublication{wide});
+  ASSERT_EQ(w.subscribers.size(), 1u);
+  EXPECT_EQ(w.subscribers[0], SubscriberId{22});
+}
+
+// Work units are an exact function of the live subscription set: a replica
+// restored from serialized state and a slot-churned instance holding the
+// same live set charge identical work for the same publication.
+TEST(IntervalIndexTest, WorkUnitsAreSlotLayoutIndependent) {
+  workload::PlainWorkload gen{{3, 0.05, 909}};
+  IntervalIndexMatcher churned;
+  // Build with interleaved removals so slots are reused out of id order.
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    churned.add(AnySubscription{gen.subscription(i)});
+  }
+  for (std::uint64_t i = 0; i < 300; i += 3) {
+    EXPECT_TRUE(
+        churned.remove(subscription_id(AnySubscription{gen.subscription(i)})));
+  }
+  for (std::uint64_t i = 300; i < 400; ++i) {
+    churned.add(AnySubscription{gen.subscription(i)});
+  }
+  BinaryWriter w;
+  churned.serialize_state(w);
+  auto restored = churned.clone_empty();
+  BinaryReader r{w.buffer()};
+  restored->restore_state(r);
+  for (int p = 0; p < 30; ++p) {
+    const Publication pub = gen.next_publication();
+    const auto a = churned.match(AnyPublication{pub});
+    const auto b = restored->match(AnyPublication{pub});
+    EXPECT_EQ(a.subscribers, b.subscribers) << "publication " << p;
+    EXPECT_DOUBLE_EQ(a.work_units, b.work_units) << "publication " << p;
+  }
+}
 
 TEST(AspeMatcherTest, EndToEndEncryptedMatching) {
   Rng rng{41};

@@ -16,6 +16,7 @@
 #include "common/serde.hpp"
 #include "filter/aspe.hpp"
 #include "filter/attribute.hpp"
+#include "filter/interval_index.hpp"
 #include "filter/matcher.hpp"
 #include "matcher_harness.hpp"
 
@@ -27,9 +28,9 @@ using harness::sorted_ids;
 
 // ---- differential harness ----------------------------------------------------
 
-// The headline run: five schemes against one seeded op stream. The scalar
+// The headline run: six schemes against one seeded op stream. The scalar
 // brute force is the reference implementation; the oracle inside the
-// harness is independent of all five, so a shared kernel bug still shows.
+// harness is independent of all six, so a shared kernel bug still shows.
 TEST(MatcherDiff, AllSchemesAgreeOnSeededChurn) {
   DifferentialHarness::Params params;
   params.dimensions = 4;
@@ -43,6 +44,10 @@ TEST(MatcherDiff, AllSchemesAgreeOnSeededChurn) {
   h.add_scheme("brute/batched", std::make_unique<BruteForceMatcher>(),
                /*encrypted=*/false, /*batched=*/true);
   h.add_scheme("counting/batched", std::make_unique<CountingIndexMatcher>(),
+               /*encrypted=*/false, /*batched=*/true);
+  h.add_scheme("interval/scalar", std::make_unique<IntervalIndexMatcher>(),
+               /*encrypted=*/false, /*batched=*/false);
+  h.add_scheme("interval/batched", std::make_unique<IntervalIndexMatcher>(),
                /*encrypted=*/false, /*batched=*/true);
   h.add_scheme("aspe/scalar", std::make_unique<AspeMatcher>(),
                /*encrypted=*/true, /*batched=*/false);
@@ -75,6 +80,10 @@ TEST(MatcherDiff, PlainSchemesSeedSweep) {
                    false, false);
       h.add_scheme("counting/batched",
                    std::make_unique<CountingIndexMatcher>(), false, true);
+      h.add_scheme("interval/scalar",
+                   std::make_unique<IntervalIndexMatcher>(), false, false);
+      h.add_scheme("interval/batched",
+                   std::make_unique<IntervalIndexMatcher>(), false, true);
       h.run();
       ASSERT_FALSE(::testing::Test::HasFailure())
           << "diverged at seed " << seed << " dims " << dims;
@@ -138,7 +147,7 @@ TEST(KeyCoverage, SplitHalvesPartitionAndMergeReunites) {
   EXPECT_FALSE(coverage_complete({{2, 0, 0, 0}}, 2));
 }
 
-// The headline split/merge property run: all five schemes take seeded
+// The headline split/merge property run: all six schemes take seeded
 // random split points (random depth + tag), each half is validated
 // byte-for-byte against a clone_empty + reinsert reference, the merge must
 // reunite byte-identically to a never-split twin, and every later
@@ -160,6 +169,8 @@ TEST(MatcherSplitMerge, AllSchemesSurviveSeededSplitMergeRoundTrips) {
                true);
   h.add_scheme("counting/batched", std::make_unique<CountingIndexMatcher>(),
                false, true);
+  h.add_scheme("interval/batched", std::make_unique<IntervalIndexMatcher>(),
+               false, true);
   h.add_scheme("aspe/scalar", std::make_unique<AspeMatcher>(), true, false);
   h.add_scheme("aspe/batched", std::make_unique<AspeMatcher>(), true, true);
   h.run();
@@ -168,7 +179,7 @@ TEST(MatcherSplitMerge, AllSchemesSurviveSeededSplitMergeRoundTrips) {
 }
 
 // Seed sweep of the same property at other dimensions/seeds (plain
-// schemes; counting exercises split across freed-slot reuse).
+// schemes; counting and interval exercise split across freed-slot reuse).
 TEST(MatcherSplitMerge, PlainSchemesSplitMergeSeedSweep) {
   for (const std::uint64_t seed : {11ULL, 5309ULL}) {
     DifferentialHarness::Params params;
@@ -186,6 +197,10 @@ TEST(MatcherSplitMerge, PlainSchemesSplitMergeSeedSweep) {
                  false, false);
     h.add_scheme("counting/batched", std::make_unique<CountingIndexMatcher>(),
                  false, true);
+    h.add_scheme("interval/scalar", std::make_unique<IntervalIndexMatcher>(),
+                 false, false);
+    h.add_scheme("interval/batched", std::make_unique<IntervalIndexMatcher>(),
+                 false, true);
     h.run();
     ASSERT_FALSE(::testing::Test::HasFailure()) << "diverged at seed " << seed;
     EXPECT_GE(h.splits_run(), 5u);
@@ -195,13 +210,8 @@ TEST(MatcherSplitMerge, PlainSchemesSplitMergeSeedSweep) {
 // A second-level split (splitting an already-split half) still partitions:
 // split off a child, split the child again, and the three-way merge in any
 // order restores the original bytes.
-TEST(MatcherSplitMerge, NestedSplitThenMergeRestoresOriginal) {
+void run_nested_split_merge(std::unique_ptr<Matcher> original) {
   Rng rng{424242};
-  auto build = [&] {
-    auto m = std::make_unique<BruteForceMatcher>();
-    return m;
-  };
-  auto original = build();
   for (std::uint64_t id = 1; id <= 200; ++id) {
     std::vector<Range> preds;
     for (int a = 0; a < 2; ++a) {
@@ -242,7 +252,12 @@ TEST(MatcherSplitMerge, NestedSplitThenMergeRestoresOriginal) {
   EXPECT_EQ(original->subscription_count(), 200u);
   BinaryWriter after;
   original->serialize_state(after);
-  EXPECT_EQ(after.buffer(), before.buffer());
+  EXPECT_EQ(after.buffer(), before.buffer()) << original->scheme_name();
+}
+
+TEST(MatcherSplitMerge, NestedSplitThenMergeRestoresOriginal) {
+  run_nested_split_merge(std::make_unique<BruteForceMatcher>());
+  run_nested_split_merge(std::make_unique<IntervalIndexMatcher>());
 }
 
 // ---- churn properties --------------------------------------------------------
@@ -273,6 +288,7 @@ TEST(MatcherChurn, RemovalsSlotReuseAndStateAccounting) {
   std::vector<std::unique_ptr<Matcher>> matchers;
   matchers.push_back(std::make_unique<BruteForceMatcher>());
   matchers.push_back(std::make_unique<CountingIndexMatcher>());
+  matchers.push_back(std::make_unique<IntervalIndexMatcher>());
 
   std::map<std::uint64_t, Subscription> live;
   std::uint64_t next_id = 1;
@@ -527,10 +543,12 @@ TEST(MatcherBatch, WorkUnitsAreBatchingInvariant) {
   {
     BruteForceMatcher brute;
     CountingIndexMatcher counting;
+    IntervalIndexMatcher interval;
     for (std::uint64_t id = 1; id <= 1500; ++id) {
       const Subscription s = random_sub(id, 3);
       brute.add(AnySubscription{s});
       counting.add(AnySubscription{s});
+      interval.add(AnySubscription{s});
     }
     std::vector<AnyPublication> pubs;
     for (std::uint64_t id = 1; id <= 40; ++id) {
@@ -538,14 +556,18 @@ TEST(MatcherBatch, WorkUnitsAreBatchingInvariant) {
     }
     check(brute, pubs);
     check(counting, pubs);
-    // Churn between batches: the counting index must rebuild once per
-    // batch and still agree with its own scalar path.
+    check(interval, pubs);
+    // Churn between batches: the index schemes must rebuild once per
+    // batch and still agree with their own scalar paths.
     EXPECT_TRUE(counting.remove(SubscriptionId{10}));
     EXPECT_TRUE(brute.remove(SubscriptionId{10}));
+    EXPECT_TRUE(interval.remove(SubscriptionId{10}));
     counting.add(AnySubscription{random_sub(2000, 3)});
     brute.add(AnySubscription{random_sub(2000, 3)});
+    interval.add(AnySubscription{random_sub(2000, 3)});
     check(brute, pubs);
     check(counting, pubs);
+    check(interval, pubs);
   }
 
   // Encrypted scheme: 70 publications cross the 64-publication block.

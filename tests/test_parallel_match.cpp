@@ -1,5 +1,6 @@
 // Determinism tests of the pooled match_batch backend: for every matcher
-// (brute force, counting index, ASPE) the same seeded subscription and
+// (brute force, counting index, interval index, ASPE) the same seeded
+// subscription and
 // publication stream is driven through a scalar instance and through
 // pooled instances at 1, 2, 4 and 8 threads, and every observable must be
 // byte-identical -- the exact per-publication subscriber vectors (order
@@ -19,6 +20,7 @@
 
 #include "common/serde.hpp"
 #include "common/thread_pool.hpp"
+#include "filter/interval_index.hpp"
 #include "filter/matcher.hpp"
 #include "matcher_harness.hpp"
 #include "workload/generator.hpp"
@@ -126,6 +128,23 @@ TEST(ParallelMatchTest, CountingIndexIdenticalAtEveryThreadCount) {
       pubs);
 }
 
+TEST(ParallelMatchTest, IntervalIndexIdenticalAtEveryThreadCount) {
+  workload::PlainWorkload gen{{kDims, 0.01, 11}};
+  std::vector<AnySubscription> subs;
+  subs.reserve(kPlainSubs);
+  for (std::size_t i = 0; i < kPlainSubs; ++i) {
+    subs.emplace_back(gen.subscription(i));
+  }
+  auto pubs = plain_publications(gen);
+  expect_identical_at_all_thread_counts(
+      [&] {
+        auto matcher = std::make_unique<IntervalIndexMatcher>();
+        for (const AnySubscription& sub : subs) matcher->add(sub);
+        return matcher;
+      },
+      pubs);
+}
+
 TEST(ParallelMatchTest, AspeIdenticalAtEveryThreadCount) {
   workload::EncryptedWorkload gen{{kDims, 0.01, 11}};
   std::vector<AnySubscription> subs;
@@ -172,6 +191,10 @@ TEST(ParallelMatchDifferentialTest, PooledSchemesMatchOracleUnderChurn) {
   auto counting = std::make_unique<CountingIndexMatcher>();
   counting->set_thread_pool(&pool);
   h.add_scheme("counting-pooled", std::move(counting), /*encrypted=*/false,
+               /*batched=*/true);
+  auto interval = std::make_unique<IntervalIndexMatcher>();
+  interval->set_thread_pool(&pool);
+  h.add_scheme("interval-pooled", std::move(interval), /*encrypted=*/false,
                /*batched=*/true);
   auto aspe = std::make_unique<AspeMatcher>();
   aspe->set_thread_pool(&pool);

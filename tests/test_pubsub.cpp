@@ -7,6 +7,7 @@
 
 #include "cluster/host.hpp"
 #include "engine/engine.hpp"
+#include "filter/interval_index.hpp"
 #include "filter/matcher.hpp"
 #include "net/network.hpp"
 #include "pubsub/streamhub.hpp"
@@ -337,6 +338,72 @@ TEST(MultiScheme, PlainAndEncryptedOperatorsCoexist) {
   sim.run_until(sim.now() + seconds(3));
 
   EXPECT_EQ(hub.collector()->publications_completed(), 20u);
+  EXPECT_EQ(hub.collector()->notifications(), expected);
+  EXPECT_GT(expected, 0u);
+}
+
+// The interval-index backend behind the same scheme-selection config: M
+// slices built by a MatcherSchemeSpec factory run the sublinear matcher
+// end-to-end and must notify exactly the ground-truth subscriber set.
+TEST(MultiScheme, IntervalIndexSchemeRunsEndToEnd) {
+  sim::Simulator sim;
+  net::Network net{sim};
+  engine::EngineConfig config;
+  config.flush_interval = millis(10);
+  engine::Engine engine{sim, net, HostId{99}, config, 4};
+  std::vector<std::unique_ptr<cluster::Host>> hosts;
+  for (std::size_t i = 0; i < 3; ++i) {
+    hosts.push_back(std::make_unique<cluster::Host>(sim, HostId{i + 1},
+                                                    cluster::HostSpec{}));
+    engine.add_host(*hosts.back());
+  }
+
+  workload::PlainWorkload gen{{4, 0.1, 57}};
+  StreamHubParams params;
+  params.source_slices = 1;
+  params.ap_slices = 2;
+  params.ep_slices = 2;
+  params.sink_slices = 1;
+  MatcherSchemeSpec scheme;
+  scheme.op_name = "M-interval";
+  scheme.slices = 3;
+  scheme.encrypted = false;
+  scheme.factory = [](std::size_t) {
+    return std::make_unique<filter::IntervalIndexMatcher>();
+  };
+  params.schemes = {scheme};
+  StreamHub hub{engine, params};
+
+  std::vector<HostId> ids;
+  for (const auto& h : hosts) ids.push_back(h->id());
+  HostAssignment assignment;
+  for (const char* op : {"source", "AP", "M-interval", "EP", "sink"}) {
+    assignment[op] = ids;
+  }
+  hub.deploy(assignment);
+
+  std::vector<filter::Subscription> subs;
+  for (std::uint64_t i = 0; i < 150; ++i) {
+    subs.push_back(gen.subscription(i));
+    hub.subscribe(filter::AnySubscription{subs.back()});
+  }
+  sim.run_until(sim.now() + seconds(5));
+  ASSERT_EQ(hub.stored_subscriptions(), 150u);
+
+  std::uint64_t expected = 0;
+  const int pubs = 15;
+  for (int p = 0; p < pubs; ++p) {
+    const auto pub = gen.next_publication();
+    for (const auto& s : subs) {
+      if (s.matches(pub)) ++expected;
+    }
+    hub.publish(filter::AnyPublication{pub});
+    sim.run_until(sim.now() + millis(100));
+  }
+  sim.run_until(sim.now() + seconds(3));
+
+  EXPECT_EQ(hub.collector()->publications_completed(),
+            static_cast<std::uint64_t>(pubs));
   EXPECT_EQ(hub.collector()->notifications(), expected);
   EXPECT_GT(expected, 0u);
 }

@@ -84,7 +84,8 @@ TEST(EncryptedWorkload, RoundTripMatchesPlain) {
 // ---- oracle --------------------------------------------------------------------
 
 TEST(MatchOracle, DeterministicPerPublication) {
-  MatchOracle oracle{{4, 10'000, 0.01, 4, 99}};
+  MatchOracle oracle{{.dimensions = 4, .total_subscriptions = 10'000,
+                      .matching_rate = 0.01, .m_slices = 4, .seed = 99}};
   const auto a = oracle.matches(PublicationId{42});
   const auto b = oracle.matches(PublicationId{42});
   EXPECT_EQ(a, b);
@@ -92,7 +93,8 @@ TEST(MatchOracle, DeterministicPerPublication) {
 }
 
 TEST(MatchOracle, MatchCountNearExpectation) {
-  MatchOracle oracle{{4, 10'000, 0.01, 4, 1}};
+  MatchOracle oracle{{.dimensions = 4, .total_subscriptions = 10'000,
+                      .matching_rate = 0.01, .m_slices = 4, .seed = 1}};
   RunningStats counts;
   for (std::uint64_t p = 1; p <= 200; ++p) {
     counts.add(static_cast<double>(oracle.matches(PublicationId{p}).size()));
@@ -102,7 +104,8 @@ TEST(MatchOracle, MatchCountNearExpectation) {
 }
 
 TEST(MatchOracle, PartitionConsistentWithFlatMatches) {
-  MatchOracle oracle{{4, 5'000, 0.02, 8, 5}};
+  MatchOracle oracle{{.dimensions = 4, .total_subscriptions = 5'000,
+                      .matching_rate = 0.02, .m_slices = 8, .seed = 5}};
   const PublicationId pub{7};
   const auto flat = oracle.matches(pub);
   const auto partition = oracle.partitioned_matches(pub);
@@ -119,7 +122,9 @@ TEST(MatchOracle, PartitionConsistentWithFlatMatches) {
 }
 
 TEST(MatchOracle, SkewedIdsStayUniqueAndConcentrateInBucketZero) {
-  MatchOracle oracle{{4, 10'000, 0.01, 4, 9, 0.55}};
+  MatchOracle oracle{{.dimensions = 4, .total_subscriptions = 10'000,
+                      .matching_rate = 0.01, .m_slices = 4, .seed = 9,
+                      .hot_fraction = 0.55}};
   std::set<std::uint64_t> ids;
   std::size_t in_hot_bucket = 0;
   for (std::uint64_t i = 0; i < 10'000; ++i) {
@@ -131,14 +136,98 @@ TEST(MatchOracle, SkewedIdsStayUniqueAndConcentrateInBucketZero) {
   }
   EXPECT_EQ(in_hot_bucket, 5'500u);  // hot_fraction of the population
   // Uniform scheme untouched: ids are still index + 1.
-  MatchOracle uniform{{4, 100, 0.01, 4, 9}};
+  MatchOracle uniform{{.dimensions = 4, .total_subscriptions = 100,
+                       .matching_rate = 0.01, .m_slices = 4, .seed = 9}};
   for (std::uint64_t i = 0; i < 100; ++i) {
     EXPECT_EQ(uniform.sub_id(i).value(), i + 1);
   }
 }
 
+TEST(MatchOracle, ZipfSkewIsDeterministicAndConcentrated) {
+  const OracleParams params{.dimensions = 4, .total_subscriptions = 10'000,
+                            .matching_rate = 0.01, .m_slices = 4, .seed = 33,
+                            .zipf_exponent = 1.1};
+  MatchOracle a{params};
+  MatchOracle b{params};
+  std::uint64_t total = 0, in_top_decile = 0;
+  RunningStats counts;
+  for (std::uint64_t p = 1; p <= 200; ++p) {
+    const auto m = a.matches(PublicationId{p});
+    // Deterministic per publication id, and a without-replacement sample:
+    // sorted with no duplicate indices.
+    EXPECT_EQ(m, b.matches(PublicationId{p}));
+    EXPECT_TRUE(std::is_sorted(m.begin(), m.end()));
+    EXPECT_EQ(std::adjacent_find(m.begin(), m.end()), m.end());
+    counts.add(static_cast<double>(m.size()));
+    for (const std::uint64_t idx : m) {
+      ++total;
+      if (idx < 1'000) ++in_top_decile;
+    }
+  }
+  // The match-count distribution is the same Binomial(n, p) as the uniform
+  // oracle; only which indices carry the matches skews.
+  EXPECT_NEAR(counts.mean(), 100.0, 3.0);
+  // At s = 1.1 the first decile of the popularity ranking holds ~78 % of
+  // the total Zipf mass; uniform sampling would put 10 % there.
+  EXPECT_GT(static_cast<double>(in_top_decile), 0.6 * static_cast<double>(total));
+}
+
+TEST(MatchOracle, RejectsBadZipfAndChurnParams) {
+  OracleParams bad_zipf;
+  bad_zipf.zipf_exponent = -0.1;
+  EXPECT_THROW((MatchOracle{bad_zipf}), std::invalid_argument);
+  OracleParams bad_churn;
+  bad_churn.churn_fraction = 1.5;
+  EXPECT_THROW((MatchOracle{bad_churn}), std::invalid_argument);
+}
+
+TEST(ChurnStream, DeterministicWithFreshUniqueIds) {
+  const OracleParams params{.dimensions = 4, .total_subscriptions = 1'000,
+                            .matching_rate = 0.01, .m_slices = 4, .seed = 21,
+                            .hot_fraction = 0.4, .churn_fraction = 0.2};
+  auto oracle = std::make_shared<MatchOracle>(params);
+  ChurnStream a{oracle, 7};
+  ChurnStream b{oracle, 7};
+  EXPECT_EQ(a.target_fringe(), 200u);
+
+  // Ids of the base population plus every churned-in fringe subscription
+  // must be globally unique: sub_id() is injective over all indices, even
+  // under hot_fraction skew.
+  std::set<std::uint64_t> ids;
+  for (std::uint64_t i = 0; i < params.total_subscriptions; ++i) {
+    EXPECT_TRUE(ids.insert(oracle->sub_id(i).value()).second) << i;
+  }
+  std::set<std::uint64_t> fringe_live;
+  for (int step = 0; step < 2'000; ++step) {
+    const auto ea = a.next();
+    const auto eb = b.next();
+    EXPECT_EQ(ea.subscribe, eb.subscribe) << step;
+    EXPECT_EQ(ea.index, eb.index) << step;
+    if (ea.subscribe) {
+      // Fresh indices only, beyond the base population, never reused.
+      EXPECT_GE(ea.index, params.total_subscriptions);
+      EXPECT_TRUE(fringe_live.insert(ea.index).second) << step;
+      EXPECT_TRUE(ids.insert(oracle->sub_id(ea.index).value()).second)
+          << "duplicate id at step " << step;
+      // AP's modulo routing applies to the fringe like any other traffic.
+      EXPECT_EQ(oracle->slice_of(ea.index),
+                oracle->sub_id(ea.index).value() % params.m_slices);
+    } else {
+      // Unsubscribes only ever target a currently live fringe index.
+      EXPECT_EQ(fringe_live.erase(ea.index), 1u) << step;
+    }
+    EXPECT_EQ(a.live_fringe(), fringe_live.size());
+  }
+  // The walk reached and then held the target fringe size (within the
+  // random-walk band), and kept spawning fresh subscriptions throughout.
+  EXPECT_GT(a.spawned(), 500u);
+  EXPECT_GT(a.live_fringe(), 100u);
+  EXPECT_LT(a.live_fringe(), 400u);
+}
+
 TEST(OracleMatcher, OnlyStoredSubscriptionsMatch) {
-  OracleParams params{4, 1'000, 0.05, 2, 77};
+  OracleParams params{.dimensions = 4, .total_subscriptions = 1'000,
+                      .matching_rate = 0.05, .m_slices = 2, .seed = 77};
   OracleWorkload workload{params};
   auto m0 = workload.make_matcher({}, 0);
   // Store only half of slice 0's partition (even indices).
@@ -160,7 +249,8 @@ TEST(OracleMatcher, OnlyStoredSubscriptionsMatch) {
 }
 
 TEST(OracleMatcher, StateRoundTripPadsToEncryptedSize) {
-  OracleParams params{4, 100, 0.1, 2, 3};
+  OracleParams params{.dimensions = 4, .total_subscriptions = 100,
+                      .matching_rate = 0.1, .m_slices = 2, .seed = 3};
   OracleWorkload workload{params};
   cluster::CostModel cost;
   auto matcher = workload.make_matcher(cost, 0);
@@ -186,7 +276,8 @@ TEST(OracleMatcher, StateRoundTripPadsToEncryptedSize) {
 }
 
 TEST(OracleWorkload, MockCiphertextsHaveRealSizes) {
-  OracleWorkload workload{{4, 100, 0.1, 2, 3}};
+  OracleWorkload workload{{.dimensions = 4, .total_subscriptions = 100,
+                           .matching_rate = 0.1, .m_slices = 2, .seed = 3}};
   const auto sub = workload.subscription(0);
   EXPECT_EQ(sub.comparisons.size(), 8u);
   EXPECT_EQ(sub.comparisons[0].share_a.size(), 7u);
