@@ -12,11 +12,22 @@
 #                    channel, adversarial network, recovery contracts)
 #                    under -DESH_CHECK_INVARIANTS=ON, then again under
 #                    ASan and TSan via scripts/run_sanitized.sh
-#   ci.sh all        every stage above, in that order
+#   ci.sh analysis   bounded model checking of the migration/split/merge/
+#                    reliable-channel protocols (tools/modelcheck): stock
+#                    models must verify exhaustively, planted faults and
+#                    spec mutations must produce counterexamples, and
+#                    docs/SPEC_CATALOG.md must match the generated tables
+#   ci.sh all        every stage above (lint, tier1, checked, chaos, tidy,
+#                    analysis), in that order
 #
 # Each stage is also usable locally; stages never reuse another stage's
 # build directory, so incremental local builds stay intact.
-set -euo pipefail
+#
+# Every stage exits with a stage-distinct non-zero code on failure and
+# prints a one-line `STAGE <name> FAILED` trailer, so a wrapper (or a log
+# scrape) can tell which gate broke without parsing the whole transcript:
+#   lint=10  tier1=11  checked=12  chaos=13  tidy=14  analysis=15
+set -euEo pipefail
 cd "$(dirname "$0")/.."
 
 stage_tier1() {
@@ -67,21 +78,80 @@ stage_tidy() {
   cmake --build "$dir" -j "$(nproc)"
 }
 
-case "${1:-tier1}" in
-  tier1)   stage_tier1 ;;
-  checked) stage_checked ;;
-  lint)    stage_lint ;;
-  tidy)    stage_tidy ;;
-  chaos)   stage_chaos ;;
+# The planted-fault / mutated-spec runs must find a counterexample (exit 1);
+# a clean pass there means the checker went blind.
+expect_counterexample() {
+  local rc=0
+  "$@" > /dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 1 ]; then
+    echo "ci.sh: expected a counterexample (exit 1) from: $* (got rc=$rc)" >&2
+    return 1
+  fi
+}
+
+stage_analysis() {
+  # The build directory is cached across runs (only esh_analysis and the
+  # driver rebuild), and the exploration carries both a wall-clock and a
+  # distinct-state budget so a state-space regression fails fast instead of
+  # hanging the pipeline.
+  local dir=${BUILD_DIR:-build-ci-analysis}
+  local budget=${ESH_MODELCHECK_MAX_STATES:-1000000}
+  local clock=${ESH_MODELCHECK_TIMEOUT:-120}
+  cmake -B "$dir" -S . -DESH_WERROR=ON
+  cmake --build "$dir" -j "$(nproc)" --target modelcheck
+  local mc="$dir/tools/modelcheck"
+
+  # (a) Every stock model verifies exhaustively: no wedge, no spec-
+  #     conformance violation, no invariant violation, budget not exhausted.
+  timeout "$clock" "$mc" --max-states "$budget"
+
+  # (b) The checker still detects each failure class it exists to catch.
+  expect_counterexample timeout "$clock" "$mc" --model migration --plant-wedge
+  expect_counterexample timeout "$clock" "$mc" --model migration \
+    --plant-invariant
+  expect_counterexample timeout "$clock" "$mc" --model migration \
+    --mutate migration:duplication:transfer
+  expect_counterexample timeout "$clock" "$mc" --model reliable \
+    --mutate reliable-rx:buffered:delivered
+
+  # (c) The documented spec catalog is the generated one, byte for byte.
+  "$mc" --dump-catalog-md > "$dir/SPEC_CATALOG.generated.md"
+  if ! diff -u docs/SPEC_CATALOG.md "$dir/SPEC_CATALOG.generated.md"; then
+    echo "ci.sh: docs/SPEC_CATALOG.md drifted from protocol_spec.cpp;" \
+         "regenerate with: build/tools/modelcheck --dump-catalog-md >" \
+         "docs/SPEC_CATALOG.md" >&2
+    return 1
+  fi
+}
+
+stage_exit_code() {
+  case "$1" in
+    lint)     echo 10 ;;
+    tier1)    echo 11 ;;
+    checked)  echo 12 ;;
+    chaos)    echo 13 ;;
+    tidy)     echo 14 ;;
+    analysis) echo 15 ;;
+  esac
+}
+
+stage="${1:-tier1}"
+case "$stage" in
   all)
-    stage_lint
-    stage_tier1
-    stage_checked
-    stage_chaos
-    stage_tidy
+    # Each stage runs as a child invocation so its ERR trap and distinct
+    # exit code apply unchanged; the first failure stops the pipeline.
+    for s in lint tier1 checked chaos tidy analysis; do
+      bash "$0" "$s" || exit $?
+    done
+    exit 0
     ;;
+  lint|tier1|checked|chaos|tidy|analysis) ;;
   *)
-    echo "usage: $0 [tier1|checked|lint|tidy|chaos|all]" >&2
+    echo "usage: $0 [tier1|checked|lint|tidy|chaos|analysis|all]" >&2
     exit 2
     ;;
 esac
+
+code="$(stage_exit_code "$stage")"
+trap 'echo "STAGE '"$stage"' FAILED" >&2; exit '"$code"'' ERR
+"stage_$stage"

@@ -30,6 +30,13 @@ honest:
   iostream-in-header   <iostream> must not be included from a header
   using-namespace      `using namespace` at file scope is banned
   self-include-first   a .cpp's first include is its own header
+  invariant-catalog    the DESIGN.md §3 invariant table and the
+                       ESH_INVARIANT / ESH_PRECONDITION /
+                       ESH_STATE_MACHINE_ASSERT sites in src/ must agree in
+                       both directions: a catalog row naming no site is
+                       stale, a site with no catalog row is undocumented,
+                       and a row packing several names into one cell hides
+                       both checks
 
 A finding can be waived in place with an escape comment carrying a reason,
 on the offending line or the line above:
@@ -278,6 +285,85 @@ def lint_file(path: Path, unordered_names: set[str]) -> list[Finding]:
     return findings
 
 
+# ---- invariant catalog cross-check ------------------------------------------
+
+# Contract sites span lines (clang-format wraps the macro arguments), so the
+# subsystem/name pair is matched over whole-file text, \s crossing newlines.
+SITE_RE = re.compile(
+    r'\bESH_(?:INVARIANT|PRECONDITION|STATE_MACHINE_ASSERT)\s*\(\s*'
+    r'"([a-z]+)"\s*,\s*"([a-z0-9-]+)"')
+CATALOG_HEADER = "### Invariant catalog"
+CATALOG_ROW_RE = re.compile(r"^\|\s*(.*?)\s*\|")
+CATALOG_NAME_RE = re.compile(r"^`([a-z]+/[a-z0-9-]+)`$")
+
+
+def lint_invariant_catalog(repo: Path, files: list[Path]) -> list[Finding]:
+    """Bidirectional check of DESIGN.md §3's invariant table against the
+    contract sites: stale rows, undocumented sites, and rows that combine
+    several invariants into one cell are all findings."""
+    design = repo / "DESIGN.md"
+    if not design.is_file():
+        return [Finding(design, 1, "invariant-catalog",
+                        "DESIGN.md not found; the invariant catalog is the "
+                        "documented contract surface")]
+    findings: list[Finding] = []
+
+    site_names: dict[str, tuple[Path, int]] = {}
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        for m in SITE_RE.finditer(text):
+            qualified = f"{m.group(1)}/{m.group(2)}"
+            line = text.count("\n", 0, m.start()) + 1
+            site_names.setdefault(qualified, (path, line))
+
+    catalog: dict[str, int] = {}
+    lines = design.read_text(encoding="utf-8").splitlines()
+    header_line = None
+    in_catalog = False
+    for idx, raw in enumerate(lines, start=1):
+        if raw.startswith(CATALOG_HEADER):
+            in_catalog = True
+            header_line = idx
+            continue
+        if in_catalog and raw.startswith("## "):
+            break
+        if not in_catalog:
+            continue
+        row = CATALOG_ROW_RE.match(raw)
+        if not row:
+            continue
+        cell = row.group(1)
+        if not cell or cell.startswith("---") or cell == "Invariant":
+            continue
+        m = CATALOG_NAME_RE.match(cell)
+        if not m:
+            findings.append(Finding(
+                design, idx, "invariant-catalog",
+                f"catalog row cell '{cell}' is not a single "
+                "`subsystem/name`; one invariant per row so each can be "
+                "cross-checked against its site"))
+            continue
+        catalog[m.group(1)] = idx
+
+    if header_line is None:
+        return [Finding(design, 1, "invariant-catalog",
+                        f"'{CATALOG_HEADER}' section not found in DESIGN.md")]
+
+    for name, row_line in sorted(catalog.items()):
+        if name not in site_names:
+            findings.append(Finding(
+                design, row_line, "invariant-catalog",
+                f"catalog row `{name}` names no ESH_* site in src/ "
+                "(renamed or removed invariant; update the row)"))
+    for name, (path, line) in sorted(site_names.items()):
+        if name not in catalog:
+            findings.append(Finding(
+                path, line, "invariant-catalog",
+                f"ESH_* site `{name}` has no row in DESIGN.md's invariant "
+                "catalog; document it"))
+    return findings
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", default=None,
@@ -301,6 +387,8 @@ def main() -> int:
     findings: list[Finding] = []
     for path in files:
         findings.extend(lint_file(path, unordered_names.get(path.parent, set())))
+    if root == repo / "src":
+        findings.extend(lint_invariant_catalog(repo, files))
 
     for finding in findings:
         print(finding)

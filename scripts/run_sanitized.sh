@@ -2,20 +2,22 @@
 # Builds the whole tree with a sanitizer in a dedicated build directory and
 # runs the test suite under the instrumented binaries.
 #
-# Usage: [SANITIZE=address|thread] run_sanitized.sh [ctest-regex]
+# Usage: [SANITIZE=address|thread|undefined] run_sanitized.sh [ctest-regex]
 #   SANITIZE=address (default) instruments with ASan+UBSan in build-asan;
 #   SANITIZE=thread instruments with TSan in build-tsan (exercises the
-#   matching worker pool). With an argument, only tests matching the regex
-#   run (ctest -R), e.g. `run_sanitized.sh 'Matcher|Aspe'` for the matcher
-#   differential suite.
+#   matching worker pool); SANITIZE=undefined instruments with standalone
+#   UBSan (-fno-sanitize-recover=all: first report aborts) in build-ubsan.
+#   With an argument, only tests matching the regex run (ctest -R), e.g.
+#   `run_sanitized.sh 'Matcher|Aspe'` for the matcher differential suite.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SANITIZE=${SANITIZE:-address}
 case "$SANITIZE" in
-  address) DEFAULT_DIR=build-asan ;;
-  thread)  DEFAULT_DIR=build-tsan ;;
-  *)       DEFAULT_DIR=build-$SANITIZE ;;
+  address)   DEFAULT_DIR=build-asan ;;
+  thread)    DEFAULT_DIR=build-tsan ;;
+  undefined) DEFAULT_DIR=build-ubsan ;;
+  *)         DEFAULT_DIR=build-$SANITIZE ;;
 esac
 BUILD_DIR=${BUILD_DIR:-$DEFAULT_DIR}
 FILTER=${1:-}

@@ -1,0 +1,1019 @@
+#include "analysis/modelcheck.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace esh::analysis {
+namespace {
+
+std::uint64_t fnv1a(const ModelState& s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::uint8_t b : s) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct StateHash {
+  std::size_t operator()(const ModelState& s) const {
+    return static_cast<std::size_t>(fnv1a(s));
+  }
+};
+
+// Non-owning view of a static spec, or the caller's mutated override when its
+// machine name matches — this is how `--mutate` swaps a table out from under a
+// model without changing the model's behavior.
+std::shared_ptr<const StateMachineSpec> bind_spec(
+    const ModelOptions& options, const StateMachineSpec& stock) {
+  if (options.spec_override && options.spec_override->name() == stock.name()) {
+    return options.spec_override;
+  }
+  return {std::shared_ptr<void>{}, &stock};  // aliasing, no-op lifetime
+}
+
+}  // namespace
+
+std::string CheckResult::format_trace() const {
+  std::string out;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    out += "  " + std::to_string(i + 1) + ". " + trace[i] + "\n";
+  }
+  out += "  => " + failing_state + "\n";
+  return out;
+}
+
+CheckResult check_model(const Model& model, const CheckOptions& options) {
+  CheckResult result;
+  std::vector<ModelState> states;
+  std::unordered_map<ModelState, std::uint32_t, StateHash> index;
+  std::vector<std::int64_t> parent;   // discovery parent, -1 for the initial
+  std::vector<std::string> via;       // action label that discovered the state
+  std::vector<std::vector<std::uint32_t>> fwd;  // forward adjacency
+  std::vector<char> quiet;
+
+  auto trace_to = [&](std::uint32_t target) {
+    std::vector<std::string> steps;
+    for (std::int64_t cur = target; parent[cur] >= 0; cur = parent[cur]) {
+      steps.push_back(via[cur]);
+    }
+    std::reverse(steps.begin(), steps.end());
+    return steps;
+  };
+
+  auto fail = [&](std::string kind, std::string what,
+                  std::vector<std::string> trace, std::string state_text) {
+    result.ok = false;
+    result.failure_kind = std::move(kind);
+    result.failure = std::move(what);
+    result.trace = std::move(trace);
+    result.failing_state = std::move(state_text);
+    result.states = states.size();
+    return result;
+  };
+
+  auto admit = [&](ModelState state, std::int64_t from,
+                   std::string label) -> std::pair<std::uint32_t, bool> {
+    auto it = index.find(state);
+    if (it != index.end()) return {it->second, false};
+    auto id = static_cast<std::uint32_t>(states.size());
+    index.emplace(state, id);
+    states.push_back(std::move(state));
+    parent.push_back(from);
+    via.push_back(std::move(label));
+    fwd.emplace_back();
+    quiet.push_back(model.quiescent(states[id]) ? 1 : 0);
+    return {id, true};
+  };
+
+  auto [init_id, init_new] = admit(model.initial(), -1, "");
+  (void)init_new;
+  if (std::string v = model.invariant(states[init_id]); !v.empty()) {
+    return fail("invariant", "invariant violated in the initial state: " + v,
+                {}, model.describe(states[init_id]));
+  }
+
+  std::vector<Successor> succ;
+  // BFS (states are appended in discovery order), so counterexample traces
+  // are shortest-path.
+  for (std::uint32_t cursor = 0; cursor < states.size(); ++cursor) {
+    if (states.size() > options.max_states) {
+      result.exhausted_budget = true;
+      return fail("budget",
+                  "state budget exceeded (" +
+                      std::to_string(options.max_states) +
+                      " distinct states); exploration was not exhaustive",
+                  {}, "");
+    }
+    succ.clear();
+    model.successors(states[cursor], succ);
+    for (Successor& s : succ) {
+      ++result.transitions;
+      if (s.action.machine != nullptr &&
+          !s.action.machine->legal(s.action.from, s.action.to)) {
+        auto trace = trace_to(cursor);
+        trace.push_back(s.action.label);
+        return fail(
+            "conformance",
+            "machine '" + std::string{s.action.machine->name()} +
+                "': action '" + s.action.label + "' takes edge " +
+                std::string{s.action.machine->state_name(s.action.from)} +
+                " -> " +
+                std::string{s.action.machine->state_name(s.action.to)} +
+                " which is not in the spec table",
+            std::move(trace), model.describe(s.state));
+      }
+      auto [id, fresh] = admit(std::move(s.state), cursor, s.action.label);
+      fwd[cursor].push_back(id);
+      if (fresh) {
+        if (std::string v = model.invariant(states[id]); !v.empty()) {
+          return fail("invariant", "invariant violated: " + v, trace_to(id),
+                      model.describe(states[id]));
+        }
+      }
+    }
+  }
+
+  // Wedge check: backward reachability from the quiescent states; every
+  // reachable state must be able to reach one.
+  std::vector<std::vector<std::uint32_t>> rev(states.size());
+  for (std::uint32_t from = 0; from < states.size(); ++from) {
+    for (std::uint32_t to : fwd[from]) rev[to].push_back(from);
+  }
+  std::vector<char> can_quiesce(states.size(), 0);
+  std::vector<std::uint32_t> queue;
+  for (std::uint32_t i = 0; i < states.size(); ++i) {
+    if (quiet[i]) {
+      can_quiesce[i] = 1;
+      queue.push_back(i);
+      ++result.quiescent_states;
+    }
+  }
+  while (!queue.empty()) {
+    std::uint32_t cur = queue.back();
+    queue.pop_back();
+    for (std::uint32_t pred : rev[cur]) {
+      if (!can_quiesce[pred]) {
+        can_quiesce[pred] = 1;
+        queue.push_back(pred);
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < states.size(); ++i) {
+    if (!can_quiesce[i]) {  // lowest discovery index = shortest trace
+      return fail("wedge",
+                  "state has no path to quiescence (protocol wedged)" +
+                      std::string{fwd[i].empty() ? "; no actions enabled" : ""},
+                  trace_to(i), model.describe(states[i]));
+    }
+  }
+
+  result.ok = true;
+  result.states = states.size();
+  return result;
+}
+
+// ---- Shared model scaffolding ----------------------------------------------
+
+namespace {
+
+// Slice-lifecycle indices (slice_lifecycle_spec order) plus model sentinels.
+constexpr std::uint8_t kActive = 0;
+constexpr std::uint8_t kReplica = 1;
+constexpr std::uint8_t kFreezePending = 2;
+constexpr std::uint8_t kFrozen = 3;
+constexpr std::uint8_t kRetired = 4;
+constexpr std::uint8_t kNone = 5;  // instance never created in this slot
+constexpr std::uint8_t kLost = 6;  // instance's host crashed
+
+std::string slot_name(std::uint8_t v) {
+  switch (v) {
+    case kNone: return "none";
+    case kLost: return "lost";
+    default: return std::string{slice_lifecycle_spec().state_name(v)};
+  }
+}
+
+class ModelBase : public Model {
+ public:
+  explicit ModelBase(ModelOptions options) : options_(std::move(options)) {}
+
+ protected:
+  static void add(std::vector<Successor>& out, const ModelState& s,
+                  std::string label, const StateMachineSpec* machine,
+                  std::uint8_t from, std::uint8_t to,
+                  const std::function<void(ModelState&)>& mut) {
+    ModelState next = s;
+    mut(next);
+    out.push_back({ModelAction{std::move(label), machine, from, to},
+                   std::move(next)});
+  }
+
+  ModelOptions options_;
+};
+
+// ---- Migration --------------------------------------------------------------
+//
+// Hosts: coordinator (immortal), source, destination, peers (immortal).
+// One migration of one slice. Byte layout below; single in-flight
+// request/response round at a time (the coordinator protocol is sequential
+// per step), one crash and one frame drop budgeted.
+class MigrationModel final : public ModelBase {
+  // state bytes
+  enum : std::size_t {
+    kStep = 0,     // migration_spec index; 6 = abort record erased
+    kSrc,          // slice slot of the source instance
+    kDst,          // slice slot of the destination replica
+    kAwait,        // a request/response round is outstanding
+    kDropped,      // the round's current frame was dropped (awaiting rto)
+    kDropBudget,
+    kCrashBudget,
+    kSrcAlive,
+    kDstAlive,
+    kBytes,
+  };
+  static constexpr std::uint8_t kResolved = 6;  // abort cleaned, record erased
+
+ public:
+  explicit MigrationModel(ModelOptions options)
+      : ModelBase(std::move(options)),
+        mig_(bind_spec(options_, migration_spec())),
+        slice_(bind_spec(options_, slice_lifecycle_spec())) {}
+
+  std::string name() const override { return "migration"; }
+
+  ModelState initial() const override {
+    ModelState s(kBytes, 0);
+    s[kStep] = 0;
+    s[kSrc] = kActive;
+    s[kDst] = kNone;
+    s[kDropBudget] = 1;
+    s[kCrashBudget] = 1;
+    s[kSrcAlive] = 1;
+    s[kDstAlive] = 1;
+    return s;
+  }
+
+  void successors(const ModelState& s, std::vector<Successor>& out) const override {
+    const std::uint8_t step = s[kStep];
+    const bool both = s[kSrcAlive] && s[kDstAlive];
+    const PlantedFault fault = options_.fault;
+
+    // Planted wedge: the coordinator's reaction to a destination crash during
+    // transfer was dropped, so the run sits awaiting an ack from a corpse —
+    // model the blocked coordinator as a deadlock.
+    if (fault == PlantedFault::kWedge && step == 2 && !s[kDstAlive]) return;
+
+    auto step_to = [](std::uint8_t to) {
+      return [to](ModelState& n) {
+        n[kStep] = to;
+        n[kAwait] = 0;
+      };
+    };
+
+    // Protocol rounds (request -> processing -> ack), steps 0-2 ride the
+    // src/dst control channels, step 3 fans out to the immortal peers.
+    if (step == 0 && both) {
+      if (!s[kAwait] && s[kDst] == kNone) {
+        add(out, s, "request: CreateReplica -> dst", nullptr, 0, 0,
+            [](ModelState& n) { n[kAwait] = 1; });
+      }
+      if (s[kAwait] && !s[kDropped]) {
+        add(out, s, "ack: CreateReplicaAck (live upstreams)", mig_.get(), 0, 1,
+            [step_to](ModelState& n) {
+              n[kDst] = kReplica;
+              step_to(1)(n);
+            });
+        add(out, s, "ack: CreateReplicaAck (no upstreams)", mig_.get(), 0, 2,
+            [step_to](ModelState& n) {
+              n[kDst] = kReplica;
+              step_to(2)(n);
+            });
+      }
+    }
+    if (step == 1 && both) {
+      if (!s[kAwait]) {
+        add(out, s, "request: StartDuplication -> dst", nullptr, 0, 0,
+            [](ModelState& n) { n[kAwait] = 1; });
+      }
+      if (s[kAwait] && !s[kDropped]) {
+        add(out, s, "ack: StartDuplicationAck", mig_.get(), 1, 2, step_to(2));
+      }
+    }
+    // Freeze of the source happens around the duplication -> transfer
+    // boundary; the kInvariant fault ships state without ever freezing.
+    if ((step == 1 || step == 2) && s[kSrcAlive] &&
+        fault != PlantedFault::kInvariant && s[kSrc] == kActive) {
+      add(out, s, "source: freeze requested", slice_.get(), kActive,
+          kFreezePending,
+          [](ModelState& n) { n[kSrc] = kFreezePending; });
+    }
+    if ((step == 1 || step == 2) && s[kSrcAlive] && s[kSrc] == kFreezePending) {
+      add(out, s, "source: caught up to freeze point", slice_.get(),
+          kFreezePending, kFrozen, [](ModelState& n) { n[kSrc] = kFrozen; });
+    }
+    if (step == 2 && both) {
+      const bool frozen = s[kSrc] == kFrozen;
+      const bool faulty_ship =
+          fault == PlantedFault::kInvariant && s[kSrc] == kActive;
+      if (!s[kAwait] && (frozen || faulty_ship)) {
+        add(out, s, "request: ship frozen state -> dst", nullptr, 0, 0,
+            [](ModelState& n) { n[kAwait] = 1; });
+      }
+      if (s[kAwait] && !s[kDropped] && s[kDst] == kReplica &&
+          (frozen || faulty_ship)) {
+        add(out, s, "dst: restored state; replica activates", slice_.get(),
+            kReplica, kActive, [](ModelState& n) { n[kDst] = kActive; });
+      }
+      if (s[kAwait] && !s[kDropped] && s[kDst] == kActive) {
+        add(out, s, "ack: ActivatedAck", mig_.get(), 2, 3, step_to(3));
+      }
+    }
+    if (step == 3) {
+      if (!s[kAwait]) {
+        add(out, s, "request: DirectoryUpdate -> peers", nullptr, 0, 0,
+            [](ModelState& n) { n[kAwait] = 1; });
+      }
+      if (s[kAwait] && !s[kDropped]) {
+        add(out, s, "ack: DirectoryUpdateAcks complete", mig_.get(), 3, 4,
+            step_to(4));
+      }
+    }
+    if (step == 4 && s[kSrcAlive] && s[kSrc] == kFrozen) {
+      add(out, s, "source: instance torn down", slice_.get(), kFrozen,
+          kRetired, [](ModelState& n) { n[kSrc] = kRetired; });
+    }
+
+    // Abort cleanup (step 5). Messaging during cleanup is abstracted into
+    // atomic actions; the record is erased once no replica or freeze is left.
+    if (step == 5) {
+      if (s[kSrc] == kFreezePending && s[kSrcAlive]) {
+        add(out, s, "abort: thaw the source", slice_.get(), kFreezePending,
+            kActive, [](ModelState& n) { n[kSrc] = kActive; });
+      }
+      if (s[kSrc] == kFrozen && s[kSrcAlive]) {
+        add(out, s, "abort: retire the frozen source (re-homed)", slice_.get(),
+            kFrozen, kRetired, [](ModelState& n) { n[kSrc] = kRetired; });
+      }
+      if (s[kDst] == kReplica && s[kDstAlive]) {
+        add(out, s, "abort: retire the replica", slice_.get(), kReplica,
+            kRetired, [](ModelState& n) { n[kDst] = kRetired; });
+      }
+      if (s[kDst] == kActive && s[kDstAlive]) {
+        add(out, s, "abort: activation raced the abort; converge", mig_.get(),
+            5, 3, step_to(3));
+      }
+      const bool src_clean =
+          s[kSrc] == kActive || s[kSrc] == kRetired || s[kSrc] == kLost;
+      const bool dst_clean = s[kDst] == kRetired || s[kDst] == kNone ||
+                             s[kDst] == kLost;
+      if (src_clean && dst_clean) {
+        add(out, s, "abort: cleanup complete; record erased", nullptr, 0, 0,
+            [](ModelState& n) { n[kStep] = kResolved; });
+      }
+    }
+
+    // Manager re-covers a slice whose every incarnation is gone, once the
+    // protocol record is resolved (recovery itself is out of scope here).
+    const bool no_active = s[kSrc] != kActive && s[kDst] != kActive;
+    if (no_active && (step == 4 || step == kResolved) && s[kSrc] != kFrozen &&
+        s[kSrc] != kFreezePending) {
+      add(out, s, "manager: respawn lost slice from checkpoint", nullptr, 0, 0,
+          [](ModelState& n) { n[kSrc] = kActive; });
+    }
+
+    // Channel nondeterminism: drop the round's frame (the reliable channel
+    // will retransmit), then retransmit restores it.
+    if (s[kAwait] && !s[kDropped] && s[kDropBudget] > 0) {
+      add(out, s, "net: frame dropped", nullptr, 0, 0, [](ModelState& n) {
+        n[kDropped] = 1;
+        --n[kDropBudget];
+      });
+    }
+    if (s[kDropped] && (step == 3 || both)) {
+      add(out, s, "net: rto retransmit", nullptr, 0, 0,
+          [](ModelState& n) { n[kDropped] = 0; });
+    }
+
+    // Crashes. The coordinator reaction (handle_host_failure) runs atomically
+    // with the failure-detector conviction; outstanding frames to/from the
+    // dead host are purged and the round restarts under the abort.
+    if (s[kCrashBudget] > 0) {
+      if (s[kSrcAlive]) {
+        const bool abort = step <= 2;
+        add(out, s, "crash: source host dies", abort ? mig_.get() : nullptr,
+            step, 5, [abort](ModelState& n) {
+              n[kSrcAlive] = 0;
+              if (n[kSrc] != kRetired) n[kSrc] = kLost;
+              --n[kCrashBudget];
+              n[kAwait] = 0;
+              n[kDropped] = 0;
+              if (abort) n[kStep] = 5;
+            });
+      }
+      if (s[kDstAlive]) {
+        const bool react = !(fault == PlantedFault::kWedge && step == 2);
+        const bool abort = react && step <= 2;
+        add(out, s,
+            react ? "crash: destination host dies"
+                  : "crash: destination host dies (reaction dropped)",
+            abort ? mig_.get() : nullptr, step, 5,
+            [abort](ModelState& n) {
+              n[kDstAlive] = 0;
+              if (n[kDst] != kRetired && n[kDst] != kNone) n[kDst] = kLost;
+              --n[kCrashBudget];
+              n[kAwait] = 0;
+              n[kDropped] = 0;
+              if (abort) n[kStep] = 5;
+            });
+      }
+    }
+  }
+
+  bool quiescent(const ModelState& s) const override {
+    if (s[kAwait] || s[kDropped]) return false;
+    if (s[kStep] == 4) {
+      // Exactly one active incarnation covers the slice: the destination
+      // after a completed move, or the manager's respawn if the newly
+      // active destination died right after the directory update.
+      const bool src_settled = s[kSrc] == kRetired || s[kSrc] == kLost;
+      return (s[kDst] == kActive && src_settled) ||
+             (s[kSrc] == kActive && s[kDst] == kLost);
+    }
+    if (s[kStep] == kResolved) {
+      return s[kSrc] == kActive;  // abort cleaned; the source (or its
+                                  // respawned incarnation) serves the slice
+    }
+    return false;
+  }
+
+  std::string invariant(const ModelState& s) const override {
+    if (s[kSrc] == kActive && s[kDst] == kActive) {
+      return "exactly-once: source and destination active concurrently "
+             "(duplicate delivery of every publication on the slice)";
+    }
+    return "";
+  }
+
+  std::string describe(const ModelState& s) const override {
+    std::string step = s[kStep] == kResolved
+                           ? "resolved"
+                           : std::string{mig_->state_name(s[kStep])};
+    return "migration{step=" + step + " src=" + slot_name(s[kSrc]) +
+           (s[kSrcAlive] ? "" : "(host down)") + " dst=" + slot_name(s[kDst]) +
+           (s[kDstAlive] ? "" : "(host down)") +
+           " awaiting=" + std::to_string(s[kAwait]) +
+           " dropped=" + std::to_string(s[kDropped]) + "}";
+  }
+
+ private:
+  std::shared_ptr<const StateMachineSpec> mig_;
+  std::shared_ptr<const StateMachineSpec> slice_;
+};
+
+// ---- Split ------------------------------------------------------------------
+//
+// Parent host keeps half the key range, the child slice lands on another
+// host. Post-flip the split only rolls forward: a dead participant's role is
+// re-homed onto a replacement and the pending leg re-driven.
+class SplitModel final : public ModelBase {
+  enum : std::size_t {
+    kStep = 0,  // split_spec index
+    kParent,
+    kChild,
+    kAwait,
+    kDropped,
+    kDropBudget,
+    kCrashBudget,
+    kParentAlive,
+    kChildAlive,
+    kBytes,
+  };
+
+ public:
+  explicit SplitModel(ModelOptions options)
+      : ModelBase(std::move(options)),
+        split_(bind_spec(options_, split_spec())),
+        slice_(bind_spec(options_, slice_lifecycle_spec())) {}
+
+  std::string name() const override { return "split"; }
+
+  ModelState initial() const override {
+    ModelState s(kBytes, 0);
+    s[kParent] = kActive;
+    s[kChild] = kNone;
+    s[kDropBudget] = 1;
+    s[kCrashBudget] = 1;
+    s[kParentAlive] = 1;
+    s[kChildAlive] = 1;
+    return s;
+  }
+
+  void successors(const ModelState& s, std::vector<Successor>& out) const override {
+    const std::uint8_t step = s[kStep];
+    const bool both = s[kParentAlive] && s[kChildAlive];
+
+    if (step == 0 && both) {
+      if (!s[kAwait] && s[kChild] == kNone) {
+        add(out, s, "request: CreateChild -> child host", nullptr, 0, 0,
+            [](ModelState& n) { n[kAwait] = 1; });
+      }
+      if (s[kAwait] && !s[kDropped]) {
+        add(out, s, "ack: child replica registered", split_.get(), 0, 1,
+            [](ModelState& n) {
+              n[kChild] = kReplica;
+              n[kAwait] = 0;
+              n[kStep] = 1;
+            });
+      }
+    }
+    if (step == 1) {
+      add(out, s, "coordinator: atomic routing flip", split_.get(), 1, 2,
+          [](ModelState& n) { n[kStep] = 2; });
+    }
+    if (step == 2 && both) {
+      if (!s[kAwait]) {
+        add(out, s, "request: parent drains; SplitStateMessage -> child",
+            nullptr, 0, 0, [](ModelState& n) { n[kAwait] = 1; });
+      }
+      if (s[kAwait] && !s[kDropped] && s[kChild] == kReplica) {
+        add(out, s, "child: restored its half; activates", slice_.get(),
+            kReplica, kActive, [](ModelState& n) { n[kChild] = kActive; });
+      }
+      if (s[kAwait] && !s[kDropped] && s[kChild] == kActive) {
+        add(out, s, "ack: split state applied", split_.get(), 2, 3,
+            [](ModelState& n) {
+              n[kAwait] = 0;
+              n[kStep] = 3;
+            });
+      }
+    }
+
+    // Roll-forward recovery: a dead participant's role is adopted by a
+    // replacement host (restored from checkpoint) and the leg re-driven.
+    if (s[kParent] == kLost && step <= 2) {
+      add(out, s, "recovery: parent re-homed; split re-driven", nullptr, 0, 0,
+          [](ModelState& n) {
+            n[kParent] = kActive;
+            n[kParentAlive] = 1;
+          });
+    }
+    if (s[kChild] == kLost && (step == 1 || step == 2)) {
+      add(out, s, "recovery: child re-homed as a fresh replica", nullptr, 0, 0,
+          [](ModelState& n) {
+            n[kChild] = kReplica;
+            n[kChildAlive] = 1;
+          });
+    }
+
+    if (s[kAwait] && !s[kDropped] && s[kDropBudget] > 0) {
+      add(out, s, "net: frame dropped", nullptr, 0, 0, [](ModelState& n) {
+        n[kDropped] = 1;
+        --n[kDropBudget];
+      });
+    }
+    if (s[kDropped] && both) {
+      add(out, s, "net: rto retransmit", nullptr, 0, 0,
+          [](ModelState& n) { n[kDropped] = 0; });
+    }
+
+    if (s[kCrashBudget] > 0) {
+      if (s[kParentAlive]) {
+        add(out, s, "crash: parent host dies", nullptr, 0, 0,
+            [](ModelState& n) {
+              n[kParentAlive] = 0;
+              if (n[kParent] != kRetired) n[kParent] = kLost;
+              --n[kCrashBudget];
+              n[kAwait] = 0;
+              n[kDropped] = 0;
+            });
+      }
+      if (s[kChildAlive]) {
+        // Pre-cut-over a child death aborts (nothing routed yet); afterwards
+        // the split rolls forward via re-homing.
+        const bool abort = step == 0;
+        add(out, s, "crash: child host dies", abort ? split_.get() : nullptr,
+            0, 4, [abort](ModelState& n) {
+              n[kChildAlive] = 0;
+              if (n[kChild] != kRetired && n[kChild] != kNone) {
+                n[kChild] = kLost;
+              }
+              --n[kCrashBudget];
+              n[kAwait] = 0;
+              n[kDropped] = 0;
+              if (abort) n[kStep] = 4;
+            });
+      }
+    }
+  }
+
+  bool quiescent(const ModelState& s) const override {
+    if (s[kAwait] || s[kDropped]) return false;
+    if (s[kStep] == 3) {
+      return (s[kParent] == kActive || s[kParent] == kLost) &&
+             (s[kChild] == kActive || s[kChild] == kLost);
+    }
+    return s[kStep] == 4 && s[kParent] == kActive;
+  }
+
+  std::string invariant(const ModelState& s) const override {
+    if (s[kStep] >= 2 && s[kStep] != 4 && s[kChild] == kNone) {
+      return "coverage: routing flipped to a child that was never created";
+    }
+    if (s[kStep] == 4 && s[kChild] == kActive) {
+      return "coverage: aborted split left an active child "
+             "(its key half is routed to the parent)";
+    }
+    return "";
+  }
+
+  std::string describe(const ModelState& s) const override {
+    return "split{step=" + std::string{split_->state_name(s[kStep])} +
+           " parent=" + slot_name(s[kParent]) +
+           (s[kParentAlive] ? "" : "(host down)") +
+           " child=" + slot_name(s[kChild]) +
+           (s[kChildAlive] ? "" : "(host down)") +
+           " awaiting=" + std::to_string(s[kAwait]) +
+           " dropped=" + std::to_string(s[kDropped]) + "}";
+  }
+
+ private:
+  std::shared_ptr<const StateMachineSpec> split_;
+  std::shared_ptr<const StateMachineSpec> slice_;
+};
+
+// ---- Merge ------------------------------------------------------------------
+//
+// Survivor absorbs the retiree's key range. Merges only roll forward: once
+// routing flipped, a dead participant re-drives the pending leg via recovery
+// (a lost retiree's stash is recovered from its checkpoint, abstracted here
+// as a skip).
+class MergeModel final : public ModelBase {
+  enum : std::size_t {
+    kStep = 0,  // merge_spec index
+    kSurvivor,
+    kRetiree,
+    kAwait,
+    kDropped,
+    kDropBudget,
+    kCrashBudget,
+    kSurvivorAlive,
+    kRetireeAlive,
+    kBytes,
+  };
+
+ public:
+  explicit MergeModel(ModelOptions options)
+      : ModelBase(std::move(options)),
+        merge_(bind_spec(options_, merge_spec())),
+        slice_(bind_spec(options_, slice_lifecycle_spec())) {}
+
+  std::string name() const override { return "merge"; }
+
+  ModelState initial() const override {
+    ModelState s(kBytes, 0);
+    s[kSurvivor] = kActive;
+    s[kRetiree] = kActive;
+    s[kDropBudget] = 1;
+    s[kCrashBudget] = 1;
+    s[kSurvivorAlive] = 1;
+    s[kRetireeAlive] = 1;
+    return s;
+  }
+
+  void successors(const ModelState& s, std::vector<Successor>& out) const override {
+    const std::uint8_t step = s[kStep];
+    const bool both = s[kSurvivorAlive] && s[kRetireeAlive];
+
+    if (step == 0) {
+      add(out, s, "coordinator: routing flip to the survivor", merge_.get(), 0,
+          1, [](ModelState& n) { n[kStep] = 1; });
+    }
+    if (step == 1) {
+      if (s[kRetiree] == kActive && s[kRetireeAlive]) {
+        add(out, s, "retiree: freeze requested", slice_.get(), kActive,
+            kFreezePending,
+            [](ModelState& n) { n[kRetiree] = kFreezePending; });
+      }
+      if (s[kRetiree] == kFreezePending && s[kRetireeAlive]) {
+        add(out, s, "retiree: drained to the captured cut", slice_.get(),
+            kFreezePending, kFrozen,
+            [](ModelState& n) { n[kRetiree] = kFrozen; });
+      }
+      if (s[kRetiree] == kFrozen) {
+        add(out, s, "coordinator: final vector captured", merge_.get(), 1, 2,
+            [](ModelState& n) { n[kStep] = 2; });
+      }
+      if (s[kRetiree] == kLost) {
+        add(out, s, "recovery: retiree lost; vector taken from checkpoint",
+            merge_.get(), 1, 2, [](ModelState& n) { n[kStep] = 2; });
+      }
+    }
+    if (step == 2) {
+      if (both && s[kRetiree] == kFrozen) {
+        if (!s[kAwait]) {
+          add(out, s, "request: ship retiree stash -> survivor", nullptr, 0, 0,
+              [](ModelState& n) { n[kAwait] = 1; });
+        }
+        if (s[kAwait] && !s[kDropped]) {
+          add(out, s, "ack: absorption applied by the survivor", merge_.get(),
+              2, 3, [](ModelState& n) {
+                n[kAwait] = 0;
+                n[kStep] = 3;
+              });
+        }
+      }
+      if (s[kRetiree] == kLost) {
+        add(out, s, "recovery: absorb from checkpoint stash", merge_.get(), 2,
+            3, [](ModelState& n) {
+              n[kAwait] = 0;
+              n[kStep] = 3;
+            });
+      }
+    }
+    if (step == 3 && s[kRetiree] == kFrozen && s[kRetireeAlive]) {
+      add(out, s, "retiree: drained instance torn down", slice_.get(), kFrozen,
+          kRetired, [](ModelState& n) { n[kRetiree] = kRetired; });
+    }
+
+    // Survivor deaths always re-drive: the replacement restores from its
+    // checkpoint and the coordinator repeats the pending leg.
+    if (s[kSurvivor] == kLost) {
+      add(out, s, "recovery: survivor re-homed; merge re-driven", nullptr, 0,
+          0, [](ModelState& n) {
+            n[kSurvivor] = kActive;
+            n[kSurvivorAlive] = 1;
+          });
+    }
+
+    if (s[kAwait] && !s[kDropped] && s[kDropBudget] > 0) {
+      add(out, s, "net: frame dropped", nullptr, 0, 0, [](ModelState& n) {
+        n[kDropped] = 1;
+        --n[kDropBudget];
+      });
+    }
+    if (s[kDropped] && both) {
+      add(out, s, "net: rto retransmit", nullptr, 0, 0,
+          [](ModelState& n) { n[kDropped] = 0; });
+    }
+
+    if (s[kCrashBudget] > 0) {
+      if (s[kSurvivorAlive]) {
+        add(out, s, "crash: survivor host dies", nullptr, 0, 0,
+            [](ModelState& n) {
+              n[kSurvivorAlive] = 0;
+              if (n[kSurvivor] != kRetired) n[kSurvivor] = kLost;
+              --n[kCrashBudget];
+              n[kAwait] = 0;
+              n[kDropped] = 0;
+            });
+      }
+      if (s[kRetireeAlive]) {
+        add(out, s, "crash: retiree host dies", nullptr, 0, 0,
+            [](ModelState& n) {
+              n[kRetireeAlive] = 0;
+              if (n[kRetiree] != kRetired) n[kRetiree] = kLost;
+              --n[kCrashBudget];
+              n[kAwait] = 0;
+              n[kDropped] = 0;
+            });
+      }
+    }
+  }
+
+  bool quiescent(const ModelState& s) const override {
+    if (s[kAwait] || s[kDropped]) return false;
+    return s[kStep] == 3 &&
+           (s[kSurvivor] == kActive || s[kSurvivor] == kLost) &&
+           (s[kRetiree] == kRetired || s[kRetiree] == kLost);
+  }
+
+  std::string invariant(const ModelState& s) const override {
+    if (s[kStep] >= 2 &&
+        (s[kRetiree] == kActive || s[kRetiree] == kFreezePending)) {
+      return "exactly-once: retiree still accepting publications after its "
+             "final vector was captured";
+    }
+    return "";
+  }
+
+  std::string describe(const ModelState& s) const override {
+    return "merge{step=" + std::string{merge_->state_name(s[kStep])} +
+           " survivor=" + slot_name(s[kSurvivor]) +
+           (s[kSurvivorAlive] ? "" : "(host down)") +
+           " retiree=" + slot_name(s[kRetiree]) +
+           (s[kRetireeAlive] ? "" : "(host down)") +
+           " awaiting=" + std::to_string(s[kAwait]) +
+           " dropped=" + std::to_string(s[kDropped]) + "}";
+  }
+
+ private:
+  std::shared_ptr<const StateMachineSpec> merge_;
+  std::shared_ptr<const StateMachineSpec> slice_;
+};
+
+// ---- Reliable channel -------------------------------------------------------
+//
+// One sender, one receiver, two messages (seq 1 and 2), frame-level
+// nondeterminism: drop, duplicate, reorder (frames are independent tokens),
+// retransmission with a retry budget of one, give-up escalation, and the
+// receiver's reorder buffer with in-order delivery.
+class ReliableModel final : public ModelBase {
+  enum : std::size_t {
+    kTx1 = 0,  // reliable_tx_spec index per message
+    kTx2,
+    kRx1,  // reliable_rx_spec index per seq
+    kRx2,
+    kFrames1,  // data frames of seq 1 in flight (0..3)
+    kFrames2,
+    kAck1,  // cumulative ack in flight (latest-wins, so a flag)
+    kAck2,
+    kRetries1,
+    kRetries2,
+    kDropBudget,
+    kDupBudget,
+    kBytes,
+  };
+  // tx indices
+  static constexpr std::uint8_t kFresh = 0;
+  static constexpr std::uint8_t kInFlight = 1;
+  static constexpr std::uint8_t kAcked = 2;
+  static constexpr std::uint8_t kGivenUp = 3;
+  // rx indices
+  static constexpr std::uint8_t kUnseen = 0;
+  static constexpr std::uint8_t kBuffered = 1;
+  static constexpr std::uint8_t kDelivered = 2;
+  static constexpr std::uint8_t kForgotten = 3;
+
+ public:
+  explicit ReliableModel(ModelOptions options)
+      : ModelBase(std::move(options)),
+        tx_(bind_spec(options_, reliable_tx_spec())),
+        rx_(bind_spec(options_, reliable_rx_spec())) {}
+
+  std::string name() const override { return "reliable"; }
+
+  ModelState initial() const override {
+    ModelState s(kBytes, 0);
+    s[kDropBudget] = 1;
+    s[kDupBudget] = 1;
+    return s;
+  }
+
+  void successors(const ModelState& s, std::vector<Successor>& out) const override {
+    for (int i = 0; i < 2; ++i) {
+      const std::size_t tx = kTx1 + i;
+      const std::size_t rx = kRx1 + i;
+      const std::size_t fr = kFrames1 + i;
+      const std::size_t ack = kAck1 + i;
+      const std::size_t rt = kRetries1 + i;
+      const std::string seq = "seq " + std::to_string(i + 1);
+
+      if (s[tx] == kFresh) {
+        add(out, s, "send " + seq, tx_.get(), 0, 1, [tx, fr](ModelState& n) {
+          n[tx] = kInFlight;
+          ++n[fr];
+        });
+      }
+      if (s[tx] == kInFlight && s[rt] < 1) {
+        add(out, s, "rto retransmit " + seq, tx_.get(), 1, 1,
+            [fr, rt](ModelState& n) {
+              ++n[rt];
+              if (n[fr] < 3) ++n[fr];
+            });
+      }
+      if (s[fr] > 0 && s[kDropBudget] > 0) {
+        add(out, s, "net: drop a data frame of " + seq, nullptr, 0, 0,
+            [fr](ModelState& n) {
+              --n[fr];
+              --n[kDropBudget];
+            });
+      }
+      if (s[fr] > 0 && s[kDupBudget] > 0 && s[fr] < 3) {
+        add(out, s, "net: duplicate a data frame of " + seq, nullptr, 0, 0,
+            [fr](ModelState& n) {
+              ++n[fr];
+              --n[kDupBudget];
+            });
+      }
+      if (s[fr] > 0) {
+        // Receiving a frame always (re-)sends the cumulative ack; the rx
+        // machine admits an unseen seq and drops duplicates on the floor.
+        const std::uint8_t from = s[rx];
+        const std::uint8_t to = s[rx] == kUnseen ? kBuffered : s[rx];
+        if (s[rx] != kForgotten) {
+          add(out, s, "recv a data frame of " + seq, rx_.get(), from, to,
+              [rx, fr, ack, to](ModelState& n) {
+                --n[fr];
+                n[rx] = to;
+                n[ack] = 1;
+              });
+        } else {
+          add(out, s, "recv a data frame of " + seq + " (peer forgotten)",
+              nullptr, 0, 0, [fr](ModelState& n) { --n[fr]; });
+        }
+      }
+      if (s[rx] == kBuffered && (i == 0 || s[kRx1] == kDelivered)) {
+        add(out, s, "deliver " + seq + " to the app", rx_.get(), 1, 2,
+            [rx](ModelState& n) { n[rx] = kDelivered; });
+      }
+      if (s[ack] > 0) {
+        const bool pending = s[tx] == kInFlight;
+        add(out, s,
+            pending ? "recv ack for " + seq
+                    : "recv stale ack for " + seq + " (pending gone)",
+            pending ? tx_.get() : nullptr, 1, 2, [tx, ack, pending](ModelState& n) {
+              n[ack] = 0;
+              if (pending) n[tx] = kAcked;
+            });
+        if (s[kDropBudget] > 0) {
+          add(out, s, "net: drop the ack for " + seq, nullptr, 0, 0,
+              [ack](ModelState& n) {
+                --n[ack];
+                --n[kDropBudget];
+              });
+        }
+      }
+      if (s[tx] == kInFlight && s[rt] >= 1) {
+        add(out, s, "give up on " + seq + " (retry budget spent)", tx_.get(),
+            1, 3, [tx](ModelState& n) { n[tx] = kGivenUp; });
+      }
+      // Give-up escalates to the peer-failure handler, which unbinds the
+      // peer; the receiver's reorder buffer for it is discarded.
+      if (s[rx] == kBuffered && (s[kTx1] == kGivenUp || s[kTx2] == kGivenUp)) {
+        add(out, s, "forget peer: discard buffered " + seq, rx_.get(), 1, 3,
+            [rx](ModelState& n) { n[rx] = kForgotten; });
+      }
+    }
+  }
+
+  bool quiescent(const ModelState& s) const override {
+    if (s[kFrames1] || s[kFrames2] || s[kAck1] || s[kAck2]) return false;
+    for (int i = 0; i < 2; ++i) {
+      if (s[kTx1 + i] != kAcked && s[kTx1 + i] != kGivenUp) return false;
+      if (s[kRx1 + i] == kBuffered) return false;
+    }
+    return true;
+  }
+
+  std::string invariant(const ModelState& s) const override {
+    if (s[kRx2] == kDelivered && s[kRx1] != kDelivered) {
+      return "fifo: seq 2 delivered before seq 1";
+    }
+    if (s[kRx1] != kUnseen && s[kTx1] == kFresh) {
+      return "causality: seq 1 observed before it was sent";
+    }
+    return "";
+  }
+
+  std::string describe(const ModelState& s) const override {
+    auto msg = [&](int i) {
+      return std::string{tx_->state_name(s[kTx1 + i])} + "/" +
+             std::string{rx_->state_name(s[kRx1 + i])} + " frames=" +
+             std::to_string(s[kFrames1 + i]) + " ack=" +
+             std::to_string(s[kAck1 + i]);
+    };
+    return "reliable{seq1: " + msg(0) + "; seq2: " + msg(1) + "}";
+  }
+
+ private:
+  std::shared_ptr<const StateMachineSpec> tx_;
+  std::shared_ptr<const StateMachineSpec> rx_;
+};
+
+}  // namespace
+
+std::unique_ptr<Model> make_migration_model(ModelOptions options) {
+  return std::make_unique<MigrationModel>(std::move(options));
+}
+std::unique_ptr<Model> make_split_model(ModelOptions options) {
+  return std::make_unique<SplitModel>(std::move(options));
+}
+std::unique_ptr<Model> make_merge_model(ModelOptions options) {
+  return std::make_unique<MergeModel>(std::move(options));
+}
+std::unique_ptr<Model> make_reliable_model(ModelOptions options) {
+  return std::make_unique<ReliableModel>(std::move(options));
+}
+
+const std::vector<std::string>& model_names() {
+  static const std::vector<std::string> names{"migration", "split", "merge",
+                                              "reliable"};
+  return names;
+}
+
+std::unique_ptr<Model> make_model(std::string_view name,
+                                  ModelOptions options) {
+  if (name == "migration") return make_migration_model(std::move(options));
+  if (name == "split") return make_split_model(std::move(options));
+  if (name == "merge") return make_merge_model(std::move(options));
+  if (name == "reliable") return make_reliable_model(std::move(options));
+  return nullptr;
+}
+
+}  // namespace esh::analysis

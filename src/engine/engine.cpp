@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "analysis/protocol_spec.hpp"
 #include "common/det.hpp"
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
@@ -32,27 +33,11 @@ const char* to_string(MigrationStep step) {
 }
 
 bool migration_transition_legal(MigrationStep from, MigrationStep to) {
-  using Step = MigrationStep;
-  switch (from) {
-    case Step::kCreateReplica:
-      // A source operator with no live upstream channels skips straight to
-      // the freeze; otherwise duplication starts. Either peer may die.
-      return to == Step::kDuplication || to == Step::kTransfer ||
-             to == Step::kAborting;
-    case Step::kDuplication:
-      return to == Step::kTransfer || to == Step::kAborting;
-    case Step::kTransfer:
-      return to == Step::kDirectoryUpdate || to == Step::kAborting;
-    case Step::kAborting:
-      // An ActivatedAck racing the abort handshake means the state transfer
-      // won: the move completed and directory convergence proceeds.
-      return to == Step::kDirectoryUpdate;
-    case Step::kDirectoryUpdate:
-      return to == Step::kTeardown;
-    case Step::kTeardown:
-      return false;  // terminal; resolved by finish_migration
-  }
-  return false;
+  // Edge list (and the why of each edge) lives in the declarative table in
+  // src/analysis/protocol_spec.cpp — the same table the model checker and
+  // docs/SPEC_CATALOG.md are built from.
+  return analysis::migration_spec().legal(static_cast<std::size_t>(from),
+                                          static_cast<std::size_t>(to));
 }
 
 void assert_migration_transition([[maybe_unused]] MigrationId id,
@@ -97,36 +82,13 @@ const char* to_string(MergeStep step) {
 }
 
 bool split_transition_legal(SplitStep from, SplitStep to) {
-  switch (from) {
-    case SplitStep::kCreateChild:
-      // The child host dying before the cut-over aborts the whole split
-      // (nothing routed to the child yet); otherwise the routing flips.
-      return to == SplitStep::kCutOver || to == SplitStep::kAborting;
-    case SplitStep::kCutOver:
-      return to == SplitStep::kDrain;
-    case SplitStep::kDrain:
-      // Post-cut-over the split can only roll forward: a dying child host is
-      // replaced within the step, never an abort edge.
-      return to == SplitStep::kActivate;
-    case SplitStep::kActivate:
-      return false;  // terminal; resolved by finish_transition
-    case SplitStep::kAborting:
-      return false;  // terminal
-  }
-  return false;
+  return analysis::split_spec().legal(static_cast<std::size_t>(from),
+                                      static_cast<std::size_t>(to));
 }
 
 bool merge_transition_legal(MergeStep from, MergeStep to) {
-  // Merges only roll forward: once routing flipped, both halves' state is
-  // accounted for by the drain/absorb pair and participant deaths are
-  // resolved by recovery re-driving the pending leg.
-  switch (from) {
-    case MergeStep::kCutOver: return to == MergeStep::kDrainRetiree;
-    case MergeStep::kDrainRetiree: return to == MergeStep::kAbsorb;
-    case MergeStep::kAbsorb: return to == MergeStep::kTeardown;
-    case MergeStep::kTeardown: return false;  // terminal
-  }
-  return false;
+  return analysis::merge_spec().legal(static_cast<std::size_t>(from),
+                                      static_cast<std::size_t>(to));
 }
 
 void assert_split_transition([[maybe_unused]] MigrationId id,

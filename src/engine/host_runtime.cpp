@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "analysis/protocol_spec.hpp"
 #include "common/det.hpp"
 #include "common/log.hpp"
 #include "engine/engine.hpp"
@@ -21,23 +22,10 @@ const char* to_string(SliceRuntime::State state) {
 }
 
 bool slice_transition_legal(SliceRuntime::State from, SliceRuntime::State to) {
-  using State = SliceRuntime::State;
-  switch (from) {
-    case State::kActive:
-      return to == State::kFreezePending || to == State::kRetired;
-    case State::kFreezePending:
-      // Self-edge: a duplicate freeze request re-arms the catch-up wait.
-      return to == State::kFreezePending || to == State::kActive ||
-             to == State::kFrozen || to == State::kRetired;
-    case State::kFrozen:
-      return to == State::kRetired;
-    case State::kInactiveReplica:
-      return to == State::kActive || to == State::kRetired;
-    case State::kRetired:
-      // Self-edge: fail_host retires, then evict_slice retires again.
-      return to == State::kRetired;
-  }
-  return false;
+  // Edge list (with per-edge rationale) lives in the declarative table in
+  // src/analysis/protocol_spec.cpp, shared with the model checker and docs.
+  return analysis::slice_lifecycle_spec().legal(static_cast<std::size_t>(from),
+                                                static_cast<std::size_t>(to));
 }
 
 void assert_slice_transition([[maybe_unused]] SliceId slice,

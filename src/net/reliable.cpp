@@ -1,11 +1,61 @@
 #include "net/reliable.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
+#include "analysis/protocol_spec.hpp"
 #include "common/log.hpp"
 
 namespace esh::net {
+
+namespace {
+
+// Positions in the seq/ack handshake, asserted against the declarative
+// tables in src/analysis/protocol_spec.cpp (reliable-tx / reliable-rx) so
+// the channel, the model checker and docs/SPEC_CATALOG.md share one edge
+// list. A Pending entry exists exactly while its message is in flight; a
+// seq below the receive cursor is delivered.
+enum class TxMsg : std::uint8_t {
+  kFresh,
+  kInFlight,
+  kAcked,
+  kGivenUp,
+  kForgotten,
+};
+enum class RxSeq : std::uint8_t { kUnseen, kBuffered, kDelivered, kForgotten };
+
+void assert_tx_transition([[maybe_unused]] std::uint64_t seq,
+                          [[maybe_unused]] TxMsg from,
+                          [[maybe_unused]] TxMsg to) {
+  ESH_STATE_MACHINE_ASSERT(
+      "net", "reliable-tx-step-legal",
+      analysis::reliable_tx_spec().legal(static_cast<std::size_t>(from),
+                                         static_cast<std::size_t>(to)),
+      ::esh::contracts::Detail{}
+          .transition(std::string{analysis::reliable_tx_spec().state_name(
+                          static_cast<std::size_t>(from))},
+                      std::string{analysis::reliable_tx_spec().state_name(
+                          static_cast<std::size_t>(to))})
+          .note("seq " + std::to_string(seq)));
+}
+
+void assert_rx_transition([[maybe_unused]] std::uint64_t seq,
+                          [[maybe_unused]] RxSeq from,
+                          [[maybe_unused]] RxSeq to) {
+  ESH_STATE_MACHINE_ASSERT(
+      "net", "reliable-rx-step-legal",
+      analysis::reliable_rx_spec().legal(static_cast<std::size_t>(from),
+                                         static_cast<std::size_t>(to)),
+      ::esh::contracts::Detail{}
+          .transition(std::string{analysis::reliable_rx_spec().state_name(
+                          static_cast<std::size_t>(from))},
+                      std::string{analysis::reliable_rx_spec().state_name(
+                          static_cast<std::size_t>(to))})
+          .note("seq " + std::to_string(seq)));
+}
+
+}  // namespace
 
 ReliableChannel::ReliableChannel(sim::Simulator& simulator, Network& network,
                                  Endpoint local, HostId host,
@@ -73,6 +123,7 @@ void ReliableChannel::send(Endpoint to, MessagePtr message,
   pending.payload = std::move(message);
   pending.payload_bytes = payload_bytes;
   pending.rto = base_rto(payload_bytes);
+  assert_tx_transition(seq, TxMsg::kFresh, TxMsg::kInFlight);
   tx.pending.emplace(seq, std::move(pending));
   ++stats_.data_sent;
   transmit(to, seq, /*retransmit=*/false);
@@ -125,6 +176,7 @@ void ReliableChannel::arm_timer(Endpoint peer, std::uint64_t seq) {
           return;
         }
         ++p.retries;
+        assert_tx_transition(seq, TxMsg::kInFlight, TxMsg::kInFlight);
         p.rto = std::min(
             micros(static_cast<std::int64_t>(
                 static_cast<double>(p.rto.count()) * config_.backoff_factor)),
@@ -135,10 +187,18 @@ void ReliableChannel::arm_timer(Endpoint peer, std::uint64_t seq) {
 
 void ReliableChannel::forget_peer(Endpoint peer) {
   if (auto it = senders_.find(peer); it != senders_.end()) {
-    for (auto& [seq, pending] : it->second.pending) pending.timer.cancel();
+    for (auto& [seq, pending] : it->second.pending) {
+      assert_tx_transition(seq, TxMsg::kInFlight, TxMsg::kForgotten);
+      pending.timer.cancel();
+    }
     senders_.erase(it);
   }
-  receivers_.erase(peer);
+  if (auto it = receivers_.find(peer); it != receivers_.end()) {
+    for (const auto& [seq, payload] : it->second.buffered) {
+      assert_rx_transition(seq, RxSeq::kBuffered, RxSeq::kForgotten);
+    }
+    receivers_.erase(it);
+  }
 }
 
 void ReliableChannel::give_up(Endpoint peer) {
@@ -146,7 +206,10 @@ void ReliableChannel::give_up(Endpoint peer) {
   if (it == senders_.end()) return;
   ESH_WARN << "ReliableChannel: giving up on peer " << peer << " ("
            << it->second.pending.size() << " unacked)";
-  for (auto& [seq, pending] : it->second.pending) pending.timer.cancel();
+  for (auto& [seq, pending] : it->second.pending) {
+    assert_tx_transition(seq, TxMsg::kInFlight, TxMsg::kGivenUp);
+    pending.timer.cancel();
+  }
   senders_.erase(it);
   ++stats_.give_ups;
   if (give_up_) give_up_(peer);
@@ -174,8 +237,16 @@ void ReliableChannel::on_data(const Delivery& d, const ReliableData& data) {
   }
   ReceiverState& rx = receivers_[d.from];
   if (data.seq >= rx.expected && !rx.buffered.contains(data.seq)) {
+    assert_rx_transition(data.seq, RxSeq::kUnseen, RxSeq::kBuffered);
     rx.buffered.emplace(data.seq, data.payload);
   } else {
+    // Duplicate: either still in the reorder buffer or already delivered
+    // below the cursor. Both are idempotency self-edges in the rx table.
+    assert_rx_transition(data.seq,
+                         data.seq >= rx.expected ? RxSeq::kBuffered
+                                                 : RxSeq::kDelivered,
+                         data.seq >= rx.expected ? RxSeq::kBuffered
+                                                 : RxSeq::kDelivered);
     ++stats_.duplicates_dropped;
   }
   deliver_ready(d.from, rx);
@@ -194,6 +265,7 @@ void ReliableChannel::deliver_ready(Endpoint peer, ReceiverState& rx) {
     MessagePtr payload = std::move(it->second);
     rx.buffered.erase(it);
     rx.expected = seq + 1;
+    assert_rx_transition(seq, RxSeq::kBuffered, RxSeq::kDelivered);
     // Exactly-once, in-order: the app must never see a seq twice...
     ESH_INVARIANT("net", "reliable-no-dup-deliver",
                   seq > rx.last_delivered,
@@ -224,6 +296,7 @@ void ReliableChannel::on_ack(Endpoint peer, const ReliableAck& ack) {
   auto& pending = it->second.pending;
   for (auto p_it = pending.begin();
        p_it != pending.end() && p_it->first <= ack.cumulative;) {
+    assert_tx_transition(p_it->first, TxMsg::kInFlight, TxMsg::kAcked);
     p_it->second.timer.cancel();
     p_it = pending.erase(p_it);
   }
