@@ -15,6 +15,10 @@
 #   - the fig_split skewed-workload comparison (static vs migrate-only vs
 #     automatic hotspot split) with sustained tail throughput, delay
 #     percentiles and exactly-once audits -> BENCH_split.json
+#   - the fig_migration_strategies sweep (one M slice migrates under load
+#     once per protocol) with per-strategy bytes-shipped/downtime/delay
+#     curves and the tradeoff ordering verified by the exit code
+#     -> BENCH_migration_strategies.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,12 +28,14 @@ PIPELINE_OUT=${PIPELINE_OUT:-BENCH_pipeline.json}
 INDEX_OUT=${INDEX_OUT:-BENCH_index.json}
 RECOVERY_OUT=${RECOVERY_OUT:-BENCH_recovery.json}
 SPLIT_OUT=${SPLIT_OUT:-BENCH_split.json}
+STRATEGIES_OUT=${STRATEGIES_OUT:-BENCH_migration_strategies.json}
 
 if [ ! -x "$BUILD/bench/micro_filter" ] || [ ! -x "$BUILD/bench/fig_recovery" ] \
-   || [ ! -x "$BUILD/bench/fig_split" ]; then
+   || [ ! -x "$BUILD/bench/fig_split" ] \
+   || [ ! -x "$BUILD/bench/fig_migration_strategies" ]; then
   cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build "$BUILD" -j "$(nproc)" --target micro_filter fig_recovery \
-    fig_split
+    fig_split fig_migration_strategies
 fi
 
 "$BUILD/bench/micro_filter" --thread_sweep > "$OUT"
@@ -46,3 +52,6 @@ echo "wrote $RECOVERY_OUT"
 
 "$BUILD/bench/fig_split" --json > "$SPLIT_OUT"
 echo "wrote $SPLIT_OUT"
+
+"$BUILD/bench/fig_migration_strategies" --json > "$STRATEGIES_OUT"
+echo "wrote $STRATEGIES_OUT"

@@ -52,10 +52,11 @@ stage_lint() {
 }
 
 # Robustness gate: the chaos schedules (crash + partition + gray + storm
-# faults), the split/merge torture suite, the reliable control channel, the
-# adversarial network tests, and the interval-index determinism tests must
-# pass with every invariant live, and stay clean under ASan and TSan.
-CHAOS_FILTER='Chaos|Reliable|Net|Contract|Split|Merge|Interval'
+# faults), the split/merge torture suite, the migration-strategy differential
+# and torture suites, the reliable control channel, the adversarial network
+# tests, and the interval-index determinism tests must pass with every
+# invariant live, and stay clean under ASan and TSan.
+CHAOS_FILTER='Chaos|Reliable|Net|Contract|Split|Merge|Interval|Strateg'
 
 stage_chaos() {
   local dir=${BUILD_DIR:-build-ci-chaos}
@@ -113,6 +114,14 @@ stage_analysis() {
     --mutate migration:duplication:transfer
   expect_counterexample timeout "$clock" "$mc" --model reliable \
     --mutate reliable-rx:buffered:delivered
+  expect_counterexample timeout "$clock" "$mc" --model migration-stop-restart \
+    --plant-wedge
+  expect_counterexample timeout "$clock" "$mc" --model migration-stop-restart \
+    --mutate migration-stop-restart:park:transfer
+  expect_counterexample timeout "$clock" "$mc" --model migration-precopy \
+    --plant-invariant
+  expect_counterexample timeout "$clock" "$mc" --model migration-precopy \
+    --mutate migration-precopy:precopy:transfer
 
   # (c) The documented spec catalog is the generated one, byte for byte.
   "$mc" --dump-catalog-md > "$dir/SPEC_CATALOG.generated.md"

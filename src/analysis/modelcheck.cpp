@@ -476,6 +476,533 @@ class MigrationModel final : public ModelBase {
   std::shared_ptr<const StateMachineSpec> slice_;
 };
 
+// ---- Stop-and-restart migration --------------------------------------------
+//
+// Same cast as MigrationModel, driving the redirect variant: instead of
+// mirroring, the park step flips every upstream channel to deliver
+// exclusively to the destination replica (the source drains), then the full
+// checkpoint ships in one hop. Aborts must replay the redirected suffix back
+// to the thawed source — abstracted into the atomic thaw action.
+class StopRestartModel final : public ModelBase {
+  enum : std::size_t {
+    kStep = 0,  // stop_restart_spec index; 6 = abort record erased
+    kSrc,
+    kDst,
+    kAwait,
+    kDropped,
+    kDropBudget,
+    kCrashBudget,
+    kSrcAlive,
+    kDstAlive,
+    kBytes,
+  };
+  static constexpr std::uint8_t kResolved = 6;
+
+ public:
+  explicit StopRestartModel(ModelOptions options)
+      : ModelBase(std::move(options)),
+        mig_(bind_spec(options_, stop_restart_spec())),
+        slice_(bind_spec(options_, slice_lifecycle_spec())) {}
+
+  std::string name() const override { return "migration-stop-restart"; }
+
+  ModelState initial() const override {
+    ModelState s(kBytes, 0);
+    s[kStep] = 0;
+    s[kSrc] = kActive;
+    s[kDst] = kNone;
+    s[kDropBudget] = 1;
+    s[kCrashBudget] = 1;
+    s[kSrcAlive] = 1;
+    s[kDstAlive] = 1;
+    return s;
+  }
+
+  void successors(const ModelState& s, std::vector<Successor>& out) const override {
+    const std::uint8_t step = s[kStep];
+    const bool both = s[kSrcAlive] && s[kDstAlive];
+    const PlantedFault fault = options_.fault;
+
+    // Planted wedge: reaction to the destination dying mid-transfer dropped;
+    // the coordinator waits forever on an ack from a corpse.
+    if (fault == PlantedFault::kWedge && step == 2 && !s[kDstAlive]) return;
+
+    auto step_to = [](std::uint8_t to) {
+      return [to](ModelState& n) {
+        n[kStep] = to;
+        n[kAwait] = 0;
+      };
+    };
+
+    if (step == 0 && both) {
+      if (!s[kAwait] && s[kDst] == kNone) {
+        add(out, s, "request: CreateReplica -> dst", nullptr, 0, 0,
+            [](ModelState& n) { n[kAwait] = 1; });
+      }
+      if (s[kAwait] && !s[kDropped]) {
+        add(out, s, "ack: CreateReplicaAck (live upstreams)", mig_.get(), 0, 1,
+            [step_to](ModelState& n) {
+              n[kDst] = kReplica;
+              step_to(1)(n);
+            });
+        add(out, s, "ack: CreateReplicaAck (no upstreams)", mig_.get(), 0, 2,
+            [step_to](ModelState& n) {
+              n[kDst] = kReplica;
+              step_to(2)(n);
+            });
+      }
+    }
+    // Park: upstream channels flip to redirect-to-destination; the source
+    // stops receiving and drains toward its freeze point.
+    if (step == 1 && both) {
+      if (!s[kAwait]) {
+        add(out, s, "request: StartDuplication(redirect) -> dst", nullptr, 0, 0,
+            [](ModelState& n) { n[kAwait] = 1; });
+      }
+      if (s[kAwait] && !s[kDropped]) {
+        add(out, s, "ack: StartDuplicationAck (channels parked)", mig_.get(),
+            1, 2, step_to(2));
+      }
+    }
+    // The source freezes once its parked input drains; the kInvariant fault
+    // ships the full checkpoint without ever freezing.
+    if ((step == 1 || step == 2) && s[kSrcAlive] &&
+        fault != PlantedFault::kInvariant && s[kSrc] == kActive) {
+      add(out, s, "source: freeze requested", slice_.get(), kActive,
+          kFreezePending,
+          [](ModelState& n) { n[kSrc] = kFreezePending; });
+    }
+    if ((step == 1 || step == 2) && s[kSrcAlive] && s[kSrc] == kFreezePending) {
+      add(out, s, "source: caught up to freeze point", slice_.get(),
+          kFreezePending, kFrozen, [](ModelState& n) { n[kSrc] = kFrozen; });
+    }
+    if (step == 2 && both) {
+      const bool frozen = s[kSrc] == kFrozen;
+      const bool faulty_ship =
+          fault == PlantedFault::kInvariant && s[kSrc] == kActive;
+      if (!s[kAwait] && (frozen || faulty_ship)) {
+        add(out, s, "request: ship full checkpoint -> dst", nullptr, 0, 0,
+            [](ModelState& n) { n[kAwait] = 1; });
+      }
+      if (s[kAwait] && !s[kDropped] && s[kDst] == kReplica &&
+          (frozen || faulty_ship)) {
+        add(out, s, "dst: restored checkpoint; replica activates",
+            slice_.get(), kReplica, kActive,
+            [](ModelState& n) { n[kDst] = kActive; });
+      }
+      if (s[kAwait] && !s[kDropped] && s[kDst] == kActive) {
+        add(out, s, "ack: ActivatedAck", mig_.get(), 2, 3, step_to(3));
+      }
+    }
+    if (step == 3) {
+      if (!s[kAwait]) {
+        add(out, s, "request: DirectoryUpdate -> peers", nullptr, 0, 0,
+            [](ModelState& n) { n[kAwait] = 1; });
+      }
+      if (s[kAwait] && !s[kDropped]) {
+        add(out, s, "ack: DirectoryUpdateAcks complete", mig_.get(), 3, 4,
+            step_to(4));
+      }
+    }
+    if (step == 4 && s[kSrcAlive] && s[kSrc] == kFrozen) {
+      add(out, s, "source: instance torn down", slice_.get(), kFrozen,
+          kRetired, [](ModelState& n) { n[kSrc] = kRetired; });
+    }
+
+    // Abort cleanup (step 5). The thaw action covers the redirected-channel
+    // repair: channels flip back and the parked suffix replays to the source.
+    if (step == 5) {
+      if (s[kSrc] == kFreezePending && s[kSrcAlive]) {
+        add(out, s, "abort: thaw the source (redirected suffix replayed)",
+            slice_.get(), kFreezePending, kActive,
+            [](ModelState& n) { n[kSrc] = kActive; });
+      }
+      if (s[kSrc] == kFrozen && s[kSrcAlive]) {
+        add(out, s, "abort: retire the frozen source (re-homed)", slice_.get(),
+            kFrozen, kRetired, [](ModelState& n) { n[kSrc] = kRetired; });
+      }
+      if (s[kDst] == kReplica && s[kDstAlive]) {
+        add(out, s, "abort: retire the replica", slice_.get(), kReplica,
+            kRetired, [](ModelState& n) { n[kDst] = kRetired; });
+      }
+      if (s[kDst] == kActive && s[kDstAlive]) {
+        add(out, s, "abort: activation raced the abort; converge", mig_.get(),
+            5, 3, step_to(3));
+      }
+      const bool src_clean =
+          s[kSrc] == kActive || s[kSrc] == kRetired || s[kSrc] == kLost;
+      const bool dst_clean = s[kDst] == kRetired || s[kDst] == kNone ||
+                             s[kDst] == kLost;
+      if (src_clean && dst_clean) {
+        add(out, s, "abort: cleanup complete; record erased", nullptr, 0, 0,
+            [](ModelState& n) { n[kStep] = kResolved; });
+      }
+    }
+
+    const bool no_active = s[kSrc] != kActive && s[kDst] != kActive;
+    if (no_active && (step == 4 || step == kResolved) && s[kSrc] != kFrozen &&
+        s[kSrc] != kFreezePending) {
+      add(out, s, "manager: respawn lost slice from checkpoint", nullptr, 0, 0,
+          [](ModelState& n) { n[kSrc] = kActive; });
+    }
+
+    if (s[kAwait] && !s[kDropped] && s[kDropBudget] > 0) {
+      add(out, s, "net: frame dropped", nullptr, 0, 0, [](ModelState& n) {
+        n[kDropped] = 1;
+        --n[kDropBudget];
+      });
+    }
+    if (s[kDropped] && (step == 3 || both)) {
+      add(out, s, "net: rto retransmit", nullptr, 0, 0,
+          [](ModelState& n) { n[kDropped] = 0; });
+    }
+
+    if (s[kCrashBudget] > 0) {
+      if (s[kSrcAlive]) {
+        const bool abort = step <= 2;
+        add(out, s, "crash: source host dies", abort ? mig_.get() : nullptr,
+            step, 5, [abort](ModelState& n) {
+              n[kSrcAlive] = 0;
+              if (n[kSrc] != kRetired) n[kSrc] = kLost;
+              --n[kCrashBudget];
+              n[kAwait] = 0;
+              n[kDropped] = 0;
+              if (abort) n[kStep] = 5;
+            });
+      }
+      if (s[kDstAlive]) {
+        const bool react = !(fault == PlantedFault::kWedge && step == 2);
+        const bool abort = react && step <= 2;
+        add(out, s,
+            react ? "crash: destination host dies"
+                  : "crash: destination host dies (reaction dropped)",
+            abort ? mig_.get() : nullptr, step, 5,
+            [abort](ModelState& n) {
+              n[kDstAlive] = 0;
+              if (n[kDst] != kRetired && n[kDst] != kNone) n[kDst] = kLost;
+              --n[kCrashBudget];
+              n[kAwait] = 0;
+              n[kDropped] = 0;
+              if (abort) n[kStep] = 5;
+            });
+      }
+    }
+  }
+
+  bool quiescent(const ModelState& s) const override {
+    if (s[kAwait] || s[kDropped]) return false;
+    if (s[kStep] == 4) {
+      const bool src_settled = s[kSrc] == kRetired || s[kSrc] == kLost;
+      return (s[kDst] == kActive && src_settled) ||
+             (s[kSrc] == kActive && s[kDst] == kLost);
+    }
+    if (s[kStep] == kResolved) {
+      return s[kSrc] == kActive;
+    }
+    return false;
+  }
+
+  std::string invariant(const ModelState& s) const override {
+    if (s[kSrc] == kActive && s[kDst] == kActive) {
+      return "exactly-once: source and destination active concurrently "
+             "while channels redirect (every parked publication delivered "
+             "twice)";
+    }
+    return "";
+  }
+
+  std::string describe(const ModelState& s) const override {
+    std::string step = s[kStep] == kResolved
+                           ? "resolved"
+                           : std::string{mig_->state_name(s[kStep])};
+    return "stop-restart{step=" + step + " src=" + slot_name(s[kSrc]) +
+           (s[kSrcAlive] ? "" : "(host down)") + " dst=" + slot_name(s[kDst]) +
+           (s[kDstAlive] ? "" : "(host down)") +
+           " awaiting=" + std::to_string(s[kAwait]) +
+           " dropped=" + std::to_string(s[kDropped]) + "}";
+  }
+
+ private:
+  std::shared_ptr<const StateMachineSpec> mig_;
+  std::shared_ptr<const StateMachineSpec> slice_;
+};
+
+// ---- Incremental pre-copy migration ----------------------------------------
+//
+// The mirror stays on while bounded dirty-delta rounds ship state pages under
+// live traffic; the final freeze only transfers the last delta. A round byte
+// tracks the iteration (bounded at kRoundBound, matching the
+// engine/precopy-rounds-bounded contract); each round's ack nondeterministic-
+// ally reports a remaining dirty delta (another round) or a drained one
+// (advance to the final transfer).
+class PrecopyModel final : public ModelBase {
+  enum : std::size_t {
+    kStep = 0,  // precopy_spec index; 7 = abort record erased
+    kSrc,
+    kDst,
+    kRound,  // completed pre-copy rounds
+    kAwait,
+    kDropped,
+    kDropBudget,
+    kCrashBudget,
+    kSrcAlive,
+    kDstAlive,
+    kBytes,
+  };
+  static constexpr std::uint8_t kResolved = 7;
+  static constexpr std::uint8_t kRoundBound = 2;
+
+ public:
+  explicit PrecopyModel(ModelOptions options)
+      : ModelBase(std::move(options)),
+        mig_(bind_spec(options_, precopy_spec())),
+        slice_(bind_spec(options_, slice_lifecycle_spec())) {}
+
+  std::string name() const override { return "migration-precopy"; }
+
+  ModelState initial() const override {
+    ModelState s(kBytes, 0);
+    s[kStep] = 0;
+    s[kSrc] = kActive;
+    s[kDst] = kNone;
+    s[kDropBudget] = 1;
+    s[kCrashBudget] = 1;
+    s[kSrcAlive] = 1;
+    s[kDstAlive] = 1;
+    return s;
+  }
+
+  void successors(const ModelState& s, std::vector<Successor>& out) const override {
+    const std::uint8_t step = s[kStep];
+    const bool both = s[kSrcAlive] && s[kDstAlive];
+    const PlantedFault fault = options_.fault;
+
+    // Planted wedge: reaction to the destination dying during the final
+    // transfer dropped; the coordinator waits on an ack from a corpse.
+    if (fault == PlantedFault::kWedge && step == 3 && !s[kDstAlive]) return;
+
+    auto step_to = [](std::uint8_t to) {
+      return [to](ModelState& n) {
+        n[kStep] = to;
+        n[kAwait] = 0;
+      };
+    };
+
+    if (step == 0 && both) {
+      if (!s[kAwait] && s[kDst] == kNone) {
+        add(out, s, "request: CreateReplica -> dst", nullptr, 0, 0,
+            [](ModelState& n) { n[kAwait] = 1; });
+      }
+      if (s[kAwait] && !s[kDropped]) {
+        add(out, s, "ack: CreateReplicaAck (live upstreams)", mig_.get(), 0, 1,
+            [step_to](ModelState& n) {
+              n[kDst] = kReplica;
+              step_to(1)(n);
+            });
+        add(out, s, "ack: CreateReplicaAck (no upstreams)", mig_.get(), 0, 2,
+            [step_to](ModelState& n) {
+              n[kDst] = kReplica;
+              step_to(2)(n);
+            });
+      }
+    }
+    if (step == 1 && both) {
+      if (!s[kAwait]) {
+        add(out, s, "request: StartDuplication -> dst", nullptr, 0, 0,
+            [](ModelState& n) { n[kAwait] = 1; });
+      }
+      if (s[kAwait] && !s[kDropped]) {
+        add(out, s, "ack: StartDuplicationAck", mig_.get(), 1, 2, step_to(2));
+      }
+    }
+    // Pre-copy rounds: the source stays active serving while page deltas
+    // ship. The ack either leaves a dirty delta behind (another round, only
+    // while the bound allows) or reports the delta drained.
+    if (step == 2 && both) {
+      if (!s[kAwait]) {
+        add(out, s, "request: Precopy round -> src", nullptr, 0, 0,
+            [](ModelState& n) { n[kAwait] = 1; });
+      }
+      if (s[kAwait] && !s[kDropped]) {
+        if (s[kRound] + 1 < kRoundBound) {
+          add(out, s, "ack: PrecopyAck (dirty delta remains)", mig_.get(), 2,
+              2, [step_to](ModelState& n) {
+                ++n[kRound];
+                step_to(2)(n);
+              });
+        }
+        add(out, s, "ack: PrecopyAck (delta drained / bound reached)",
+            mig_.get(), 2, 3, [step_to](ModelState& n) {
+              ++n[kRound];
+              step_to(3)(n);
+            });
+      }
+    }
+    // Final stop-and-copy: freeze, ship only the last dirty delta. The
+    // kInvariant fault ships it without freezing the source first.
+    if (step == 3 && s[kSrcAlive] && fault != PlantedFault::kInvariant &&
+        s[kSrc] == kActive) {
+      add(out, s, "source: freeze requested", slice_.get(), kActive,
+          kFreezePending,
+          [](ModelState& n) { n[kSrc] = kFreezePending; });
+    }
+    if (step == 3 && s[kSrcAlive] && s[kSrc] == kFreezePending) {
+      add(out, s, "source: caught up to freeze point", slice_.get(),
+          kFreezePending, kFrozen, [](ModelState& n) { n[kSrc] = kFrozen; });
+    }
+    if (step == 3 && both) {
+      const bool frozen = s[kSrc] == kFrozen;
+      const bool faulty_ship =
+          fault == PlantedFault::kInvariant && s[kSrc] == kActive;
+      if (!s[kAwait] && (frozen || faulty_ship)) {
+        add(out, s, "request: ship final delta -> dst", nullptr, 0, 0,
+            [](ModelState& n) { n[kAwait] = 1; });
+      }
+      if (s[kAwait] && !s[kDropped] && s[kDst] == kReplica &&
+          (frozen || faulty_ship)) {
+        add(out, s, "dst: patched final delta; replica activates",
+            slice_.get(), kReplica, kActive,
+            [](ModelState& n) { n[kDst] = kActive; });
+      }
+      if (s[kAwait] && !s[kDropped] && s[kDst] == kActive) {
+        add(out, s, "ack: ActivatedAck", mig_.get(), 3, 4, step_to(4));
+      }
+    }
+    if (step == 4) {
+      if (!s[kAwait]) {
+        add(out, s, "request: DirectoryUpdate -> peers", nullptr, 0, 0,
+            [](ModelState& n) { n[kAwait] = 1; });
+      }
+      if (s[kAwait] && !s[kDropped]) {
+        add(out, s, "ack: DirectoryUpdateAcks complete", mig_.get(), 4, 5,
+            step_to(5));
+      }
+    }
+    if (step == 5 && s[kSrcAlive] && s[kSrc] == kFrozen) {
+      add(out, s, "source: instance torn down", slice_.get(), kFrozen,
+          kRetired, [](ModelState& n) { n[kSrc] = kRetired; });
+    }
+
+    // Abort cleanup (step 6).
+    if (step == 6) {
+      if (s[kSrc] == kFreezePending && s[kSrcAlive]) {
+        add(out, s, "abort: thaw the source", slice_.get(), kFreezePending,
+            kActive, [](ModelState& n) { n[kSrc] = kActive; });
+      }
+      if (s[kSrc] == kFrozen && s[kSrcAlive]) {
+        add(out, s, "abort: retire the frozen source (re-homed)", slice_.get(),
+            kFrozen, kRetired, [](ModelState& n) { n[kSrc] = kRetired; });
+      }
+      if (s[kDst] == kReplica && s[kDstAlive]) {
+        add(out, s, "abort: retire the replica (pre-copied pages discarded)",
+            slice_.get(), kReplica, kRetired,
+            [](ModelState& n) { n[kDst] = kRetired; });
+      }
+      if (s[kDst] == kActive && s[kDstAlive]) {
+        add(out, s, "abort: activation raced the abort; converge", mig_.get(),
+            6, 4, step_to(4));
+      }
+      const bool src_clean =
+          s[kSrc] == kActive || s[kSrc] == kRetired || s[kSrc] == kLost;
+      const bool dst_clean = s[kDst] == kRetired || s[kDst] == kNone ||
+                             s[kDst] == kLost;
+      if (src_clean && dst_clean) {
+        add(out, s, "abort: cleanup complete; record erased", nullptr, 0, 0,
+            [](ModelState& n) { n[kStep] = kResolved; });
+      }
+    }
+
+    const bool no_active = s[kSrc] != kActive && s[kDst] != kActive;
+    if (no_active && (step == 5 || step == kResolved) && s[kSrc] != kFrozen &&
+        s[kSrc] != kFreezePending) {
+      add(out, s, "manager: respawn lost slice from checkpoint", nullptr, 0, 0,
+          [](ModelState& n) { n[kSrc] = kActive; });
+    }
+
+    if (s[kAwait] && !s[kDropped] && s[kDropBudget] > 0) {
+      add(out, s, "net: frame dropped", nullptr, 0, 0, [](ModelState& n) {
+        n[kDropped] = 1;
+        --n[kDropBudget];
+      });
+    }
+    if (s[kDropped] && (step == 4 || both)) {
+      add(out, s, "net: rto retransmit", nullptr, 0, 0,
+          [](ModelState& n) { n[kDropped] = 0; });
+    }
+
+    if (s[kCrashBudget] > 0) {
+      if (s[kSrcAlive]) {
+        const bool abort = step <= 3;
+        add(out, s, "crash: source host dies", abort ? mig_.get() : nullptr,
+            step, 6, [abort](ModelState& n) {
+              n[kSrcAlive] = 0;
+              if (n[kSrc] != kRetired) n[kSrc] = kLost;
+              --n[kCrashBudget];
+              n[kAwait] = 0;
+              n[kDropped] = 0;
+              if (abort) n[kStep] = 6;
+            });
+      }
+      if (s[kDstAlive]) {
+        const bool react = !(fault == PlantedFault::kWedge && step == 3);
+        const bool abort = react && step <= 3;
+        add(out, s,
+            react ? "crash: destination host dies"
+                  : "crash: destination host dies (reaction dropped)",
+            abort ? mig_.get() : nullptr, step, 6,
+            [abort](ModelState& n) {
+              n[kDstAlive] = 0;
+              if (n[kDst] != kRetired && n[kDst] != kNone) n[kDst] = kLost;
+              --n[kCrashBudget];
+              n[kAwait] = 0;
+              n[kDropped] = 0;
+              if (abort) n[kStep] = 6;
+            });
+      }
+    }
+  }
+
+  bool quiescent(const ModelState& s) const override {
+    if (s[kAwait] || s[kDropped]) return false;
+    if (s[kStep] == 5) {
+      const bool src_settled = s[kSrc] == kRetired || s[kSrc] == kLost;
+      return (s[kDst] == kActive && src_settled) ||
+             (s[kSrc] == kActive && s[kDst] == kLost);
+    }
+    if (s[kStep] == kResolved) {
+      return s[kSrc] == kActive;
+    }
+    return false;
+  }
+
+  std::string invariant(const ModelState& s) const override {
+    if (s[kSrc] == kActive && s[kDst] == kActive) {
+      return "exactly-once: source and destination active concurrently "
+             "(duplicate delivery of every publication on the slice)";
+    }
+    if (s[kRound] > kRoundBound) {
+      return "precopy-rounds-bounded: round counter exceeded the bound";
+    }
+    return "";
+  }
+
+  std::string describe(const ModelState& s) const override {
+    std::string step = s[kStep] == kResolved
+                           ? "resolved"
+                           : std::string{mig_->state_name(s[kStep])};
+    return "precopy{step=" + step + " round=" + std::to_string(s[kRound]) +
+           " src=" + slot_name(s[kSrc]) +
+           (s[kSrcAlive] ? "" : "(host down)") + " dst=" + slot_name(s[kDst]) +
+           (s[kDstAlive] ? "" : "(host down)") +
+           " awaiting=" + std::to_string(s[kAwait]) +
+           " dropped=" + std::to_string(s[kDropped]) + "}";
+  }
+
+ private:
+  std::shared_ptr<const StateMachineSpec> mig_;
+  std::shared_ptr<const StateMachineSpec> slice_;
+};
+
 // ---- Split ------------------------------------------------------------------
 //
 // Parent host keeps half the key range, the child slice lands on another
@@ -991,6 +1518,12 @@ class ReliableModel final : public ModelBase {
 std::unique_ptr<Model> make_migration_model(ModelOptions options) {
   return std::make_unique<MigrationModel>(std::move(options));
 }
+std::unique_ptr<Model> make_stop_restart_model(ModelOptions options) {
+  return std::make_unique<StopRestartModel>(std::move(options));
+}
+std::unique_ptr<Model> make_precopy_model(ModelOptions options) {
+  return std::make_unique<PrecopyModel>(std::move(options));
+}
 std::unique_ptr<Model> make_split_model(ModelOptions options) {
   return std::make_unique<SplitModel>(std::move(options));
 }
@@ -1002,14 +1535,19 @@ std::unique_ptr<Model> make_reliable_model(ModelOptions options) {
 }
 
 const std::vector<std::string>& model_names() {
-  static const std::vector<std::string> names{"migration", "split", "merge",
-                                              "reliable"};
+  static const std::vector<std::string> names{
+      "migration", "migration-stop-restart", "migration-precopy", "split",
+      "merge",     "reliable"};
   return names;
 }
 
 std::unique_ptr<Model> make_model(std::string_view name,
                                   ModelOptions options) {
   if (name == "migration") return make_migration_model(std::move(options));
+  if (name == "migration-stop-restart") {
+    return make_stop_restart_model(std::move(options));
+  }
+  if (name == "migration-precopy") return make_precopy_model(std::move(options));
   if (name == "split") return make_split_model(std::move(options));
   if (name == "merge") return make_merge_model(std::move(options));
   if (name == "reliable") return make_reliable_model(std::move(options));

@@ -126,6 +126,11 @@ struct ModelOptions {
 };
 
 [[nodiscard]] std::unique_ptr<Model> make_migration_model(ModelOptions = {});
+// The two alternative migration strategies (engine/migration_strategy.hpp):
+// redirect-park stop-and-restart and bounded dirty-delta pre-copy. Both
+// support the same planted faults as the buffered-replay migration model.
+[[nodiscard]] std::unique_ptr<Model> make_stop_restart_model(ModelOptions = {});
+[[nodiscard]] std::unique_ptr<Model> make_precopy_model(ModelOptions = {});
 [[nodiscard]] std::unique_ptr<Model> make_split_model(ModelOptions = {});
 [[nodiscard]] std::unique_ptr<Model> make_merge_model(ModelOptions = {});
 [[nodiscard]] std::unique_ptr<Model> make_reliable_model(ModelOptions = {});

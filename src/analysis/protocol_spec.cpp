@@ -96,6 +96,10 @@ const StateMachineSpec& slice_lifecycle_spec() {
           {2, 2, "duplicate freeze request re-arms the catch-up wait"},
           {2, 0, "migration aborted before the freeze completed; thaw"},
           {2, 3, "caught up; state serialization / transfer begins"},
+          {3, 0,
+           "stop-and-restart abort: the parked source froze at its exact "
+           "catch-up point, so it thaws and the redirected suffix replays "
+           "from the upstream logs"},
           {2, 4, "host failed or slice evicted while freezing"},
           {3, 4, "transfer done (or host failed); instance torn down"},
           {1, 0, "state restored into the replica; activation"},
@@ -129,6 +133,72 @@ const StateMachineSpec& migration_spec() {
           {2, 5, "src or dst host died during freeze / state transfer"},
           {5, 3, "ActivatedAck raced the abort: the move won; converge"},
           {3, 4, "DirectoryUpdateAcks complete; tear the source down"},
+      }};
+  return spec;
+}
+
+const StateMachineSpec& stop_restart_spec() {
+  // MigrationStep subset taken by the stop-and-restart strategy
+  // (engine/migration_strategy.cpp). State indices are strategy-local:
+  // MigrationStrategy::spec_index maps the shared enum into this table
+  // (kDuplication and kPrecopy never occur, so they map out of range).
+  static const StateMachineSpec spec{
+      "migration-stop-restart",
+      "engine",
+      "stop-restart-step-legal",
+      {
+          {"create-replica", /*initial=*/true, false},
+          {"park", false, false},
+          {"transfer", false, false},
+          {"directory-update", false, false},
+          {"teardown", false, /*terminal=*/true},
+          {"aborting", false, false},
+      },
+      {
+          {0, 1, "CreateReplicaAck: upstreams redirect channels to the dst"},
+          {0, 2, "CreateReplicaAck with no live upstreams; straight to freeze"},
+          {0, 5, "src or dst host died while the replica was being created"},
+          {1, 2, "all redirect acks in; source drains to the park point"},
+          {1, 5, "src or dst host died while the channels were parked"},
+          {2, 3, "ActivatedAck: dst restored the checkpoint; converge"},
+          {2, 5, "src or dst host died during freeze / state transfer"},
+          {5, 3, "ActivatedAck raced the abort: the move won; converge"},
+          {3, 4, "DirectoryUpdateAcks complete; tear the source down"},
+      }};
+  return spec;
+}
+
+const StateMachineSpec& precopy_spec() {
+  // MigrationStep subset taken by the incremental pre-copy strategy
+  // (engine/migration_strategy.cpp); the `precopy -> precopy` self-edge is
+  // one dirty-delta round, bounded by EngineConfig::precopy_rounds (runtime
+  // invariant engine/precopy-rounds-bounded).
+  static const StateMachineSpec spec{
+      "migration-precopy",
+      "engine",
+      "precopy-step-legal",
+      {
+          {"create-replica", /*initial=*/true, false},
+          {"duplication", false, false},
+          {"precopy", false, false},
+          {"transfer", false, false},
+          {"directory-update", false, false},
+          {"teardown", false, /*terminal=*/true},
+          {"aborting", false, false},
+      },
+      {
+          {0, 1, "CreateReplicaAck with live upstream channels; duplicate"},
+          {0, 2, "CreateReplicaAck with no live upstreams; pre-copy directly"},
+          {0, 6, "src or dst host died while the replica was being created"},
+          {1, 2, "all StartDuplicationAcks received; ship the baseline"},
+          {1, 6, "src or dst host died during duplication"},
+          {2, 2, "PrecopyAck with a non-empty delta and rounds remaining"},
+          {2, 3, "delta converged or round budget spent; freeze the source"},
+          {2, 6, "src or dst host died during a pre-copy round"},
+          {3, 4, "ActivatedAck: dst patched the baseline; converge"},
+          {3, 6, "src or dst host died during freeze / delta transfer"},
+          {6, 4, "ActivatedAck raced the abort: the move won; converge"},
+          {4, 5, "DirectoryUpdateAcks complete; tear the source down"},
       }};
   return spec;
 }
@@ -224,8 +294,9 @@ const StateMachineSpec& reliable_rx_spec() {
 
 const std::vector<const StateMachineSpec*>& all_specs() {
   static const std::vector<const StateMachineSpec*> specs{
-      &slice_lifecycle_spec(), &migration_spec(), &split_spec(),
-      &merge_spec(),           &reliable_tx_spec(), &reliable_rx_spec(),
+      &slice_lifecycle_spec(), &migration_spec(),     &stop_restart_spec(),
+      &precopy_spec(),         &split_spec(),         &merge_spec(),
+      &reliable_tx_spec(),     &reliable_rx_spec(),
   };
   return specs;
 }

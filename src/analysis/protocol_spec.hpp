@@ -80,6 +80,18 @@ class StateMachineSpec {
 // engine/engine.cpp MigrationStep). Runtime assert: engine/migration-step-legal.
 [[nodiscard]] const StateMachineSpec& migration_spec();
 
+// Coordinator position of one stop-and-restart migration (park the slice's
+// channels at the replica, ship one full checkpoint; engine/engine.cpp
+// MigrationStep via MigrationStrategy::spec_index). Runtime assert:
+// engine/stop-restart-step-legal.
+[[nodiscard]] const StateMachineSpec& stop_restart_spec();
+
+// Coordinator position of one incremental pre-copy migration (mirrored
+// duplication, bounded dirty-delta rounds, delta final transfer;
+// engine/engine.cpp MigrationStep via MigrationStrategy::spec_index).
+// Runtime assert: engine/precopy-step-legal.
+[[nodiscard]] const StateMachineSpec& precopy_spec();
+
 // Coordinator position of one key-level slice split (docs/PROTOCOL.md;
 // engine/engine.cpp SplitStep). Runtime assert: engine/split-step-legal.
 [[nodiscard]] const StateMachineSpec& split_spec();

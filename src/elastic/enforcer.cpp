@@ -39,6 +39,18 @@ const char* to_string(MigrationPlan::Reason r) {
   return "?";
 }
 
+engine::MigrationStrategyKind select_strategy(const PolicyConfig& policy,
+                                              std::size_t state_bytes,
+                                              double cpu) {
+  if (state_bytes <= policy.strategy_small_state_bytes) {
+    return engine::MigrationStrategyKind::kStopAndRestart;
+  }
+  if (cpu >= policy.strategy_hot_cpu) {
+    return engine::MigrationStrategyKind::kIncrementalPrecopy;
+  }
+  return engine::MigrationStrategyKind::kBufferedReplay;
+}
+
 std::vector<std::size_t> select_slices_min_state(
     const std::vector<SliceView>& slices, double required_cpu) {
   if (slices.empty() || required_cpu <= 0.0) return {};
@@ -203,6 +215,18 @@ MigrationPlan Enforcer::evaluate(const SystemView& view) {
   // else is quiet, under the slow (scale-in) grace.
   if (plan.empty() && config_.enable_splits) plan = cold_merge(view);
   if (!plan.empty()) {
+    // Stamp each move with its protocol choice and the view signals it was
+    // derived from; the manager re-derives the choice from those recorded
+    // signals before executing (strategy-selection-deterministic).
+    for (MigrationPlan::Move& mv : plan.moves) {
+      for (const SliceView& s : view.slices) {
+        if (s.slice == mv.slice) {
+          mv.state_bytes = s.state_bytes;
+          mv.cpu = s.cpu;
+        }
+      }
+      mv.strategy = select_strategy(config_, mv.state_bytes, mv.cpu);
+    }
     last_action_ = view.time;
     acted_once_ = true;
   }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "engine/migration_strategy.hpp"
 
 namespace esh::elastic {
 
@@ -48,6 +49,14 @@ struct PolicyConfig {
   bool enable_splits = false;
   double split_share = 0.45;
   double merge_share = 0.10;
+  // Migration-strategy selection (see select_strategy): a slice with at most
+  // this much state stop-and-restarts (the full checkpoint ships in one hop,
+  // so the minimal-transfer protocol wins and the downtime stays tiny) ...
+  std::size_t strategy_small_state_bytes = 4096;
+  // ... while a hot slice above this CPU share pre-copies (its input rate
+  // makes every parked millisecond expensive; pay delta traffic for the
+  // shortest stop). Everything between runs the paper's buffered replay.
+  double strategy_hot_cpu = 0.35;
 };
 
 struct SliceView {
@@ -97,6 +106,14 @@ struct MigrationPlan {
     // set (hosts are allocated by the manager before executing moves).
     HostId dst;
     std::optional<std::size_t> new_host_index;
+    // Migration protocol for this move plus the view signals it was derived
+    // from, stamped by Enforcer::evaluate. The manager re-derives the choice
+    // from the same signals before executing (the elastic/
+    // strategy-selection-deterministic invariant).
+    engine::MigrationStrategyKind strategy =
+        engine::MigrationStrategyKind::kBufferedReplay;
+    std::size_t state_bytes = 0;
+    double cpu = 0.0;
   };
 
   // Key-level split: half of `slice`'s coverage moves to a child on `dst`.
@@ -127,6 +144,14 @@ struct MigrationPlan {
 const char* to_string(MigrationPlan::Reason r);
 
 // ---- resolution-step primitives (exposed for tests and benches) ----------
+
+// Pure strategy choice from a slice's probed signals: small state ->
+// stop-and-restart (fewest bytes), hot slice -> incremental pre-copy
+// (shortest stop), otherwise the paper's buffered replay. Deterministic in
+// its arguments by construction; the manager re-derives it at execution
+// time and cross-checks against the plan.
+[[nodiscard]] engine::MigrationStrategyKind select_strategy(
+    const PolicyConfig& policy, std::size_t state_bytes, double cpu);
 
 // Subset-sum slice selection (paper §V): returns the subset of `slices`
 // whose summed CPU is >= `required_cpu`, among all such subsets one with

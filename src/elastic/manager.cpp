@@ -349,10 +349,12 @@ void Manager::run_next_move() {
   if (move.new_host_index.has_value()) {
     dst = plan_new_hosts_.at(*move.new_host_index);
   }
-  run_move(move.slice, dst, 0);
+  run_move(move, dst, 0);
 }
 
-void Manager::run_move(SliceId slice, HostId dst, std::size_t attempt) {
+void Manager::run_move(MigrationPlan::Move move, HostId dst,
+                       std::size_t attempt) {
+  const SliceId slice = move.slice;
   // The plan may be stale by the time a move runs: hosts die mid-plan and
   // lost slices belong to the recovery path, not the migration path.
   if (!engine_.has_host(dst) || engine_.slice_lost(slice) ||
@@ -360,9 +362,32 @@ void Manager::run_move(SliceId slice, HostId dst, std::size_t attempt) {
     run_next_move();
     return;
   }
+  // Re-derive the protocol from the signals the plan recorded: the choice
+  // is a pure function of (policy, state_bytes, cpu), so the planning-time
+  // and execution-time answers must agree.
+  const engine::MigrationStrategyKind strategy =
+      select_strategy(enforcer_.config(), move.state_bytes, move.cpu);
+#if ESH_INVARIANTS_ENABLED
+  engine::MigrationStrategyKind planned = move.strategy;
+  if (testing_corrupt_strategy_plan) {
+    // Seeded fault: the plan carries a different protocol than its own
+    // signals derive; the determinism contract below must trip.
+    testing_corrupt_strategy_plan = false;
+    planned = planned == engine::MigrationStrategyKind::kBufferedReplay
+                  ? engine::MigrationStrategyKind::kStopAndRestart
+                  : engine::MigrationStrategyKind::kBufferedReplay;
+  }
+  ESH_INVARIANT("elastic", "strategy-selection-deterministic",
+                planned == strategy,
+                ::esh::contracts::Detail{}
+                    .slice(slice)
+                    .expected(engine::to_string(strategy))
+                    .actual(engine::to_string(planned))
+                    .note("state_bytes=" + std::to_string(move.state_bytes)));
+#endif
   engine_.migrate(
-      slice, dst,
-      [this, slice, dst, attempt](const engine::MigrationReport& report) {
+      slice, dst, strategy,
+      [this, move, slice, dst, attempt](const engine::MigrationReport& report) {
         migrations_.push_back(report);
         switch (report.outcome) {
           case engine::MigrationOutcome::kCompleted:
@@ -384,8 +409,8 @@ void Manager::run_move(SliceId slice, HostId dst, std::size_t attempt) {
           ESH_WARN << "Manager: migration of slice " << slice << " aborted ("
                    << to_string(report.outcome) << "); retrying";
           simulator_.schedule(config_.migration_retry_backoff,
-                              [this, slice, dst, attempt] {
-                                run_move(slice, dst, attempt + 1);
+                              [this, move, dst, attempt] {
+                                run_move(move, dst, attempt + 1);
                               });
           return;
         }

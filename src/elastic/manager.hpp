@@ -186,12 +186,17 @@ class Manager {
   using PolicyFn = std::function<MigrationPlan(const SystemView&)>;
   void set_policy(PolicyFn policy) { policy_override_ = std::move(policy); }
 
+  // Testing seam: corrupt the next executed move's planned strategy so the
+  // execution-time re-derivation disagrees — the elastic/
+  // strategy-selection-deterministic contract must trip (checked builds).
+  bool testing_corrupt_strategy_plan = false;
+
  private:
   void on_probe(const net::Delivery& delivery);
   void maybe_evaluate();
   void execute(MigrationPlan plan);
   void run_next_move();
-  void run_move(SliceId slice, HostId dst, std::size_t attempt);
+  void run_move(MigrationPlan::Move move, HostId dst, std::size_t attempt);
   void run_next_split();
   void run_next_merge();
   void finish_plan();

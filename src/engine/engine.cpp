@@ -28,6 +28,8 @@ const char* to_string(MigrationStep step) {
     case MigrationStep::kDirectoryUpdate: return "directory-update";
     case MigrationStep::kTeardown: return "teardown";
     case MigrationStep::kAborting: return "aborting";
+    case MigrationStep::kPark: return "park";
+    case MigrationStep::kPrecopy: return "precopy";
   }
   return "unknown";
 }
@@ -50,6 +52,41 @@ void assert_migration_transition([[maybe_unused]] MigrationId id,
           .slice(slice)
           .transition(to_string(from), to_string(to))
           .note("migration " + std::to_string(id.value())));
+}
+
+void assert_migration_transition([[maybe_unused]] const MigrationStrategy&
+                                     strategy,
+                                 [[maybe_unused]] MigrationId id,
+                                 [[maybe_unused]] SliceId slice,
+                                 [[maybe_unused]] MigrationStep from,
+                                 [[maybe_unused]] MigrationStep to) {
+#if ESH_INVARIANTS_ENABLED
+  // Each strategy checks the shared-enum transition against its own spec
+  // table; spec_index maps to the table's state order and sends steps a
+  // strategy never uses out of range, which legal() rejects.
+  const bool legal =
+      strategy.spec().legal(strategy.spec_index(from), strategy.spec_index(to));
+  const auto detail = ::esh::contracts::Detail{}
+                          .slice(slice)
+                          .transition(to_string(from), to_string(to))
+                          .note("migration " + std::to_string(id.value()) +
+                                " via " + std::string{strategy.name()});
+  // One literal assert site per strategy so each spec table's invariant name
+  // is greppable back to the code that enforces it.
+  switch (strategy.kind()) {
+    case MigrationStrategyKind::kBufferedReplay:
+      ESH_STATE_MACHINE_ASSERT("engine", "migration-step-legal", legal,
+                               detail);
+      return;
+    case MigrationStrategyKind::kStopAndRestart:
+      ESH_STATE_MACHINE_ASSERT("engine", "stop-restart-step-legal", legal,
+                               detail);
+      return;
+    case MigrationStrategyKind::kIncrementalPrecopy:
+      ESH_STATE_MACHINE_ASSERT("engine", "precopy-step-legal", legal, detail);
+      return;
+  }
+#endif
 }
 
 const char* to_string(TransitionKind kind) {
@@ -279,8 +316,16 @@ void Engine::inject(std::string_view op, std::size_t slice_index,
   if (config_.checkpoints.enabled) {
     inject_log_[slice].push_back(event);
   }
+  if (loc.redirect && loc.shadow.valid() && loc.shadow != loc.primary) {
+    // Park mode (stop-and-restart): the replica is the only receiver; the
+    // primary drains what it already holds and freezes.
+    host_runtimes_.at(loc.shadow)->deliver_external(event);
+    return;
+  }
   host_runtimes_.at(loc.primary)->deliver_external(event);
   if (loc.shadow.valid() && loc.shadow != loc.primary) {
+    note_duplicate_bytes(event.payload->bytes() +
+                         config_.cost.event_header_bytes);
     host_runtimes_.at(loc.shadow)->deliver_external(event);
   }
 }
@@ -450,7 +495,15 @@ void Engine::enable_probes(net::Endpoint target) {
 // ---- migration coordination --------------------------------------------------
 
 void Engine::migrate(SliceId slice, HostId dst, MigrationCallback callback) {
+  migrate(slice, dst, MigrationStrategyKind::kBufferedReplay,
+          std::move(callback));
+}
+
+void Engine::migrate(SliceId slice, HostId dst, MigrationStrategyKind strategy,
+                     MigrationCallback callback) {
   MigrationTask task;
+  task.strategy = &strategy_for(strategy);
+  task.report.strategy = task.strategy->name();
   task.report.id = MigrationId{next_migration_++};
   task.report.slice = slice;
   task.report.dst = dst;
@@ -507,6 +560,7 @@ void Engine::start_next_migration() {
       continue;
     }
     current_migration_ = std::move(task);
+    current_migration_->dup_bytes_base = duplicate_bytes_total_;
     migration_step([this] {
       MigrationTask& t = *current_migration_;
       auto req = std::make_shared<CreateReplicaRequest>();
@@ -516,7 +570,58 @@ void Engine::start_next_migration() {
       send_control(host_runtimes_.at(t.report.dst)->endpoint(),
                    std::move(req));
     });
+    // Last: the hook may fail hosts, aborting this migration re-entrantly
+    // (the while condition re-checks current_migration_).
+    fire_migration_step();
   }
+}
+
+bool Engine::fire_migration_step() {
+  if (!current_migration_) return false;
+  if (!migration_step_hook_) return true;
+  // The hook may fail hosts (the crash-at-every-step torture tests do
+  // exactly that), which can abort or finish the migration re-entrantly;
+  // tell the caller whether the one it was driving is still current.
+  const MigrationId id = current_migration_->report.id;
+  migration_step_hook_(current_migration_->report,
+                       to_string(current_migration_->step));
+  return current_migration_ && current_migration_->report.id == id;
+}
+
+void Engine::advance_after_duplication() {
+  MigrationTask& t = *current_migration_;
+  if (t.strategy->precopy_rounds(config_) > 0) {
+    t.set_step(MigrationTask::Step::kPrecopy);
+    start_precopy_round();
+  } else {
+    t.set_step(MigrationTask::Step::kTransfer);
+    migration_step([this] { send_freeze(); });
+    fire_migration_step();
+  }
+}
+
+void Engine::start_precopy_round() {
+  MigrationTask& t = *current_migration_;
+  ++t.round;
+  ESH_INVARIANT("engine", "precopy-rounds-bounded",
+                t.round <= t.strategy->precopy_rounds(config_),
+                ::esh::contracts::Detail{}
+                    .slice(t.report.slice)
+                    .expected("round <= " + std::to_string(
+                                  t.strategy->precopy_rounds(config_)))
+                    .actual(std::to_string(t.round))
+                    .note("migration " + std::to_string(t.report.id.value())));
+  migration_step([this] {
+    MigrationTask& t = *current_migration_;
+    auto req = std::make_shared<PrecopyRequest>();
+    req->migration = t.report.id;
+    req->slice = t.report.slice;
+    req->round = t.round;
+    req->dst_host = t.report.dst;
+    req->reply_to = control_endpoint_;
+    send_control(host_runtimes_.at(t.report.src)->endpoint(), std::move(req));
+  });
+  fire_migration_step();
 }
 
 void Engine::finish_migration(MigrationOutcome outcome) {
@@ -524,6 +629,10 @@ void Engine::finish_migration(MigrationOutcome outcome) {
   current_migration_.reset();
   task.report.outcome = outcome;
   task.report.completed = simulator_.now();
+  task.report.precopy_bytes = task.precopy_bytes;
+  // Migrations are serialized, so every duplicate byte since the snapshot
+  // belongs to this move.
+  task.report.duplicate_bytes = duplicate_bytes_total_ - task.dup_bytes_base;
   // Report timestamps must be causally ordered. frozen/activated stay zero
   // on abort paths where the ActivatedAck never arrived, so the freeze-
   // before-activate ordering is only checkable when both were recorded.
@@ -1148,6 +1257,7 @@ void Engine::after_directory_acks() {
     req->reply_to = control_endpoint_;
     send_control(host_runtimes_.at(t.report.src)->endpoint(), std::move(req));
   });
+  fire_migration_step();
 }
 
 void Engine::handle_host_failure(HostId host) {
@@ -1163,11 +1273,16 @@ void Engine::handle_host_failure(HostId host) {
         finish_migration(MigrationOutcome::kAbortedDstFailed);
         return;
       case Step::kDuplication:
-        // Upstreams may already duplicate to the dead host: stop them.
+      case Step::kPrecopy:
+        // Upstreams may already duplicate to the dead host: stop them. The
+        // source never stopped serving (pre-copy rounds run while active),
+        // so nothing else needs repair.
         directory_[slice].shadow = HostId{};
+        directory_[slice].redirect = false;
         broadcast_location(slice, t.report.src);
         finish_migration(MigrationOutcome::kAbortedDstFailed);
         return;
+      case Step::kPark:
       case Step::kTransfer: {
         // The freeze may or may not have reached the source. Ask it to
         // resume the slice; if the state already shipped (to a dead host),
@@ -1179,6 +1294,13 @@ void Engine::handle_host_failure(HostId host) {
         req->migration = t.report.id;
         req->slice = slice;
         req->reply_to = control_endpoint_;
+        // Both new strategies freeze the source only at their final
+        // stop-and-copy point, so a frozen source is exact at its freeze
+        // watermark: it may thaw in place and have the missing suffix
+        // replayed from the upstream logs, instead of being evicted into
+        // recovery. Buffered-replay keeps its original abort semantics.
+        req->thaw_frozen =
+            t.strategy->kind() != MigrationStrategyKind::kBufferedReplay;
         send_control(host_runtimes_.at(t.report.src)->endpoint(),
                      std::move(req));
         return;
@@ -1202,11 +1324,14 @@ void Engine::handle_host_failure(HostId host) {
     switch (t.step) {
       case Step::kCreateReplica:
       case Step::kDuplication:
+      case Step::kPark:
+      case Step::kPrecopy:
       case Step::kTransfer: {
         // The slice was lost with the source. The replica on dst must be
         // torn down — unless the state transfer raced ahead and it already
         // activated, in which case the migration completed. Ask dst.
         directory_[slice].shadow = HostId{};
+        directory_[slice].redirect = false;
         t.set_step(Step::kAborting);
         t.abort_peer = t.report.dst;
         t.abort_outcome = MigrationOutcome::kAbortedSrcFailed;
@@ -1235,22 +1360,20 @@ void Engine::handle_host_failure(HostId host) {
 
   // A third host died: strike it from any outstanding ack set so the
   // protocol does not wait for a host that will never answer.
-  if (t.step == Step::kDuplication) {
+  if (t.step == Step::kDuplication || t.step == Step::kPark) {
     for (auto it = t.pending_dup_slices.begin();
          it != t.pending_dup_slices.end();) {
       if (directory_.at(*it).primary == host) {
         // The upstream died with its host; its channel gets no catch-up
         // entry. Once recovered, its replayed suffix reaches the replica
-        // through shadow duplication like any live traffic.
+        // through shadow duplication (or the park redirect) like any live
+        // traffic.
         it = t.pending_dup_slices.erase(it);
       } else {
         ++it;
       }
     }
-    if (t.pending_dup_slices.empty()) {
-      t.set_step(Step::kTransfer);
-      migration_step([this] { send_freeze(); });
-    }
+    if (t.pending_dup_slices.empty()) advance_after_duplication();
   } else if (t.step == Step::kDirectoryUpdate) {
     t.pending_update_hosts.erase(host);
     if (t.pending_update_hosts.empty()) after_directory_acks();
@@ -1265,7 +1388,42 @@ void Engine::send_freeze() {
   req->catchup = t.catchup;
   req->dst_host = t.report.dst;
   req->reply_to = control_endpoint_;
+  // After pre-copy rounds the replica holds a patched baseline image; the
+  // final stop-and-copy ships only the dirty pages against it.
+  req->delta = t.strategy->delta_transfer() && t.round > 0;
   send_control(host_runtimes_.at(t.report.src)->endpoint(), std::move(req));
+}
+
+void Engine::repair_redirected_channels(
+    SliceId slice, const std::vector<std::pair<SliceId, SeqNo>>& processed) {
+  // Same replay machinery recovery uses: every host re-sends its logged
+  // suffix above the source's per-channel watermarks (channel sequence
+  // numbers deduplicate anything the source did see). Ordered after the
+  // broadcast_location in the caller, so per-destination FIFO applies the
+  // location fix before any replayed event arrives.
+  auto replay = std::make_shared<ReplayRequest>();
+  replay->slice = slice;
+  replay->processed = processed;
+  // Sorted: send order serializes on the manager NIC.
+  for (const HostId id : sorted_keys(host_runtimes_)) {
+    send_control(host_runtimes_.at(id)->endpoint(), replay);
+  }
+  // External injections: re-deliver the logged suffix directly.
+  SeqNo external_watermark = 0;
+  for (const auto& [upstream, watermark] : processed) {
+    if (upstream == kExternalChannel) external_watermark = watermark;
+  }
+  const auto log = inject_log_.find(slice);
+  if (log == inject_log_.end()) return;
+  const auto loc = directory_.find(slice);
+  if (loc == directory_.end()) return;
+  const auto host_it = host_runtimes_.find(loc->second.primary);
+  if (host_it == host_runtimes_.end()) return;
+  for (const WireEvent& event : log->second) {
+    if (event.seq > external_watermark) {
+      host_it->second->deliver_external(event);
+    }
+  }
 }
 
 void Engine::step_after_tick(std::function<void()> fn) {
@@ -1563,9 +1721,12 @@ void Engine::on_control(const net::Delivery& delivery) {
         task.step != Step::kCreateReplica) {
       return;
     }
-    // Duplication of the external injection channel starts now: record the
-    // shadow (Engine::inject consults it) and the catch-up point.
+    // Duplication (or, for a redirecting strategy, the park hand-off) of the
+    // external injection channel starts now: record the shadow
+    // (Engine::inject consults it) and the catch-up point.
     directory_[task.report.slice].shadow = task.report.dst;
+    directory_[task.report.slice].redirect =
+        task.strategy->redirect_channels();
     task.catchup.clear();
     const auto inject_it = next_inject_seq_.find(task.report.slice);
     task.catchup.emplace_back(
@@ -1584,12 +1745,12 @@ void Engine::on_control(const net::Delivery& delivery) {
       hosts.insert(up_host);
     }
     if (task.pending_dup_slices.empty()) {
-      // No live DAG channels (source operator): freeze directly.
-      task.set_step(Step::kTransfer);
-      migration_step([this] { send_freeze(); });
+      // No live DAG channels (source operator): pre-copy or freeze directly.
+      advance_after_duplication();
       return;
     }
-    task.set_step(Step::kDuplication);
+    task.set_step(task.strategy->redirect_channels() ? Step::kPark
+                                                     : Step::kDuplication);
     // One request per host holding at least one upstream slice.
     migration_step([this, hosts] {
       MigrationTask& t = *current_migration_;
@@ -1599,22 +1760,52 @@ void Engine::on_control(const net::Delivery& delivery) {
         req->migration = t.report.id;
         req->slice = t.report.slice;
         req->shadow_host = t.report.dst;
+        req->redirect = t.strategy->redirect_channels();
         req->reply_to = control_endpoint_;
         send_control(host_runtimes_.at(host)->endpoint(), std::move(req));
       }
     });
+    fire_migration_step();
     return;
   }
 
   if (const auto* ack = dynamic_cast<const StartDuplicationAck*>(msg)) {
-    if (ack->migration != task.report.id || task.step != Step::kDuplication) {
+    if (ack->migration != task.report.id ||
+        (task.step != Step::kDuplication && task.step != Step::kPark)) {
       return;
     }
     if (task.pending_dup_slices.erase(ack->upstream_slice) == 0) return;
     task.catchup.emplace_back(ack->upstream_slice, ack->next_seq);
     if (!task.pending_dup_slices.empty()) return;
-    task.set_step(Step::kTransfer);
-    migration_step([this] { send_freeze(); });
+    advance_after_duplication();
+    return;
+  }
+
+  if (const auto* ack = dynamic_cast<const PrecopyAck*>(msg)) {
+    if (ack->migration != task.report.id || task.step != Step::kPrecopy ||
+        ack->round != task.round) {
+      return;
+    }
+    task.precopy_bytes += ack->bytes;
+    // Another round while the budget lasts and the state is still dirtying;
+    // a zero-delta round means the next diff would be empty too, so cut to
+    // the final stop-and-copy early.
+    bool more =
+        task.round < task.strategy->precopy_rounds(config_) && ack->bytes > 0;
+    if (testing_force_extra_precopy_round && !more) {
+      // Seeded fault: issue one round past the bound; the
+      // precopy-rounds-bounded contract in start_precopy_round must trip.
+      testing_force_extra_precopy_round = false;
+      more = true;
+    }
+    if (more) {
+      task.set_step(Step::kPrecopy);  // self-edge: next round
+      start_precopy_round();
+    } else {
+      task.set_step(Step::kTransfer);
+      migration_step([this] { send_freeze(); });
+      fire_migration_step();
+    }
     return;
   }
 
@@ -1627,6 +1818,34 @@ void Engine::on_control(const net::Delivery& delivery) {
     task.report.frozen = ack->frozen_at;
     task.report.activated = ack->activated_at;
     task.report.state_bytes = ack->state_bytes;
+    task.report.transfer_bytes = ack->transfer_bytes;
+#if ESH_INVARIANTS_ENABLED
+    if (task.strategy->redirect_channels()) {
+      // Stop-and-restart: the park drained the source to a freeze before the
+      // state ever shipped, so the replica going live with the source still
+      // active would mean two primaries serving the slice at once.
+      SliceRuntime* src_rt = nullptr;
+      if (auto src_it = host_runtimes_.find(task.report.src);
+          src_it != host_runtimes_.end()) {
+        src_rt = src_it->second->slice(task.report.slice);
+      }
+      if (testing_force_src_active_on_activate && src_rt != nullptr) {
+        // Seeded fault: resurrect the source right under the check.
+        testing_force_src_active_on_activate = false;
+        src_rt->testing_force_active();
+      }
+      ESH_INVARIANT("engine", "stop-restart-no-dual-active",
+                    src_rt == nullptr ||
+                        src_rt->state() != SliceRuntime::State::kActive,
+                    ::esh::contracts::Detail{}
+                        .slice(task.report.slice)
+                        .expected("source frozen/retired at activation")
+                        .actual(src_rt != nullptr ? to_string(src_rt->state())
+                                                  : "gone")
+                        .note("migration " +
+                              std::to_string(task.report.id.value())));
+    }
+#endif
     directory_[task.report.slice] =
         SliceLocation{task.report.dst, HostId{}};
     task.set_step(Step::kDirectoryUpdate);
@@ -1647,6 +1866,7 @@ void Engine::on_control(const net::Delivery& delivery) {
         send_control(host_runtimes_.at(id)->endpoint(), std::move(update));
       }
     });
+    fire_migration_step();
     return;
   }
 
@@ -1676,8 +1896,17 @@ void Engine::on_control(const net::Delivery& delivery) {
     // its frozen state shipped to the dead destination and it needs
     // recovery. Either way, stop any lingering duplication.
     directory_[task.report.slice].shadow = HostId{};
+    directory_[task.report.slice].redirect = false;
     broadcast_location(task.report.slice,
                        directory_.at(task.report.slice).primary);
+    if (ack->resumed && (task.strategy->redirect_channels() || ack->thawed)) {
+      // Stop-and-restart: everything redirected since the park went only to
+      // the now-dead replica, so the resumed source needs the suffix replayed
+      // whether or not it reached its freeze. A thawed pre-copy source needs
+      // the same replay for the events dropped during its final freeze.
+      // Either way the upstream logs re-send above the source's watermarks.
+      repair_redirected_channels(task.report.slice, ack->processed);
+    }
     if (!ack->resumed) {
       ESH_WARN << "Engine: migration abort lost slice "
                << task.report.slice.value() << " (state shipped to dead host)";
@@ -1700,6 +1929,7 @@ void Engine::on_control(const net::Delivery& delivery) {
       return;
     }
     directory_[task.report.slice].shadow = HostId{};
+    directory_[task.report.slice].redirect = false;
     broadcast_location(task.report.slice,
                        directory_.at(task.report.slice).primary);
     finish_migration(task.abort_outcome);

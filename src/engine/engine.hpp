@@ -26,6 +26,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "engine/host_runtime.hpp"
+#include "engine/migration_strategy.hpp"
 #include "net/network.hpp"
 #include "net/reliable.hpp"
 #include "sim/simulator.hpp"
@@ -83,6 +84,11 @@ struct EngineConfig {
   // failure detector's signal.
   bool reliable_control = false;
   net::ReliableChannelConfig reliable{};
+  // Incremental-precopy strategy: at most this many dirty-delta rounds ship
+  // before the final stop-and-copy (the engine/precopy-rounds-bounded
+  // invariant), and deltas are diffed at this page granularity.
+  std::size_t precopy_rounds = 3;
+  std::size_t precopy_page_bytes = 64;
   cluster::CostModel cost;
 };
 
@@ -109,19 +115,28 @@ enum class MigrationStep {
   kDirectoryUpdate,  // awaiting DirectoryUpdateAcks from all hosts
   kTeardown,         // awaiting TeardownAck from src
   kAborting,         // awaiting AbortMigrationAck / AbortReplicaAck
+  // Strategy-specific steps, appended so the 0-5 indices above stay aligned
+  // with the migration_spec state order (tests/test_analysis.cpp pins it).
+  kPark,             // stop-and-restart: awaiting redirect acks + drain
+  kPrecopy,          // incremental-precopy: awaiting this round's PrecopyAck
 };
 
 [[nodiscard]] const char* to_string(MigrationStep step);
 
-// The legal coordinator transitions, including the abort edges taken when a
-// participant host dies mid-protocol and the kAborting -> kDirectoryUpdate
-// edge (an ActivatedAck racing an abort means the move actually completed).
+// The legal coordinator transitions of the buffered-replay (paper) protocol,
+// including the abort edges taken when a participant host dies mid-protocol
+// and the kAborting -> kDirectoryUpdate edge (an ActivatedAck racing an
+// abort means the move actually completed).
 [[nodiscard]] bool migration_transition_legal(MigrationStep from,
                                               MigrationStep to);
 
 // Contract-layer assertion of the relation above (no-op in default builds);
-// every coordinator step-change funnels through this.
+// every coordinator step-change funnels through the strategy-aware overload,
+// which checks the transition against the strategy's own spec table.
 void assert_migration_transition(MigrationId id, SliceId slice,
+                                 MigrationStep from, MigrationStep to);
+void assert_migration_transition(const MigrationStrategy& strategy,
+                                 MigrationId id, SliceId slice,
                                  MigrationStep from, MigrationStep to);
 
 // ---- fine-grained elasticity: key-level slice split / merge -----------------
@@ -183,17 +198,30 @@ struct MigrationReport {
   SliceId slice;
   HostId src;
   HostId dst;
+  // Name of the protocol that ran the move (a registry singleton's name(),
+  // so the view outlives every report).
+  std::string_view strategy = "buffered-replay";
   MigrationOutcome outcome = MigrationOutcome::kCompleted;
   SimTime requested{};
   SimTime frozen{};     // processing stopped on the source host
   SimTime activated{};  // processing resumed on the destination host
   SimTime completed{};  // old slice torn down, directory converged
   std::size_t state_bytes = 0;
+  // Protocol byte accounting (the tradeoff axes of fig_migration_strategies):
+  // the final state transfer as shipped (== state_bytes for a full copy,
+  // the dirty-page total for a delta one), the pre-copy rounds, and the
+  // shadow-mirror duplicates sent while this move was in flight.
+  std::size_t transfer_bytes = 0;
+  std::size_t precopy_bytes = 0;
+  std::size_t duplicate_bytes = 0;
 
   [[nodiscard]] SimDuration total_duration() const {
     return completed - requested;
   }
   [[nodiscard]] SimDuration interruption() const { return activated - frozen; }
+  [[nodiscard]] std::size_t bytes_shipped() const {
+    return transfer_bytes + precopy_bytes + duplicate_bytes;
+  }
 };
 
 using MigrationCallback = std::function<void(const MigrationReport&)>;
@@ -233,6 +261,10 @@ class Engine {
   // callback (kRejected), and a source/destination crash mid-protocol aborts
   // the move cleanly instead of wedging the queue.
   void migrate(SliceId slice, HostId dst, MigrationCallback callback);
+  // Strategy-selecting overload; the two-argument form runs the paper's
+  // buffered-replay protocol, so every existing caller is unchanged.
+  void migrate(SliceId slice, HostId dst, MigrationStrategyKind strategy,
+               MigrationCallback callback);
   [[nodiscard]] std::size_t pending_migrations() const {
     return migration_queue_.size() + (current_migration_ ? 1 : 0);
   }
@@ -275,6 +307,26 @@ class Engine {
   // coverage, leaving parent and child overlapping — the key-coverage
   // completeness contract must trip (checked builds only).
   bool testing_corrupt_split_plan = false;
+  // Chaos hook: fired when the coordinator of an in-flight migration enters
+  // a step (`step` matches to_string(MigrationStep); kPrecopy fires once per
+  // round). The hook may fail hosts — the crash-at-every-step torture tests
+  // do exactly that.
+  void on_migration_step(
+      std::function<void(const MigrationReport&, std::string_view)> hook) {
+    migration_step_hook_ = std::move(hook);
+  }
+  // Testing seam: issue one pre-copy round past the strategy's bound — the
+  // precopy-rounds-bounded contract must trip (checked builds only).
+  bool testing_force_extra_precopy_round = false;
+  // Testing seam: forces the source slice back to kActive right before the
+  // coordinator processes a stop-and-restart ActivatedAck — the
+  // stop-restart-no-dual-active contract must trip (checked builds only).
+  bool testing_force_src_active_on_activate = false;
+  // Shadow-mirror duplicate traffic (bytes) sent by all hosts since deploy;
+  // the coordinator differences it around each move for the report.
+  void note_duplicate_bytes(std::size_t bytes) {
+    duplicate_bytes_total_ += bytes;
+  }
 
   // ---- probes ----
   // All engine hosts start sending HostProbe heartbeats to `target`.
@@ -350,14 +402,25 @@ class Engine {
     using Step = MigrationStep;
     MigrationReport report;
     MigrationCallback callback;
+    // Protocol of this move; set at migrate() and never null afterwards.
+    const MigrationStrategy* strategy = nullptr;
     std::vector<std::pair<SliceId, SeqNo>> catchup;
     Step step = Step::kCreateReplica;
     // Every step change goes through here so the state-machine contract
-    // sees it (illegal transitions throw in checked builds).
+    // sees it against the strategy's own spec table (illegal transitions
+    // throw in checked builds).
     void set_step(Step next) {
-      assert_migration_transition(report.id, report.slice, step, next);
+      assert_migration_transition(*strategy, report.id, report.slice, step,
+                                  next);
       step = next;
     }
+    // Incremental precopy: the in-flight round (1-based; 0 before the first)
+    // and the delta bytes acknowledged so far.
+    std::size_t round = 0;
+    std::size_t precopy_bytes = 0;
+    // Engine-wide duplicate-bytes counter at the move's start (migrations
+    // are serialized, so the difference at completion is this move's).
+    std::size_t dup_bytes_base = 0;
     // Outstanding acks tracked as sets (not counters) so a dead host can be
     // struck from the wait without wedging the protocol.
     std::set<SliceId> pending_dup_slices;
@@ -436,6 +499,21 @@ class Engine {
   void broadcast_location(SliceId slice, HostId host);
   void on_control(const net::Delivery& delivery);
   void send_freeze();
+  // Fires the migration chaos hook for the current step; returns false when
+  // the hook failed a host and the migration is no longer the same one.
+  bool fire_migration_step();
+  // Advance past the duplication/park round: into the first pre-copy round
+  // for a pre-copying strategy, straight to the freeze otherwise.
+  void advance_after_duplication();
+  // Issue the next pre-copy round (task.round already bumped by caller via
+  // set_step); enforces the precopy-rounds-bounded invariant.
+  void start_precopy_round();
+  // Stop-and-restart abort repair: the source resumed but the events
+  // redirected since the park went only to the now-dead replica. Re-send
+  // them from the upstream-backup logs and the external injection log.
+  void repair_redirected_channels(SliceId slice,
+                                  const std::vector<std::pair<SliceId, SeqNo>>&
+                                      processed);
   void step_after_tick(std::function<void()> fn);
   void migration_step(std::function<void()> fn);
   void send_control(net::Endpoint to, net::MessagePtr msg,
@@ -495,6 +573,11 @@ class Engine {
   std::map<SliceId, RollForward> rollforward_;
   std::function<void(const TransitionReport&, std::string_view)>
       elastic_step_hook_;
+  std::function<void(const MigrationReport&, std::string_view)>
+      migration_step_hook_;
+  // Mirror-duplication wire bytes since engine start; per-migration figures
+  // are differences of snapshots (migrations are serialized).
+  std::size_t duplicate_bytes_total_ = 0;
   std::optional<net::Endpoint> probe_target_;
   // Per-slice sequence counters of the external injection channel.
   std::unordered_map<SliceId, SeqNo> next_inject_seq_;

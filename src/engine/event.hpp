@@ -69,6 +69,10 @@ struct StartDuplicationRequest final : net::Message {
   SliceId slice;        // migrating slice
   HostId shadow_host;   // where the replica lives
   net::Endpoint reply_to;
+  // Park mode (stop-and-restart strategy): send events for `slice`
+  // exclusively to the shadow host instead of mirroring them — the source
+  // sees nothing past the park point and drains to a natural freeze.
+  bool redirect = false;
 };
 
 // One ack per upstream slice: the next sequence number it will assign on
@@ -88,6 +92,49 @@ struct FreezeRequest final : net::Message {
   std::vector<std::pair<SliceId, SeqNo>> catchup;
   HostId dst_host;
   net::Endpoint reply_to;
+  // Incremental pre-copy: ship only the pages changed since the last
+  // pre-copy round; the replica patches the baseline it already holds.
+  bool delta = false;
+};
+
+// One contiguous run of changed bytes in a serialized slice image, at page
+// granularity (EngineConfig::precopy_page_bytes). `offset` is the byte
+// position in the full image, so patching needs no page-size agreement.
+struct StatePage {
+  std::size_t offset = 0;
+  std::vector<std::byte> bytes;
+};
+
+// Coordinator -> source host: run one pre-copy round for `slice` — serialize
+// its state while it keeps serving, diff against the previous round's image,
+// and ship the dirty pages to `dst_host`.
+struct PrecopyRequest final : net::Message {
+  MigrationId migration;
+  SliceId slice;
+  std::size_t round = 0;  // 1-based
+  HostId dst_host;
+  net::Endpoint reply_to;  // coordinator endpoint, forwarded for the ack
+};
+
+// Source host -> destination host: the dirty pages of one pre-copy round
+// (round 1 carries the full baseline). The replica patches its stored image.
+struct PrecopyStateMessage final : net::Message {
+  MigrationId migration;
+  SliceId slice;
+  std::size_t round = 0;
+  std::size_t full_bytes = 0;  // size of the full image after this round
+  std::vector<StatePage> pages;
+  net::Endpoint reply_to;  // coordinator endpoint
+};
+
+// Destination host -> coordinator: the round's pages are applied. `bytes`
+// is the payload size shipped, so the coordinator can stop early on an
+// empty delta and account per-strategy transfer totals.
+struct PrecopyAck final : net::Message {
+  MigrationId migration;
+  SliceId slice;
+  std::size_t round = 0;
+  std::size_t bytes = 0;
 };
 
 // Serialized slice state shipped from the old to the new host. Its size
@@ -95,7 +142,14 @@ struct FreezeRequest final : net::Message {
 struct StateTransferMessage final : net::Message {
   MigrationId migration;
   SliceId slice;
+  // Full serialized image, or null when `delta` is set.
   std::shared_ptr<const std::vector<std::byte>> state;
+  // Incremental pre-copy final transfer: only the pages dirtied since the
+  // last pre-copy round travel; the replica rebuilds the full image of
+  // `full_bytes` bytes from its stored baseline plus `pages`.
+  bool delta = false;
+  std::size_t full_bytes = 0;
+  std::vector<StatePage> pages;
   // Timestamp vector: per channel, last sequence number dispatched by the
   // original slice. The replica skips queued events at or below it.
   std::vector<std::pair<SliceId, SeqNo>> processed;
@@ -120,6 +174,9 @@ struct ActivatedAck final : net::Message {
   SimTime frozen_at{};
   SimTime activated_at{};
   std::size_t state_bytes = 0;
+  // Bytes the final StateTransferMessage actually shipped: equal to
+  // `state_bytes` for a full transfer, the dirty-page total for a delta one.
+  std::size_t transfer_bytes = 0;
 };
 
 // Broadcast after activation: the slice now lives (only) on `host`;
@@ -163,14 +220,29 @@ struct AbortMigrationRequest final : net::Message {
   MigrationId migration;
   SliceId slice;
   net::Endpoint reply_to;
+  // Stop-and-restart: a fully-frozen source may thaw back to active (it
+  // froze at its exact park point; the redirected suffix replays from the
+  // upstream logs). Buffered-replay leaves this false — there the frozen
+  // state belongs to the replica and the slice must go through recovery.
+  bool thaw_frozen = false;
 };
 
 // `resumed` is false when the slice had already frozen and shipped its
-// state: the local copy is stale and the slice must go through recovery.
+// state and the request did not allow a thaw: the local copy is treated as
+// stale and the slice must go through recovery.
 struct AbortMigrationAck final : net::Message {
   MigrationId migration;
   SliceId slice;
   bool resumed = false;
+  // The slice resumed from a COMPLETED freeze (thaw_frozen granted): every
+  // event above the dispatch watermarks was dropped locally while frozen
+  // and must be replayed, whichever strategy was aborting.
+  bool thawed = false;
+  // When resumed: the slice's per-channel dispatch watermarks. A
+  // stop-and-restart abort uses them to replay the redirected suffix (events
+  // parked at the dead replica) from the upstream-backup logs; a thawed
+  // pre-copy abort replays the suffix dropped during the final freeze.
+  std::vector<std::pair<SliceId, SeqNo>> processed;
 };
 
 // Sent to the *destination* host when the source died mid-migration: tear

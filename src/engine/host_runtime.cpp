@@ -37,6 +37,49 @@ void assert_slice_transition([[maybe_unused]] SliceId slice,
                                                          to_string(to)));
 }
 
+// ---- pre-copy page diffing ---------------------------------------------------
+
+std::vector<StatePage> diff_pages(const std::vector<std::byte>& base,
+                                  const std::vector<std::byte>& next,
+                                  std::size_t page_bytes) {
+  if (page_bytes == 0) page_bytes = 1;
+  std::vector<StatePage> out;
+  for (std::size_t off = 0; off < next.size(); off += page_bytes) {
+    const std::size_t len = std::min(page_bytes, next.size() - off);
+    // A page ships when the baseline has nothing (or a different length —
+    // a trailing partial chunk that grew or shrank) at these offsets, or
+    // the bytes differ. Everything else is reconstructed from the baseline.
+    const std::size_t base_len =
+        off >= base.size() ? 0 : std::min(page_bytes, base.size() - off);
+    const bool same =
+        base_len == len &&
+        std::equal(next.begin() + static_cast<std::ptrdiff_t>(off),
+                   next.begin() + static_cast<std::ptrdiff_t>(off + len),
+                   base.begin() + static_cast<std::ptrdiff_t>(off));
+    if (same) continue;
+    StatePage page;
+    page.offset = off;
+    page.bytes.assign(next.begin() + static_cast<std::ptrdiff_t>(off),
+                      next.begin() + static_cast<std::ptrdiff_t>(off + len));
+    out.push_back(std::move(page));
+  }
+  return out;
+}
+
+std::vector<std::byte> apply_pages(std::vector<std::byte> base,
+                                   std::size_t full_bytes,
+                                   const std::vector<StatePage>& pages) {
+  base.resize(full_bytes);  // truncate a shrunk image, zero-pad a grown one
+  for (const StatePage& page : pages) {
+    if (page.offset + page.bytes.size() > base.size()) {
+      throw std::logic_error{"apply_pages: page outside the full image"};
+    }
+    std::copy(page.bytes.begin(), page.bytes.end(),
+              base.begin() + static_cast<std::ptrdiff_t>(page.offset));
+  }
+  return base;
+}
+
 // ---- StaticConfig ------------------------------------------------------------
 
 const StaticConfig::OperatorInfo& StaticConfig::op_of(SliceId id) const {
@@ -469,6 +512,16 @@ bool SliceRuntime::unfreeze() {
   return false;
 }
 
+void SliceRuntime::thaw() {
+  if (state_ != State::kFrozen) {
+    throw std::logic_error{"thaw: slice not frozen"};
+  }
+  freeze_spec_.reset();
+  set_state(State::kActive);
+  // do_freeze stopped the flush timer; processing resumes, so restart it.
+  start_flush_timer();
+}
+
 void SliceRuntime::check_freeze() {
   if (state_ != State::kFreezePending || !freeze_spec_) return;
   // Catch-up condition (paper Figure 3, step 3): every event below the
@@ -519,8 +572,22 @@ void SliceRuntime::do_freeze() {
     msg->coverage_epoch = coverage_epoch_;
     BinaryWriter writer;
     handler_->serialize_state(writer);
-    msg->state = std::make_shared<const std::vector<std::byte>>(
-        std::move(writer).take());
+    std::vector<std::byte> image = std::move(writer).take();
+    std::size_t ship_bytes = image.size();
+    if (freeze_spec_->delta) {
+      // Incremental pre-copy final transfer: only the pages dirtied since
+      // the last round travel; the replica patches its stored baseline.
+      msg->delta = true;
+      msg->full_bytes = image.size();
+      msg->pages =
+          diff_pages(precopy_image_, image,
+                     host_.engine().config().precopy_page_bytes);
+      ship_bytes = 0;
+      for (const StatePage& page : msg->pages) ship_bytes += page.bytes.size();
+    } else {
+      msg->state = std::make_shared<const std::vector<std::byte>>(
+          std::move(image));
+    }
     // Sorted: the transfer message is replayed by the destination, so its
     // contents must not depend on hash-table layout.
     for (const SliceId from : sorted_keys(in_)) {
@@ -535,16 +602,72 @@ void SliceRuntime::do_freeze() {
     append_flattened_logs(msg->log);
     msg->frozen_at = host_.engine().simulator().now();
     msg->reply_to = freeze_spec_->reply_to;
-    const std::size_t bytes = msg->state->size() + 64 * msg->log.size();
+    const std::size_t bytes = ship_bytes + 64 * msg->log.size();
     host_.send_to_host(freeze_spec_->dst_host, std::move(msg), bytes);
   });
+}
+
+void SliceRuntime::run_precopy(MigrationId migration, std::size_t round,
+                               HostId dst_host, net::Endpoint reply_to) {
+  if (state_ != State::kActive) return;
+  const auto& cost_model = host_.engine().config().cost;
+  const double cost =
+      500.0 + cost_model.state_serialize_units_per_byte *
+                  static_cast<double>(handler_->state_bytes());
+  // kWrite, like a checkpoint cut: the image reflects exactly the
+  // dispatched-events watermark, and the slice resumes serving right after.
+  host_.cpu().submit(
+      id_, cluster::LockMode::kWrite, cost,
+      [this, migration, round, dst_host, reply_to] {
+        if (state_ != State::kActive) return;  // abort or freeze raced
+        BinaryWriter writer;
+        handler_->serialize_state(writer);
+        std::vector<std::byte> image = std::move(writer).take();
+        auto msg = std::make_shared<PrecopyStateMessage>();
+        msg->migration = migration;
+        msg->slice = id_;
+        msg->round = round;
+        msg->full_bytes = image.size();
+        msg->pages = diff_pages(precopy_image_, image,
+                                host_.engine().config().precopy_page_bytes);
+        msg->reply_to = reply_to;
+        std::size_t bytes = 64;
+        for (const StatePage& page : msg->pages) bytes += page.bytes.size();
+        // The shipped image becomes the diff baseline of the next round —
+        // and of the final delta transfer in do_freeze.
+        precopy_image_ = std::move(image);
+        host_.send_to_host(dst_host, std::move(msg), bytes);
+      });
+}
+
+void SliceRuntime::store_precopy(const PrecopyStateMessage& msg) {
+  // Patch the accumulated baseline in place; the final delta transfer in
+  // activate() patches the same buffer once more and restores from it.
+  precopy_image_ =
+      apply_pages(std::move(precopy_image_), msg.full_bytes, msg.pages);
+  std::size_t bytes = 0;
+  for (const StatePage& page : msg.pages) bytes += page.bytes.size();
+  auto ack = std::make_shared<PrecopyAck>();
+  ack->migration = msg.migration;
+  ack->slice = id_;
+  ack->round = msg.round;
+  ack->bytes = bytes;
+  host_.send_control(msg.reply_to, std::move(ack), 64);
 }
 
 void SliceRuntime::activate(const StateTransferMessage& msg) {
   if (state_ != State::kInactiveReplica) {
     throw std::logic_error{"activate: slice is not an inactive replica"};
   }
-  const std::size_t state_bytes = msg.state ? msg.state->size() : 0;
+  std::size_t transfer_bytes = msg.state ? msg.state->size() : 0;
+  std::size_t state_bytes = transfer_bytes;
+  if (msg.delta) {
+    // Delta transfer: the wire carried only the dirty pages, but the job
+    // deserializes the full patched image.
+    state_bytes = msg.full_bytes;
+    transfer_bytes = 0;
+    for (const StatePage& page : msg.pages) transfer_bytes += page.bytes.size();
+  }
   const auto& cost_model = host_.engine().config().cost;
   const double cost =
       1000.0 + cost_model.state_deserialize_units_per_byte *
@@ -559,13 +682,26 @@ void SliceRuntime::activate(const StateTransferMessage& msg) {
   const auto reply_to = msg.reply_to;
   const auto migration = msg.migration;
   const auto coverage_epoch = msg.coverage_epoch;
+  const bool delta = msg.delta;
+  const std::size_t full_bytes = msg.full_bytes;
+  auto pages = msg.pages;
   host_.cpu().submit(
       id_, cluster::LockMode::kWrite, cost,
-      [this, state, state_bytes, processed = std::move(processed),
-       out_seqs = std::move(out_seqs), log = std::move(log), frozen_at,
-       reply_to, migration, coverage_epoch] {
+      [this, state, state_bytes, transfer_bytes,
+       processed = std::move(processed), out_seqs = std::move(out_seqs),
+       log = std::move(log), frozen_at, reply_to, migration, coverage_epoch,
+       delta, full_bytes, pages = std::move(pages)] {
         if (state_ != State::kInactiveReplica) return;  // aborted meanwhile
-        if (state) {
+        if (delta) {
+          // Rebuild the full image from the pre-copy baseline plus the
+          // final dirty pages, then restore exactly as a full transfer
+          // would (byte-identical by diff_pages/apply_pages construction).
+          const std::vector<std::byte> image =
+              apply_pages(std::move(precopy_image_), full_bytes, pages);
+          precopy_image_.clear();
+          BinaryReader reader{image};
+          handler_->restore_state(reader);
+        } else if (state) {
           // Bootstrap recovery ships no state: the handler starts fresh
           // and the full log replay reconstructs it.
           BinaryReader reader{*state};
@@ -622,6 +758,7 @@ void SliceRuntime::activate(const StateTransferMessage& msg) {
         ack->frozen_at = frozen_at;
         ack->activated_at = host_.engine().simulator().now();
         ack->state_bytes = state_bytes;
+        ack->transfer_bytes = transfer_bytes;
         host_.send_control(reply_to, std::move(ack), 64);
       });
 }
@@ -632,6 +769,7 @@ void SliceRuntime::retire() {
   if (checkpoint_timer_) checkpoint_timer_->stop();
   in_.clear();
   replica_buffer_.clear();
+  precopy_image_.clear();
   out_buffer_.clear();
   out_buffer_events_ = 0;
   out_log_.clear();
@@ -872,6 +1010,24 @@ void HostRuntime::send_events(
     }
     const SliceLocation& loc = it->second;
     if (loc.shadow.valid() && loc.shadow != loc.primary) {
+      if (loc.redirect) {
+        // Park mode (stop-and-restart): the shadow replaces the primary as
+        // the only receiver, so the source drains to a natural freeze. Not
+        // duplicate traffic — the primary send is skipped entirely.
+        auto& parked = per_host[loc.shadow];
+        if (parked.empty()) {
+          parked = std::move(events);
+        } else {
+          parked.insert(parked.end(), std::make_move_iterator(events.begin()),
+                        std::make_move_iterator(events.end()));
+        }
+        continue;
+      }
+      std::size_t dup_bytes = 0;
+      for (const auto& ev : events) {
+        dup_bytes += ev.payload->bytes() + cost.event_header_bytes;
+      }
+      engine_.note_duplicate_bytes(dup_bytes);
       auto& shadow_list = per_host[loc.shadow];
       shadow_list.insert(shadow_list.end(), events.begin(), events.end());
     }
@@ -944,6 +1100,11 @@ void HostRuntime::handle_control(const net::Delivery& delivery) {
     handle_start_duplication(*req);
   } else if (const auto* req = dynamic_cast<const FreezeRequest*>(msg)) {
     handle_freeze(*req);
+  } else if (const auto* precopy = dynamic_cast<const PrecopyRequest*>(msg)) {
+    handle_precopy(*precopy);
+  } else if (const auto* pages =
+                 dynamic_cast<const PrecopyStateMessage*>(msg)) {
+    handle_precopy_state(*pages);
   } else if (const auto* transfer =
                  dynamic_cast<const StateTransferMessage*>(msg)) {
     handle_state_transfer(*transfer);
@@ -1059,12 +1220,28 @@ void HostRuntime::handle_start_duplication(const StartDuplicationRequest& req) {
   if (it == directory_.end()) {
     throw std::logic_error{"start_duplication: unknown slice"};
   }
+  const auto& cfg = engine_.static_config();
+  const auto& target_op = cfg.op_of(req.slice);
+  if (req.redirect) {
+    // Park mode: output seqs are assigned at emit time, so events sitting in
+    // an upstream flush buffer carry pre-flip numbers but would ship to the
+    // replica once the flip lands — and the parked source would wait for
+    // them at its freeze point forever. Drain those buffers to the primary
+    // before flipping; the captured catch-up point is then exact.
+    for (const SliceId slice_id : sorted_keys(slices_)) {
+      const auto& info = cfg.info_of(slice_id);
+      const bool upstream = std::find(target_op.upstream_ops.begin(),
+                                      target_op.upstream_ops.end(),
+                                      info.op_index) !=
+                            target_op.upstream_ops.end();
+      if (upstream) slices_.at(slice_id)->flush_outputs();
+    }
+  }
   it->second.shadow = req.shadow_host;
+  it->second.redirect = req.redirect;
 
   // Ack once per local upstream slice, carrying its channel's duplication
   // start point.
-  const auto& cfg = engine_.static_config();
-  const auto& target_op = cfg.op_of(req.slice);
   // Sorted: ack send order serializes on this host's NIC.
   for (const SliceId slice_id : sorted_keys(slices_)) {
     const auto& info = cfg.info_of(slice_id);
@@ -1085,8 +1262,34 @@ void HostRuntime::handle_freeze(const FreezeRequest& req) {
   if (target == nullptr) {
     throw std::logic_error{"freeze: slice not on this host"};
   }
-  target->request_freeze(SliceRuntime::FreezeSpec{
-      req.migration, req.catchup, req.dst_host, req.reply_to});
+  SliceRuntime::FreezeSpec spec{req.migration, req.catchup, req.dst_host,
+                                req.reply_to};
+  spec.delta = req.delta;
+  target->request_freeze(std::move(spec));
+}
+
+void HostRuntime::handle_precopy(const PrecopyRequest& req) {
+  SliceRuntime* target = slice(req.slice);
+  if (target == nullptr ||
+      target->state() != SliceRuntime::State::kActive) {
+    // The migration aborted (or the freeze raced ahead) while this round
+    // was in flight; the coordinator's abort matrix owns the cleanup.
+    ESH_WARN << "HostRuntime: dropping pre-copy round for inactive slice";
+    return;
+  }
+  target->run_precopy(req.migration, req.round, req.dst_host, req.reply_to);
+}
+
+void HostRuntime::handle_precopy_state(const PrecopyStateMessage& msg) {
+  SliceRuntime* replica = slice(msg.slice);
+  if (replica == nullptr ||
+      replica->state() != SliceRuntime::State::kInactiveReplica) {
+    // Leftover of an aborted migration; without a replica there is nobody
+    // to patch (and nobody expecting the ack).
+    ESH_WARN << "HostRuntime: dropping pre-copy state without a replica";
+    return;
+  }
+  replica->store_precopy(msg);
 }
 
 void HostRuntime::handle_state_transfer(const StateTransferMessage& msg) {
@@ -1161,8 +1364,17 @@ void HostRuntime::evict_slice(SliceId id) {
 void HostRuntime::handle_abort_migration(const AbortMigrationRequest& req) {
   SliceRuntime* target = slice(req.slice);
   bool resumed = false;
+  bool thawed = false;
   if (target != nullptr) {
     resumed = target->unfreeze();
+    if (!resumed && req.thaw_frozen &&
+        target->state() == SliceRuntime::State::kFrozen) {
+      // The frozen source is exact at its freeze watermark, so it resumes
+      // in place; the coordinator replays the dropped suffix.
+      target->thaw();
+      resumed = true;
+      thawed = true;
+    }
     if (!resumed) {
       // Already frozen: every event since the freeze was dropped locally
       // (duplicated only to the now-dead replica), so the local copy is
@@ -1174,6 +1386,16 @@ void HostRuntime::handle_abort_migration(const AbortMigrationRequest& req) {
   ack->migration = req.migration;
   ack->slice = req.slice;
   ack->resumed = resumed;
+  ack->thawed = thawed;
+  if (resumed && target != nullptr) {
+    // Dispatch watermarks of the resumed slice: a stop-and-restart abort
+    // replays the redirected suffix (lost with the dead replica) from the
+    // upstream-backup logs above exactly these marks. Sorted: the ack's
+    // contents must not depend on hash-table layout.
+    for (const SliceId from : sorted_keys(target->in_)) {
+      ack->processed.emplace_back(from, target->in_.at(from).last_dispatched);
+    }
+  }
   send_control(req.reply_to, std::move(ack), 64);
 }
 

@@ -69,10 +69,12 @@ struct StaticConfig {
 
 // Where a slice lives right now, from one host's point of view. While a
 // migration's duplication phase is active the shadow host receives a copy
-// of every event.
+// of every event; in park mode (stop-and-restart) it receives the events
+// *instead of* the primary, which drains to a natural freeze.
 struct SliceLocation {
   HostId primary;
   HostId shadow;  // invalid when no duplication is active
+  bool redirect = false;  // park mode: shadow replaces primary as receiver
 };
 
 // One operator slice instance on a host.
@@ -110,14 +112,33 @@ class SliceRuntime final : public Context {
     // flattened backup log) to reply_to and the slice stays frozen until
     // the coordinator tears it down.
     bool merge_capture = false;
+    // Incremental pre-copy final transfer: ship only the pages changed
+    // since the last pre-copy round (the replica holds the baseline).
+    bool delta = false;
   };
   void request_freeze(FreezeSpec spec);
+
+  // One incremental pre-copy round (source side): serialize while active,
+  // diff against the previous round's image, ship the dirty pages to
+  // `dst_host`. Ignored when the slice is no longer active (abort raced).
+  void run_precopy(MigrationId migration, std::size_t round, HostId dst_host,
+                   net::Endpoint reply_to);
+  // Replica side: patch the stored baseline with one round's pages and ack
+  // the coordinator with the shipped byte count.
+  void store_precopy(const PrecopyStateMessage& msg);
 
   // Migration abort: cancel a pending freeze and resume processing.
   // Returns false when the slice already froze (its state — with every
   // event since the freeze dropped locally — belongs to the replica now),
   // or is not in a resumable state; the caller must hand it to recovery.
   [[nodiscard]] bool unfreeze();
+
+  // Stop-and-restart abort only: a fully-frozen PARKED source is not stale —
+  // it froze at its exact catch-up point and every later event went to the
+  // (now dead) replica, where the upstream logs can replay it. Returns the
+  // slice to active processing; the caller replays the redirected suffix
+  // above the slice's dispatch watermarks. Requires state() == kFrozen.
+  void thaw();
 
   // Next sequence number this slice would assign on its channel to
   // `target` (the duplication start point reported to the coordinator).
@@ -206,6 +227,12 @@ class SliceRuntime final : public Context {
     auto& channel = in_[from];
     channel.last_dispatched = channel.expected + 1;
   }
+
+  // Seeded-fault seam: forces the lifecycle state to kActive behind the
+  // set_state funnel, simulating a source that kept serving after its
+  // checkpoint shipped — the stop-restart-no-dual-active invariant at the
+  // coordinator's ActivatedAck site must catch it.
+  void testing_force_active() { state_ = State::kActive; }
 #endif
 
  private:
@@ -271,6 +298,12 @@ class SliceRuntime final : public Context {
 
   std::optional<FreezeSpec> freeze_spec_;
 
+  // Incremental pre-copy image. On the source: the serialized state as of
+  // the last shipped round (the diff baseline). On the replica: the
+  // accumulated baseline the final delta transfer patches. A slice is only
+  // ever one side of a migration, so one buffer serves both roles.
+  std::vector<std::byte> precopy_image_;
+
   // In-flight split/merge leg on this slice (at most one at a time; the
   // coordinator serializes elastic operations engine-wide).
   std::optional<SplitSpec> split_spec_;
@@ -295,6 +328,19 @@ class SliceRuntime final : public Context {
 };
 
 [[nodiscard]] const char* to_string(SliceRuntime::State state);
+
+// Incremental pre-copy page diffing (byte-exact by construction; pinned by
+// tests/test_migration_strategies.cpp). `diff_pages` walks `next` in
+// fixed-size chunks and emits every chunk that is absent from, longer or
+// shorter than, or different from the same offsets of `base`.
+[[nodiscard]] std::vector<StatePage> diff_pages(
+    const std::vector<std::byte>& base, const std::vector<std::byte>& next,
+    std::size_t page_bytes);
+// Rebuilds the full image: resize `base` to `full_bytes` (truncating or
+// zero-padding), then overwrite the shipped pages at their offsets.
+[[nodiscard]] std::vector<std::byte> apply_pages(
+    std::vector<std::byte> base, std::size_t full_bytes,
+    const std::vector<StatePage>& pages);
 
 // Legal slice lifecycle transitions: freeze only from active, activation
 // only from a buffering replica, retirement from anywhere (failure and
@@ -367,6 +413,8 @@ class HostRuntime {
   void handle_create_replica(const CreateReplicaRequest& req);
   void handle_start_duplication(const StartDuplicationRequest& req);
   void handle_freeze(const FreezeRequest& req);
+  void handle_precopy(const PrecopyRequest& req);
+  void handle_precopy_state(const PrecopyStateMessage& msg);
   void handle_state_transfer(const StateTransferMessage& msg);
   void handle_directory_update(const DirectoryUpdateMessage& msg);
   void handle_teardown(const TeardownRequest& req);

@@ -16,6 +16,7 @@
 #include "analysis/protocol_spec.hpp"
 #include "engine/engine.hpp"
 #include "engine/host_runtime.hpp"
+#include "engine/migration_strategy.hpp"
 
 namespace {
 
@@ -154,6 +155,47 @@ TEST(SpecTables, RuntimeLegalityPredicatesDelegateToTheTables) {
   }
 }
 
+// Every registered migration strategy maps the shared MigrationStep enum
+// into its own spec table; a mapped index must land on the state of the same
+// name, and an unmapped step must be rejected by legal() outright.
+TEST(SpecTables, StrategySpecIndicesAlignWithStepNames) {
+  using esh::engine::MigrationStep;
+  for (const esh::engine::MigrationStrategy* strategy :
+       esh::engine::migration_strategies()) {
+    const StateMachineSpec& spec = strategy->spec();
+    for (std::size_t v = 0;
+         v <= static_cast<std::size_t>(MigrationStep::kPrecopy); ++v) {
+      const auto step = static_cast<MigrationStep>(v);
+      const std::size_t idx = strategy->spec_index(step);
+      if (idx < spec.states().size()) {
+        EXPECT_EQ(spec.states()[idx].name, esh::engine::to_string(step))
+            << strategy->name() << " maps step " << esh::engine::to_string(step)
+            << " onto the wrong state";
+      } else {
+        EXPECT_FALSE(spec.legal(idx, 0))
+            << strategy->name() << " unmapped step must be illegal";
+        EXPECT_FALSE(spec.legal(0, idx));
+      }
+    }
+  }
+}
+
+// Strategy spec tables are registered in the shared catalog under the names
+// the strategies themselves report, so --mutate and SPEC_CATALOG.md find
+// them without a side table.
+TEST(SpecTables, StrategySpecsAreDiscoverableByName) {
+  for (const esh::engine::MigrationStrategy* strategy :
+       esh::engine::migration_strategies()) {
+    const StateMachineSpec* found =
+        esh::analysis::find_spec(strategy->spec().name());
+    ASSERT_NE(found, nullptr) << strategy->name();
+    EXPECT_EQ(found, &strategy->spec()) << strategy->name();
+  }
+  EXPECT_EQ(esh::analysis::stop_restart_spec().name(),
+            "migration-stop-restart");
+  EXPECT_EQ(esh::analysis::precopy_spec().name(), "migration-precopy");
+}
+
 TEST(SpecTables, WithoutEdgeRemovesExactlyThatEdge) {
   const auto& mig = esh::analysis::migration_spec();
   const std::size_t from = mig.index_of("duplication");
@@ -223,6 +265,66 @@ TEST(ModelCheck, PlantedInvariantViolationIsFound) {
   EXPECT_EQ(r.failure_kind, "invariant");
   EXPECT_NE(r.failure.find("exactly-once"), std::string::npos);
   EXPECT_FALSE(r.trace.empty());
+}
+
+// The strategy models must be exhaustively wedge-free AND demonstrably able
+// to catch each planted failure class — a checker that can't see its own
+// planted faults proves nothing.
+TEST(ModelCheck, StrategyModelsCatchPlantedWedge) {
+  for (const char* name : {"migration-stop-restart", "migration-precopy"}) {
+    ModelOptions opts;
+    opts.fault = PlantedFault::kWedge;
+    auto model = esh::analysis::make_model(name, opts);
+    ASSERT_NE(model, nullptr) << name;
+    const CheckResult r = esh::analysis::check_model(*model);
+    EXPECT_FALSE(r.ok) << name;
+    EXPECT_EQ(r.failure_kind, "wedge") << name;
+    ASSERT_FALSE(r.trace.empty()) << name;
+    EXPECT_NE(r.format_trace().find("destination host dies"),
+              std::string::npos)
+        << name;
+    EXPECT_NE(r.failing_state.find("step=transfer"), std::string::npos)
+        << name;
+  }
+}
+
+TEST(ModelCheck, StrategyModelsCatchPlantedInvariantViolation) {
+  for (const char* name : {"migration-stop-restart", "migration-precopy"}) {
+    ModelOptions opts;
+    opts.fault = PlantedFault::kInvariant;
+    auto model = esh::analysis::make_model(name, opts);
+    ASSERT_NE(model, nullptr) << name;
+    const CheckResult r = esh::analysis::check_model(*model);
+    EXPECT_FALSE(r.ok) << name;
+    EXPECT_EQ(r.failure_kind, "invariant") << name;
+    EXPECT_NE(r.failure.find("exactly-once"), std::string::npos) << name;
+    EXPECT_FALSE(r.trace.empty()) << name;
+  }
+}
+
+TEST(ModelCheck, DeletedStrategyEdgesTripConformance) {
+  {
+    const auto& spec = esh::analysis::stop_restart_spec();
+    ModelOptions opts;
+    opts.spec_override = std::make_shared<StateMachineSpec>(
+        spec.without_edge(spec.index_of("park"), spec.index_of("transfer")));
+    auto model = esh::analysis::make_stop_restart_model(opts);
+    const CheckResult r = esh::analysis::check_model(*model);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.failure_kind, "conformance");
+    EXPECT_NE(r.failure.find("park -> transfer"), std::string::npos);
+  }
+  {
+    const auto& spec = esh::analysis::precopy_spec();
+    ModelOptions opts;
+    opts.spec_override = std::make_shared<StateMachineSpec>(spec.without_edge(
+        spec.index_of("precopy"), spec.index_of("transfer")));
+    auto model = esh::analysis::make_precopy_model(opts);
+    const CheckResult r = esh::analysis::check_model(*model);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.failure_kind, "conformance");
+    EXPECT_NE(r.failure.find("precopy -> transfer"), std::string::npos);
+  }
 }
 
 TEST(ModelCheck, DeletedMigrationEdgeTripsConformance) {

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "common/det.hpp"
+#include "engine/migration_strategy.hpp"
 #include "harness/chaos.hpp"
 #include "workload/schedule.hpp"
 
@@ -766,6 +767,261 @@ TEST(SplitMergeTortureTest, SplitCrashMergeByteIdenticalAcrossThreads) {
   EXPECT_EQ(reference.merges, 1u);
   for (const std::size_t threads : {2u, 4u, 8u}) {
     EXPECT_EQ(run(threads), reference) << threads << " threads";
+  }
+}
+
+// ---- migration-strategy torture ---------------------------------------------
+
+// EP isolated on its own worker pair, mirroring torture_config's M isolation.
+// The pre-copy torture migrates an EP slice because EP state (pending merges
+// and the completed set) mutates on every publication, so dirty-delta rounds
+// ship real bytes under live load; M's matcher state is static once the
+// storage phase ends and would drain the pre-copy loop after one round.
+TestbedConfig ep_torture_config() {
+  auto config = chaos_config();
+  config.worker_hosts = 4;
+  config.iaas.max_hosts = 7;
+  config.placement = [](const std::vector<HostId>& workers) {
+    pubsub::HostAssignment assignment;
+    assignment["AP"] = {workers[0], workers[1]};
+    assignment["M"] = {workers[0], workers[1]};
+    assignment["EP"] = {workers[2], workers[3]};
+    return assignment;
+  };
+  return config;
+}
+
+// Crash torture, stop-and-restart: at every coordinator step of the
+// redirect-park protocol, kill the source's host or the destination's host
+// via the network, so detection, conviction and recovery all run the
+// production path. The move must finish (abort or roll forward), the
+// cluster must heal, and delivery must stay exactly-once.
+TEST(MigrationStrategyTortureTest, StopRestartCrashAtEveryStepHealsExactlyOnce) {
+  struct Case {
+    std::string_view step;
+    bool kill_src;
+  };
+  const Case cases[] = {
+      {"create-replica", true}, {"create-replica", false},
+      {"park", true},           {"park", false},
+      {"transfer", true},       {"transfer", false},
+      {"directory-update", true}, {"directory-update", false},
+      {"teardown", true},       {"teardown", false},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(std::string{"step="} + std::string{c.step} +
+                 (c.kill_src ? " victim=src" : " victim=dst"));
+    Testbed bed{torture_config()};
+    bed.manager()->set_enforcement(false);
+    bed.delays().enable_audit();
+    bed.store_subscriptions(1000);
+    auto driver =
+        bed.drive(std::make_shared<workload::ConstantRate>(200.0, seconds(6)));
+
+    const SliceId slice = bed.engine().slice_id("M", 0);
+    const HostId src = bed.engine().slice_host(slice);
+    const HostId dst = other_m_worker(bed, slice);
+    bool crashed = false;
+    std::optional<engine::MigrationReport> report;
+    bed.engine().on_migration_step(
+        [&](const engine::MigrationReport&, std::string_view step) {
+          if (crashed || step != c.step) return;
+          crashed = true;
+          bed.network().set_host_down(c.kill_src ? src : dst, true);
+        });
+    bed.simulator().schedule(seconds(2), [&] {
+      bed.engine().migrate(
+          slice, dst, engine::MigrationStrategyKind::kStopAndRestart,
+          [&](const engine::MigrationReport& r) { report = r; });
+    });
+
+    bed.run_for(seconds(6) + millis(10));
+    driver->stop();
+    EXPECT_TRUE(crashed);
+    await_heal(bed, *bed.manager(), 1);
+    ASSERT_TRUE(bed.run_until([&] { return report.has_value(); }, seconds(60)));
+    EXPECT_EQ(report->strategy, "stop-and-restart");
+    if (c.kill_src) {
+      EXPECT_TRUE(report->outcome == engine::MigrationOutcome::kCompleted ||
+                  report->outcome ==
+                      engine::MigrationOutcome::kAbortedSrcFailed);
+    } else {
+      EXPECT_TRUE(report->outcome == engine::MigrationOutcome::kCompleted ||
+                  report->outcome ==
+                      engine::MigrationOutcome::kAbortedDstFailed);
+    }
+    await_drain(bed);
+    bed.run_for(seconds(2));
+
+    EXPECT_EQ(bed.engine().pending_migrations(), 0u);
+    const auto audit = verify_exactly_once(bed);
+    EXPECT_TRUE(audit.exactly_once())
+        << "published=" << audit.published << " missing=" << audit.missing
+        << " duplicated=" << audit.duplicated
+        << " mismatched=" << audit.mismatched;
+  }
+}
+
+// Crash torture, incremental-precopy: same drill at every step of the
+// dirty-delta protocol — including a crash in the SECOND pre-copy round,
+// which only exists because live publications keep dirtying the EP state
+// between rounds.
+TEST(MigrationStrategyTortureTest, PrecopyCrashAtEveryStepHealsExactlyOnce) {
+  struct Case {
+    std::string_view step;
+    int nth;  // crash at the nth entry of `step` (pre-copy fires per round)
+    bool kill_src;
+  };
+  const Case cases[] = {
+      {"create-replica", 1, true}, {"create-replica", 1, false},
+      {"duplication", 1, true},    {"duplication", 1, false},
+      {"precopy", 1, true},        {"precopy", 1, false},
+      {"precopy", 2, true},        {"precopy", 2, false},
+      {"transfer", 1, true},       {"transfer", 1, false},
+      {"directory-update", 1, true}, {"directory-update", 1, false},
+      {"teardown", 1, true},       {"teardown", 1, false},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(std::string{"step="} + std::string{c.step} + "#" +
+                 std::to_string(c.nth) +
+                 (c.kill_src ? " victim=src" : " victim=dst"));
+    Testbed bed{ep_torture_config()};
+    bed.manager()->set_enforcement(false);
+    bed.delays().enable_audit();
+    bed.store_subscriptions(1000);
+    auto driver =
+        bed.drive(std::make_shared<workload::ConstantRate>(200.0, seconds(6)));
+
+    const SliceId slice = bed.engine().slice_id("EP", 0);
+    const HostId src = bed.engine().slice_host(slice);
+    const HostId dst = other_m_worker(bed, slice);
+    bool crashed = false;
+    int seen = 0;
+    std::optional<engine::MigrationReport> report;
+    bed.engine().on_migration_step(
+        [&](const engine::MigrationReport&, std::string_view step) {
+          if (crashed || step != c.step) return;
+          if (++seen < c.nth) return;
+          crashed = true;
+          bed.network().set_host_down(c.kill_src ? src : dst, true);
+        });
+    bed.simulator().schedule(seconds(2), [&] {
+      bed.engine().migrate(
+          slice, dst, engine::MigrationStrategyKind::kIncrementalPrecopy,
+          [&](const engine::MigrationReport& r) { report = r; });
+    });
+
+    bed.run_for(seconds(6) + millis(10));
+    driver->stop();
+    EXPECT_TRUE(crashed);
+    await_heal(bed, *bed.manager(), 1);
+    ASSERT_TRUE(bed.run_until([&] { return report.has_value(); }, seconds(60)));
+    EXPECT_EQ(report->strategy, "incremental-precopy");
+    if (c.kill_src) {
+      EXPECT_TRUE(report->outcome == engine::MigrationOutcome::kCompleted ||
+                  report->outcome ==
+                      engine::MigrationOutcome::kAbortedSrcFailed);
+    } else {
+      EXPECT_TRUE(report->outcome == engine::MigrationOutcome::kCompleted ||
+                  report->outcome ==
+                      engine::MigrationOutcome::kAbortedDstFailed);
+    }
+    await_drain(bed);
+    bed.run_for(seconds(2));
+
+    EXPECT_EQ(bed.engine().pending_migrations(), 0u);
+    const auto audit = verify_exactly_once(bed);
+    EXPECT_TRUE(audit.exactly_once())
+        << "published=" << audit.published << " missing=" << audit.missing
+        << " duplicated=" << audit.duplicated
+        << " mismatched=" << audit.mismatched;
+  }
+}
+
+// Manager torture: the migration coordinator lives on the manager host, so
+// cutting that host off mid-protocol severs every in-flight control RPC.
+// With reliable control channels the protocol must ride out a partition
+// shorter than the retry budget at ANY step of either new strategy: no
+// abort, no wedge — the move completes once the partition heals. Data-plane
+// injection and worker-to-worker event flow do not touch the manager host,
+// so delivery must stay exactly-once throughout.
+TEST(MigrationStrategyTortureTest, ManagerPartitionAtEveryStepStillCompletes) {
+  struct Case {
+    engine::MigrationStrategyKind kind;
+    std::string_view step;
+  };
+  using Kind = engine::MigrationStrategyKind;
+  const Case cases[] = {
+      {Kind::kStopAndRestart, "create-replica"},
+      {Kind::kStopAndRestart, "park"},
+      {Kind::kStopAndRestart, "transfer"},
+      {Kind::kStopAndRestart, "directory-update"},
+      {Kind::kStopAndRestart, "teardown"},
+      {Kind::kIncrementalPrecopy, "create-replica"},
+      {Kind::kIncrementalPrecopy, "duplication"},
+      {Kind::kIncrementalPrecopy, "precopy"},
+      {Kind::kIncrementalPrecopy, "transfer"},
+      {Kind::kIncrementalPrecopy, "directory-update"},
+      {Kind::kIncrementalPrecopy, "teardown"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(std::string{engine::to_string(c.kind)} + " step=" +
+                 std::string{c.step});
+    auto config = torture_config();
+    config.engine.reliable_control = true;
+    config.engine.reliable.initial_rto = millis(50);
+    // No host dies in this drill; nothing should need (or run) recovery.
+    config.manager.recovery.enabled = false;
+    Testbed bed{config};
+    bed.manager()->set_enforcement(false);
+    bed.delays().enable_audit();
+    bed.store_subscriptions(1000);
+    auto driver =
+        bed.drive(std::make_shared<workload::ConstantRate>(150.0, seconds(5)));
+
+    const SliceId slice = bed.engine().slice_id("M", 0);
+    const HostId dst = other_m_worker(bed, slice);
+    std::vector<HostId> others = bed.worker_hosts();
+    others.insert(others.end(), bed.io_hosts().begin(), bed.io_hosts().end());
+    bool cut = false;
+    std::optional<engine::MigrationReport> report;
+    bed.engine().on_migration_step(
+        [&](const engine::MigrationReport&, std::string_view step) {
+          if (cut || step != c.step) return;
+          cut = true;
+          bed.network().partition("mgr-cut", {bed.manager_host()}, others);
+          bed.simulator().schedule(millis(700), [&] {
+            bed.network().heal("mgr-cut");
+          });
+        });
+    bed.simulator().schedule(millis(1500), [&] {
+      bed.engine().migrate(slice, dst, c.kind,
+                           [&](const engine::MigrationReport& r) {
+                             report = r;
+                           });
+    });
+
+    bed.run_for(seconds(5) + millis(10));
+    driver->stop();
+    EXPECT_TRUE(cut);
+    ASSERT_TRUE(bed.run_until([&] { return report.has_value(); }, seconds(60)));
+    EXPECT_EQ(report->outcome, engine::MigrationOutcome::kCompleted);
+    EXPECT_EQ(report->strategy, engine::to_string(c.kind));
+    EXPECT_EQ(bed.engine().slice_host(slice), dst);
+    await_drain(bed);
+    bed.run_for(seconds(1));
+
+    EXPECT_EQ(bed.engine().pending_migrations(), 0u);
+    EXPECT_TRUE(bed.manager()->recoveries().empty());
+    // The partition really severed control traffic, and the reliable
+    // channel really carried the protocol across it.
+    EXPECT_GT(bed.network().stats().messages_partitioned, 0u);
+    EXPECT_GT(bed.engine().reliable_stats().retransmits, 0u);
+    const auto audit = verify_exactly_once(bed);
+    EXPECT_TRUE(audit.exactly_once())
+        << "published=" << audit.published << " missing=" << audit.missing
+        << " duplicated=" << audit.duplicated
+        << " mismatched=" << audit.mismatched;
   }
 }
 

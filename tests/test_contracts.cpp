@@ -13,6 +13,9 @@
 
 #include "cluster/iaas.hpp"
 #include "common/contracts.hpp"
+#include "elastic/enforcer.hpp"
+#include "elastic/manager.hpp"
+#include "engine/migration_strategy.hpp"
 #include "common/keyspace.hpp"
 #include "common/serde.hpp"
 #include "common/thread_pool.hpp"
@@ -118,7 +121,9 @@ TEST(SliceTransitionTest, TableEncodesLifecycle) {
   EXPECT_TRUE(engine::slice_transition_legal(State::kFrozen, State::kRetired));
   // fail_host retires a slice, then evict_slice retires it again.
   EXPECT_TRUE(engine::slice_transition_legal(State::kRetired, State::kRetired));
-  EXPECT_FALSE(engine::slice_transition_legal(State::kFrozen, State::kActive));
+  // Stop-and-restart abort: a parked source frozen at its exact catch-up
+  // point thaws back to active (the coordinator replays the dropped suffix).
+  EXPECT_TRUE(engine::slice_transition_legal(State::kFrozen, State::kActive));
   EXPECT_FALSE(
       engine::slice_transition_legal(State::kRetired, State::kActive));
   EXPECT_FALSE(engine::slice_transition_legal(State::kActive, State::kFrozen));
@@ -183,14 +188,14 @@ TEST(SeededFaultTest, IllegalMigrationTransitionThrowsStructured) {
 TEST(SeededFaultTest, IllegalSliceTransitionThrowsStructured) {
   using State = engine::SliceRuntime::State;
   try {
-    engine::assert_slice_transition(SliceId{5}, State::kFrozen,
+    engine::assert_slice_transition(SliceId{5}, State::kRetired,
                                     State::kActive);
     FAIL() << "illegal transition not detected";
   } catch (const ContractViolation& v) {
     EXPECT_EQ(v.kind(), Kind::kStateMachine);
     EXPECT_EQ(v.name(), "slice-state-legal");
     EXPECT_EQ(v.detail().slice_id, 5u);
-    EXPECT_EQ(v.detail().actual_value, "frozen -> active");
+    EXPECT_EQ(v.detail().actual_value, "retired -> active");
   }
 }
 
@@ -588,6 +593,142 @@ TEST(SeededFaultTest, CorruptSplitPlanTripsKeyCoverageCompleteness) {
     EXPECT_EQ(v.name(), "key-coverage-complete");
     EXPECT_EQ(v.detail().slice_id, parent.value());
     EXPECT_NE(v.detail().note_text.find("split cut-over"), std::string::npos);
+  }
+}
+
+// ---- migration-strategy lab: each strategy invariant tripped by a seam ----
+
+// Shared rig for the strategy faults: two worker hosts with the M operator
+// spread across both, so one M slice can migrate to the other worker.
+harness::TestbedConfig strategy_rig_config() {
+  harness::TestbedConfig config;
+  config.worker_hosts = 2;
+  config.io_hosts = 2;
+  config.workload.dimensions = 4;
+  config.workload.total_subscriptions = 50;
+  config.workload.matching_rate = 0.05;
+  config.workload.m_slices = 2;
+  config.source_slices = 1;
+  config.ap_slices = 2;
+  config.ep_slices = 2;
+  config.sink_slices = 1;
+  config.iaas.max_hosts = 5;
+  return config;
+}
+
+struct StrategyMove {
+  SliceId slice;
+  HostId dst;
+};
+
+StrategyMove pick_m_move(harness::Testbed& bed) {
+  const auto& cfg = bed.engine().static_config();
+  const SliceId slice = cfg.operators.at(cfg.index_of("M")).slices.front();
+  const HostId src = bed.engine().slice_host(slice);
+  HostId dst = src;
+  for (const HostId host : bed.worker_hosts()) {
+    if (host != src) dst = host;
+  }
+  EXPECT_NE(dst, src);
+  return {slice, dst};
+}
+
+// An incremental-precopy coordinator that issues one dirty-delta round past
+// its budget must trip before the over-budget request leaves the host.
+TEST(SeededFaultTest, ExtraPrecopyRoundTripsRoundBudget) {
+  auto config = strategy_rig_config();
+  // One-round budget: the seeded extra round is round two, over budget.
+  config.engine.precopy_rounds = 1;
+  harness::Testbed bed{config};
+  bed.store_subscriptions(50);
+  const StrategyMove mv = pick_m_move(bed);
+
+  bed.engine().testing_force_extra_precopy_round = true;
+  bed.simulator().schedule(millis(10), [&] {
+    bed.engine().migrate(mv.slice, mv.dst,
+                         engine::MigrationStrategyKind::kIncrementalPrecopy,
+                         [](const engine::MigrationReport&) {});
+  });
+  try {
+    bed.run_for(seconds(5));
+    FAIL() << "over-budget precopy round not detected";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.kind(), Kind::kInvariant);
+    EXPECT_EQ(v.subsystem(), "engine");
+    EXPECT_EQ(v.name(), "precopy-rounds-bounded");
+    EXPECT_EQ(v.detail().slice_id, mv.slice.value());
+    EXPECT_EQ(v.detail().actual_value, "2");
+  }
+}
+
+// Stop-and-restart parks the source before any state ships; a seeded
+// resurrection of the source right under the activation check simulates a
+// lost park — the replica going live would mean two primaries at once.
+TEST(SeededFaultTest, ResurrectedSourceTripsStopRestartDualActive) {
+  harness::Testbed bed{strategy_rig_config()};
+  bed.store_subscriptions(50);
+  const StrategyMove mv = pick_m_move(bed);
+
+  bed.engine().testing_force_src_active_on_activate = true;
+  bed.simulator().schedule(millis(10), [&] {
+    bed.engine().migrate(mv.slice, mv.dst,
+                         engine::MigrationStrategyKind::kStopAndRestart,
+                         [](const engine::MigrationReport&) {});
+  });
+  try {
+    bed.run_for(seconds(5));
+    FAIL() << "dual-active source not detected";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.kind(), Kind::kInvariant);
+    EXPECT_EQ(v.subsystem(), "engine");
+    EXPECT_EQ(v.name(), "stop-restart-no-dual-active");
+    EXPECT_EQ(v.detail().slice_id, mv.slice.value());
+    EXPECT_EQ(v.detail().actual_value, "active");
+  }
+}
+
+// The enforcer's protocol choice is a pure function of the signals the plan
+// records; a plan whose stamped strategy disagrees with its own signals must
+// be rejected by the manager before the migration starts.
+TEST(SeededFaultTest, CorruptStrategyPlanTripsSelectionDeterminism) {
+  auto config = strategy_rig_config();
+  config.with_manager = true;
+  config.engine.probe_interval = millis(100);
+  harness::Testbed bed{config};
+  elastic::Manager& manager = *bed.manager();
+  manager.set_enforcement(false);  // quiet while subscriptions store
+  bed.store_subscriptions(50);
+  const StrategyMove mv = pick_m_move(bed);
+
+  // Replace the policy with a single hand-built move whose strategy is
+  // stamped exactly as select_strategy derives it from the recorded
+  // signals; only the seeded corruption below makes them disagree.
+  manager.set_policy([&](const elastic::SystemView& view) {
+    elastic::MigrationPlan plan;
+    for (const elastic::SliceView& sv : view.slices) {
+      if (sv.slice != mv.slice) continue;
+      plan.reason = elastic::MigrationPlan::Reason::kLocalHigh;
+      elastic::MigrationPlan::Move move;
+      move.slice = sv.slice;
+      move.dst = mv.dst;
+      move.state_bytes = sv.state_bytes;
+      move.cpu = sv.cpu;
+      move.strategy = elastic::select_strategy(manager.enforcer().config(),
+                                               sv.state_bytes, sv.cpu);
+      plan.moves.push_back(move);
+    }
+    return plan;
+  });
+  manager.testing_corrupt_strategy_plan = true;
+  manager.set_enforcement(true);
+  try {
+    bed.run_for(seconds(5));
+    FAIL() << "corrupted strategy plan not detected";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.kind(), Kind::kInvariant);
+    EXPECT_EQ(v.subsystem(), "elastic");
+    EXPECT_EQ(v.name(), "strategy-selection-deterministic");
+    EXPECT_EQ(v.detail().slice_id, mv.slice.value());
   }
 }
 
